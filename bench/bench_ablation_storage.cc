@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Ablation of the paper's traceback-storage design choice (Section 7):
+ * store only the k+1 ANDed R[d] bitvectors per node and regenerate the
+ * intermediate match/substitution/deletion/insertion vectors during
+ * traceback, instead of storing 3(k+1) bitvectors per edge.
+ *
+ * "While this modification incurs small additional computational
+ * overhead, it decreases the memory footprint of the algorithm by at
+ * least 3x. Since the main area and power cost of the alignment
+ * hardware comes from memory, we find this trade-off favorable."
+ */
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/align/bitalign.h"
+#include "src/graph/linearize.h"
+#include "src/hw/area_power.h"
+
+int
+main()
+{
+    using namespace segram;
+
+    bench::printHeader("Ablation: R[d]-per-node vs. 3(k+1)-per-edge");
+
+    const auto dataset = sim::makeDataset(bench::datasetConfig(400'000));
+
+    // Storage accounting for a representative window (W chars, k+1
+    // levels). Edges per linearized char measured from the graph.
+    const auto lin = graph::linearizeWhole(dataset.graph);
+    uint64_t edges = 0;
+    for (int pos = 0; pos < lin.size(); ++pos)
+        edges += lin.successorDeltas(pos).size();
+    const double edges_per_char =
+        static_cast<double>(edges) / static_cast<double>(lin.size());
+
+    const int window = 128; // bits per PE
+    const int k = 32;       // per-window edit cap
+    const double node_scheme_bits =
+        static_cast<double>(window) * (k + 1) * window;
+    const double edge_scheme_bits =
+        static_cast<double>(window) * edges_per_char * 3.0 * (k + 1) *
+        window;
+    std::printf("edges per linearized char: %.3f\n", edges_per_char);
+    std::printf("per-window traceback storage:\n");
+    std::printf("  R[d] per node  (paper design): %8.0f kb\n",
+                node_scheme_bits / 1024.0);
+    std::printf("  3(k+1) per edge (naive)      : %8.0f kb\n",
+                edge_scheme_bits / 1024.0);
+    std::printf("  reduction: %.2fx (paper: >= 3x)\n",
+                edge_scheme_bits / node_scheme_bits);
+
+    // Recompute overhead: traceback regenerates the intermediate
+    // vectors, so compare distance-only vs. full-traceback runtime.
+    bench::printHeader("Traceback recompute overhead (measured)");
+    Rng rng(99);
+    sim::ReadSimConfig read_config{10'000, 4,
+                                   sim::ErrorProfile::pacbio(0.05)};
+    const auto reads =
+        sim::simulateReads(dataset.donor, read_config, rng);
+
+    align::BitAlignConfig config;
+    config.windowEditCap = k;
+    config.firstWindowExtraText = 64;
+    double with_tb = 0.0;
+    double distance_only = 0.0;
+    for (const auto &read : reads) {
+        const uint64_t start = read.truthLinearStart > 32
+                                   ? read.truthLinearStart - 32
+                                   : 0;
+        const uint64_t end = std::min<uint64_t>(
+            read.truthLinearStart + read_config.readLen * 1.2,
+            dataset.graph.totalSeqLen() - 1);
+        const auto region =
+            graph::linearizeRange(dataset.graph, start, end);
+        with_tb += bench::timeSec(
+            [&] { align::alignWindowed(region, read.seq, config); });
+        // Distance-only equivalent: per-window distance passes.
+        distance_only += bench::timeSec([&] {
+            const int stride = config.windowLen - config.overlap;
+            for (int pos = 0; pos + config.windowLen <
+                              static_cast<int>(read.seq.size());
+                 pos += stride) {
+                const int text_lo =
+                    std::min<int>(pos, region.size() - 1);
+                const int text_len = std::min<int>(
+                    config.windowLen + config.textSlack,
+                    region.size() - text_lo);
+                if (text_len <= 0)
+                    break;
+                align::alignWindowDistanceOnly(
+                    region.window(text_lo, text_len),
+                    std::string_view(read.seq)
+                        .substr(pos, config.windowLen),
+                    config.windowEditCap);
+            }
+        });
+    }
+    std::printf("full alignment (with traceback regen): %7.2f ms/read\n",
+                1e3 * with_tb / reads.size());
+    std::printf("distance-only window passes:           %7.2f ms/read\n",
+                1e3 * distance_only / reads.size());
+    std::printf("traceback overhead: %.0f%% (paper: \"small additional "
+                "computational overhead\")\n",
+                100.0 * (with_tb - distance_only) /
+                    (distance_only > 0 ? distance_only : 1.0));
+
+    // Area/power knock-on: the bitvector scratchpads shrink 3x under
+    // the paper design; show what the naive design would cost.
+    bench::printHeader("Area/power impact of the 3x scratchpad saving");
+    auto naive = hw::HwConfig::segram();
+    naive.bitvectorSpadBytesPerPe *= 3;
+    const auto paper_cost =
+        hw::modelAreaPower(hw::HwConfig::segram()).accelTotal();
+    const auto naive_cost = hw::modelAreaPower(naive).accelTotal();
+    std::printf("paper design: %.3f mm^2, %.0f mW\n", paper_cost.areaMm2,
+                paper_cost.powerMw);
+    std::printf("naive design: %.3f mm^2, %.0f mW (+%.0f%% area)\n",
+                naive_cost.areaMm2, naive_cost.powerMw,
+                100.0 * (naive_cost.areaMm2 - paper_cost.areaMm2) /
+                    paper_cost.areaMm2);
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Ablation of the divide-and-conquer window configuration: PE width
+ * (64 = GenASM vs 128 = BitAlign vs wider) and overlap, measuring
+ * alignment quality (fraction exactly optimal, mean edit overage vs.
+ * the DP oracle), software runtime, and the modeled hardware cycles.
+ *
+ * This quantifies the design choice behind the paper's 1.2x
+ * BitAlign-over-GenASM result: wider windows halve the window count at
+ * slightly higher per-window cost.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/align/bitalign.h"
+#include "src/baseline/dp_s2g.h"
+#include "src/graph/linearize.h"
+#include "src/hw/cycle_model.h"
+
+int
+main()
+{
+    using namespace segram;
+
+    bench::printHeader("Ablation: window width / overlap");
+
+    const auto dataset = sim::makeDataset(bench::datasetConfig(300'000));
+    Rng rng(77);
+    sim::ReadSimConfig read_config{2'000, 6,
+                                   sim::ErrorProfile::pacbio(0.05)};
+    const auto reads =
+        sim::simulateReads(dataset.donor, read_config, rng);
+
+    struct Variant
+    {
+        const char *name;
+        int window;
+        int overlap;
+    };
+    const Variant variants[] = {
+        {"W=64 O=24 (GenASM)", 64, 24},
+        {"W=96 O=36", 96, 36},
+        {"W=128 O=48 (BitAlign)", 128, 48},
+        {"W=192 O=72", 192, 72},
+    };
+
+    std::printf("%-24s %8s %10s %10s %12s %14s\n", "config", "exact",
+                "overage", "ms/read", "windows/10kb", "kcycles/10kb");
+    for (const auto &variant : variants) {
+        align::BitAlignConfig config;
+        config.windowLen = variant.window;
+        config.overlap = variant.overlap;
+        config.windowEditCap = variant.window / 3;
+        config.firstWindowExtraText = 64;
+
+        int exact = 0;
+        int found = 0;
+        double overage = 0.0;
+        double total_sec = 0.0;
+        for (const auto &read : reads) {
+            const uint64_t start = read.truthLinearStart > 32
+                                       ? read.truthLinearStart - 32
+                                       : 0;
+            const uint64_t end = std::min<uint64_t>(
+                read.truthLinearStart + read_config.readLen * 1.2,
+                dataset.graph.totalSeqLen() - 1);
+            const auto region =
+                graph::linearizeRange(dataset.graph, start, end);
+            align::GraphAlignment result;
+            total_sec += bench::timeSec([&] {
+                result = align::alignWindowed(region, read.seq, config);
+            });
+            if (!result.found)
+                continue;
+            ++found;
+            const auto oracle =
+                baseline::dpGraphDistance(region, read.seq);
+            exact += result.editDistance == oracle.editDistance;
+            overage += result.editDistance - oracle.editDistance;
+        }
+
+        hw::HwConfig hw_config = hw::HwConfig::segram();
+        hw_config.bitsPerPe = variant.window;
+        hw_config.windowOverlap = variant.overlap;
+        std::printf("%-24s %7.0f%% %10.2f %10.2f %12d %14.1f\n",
+                    variant.name,
+                    found == 0 ? 0.0 : 100.0 * exact / found,
+                    found == 0 ? 0.0 : overage / found,
+                    1e3 * total_sec / reads.size(),
+                    hw::windowsPerRead(10'000, hw_config),
+                    hw::bitalignCyclesPerSeed(10'000, hw_config) / 1e3);
+    }
+    std::printf("\npaper design point: W=128/stride 80 halves the window "
+                "count vs GenASM's\nW=64/stride 40 (125 vs 250 windows per "
+                "10 kbp read) for a net 1.2x speedup,\nwith no loss of "
+                "alignment quality.\n");
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Figure 17 reproduction: BitAlign vs. PaSGAL for standalone
+ * sequence-to-graph alignment, on short-read (LRC-L1 / MHC1-M1 style)
+ * and long-read (LRC-L2 / MHC1-M2 style) datasets.
+ *
+ * PaSGAL is represented by its algorithmic structure: DP-fwd + DP-rev
+ * over the candidate region followed by a traceback recomputation
+ * (dpGraphDistance twice + chunked dpGraphAlign). BitAlign is the real
+ * windowed bitvector aligner. The paper compares only against PaSGAL's
+ * third step and reports 41x-539x, with the larger wins on long reads
+ * thanks to the divide-and-conquer windowing.
+ *
+ * LRC/MHC region scale is reduced (the real LRC is ~1 Mbp, MHC ~5 Mbp)
+ * but the region-per-read sizes — which set the alignment cost — match
+ * the paper's setup: each read is aligned against its candidate
+ * subgraph, not the whole graph.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/align/bitalign.h"
+#include "src/baseline/dp_s2g.h"
+#include "src/graph/linearize.h"
+
+namespace
+{
+
+using namespace segram;
+
+/** PaSGAL-substitute: DP fwd + DP rev + chunked traceback. */
+double
+pasgalLike(const graph::LinearizedGraph &region, const std::string &read)
+{
+    return bench::timeSec([&] {
+        // Step 1 (DP-fwd) and step 2 (DP-rev): two full rolling passes.
+        baseline::dpGraphDistance(region, read);
+        baseline::dpGraphDistance(region, read);
+        // Step 3: traceback over the identified section, recomputed in
+        // chunks (vg/PaSGAL bound the table the same way).
+        constexpr size_t chunk = 512;
+        for (size_t pos = 0; pos < read.size(); pos += chunk) {
+            const size_t len = std::min(chunk, read.size() - pos);
+            const int lo = std::min<int>(
+                static_cast<int>(pos), region.size() - 1);
+            const int text_len = std::min<int>(
+                static_cast<int>(len) + 128, region.size() - lo);
+            if (text_len <= 0)
+                break;
+            baseline::dpGraphAlign(region.window(lo, text_len),
+                                   read.substr(pos, len));
+        }
+    });
+}
+
+struct Fig17Row
+{
+    std::string name;
+    uint64_t graph_len;
+    uint32_t read_len;
+    uint32_t num_reads;
+    sim::ErrorProfile errors;
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Fig. 17: PaSGAL vs. BitAlign (S2G alignment)");
+
+    const std::vector<Fig17Row> rows = {
+        {"LRC-L1-like (100bp)", 200'000, 100, 60,
+         sim::ErrorProfile::illumina()},
+        {"MHC1-M1-like (100bp)", 400'000, 100, 60,
+         sim::ErrorProfile::illumina()},
+        {"LRC-L2-like (10kbp)", 200'000, 10'000, 2,
+         sim::ErrorProfile::pacbio(0.05)},
+        {"MHC1-M2-like (10kbp)", 400'000, 10'000, 2,
+         sim::ErrorProfile::pacbio(0.05)},
+    };
+
+    std::printf("%-22s %14s %14s %10s\n", "dataset", "PaSGAL-like",
+                "BitAlign", "speedup");
+    std::printf("%-22s %14s %14s\n", "", "(ms/read)", "(ms/read)");
+
+    double short_speedup = 0.0;
+    double long_speedup = 0.0;
+    for (const auto &row : rows) {
+        const auto dataset =
+            sim::makeDataset(bench::datasetConfig(row.graph_len));
+        Rng rng(171);
+        sim::ReadSimConfig read_config{row.read_len, row.num_reads,
+                                       row.errors};
+        const auto reads =
+            sim::simulateReads(dataset.donor, read_config, rng);
+
+        align::BitAlignConfig bitalign;
+        bitalign.windowEditCap = 48;
+        bitalign.firstWindowExtraText = 64;
+
+        double pasgal_total = 0.0;
+        double bitalign_total = 0.0;
+        int aligned = 0;
+        for (const auto &read : reads) {
+            // Candidate region around the truth (both aligners get the
+            // same region, mirroring the paper's standalone-alignment
+            // comparison where seeding is out of scope).
+            const uint64_t start =
+                read.truthLinearStart > 32 ? read.truthLinearStart - 32
+                                           : 0;
+            const uint64_t end = std::min<uint64_t>(
+                read.truthLinearStart +
+                    static_cast<uint64_t>(row.read_len * 1.15) + 64,
+                dataset.graph.totalSeqLen() - 1);
+            const auto region =
+                graph::linearizeRange(dataset.graph, start, end);
+
+            pasgal_total += pasgalLike(region, read.seq);
+            bitalign_total += bench::timeSec([&] {
+                aligned +=
+                    align::alignWindowed(region, read.seq, bitalign)
+                        .found;
+            });
+        }
+        const double pasgal_ms = 1e3 * pasgal_total / reads.size();
+        const double bitalign_ms = 1e3 * bitalign_total / reads.size();
+        const double speedup = pasgal_ms / bitalign_ms;
+        std::printf("%-22s %14.3f %14.3f %9.1fx   (aligned %d/%zu)\n",
+                    row.name.c_str(), pasgal_ms, bitalign_ms, speedup,
+                    aligned, reads.size());
+        if (row.read_len <= 150)
+            short_speedup = speedup;
+        else
+            long_speedup = speedup;
+    }
+
+    std::printf("\npaper shape: BitAlign wins across the board (paper "
+                "41x-539x vs 48-thread\nAVX-512 PaSGAL) and the speedup is "
+                "notably larger for long reads thanks to\nthe "
+                "divide-and-conquer windowing -> measured: long %.0fx vs "
+                "short %.0fx (%s)\n",
+                long_speedup, short_speedup,
+                long_speedup > short_speedup ? "reproduced"
+                                             : "NOT reproduced");
+    return 0;
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the computational kernels: the
+ * minimizer sketch, index queries, BitAlign window execution (graph
+ * and chain), GenASM, Myers, and the DP oracle. These are the
+ * building-block costs behind every end-to-end number in the other
+ * benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/align/bitalign_core.h"
+#include "src/align/genasm.h"
+#include "src/align/myers.h"
+#include "src/baseline/dp_s2g.h"
+#include "src/graph/linearize.h"
+#include "src/index/minimizer_index.h"
+#include "src/seed/minimizer.h"
+#include "src/sim/dataset.h"
+
+namespace
+{
+
+using namespace segram;
+
+const sim::Dataset &
+dataset()
+{
+    static const sim::Dataset instance = [] {
+        sim::DatasetConfig config;
+        config.genome.length = 200'000;
+        config.index.sketch = {15, 10};
+        config.index.bucketBits = 14;
+        config.seed = 2022;
+        return sim::makeDataset(config);
+    }();
+    return instance;
+}
+
+std::string
+donorRead(size_t start, size_t len)
+{
+    return dataset().donor.seq().substr(start, len);
+}
+
+void
+BM_MinimizerSketch(benchmark::State &state)
+{
+    const std::string read = donorRead(1'000, state.range(0));
+    const seed::SketchConfig config{15, 10};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(seed::computeMinimizers(read, config));
+    }
+    state.SetBytesProcessed(state.iterations() * read.size());
+}
+BENCHMARK(BM_MinimizerSketch)->Arg(150)->Arg(1'000)->Arg(10'000);
+
+void
+BM_IndexQuery(benchmark::State &state)
+{
+    const auto &data = dataset();
+    const std::string read = donorRead(5'000, 1'000);
+    const auto minimizers =
+        seed::computeMinimizers(read, data.index.sketch());
+    size_t idx = 0;
+    for (auto _ : state) {
+        const auto &minimizer = minimizers[idx++ % minimizers.size()];
+        benchmark::DoNotOptimize(data.index.frequency(minimizer.hash));
+        benchmark::DoNotOptimize(data.index.locations(minimizer.hash));
+    }
+}
+BENCHMARK(BM_IndexQuery);
+
+void
+BM_BitAlignWindowGraph(benchmark::State &state)
+{
+    const auto &data = dataset();
+    const int window = static_cast<int>(state.range(0));
+    const uint64_t start = data.donor.toLinear(10'000);
+    const auto region =
+        graph::linearizeRange(data.graph, start, start + window + 32);
+    const std::string read = donorRead(10'000, window);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(align::alignWindowDistanceOnly(
+            region, read, window / 4));
+    }
+}
+BENCHMARK(BM_BitAlignWindowGraph)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_BitAlignWindowWithTraceback(benchmark::State &state)
+{
+    const auto &data = dataset();
+    const int window = static_cast<int>(state.range(0));
+    const uint64_t start = data.donor.toLinear(10'000);
+    const auto region =
+        graph::linearizeRange(data.graph, start, start + window + 32);
+    const std::string read = donorRead(10'000, window);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            align::alignWindow(region, read, window / 4));
+    }
+}
+BENCHMARK(BM_BitAlignWindowWithTraceback)->Arg(128);
+
+void
+BM_GenAsm(benchmark::State &state)
+{
+    const auto &data = dataset();
+    const std::string text = data.reference.substr(20'000, 1'200);
+    const std::string read = data.reference.substr(20'050, 1'000);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(align::genAsmAlign(text, read, 64));
+    }
+}
+BENCHMARK(BM_GenAsm);
+
+void
+BM_Myers(benchmark::State &state)
+{
+    const auto &data = dataset();
+    const std::string text = data.reference.substr(20'000, 1'200);
+    const std::string read = data.reference.substr(20'050, 64);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(align::myersAlign(text, read));
+    }
+    state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_Myers);
+
+void
+BM_DpGraphOracle(benchmark::State &state)
+{
+    const auto &data = dataset();
+    const uint64_t start = data.donor.toLinear(10'000);
+    const auto region =
+        graph::linearizeRange(data.graph, start, start + 512);
+    const std::string read = donorRead(10'000, 400);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(baseline::dpGraphDistance(region, read));
+    }
+}
+BENCHMARK(BM_DpGraphOracle);
+
+void
+BM_LinearizeRegion(benchmark::State &state)
+{
+    const auto &data = dataset();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(graph::linearizeRange(
+            data.graph, 50'000, 50'000 + 12'000,
+            graph::kDefaultHopLimit));
+    }
+}
+BENCHMARK(BM_LinearizeRegion);
+
+} // namespace
+
+BENCHMARK_MAIN();

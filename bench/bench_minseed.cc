@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Section 11.4 reproduction: MinSeed vs. filtering approaches.
+ *
+ * The paper's contrast: for a long-read dataset GraphAligner's
+ * chaining collapses 77 M available seeds to 48 k extended ones, while
+ * MinSeed's frequency filter only goes to 35 M — yet SeGraM still wins
+ * because BitAlign makes alignment cheap. For short reads: 828 k ->
+ * 11 k (GraphAligner) vs. 375 k (MinSeed). This bench regenerates the
+ * same three counters on both read classes, checks that the frequency
+ * filter does not hurt sensitivity (the paper's sensitivity argument),
+ * and sweeps the discard threshold.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baseline/mappers.h"
+
+int
+main()
+{
+    using namespace segram;
+
+    bench::printHeader("Section 11.4: seeds available vs. extended");
+
+    const auto dataset = sim::makeDataset(bench::datasetConfig(600'000));
+
+    struct Workload
+    {
+        const char *name;
+        sim::ReadSimConfig config;
+        double minseed_error;
+    };
+    const Workload workloads[] = {
+        {"long reads (10kbp @5%)",
+         {10'000, 6, sim::ErrorProfile::pacbio(0.05)}, 0.10},
+        {"short reads (150bp @1%)",
+         {150, 120, sim::ErrorProfile::illumina()}, 0.05},
+    };
+
+    for (const auto &workload : workloads) {
+        Rng rng(114);
+        const auto reads =
+            sim::simulateReads(dataset.donor, workload.config, rng);
+
+        // MinSeed counters.
+        seed::MinSeedConfig minseed_config;
+        minseed_config.errorRate = workload.minseed_error;
+        minseed_config.mergeDuplicateRegions = false;
+        const seed::MinSeed minseed(dataset.graph, dataset.index,
+                                    minseed_config);
+        seed::MinSeedStats stats;
+        for (const auto &read : reads)
+            minseed.seedRead(read.seq, &stats);
+
+        // GraphAligner-like chaining counters on the same reads.
+        baseline::BaselineConfig baseline_config;
+        baseline_config.errorRate = workload.minseed_error;
+        const baseline::GraphAlignerLike graphaligner(
+            dataset.graph, dataset.index, baseline_config);
+        baseline::BaselineStats ga_stats;
+        for (const auto &read : reads)
+            graphaligner.map(read.seq, &ga_stats);
+
+        std::printf("\n%s (%zu reads):\n", workload.name, reads.size());
+        std::printf("  seeds available (pre-filter):        %12" PRIu64
+                    "\n", stats.seedsAvailable);
+        std::printf("  MinSeed keeps (frequency filter):    %12" PRIu64
+                    "  (paper long: 77M -> 35M)\n", stats.seedsFetched);
+        std::printf("  GraphAligner-like extends (chains):  %12" PRIu64
+                    "  (paper long: 77M -> 48k)\n",
+                    ga_stats.seedsExtended);
+        std::printf("  -> MinSeed extends %.0fx more candidates than the "
+                    "chaining baseline,\n     and SeGraM still wins "
+                    "end-to-end (bench_fig15/16) because BitAlign is "
+                    "cheap.\n",
+                    ga_stats.seedsExtended == 0
+                        ? 0.0
+                        : static_cast<double>(stats.seedsFetched) /
+                              static_cast<double>(ga_stats.seedsExtended));
+    }
+
+    bench::printHeader("Frequency-threshold sweep (sensitivity check)");
+    Rng rng(115);
+    sim::ReadSimConfig read_config{150, 80, sim::ErrorProfile::illumina()};
+    const auto reads =
+        sim::simulateReads(dataset.donor, read_config, rng);
+
+    std::printf("%-22s %14s %10s %10s\n", "threshold", "seeds kept",
+                "mapped", "correct");
+    for (const uint32_t threshold :
+         {dataset.index.frequencyThreshold(), 2u, 8u, 1000000u}) {
+        core::SegramConfig config;
+        config.minseed.frequencyThreshold = threshold;
+        config.earlyExitFraction = 1.0;
+        const core::SegramMapper mapper(dataset.graph, dataset.index,
+                                        config);
+        core::PipelineStats stats;
+        int correct = 0;
+        for (const auto &read : reads) {
+            const auto result = mapper.mapRead(read.seq, &stats);
+            if (!result.mapped)
+                continue;
+            const uint64_t truth = read.truthLinearStart;
+            const uint64_t delta = result.linearStart > truth
+                                       ? result.linearStart - truth
+                                       : truth - result.linearStart;
+            correct += delta <= 32;
+        }
+        char label[64];
+        if (threshold == dataset.index.frequencyThreshold()) {
+            std::snprintf(label, sizeof(label), "%u (top 0.02%% rule)",
+                          threshold);
+        } else {
+            std::snprintf(label, sizeof(label), "%u", threshold);
+        }
+        std::printf("%-22s %14" PRIu64 " %9.1f%% %9.1f%%\n", label,
+                    stats.seeding.seedsFetched,
+                    100.0 * stats.readsMapped / reads.size(),
+                    100.0 * correct / reads.size());
+    }
+    std::printf("\npaper claim: the top-0.02%% discard rule does not "
+                "reduce sensitivity, because\nthe discarded minimizers are "
+                "repeats that would only add spurious regions.\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Section 11.3 (S2S alignment accelerators) reproduction: BitAlign as a
+ * sequence-to-sequence aligner vs. GACT (Darwin), SillaX (GenAx) and
+ * GenASM.
+ *
+ * The BitAlign-vs-GenASM comparison is fully regenerated from the cycle
+ * model (the paper's own arithmetic: 250 windows x 169 cycles vs. 125
+ * windows x 272 cycles for a 10 kbp read = 1.2x). GACT and SillaX are
+ * closed designs evaluated only through numbers reported in their
+ * papers, so those rows reproduce the paper's reported ratios next to
+ * our modeled BitAlign throughput. A software cross-check also times
+ * this repo's GenASM and BitAlign implementations on identical strings.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/align/bitalign.h"
+#include "src/align/genasm.h"
+#include "src/graph/graph_builder.h"
+#include "src/graph/linearize.h"
+#include "src/hw/cycle_model.h"
+
+int
+main()
+{
+    using namespace segram;
+
+    bench::printHeader("S2S accelerators: BitAlign vs. GenASM (modeled)");
+
+    const auto segram_hw = hw::HwConfig::segram();
+    const auto genasm_hw = hw::HwConfig::genasm();
+
+    std::printf("%-12s %10s %14s %14s %14s\n", "read len", "", "windows",
+                "cycles/window", "cycles/read");
+    for (const int len : {100, 150, 250, 1'000, 10'000}) {
+        std::printf("%-12d %10s %14d %14.0f %14.0f\n", len, "BitAlign",
+                    hw::windowsPerRead(len, segram_hw),
+                    hw::cyclesPerWindow(segram_hw),
+                    hw::bitalignCyclesPerSeed(len, segram_hw));
+        std::printf("%-12s %10s %14d %14.0f %14.0f\n", "", "GenASM",
+                    hw::windowsPerRead(len, genasm_hw),
+                    hw::cyclesPerWindow(genasm_hw),
+                    hw::bitalignCyclesPerSeed(len, genasm_hw));
+    }
+    const double long_ratio =
+        hw::bitalignCyclesPerSeed(10'000, genasm_hw) /
+        hw::bitalignCyclesPerSeed(10'000, segram_hw);
+    const double short_ratio =
+        hw::bitalignCyclesPerSeed(150, genasm_hw) /
+        hw::bitalignCyclesPerSeed(150, segram_hw);
+    std::printf("\nBitAlign vs GenASM speedup: long reads %.2fx "
+                "(paper: 1.2x), short reads %.2fx (paper: 1.3x)\n",
+                long_ratio, short_ratio);
+
+    bench::printHeader("Paper-reported comparisons (closed designs)");
+    std::printf("vs GACT (Darwin), long reads:  4.8x throughput, "
+                "2.7x power, 1.5x area (reported)\n");
+    std::printf("vs SillaX (GenAx), short reads: 2.4x throughput "
+                "(reported)\n");
+    std::printf("vs GenASM: 1.2x (long) / 1.3x (short), 7.5x power, "
+                "2.6x area (reported; cycle ratio regenerated above)\n");
+
+    bench::printHeader("Software cross-check on identical strings");
+    Rng rng(113);
+    const std::string text = sim::randomSequence(12'000, rng);
+    const std::string read = text.substr(500, 10'000);
+
+    // Chain-graph BitAlign vs the dedicated string GenASM.
+    graph::BuildOptions options;
+    options.maxNodeLen = 4096;
+    const auto chain_graph = graph::buildGraph(text, {}, options);
+    const auto chain = graph::linearizeWhole(chain_graph);
+
+    align::BitAlignConfig bitalign_config; // W=128 stride 80
+    bitalign_config.firstWindowExtraText = 600;
+    int found = 0;
+    const double bitalign_sec = bench::timeSec([&] {
+        for (int rep = 0; rep < 3; ++rep)
+            found += align::alignWindowed(chain, read, bitalign_config)
+                         .found;
+    });
+    const double genasm_sec = bench::timeSec([&] {
+        for (int rep = 0; rep < 3; ++rep)
+            found += align::genAsmAlign(text, read, 64).found;
+    });
+    std::printf("10 kbp read vs 12 kbp text: BitAlign(windowed) %.1f "
+                "ms/align, GenASM(full) %.1f ms/align (found %d/6)\n",
+                1e3 * bitalign_sec / 3, 1e3 * genasm_sec / 3, found);
+    std::printf("\nconclusion: the linear special case runs on the same "
+                "BitAlign code path;\nthe hardware win over GenASM comes "
+                "from halving the window count (125 vs 250).\n");
+    return 0;
+}

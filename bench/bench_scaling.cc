@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Section 3.1 Observation 4 / Section 11.2 reproduction: software
+ * mappers scale sublinearly with thread count, while SeGraM scales
+ * linearly with accelerator count thanks to channel-per-accelerator
+ * isolation.
+ *
+ * The software half measures this repo's GraphAligner-like mapper with
+ * a thread pool (this host has few cores, so the sweep is small, but
+ * the parallel-efficiency metric matches the paper's methodology); the
+ * hardware half regenerates the linear accelerator-scaling curve from
+ * the system model.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baseline/mappers.h"
+#include "src/hw/system_model.h"
+
+int
+main()
+{
+    using namespace segram;
+
+    bench::printHeader("Software thread scaling (GraphAligner-like)");
+
+    const auto dataset = sim::makeDataset(bench::datasetConfig(600'000));
+    baseline::BaselineConfig baseline_config;
+    baseline_config.errorRate = 0.05;
+    const baseline::GraphAlignerLike mapper(dataset.graph, dataset.index,
+                                            baseline_config);
+
+    Rng rng(31);
+    sim::ReadSimConfig read_config{150, 400,
+                                   sim::ErrorProfile::illumina()};
+    const auto reads =
+        sim::simulateReads(dataset.donor, read_config, rng);
+
+    const unsigned hw_threads =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::printf("host hardware threads: %u\n\n", hw_threads);
+    std::printf("%-10s %14s %16s\n", "threads", "reads/s",
+                "parallel eff.");
+    double single = 0.0;
+    for (unsigned threads = 1; threads <= 2 * hw_threads; threads *= 2) {
+        std::atomic<size_t> next{0};
+        const double sec = bench::timeSec([&] {
+            std::vector<std::thread> pool;
+            for (unsigned t = 0; t < threads; ++t) {
+                pool.emplace_back([&] {
+                    while (true) {
+                        const size_t idx = next.fetch_add(1);
+                        if (idx >= reads.size())
+                            break;
+                        mapper.map(reads[idx].seq);
+                    }
+                });
+            }
+            for (auto &thread : pool)
+                thread.join();
+        });
+        const double rps = reads.size() / sec;
+        if (threads == 1)
+            single = rps;
+        std::printf("%-10u %14.0f %15.2f\n", threads, rps,
+                    rps / (single * threads));
+    }
+    std::printf("\npaper observation 4: GraphAligner and vg never exceed "
+                "0.4 parallel efficiency\nat 40 threads; oversubscribed "
+                "threads fight over caches exactly as above.\n");
+
+    bench::printHeader("SeGraM accelerator scaling (model)");
+    hw::ReadWorkload workload;
+    workload.readLen = 150;
+    workload.seedsPerRead = 30.0;
+    workload.minimizersPerRead = 25.0;
+    workload.seedHitsPerMinimizer = 1.5;
+    workload.regionBytes = 300.0;
+    const auto config = hw::HwConfig::segram();
+    std::printf("%-14s %16s %16s\n", "accelerators", "reads/s",
+                "scaling eff.");
+    const double one = hw::scaledThroughput(config, workload, 1);
+    for (const int accels : {1, 2, 4, 8, 16, 32}) {
+        const double rps = hw::scaledThroughput(config, workload, accels);
+        std::printf("%-14d %16.0f %15.2f\n", accels, rps,
+                    rps / (one * accels));
+    }
+    std::printf("\npaper: per-channel isolation gives linear scaling "
+                "across all 32 accelerators\n(efficiency 1.00), unlike the "
+                "software baselines above.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table 1 reproduction: area and power breakdown of SeGraM at 28 nm /
+ * 1 GHz — per component, per accelerator, for 32 accelerators, and
+ * including HBM. Also prints the GenASM-configuration variant and a
+ * PE-count ablation to expose the model's scaling behaviour.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/hw/area_power.h"
+#include "src/hw/config.h"
+
+int
+main()
+{
+    using namespace segram::hw;
+
+    printTable1(std::cout, HwConfig::segram());
+
+    std::printf("\npaper totals: 0.867 mm^2 / 758 mW per accelerator; "
+                "27.7 mm^2 / 24.3 W for 32;\n28.1 W including HBM; a "
+                "single accelerator needs 0.02%% of the area and 0.5%%\n"
+                "of the power of a high-end server CPU.\n");
+
+    std::printf("\n--- GenASM-configuration datapath (64-bit PEs) ---\n");
+    const auto genasm = modelAreaPower(HwConfig::genasm()).accelTotal();
+    const auto segram = modelAreaPower(HwConfig::segram()).accelTotal();
+    std::printf("GenASM-config accel: %.3f mm^2, %.0f mW\n",
+                genasm.areaMm2, genasm.powerMw);
+    std::printf("SeGraM accel:        %.3f mm^2, %.0f mW "
+                "(paper: BitAlign costs 2.6x GenASM area, 7.5x power at "
+                "the full-system level)\n",
+                segram.areaMm2, segram.powerMw);
+
+    std::printf("\n--- Ablation: PE count and hop-queue depth ---\n");
+    std::printf("%-28s %12s %12s\n", "configuration", "mm^2", "mW");
+    for (const int pes : {16, 32, 64, 128}) {
+        HwConfig config = HwConfig::segram();
+        config.numPes = pes;
+        config.hopQueueBytesPerPe = config.hopQueueDepth *
+                                    config.bitsPerPe / 8;
+        config.bitvectorSpadBytesPerPe = 2 * 1024;
+        const auto cost = modelAreaPower(config).accelTotal();
+        std::printf("%d PEs%-23s %12.3f %12.0f\n", pes, "",
+                    cost.areaMm2, cost.powerMw);
+    }
+    for (const int depth : {6, 12, 24}) {
+        HwConfig config = HwConfig::segram();
+        config.hopQueueDepth = depth;
+        config.hopQueueBytesPerPe = depth * config.bitsPerPe / 8;
+        const auto cost = modelAreaPower(config).accelTotal();
+        std::printf("hop depth %-18d %12.3f %12.0f\n", depth,
+                    cost.areaMm2, cost.powerMw);
+    }
+    return 0;
+}

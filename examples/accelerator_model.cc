@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Driving the hardware model directly: print the Table 1 area/power
+ * breakdown, then estimate system throughput for a long-read and a
+ * short-read workload whose seeding statistics are measured on a
+ * simulated dataset (instead of being guessed), and explore two
+ * what-if configurations.
+ *
+ *   ./accelerator_model
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/hw/area_power.h"
+#include "src/hw/system_model.h"
+#include "src/seed/minseed.h"
+#include "src/sim/dataset.h"
+
+namespace
+{
+
+using namespace segram;
+
+hw::ReadWorkload
+measureWorkload(const sim::Dataset &dataset, uint32_t read_len,
+                uint32_t num_reads, const sim::ErrorProfile &errors,
+                double error_rate)
+{
+    Rng rng(5);
+    sim::ReadSimConfig read_config{read_len, num_reads, errors};
+    const auto reads =
+        sim::simulateReads(dataset.donor, read_config, rng);
+
+    seed::MinSeedConfig config;
+    config.errorRate = error_rate;
+    config.mergeDuplicateRegions = false;
+    const seed::MinSeed minseed(dataset.graph, dataset.index, config);
+    seed::MinSeedStats stats;
+    for (const auto &read : reads)
+        minseed.seedRead(read.seq, &stats);
+
+    hw::ReadWorkload workload;
+    workload.readLen = static_cast<int>(read_len);
+    workload.seedsPerRead = std::max<double>(
+        1.0, static_cast<double>(stats.seedsFetched) / reads.size());
+    workload.minimizersPerRead =
+        static_cast<double>(stats.minimizersComputed) / reads.size();
+    workload.seedHitsPerMinimizer = 1.2;
+    workload.regionBytes = read_len * 0.3 + 64.0;
+    return workload;
+}
+
+void
+printEstimate(const char *name, const hw::HwConfig &config,
+              const hw::ReadWorkload &workload)
+{
+    const auto estimate = hw::estimateSystem(config, workload);
+    std::printf("%-28s %10.1f us/seed %12.1f us/read %14.0f reads/s "
+                "%8.1f W%s\n",
+                name, estimate.timing.usPerSeed,
+                estimate.timing.usPerRead, estimate.readsPerSecTotal,
+                estimate.totalPowerW,
+                estimate.bandwidthBound ? "  [bandwidth bound]" : "");
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::DatasetConfig config;
+    config.genome.length = 300'000;
+    config.index.sketch = {15, 10};
+    config.index.bucketBits = 15;
+    config.seed = 4;
+    const auto dataset = sim::makeDataset(config);
+
+    printTable1(std::cout, hw::HwConfig::segram());
+
+    std::printf("\n--- workload estimates (32 accelerators) ---\n");
+    const auto long_reads = measureWorkload(
+        dataset, 10'000, 4, sim::ErrorProfile::pacbio(0.05), 0.10);
+    const auto short_reads = measureWorkload(
+        dataset, 150, 100, sim::ErrorProfile::illumina(), 0.05);
+    printEstimate("long reads  (10 kbp @5%)", hw::HwConfig::segram(),
+                  long_reads);
+    printEstimate("short reads (150 bp @1%)", hw::HwConfig::segram(),
+                  short_reads);
+
+    std::printf("\n--- what-if configurations (long reads) ---\n");
+    hw::HwConfig wide = hw::HwConfig::segram();
+    wide.bitsPerPe = 256;
+    wide.windowOverlap = 96;
+    printEstimate("W=256 PEs (wider windows)", wide, long_reads);
+
+    hw::HwConfig slow_mem = hw::HwConfig::segram();
+    slow_mem.hbmChannelBwGBps = 2.0;
+    slow_mem.hbmLatencyNs = 400.0;
+    printEstimate("DDR-like memory channel", slow_mem, long_reads);
+
+    std::printf("\nnotes: per-seed time for 10 kbp reads sits near the "
+                "paper's 35.9 us; the\nDDR-like variant shows why the "
+                "paper pairs each accelerator with an HBM\nchannel "
+                "(MinSeed becomes the bottleneck otherwise).\n");
+    return 0;
+}

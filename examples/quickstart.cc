@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: build a tiny genome graph from a reference plus two
+ * variants, index it, and map a read that carries one ALT allele —
+ * the whole SeGraM pipeline in ~50 lines.
+ *
+ *   ./quickstart
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/segram.h"
+#include "src/graph/graph_builder.h"
+#include "src/index/minimizer_index.h"
+
+int
+main()
+{
+    using namespace segram;
+
+    // 1. Pre-processing step 0.1: reference + variants -> genome graph.
+    //    (With real data, io::readFastaFile / io::readVcfFile +
+    //    graph::canonicalizeSet produce these inputs.)
+    const std::string reference =
+        "ACGTACGTAGGCCTTAGCATCGATCGGATCCTAGCATGCATCCGGATTTACGCATG"
+        "CCATGGCATCGATTTGCACGTACCGGTAGCATCGATCGGATCCTAGCATGCATCCG";
+    const std::vector<graph::Variant> variants = {
+        {20, "T", "A"},  // SNP: T->A at position 20
+        {60, "", "TTT"}, // insertion of TTT before position 60
+    };
+    const auto graph = graph::buildGraph(reference, variants);
+    std::printf("graph: %zu nodes, %zu edges, %llu characters\n",
+                graph.numNodes(), graph.numEdges(),
+                static_cast<unsigned long long>(graph.totalSeqLen()));
+
+    // 2. Pre-processing step 0.2: the three-level hash-table index.
+    index::IndexConfig index_config;
+    index_config.sketch = {11, 5}; // small k/w for a tiny example
+    index_config.bucketBits = 10;
+    const auto index = index::MinimizerIndex::build(graph, index_config);
+    std::printf("index: %llu distinct minimizers, %llu locations\n",
+                static_cast<unsigned long long>(
+                    index.stats().numDistinctMinimizers),
+                static_cast<unsigned long long>(
+                    index.stats().numLocations));
+
+    // 3. Map a read sampled from a donor that carries the SNP.
+    std::string donor = reference;
+    donor[20] = 'A';
+    const std::string read = donor.substr(8, 48);
+
+    core::SegramConfig config;
+    config.minseed.errorRate = 0.05;
+    const core::SegramMapper mapper(graph, index, config);
+    const auto result = mapper.mapRead(read);
+
+    if (!result.mapped) {
+        std::printf("read did not map\n");
+        return 1;
+    }
+    std::printf("read mapped at graph coordinate %llu with %d edits\n",
+                static_cast<unsigned long long>(result.linearStart),
+                result.editDistance);
+    std::printf("CIGAR: %s\n", result.cigar.toString().c_str());
+    std::printf("(0 edits: the ALT path absorbed the SNP — a linear "
+                "reference would\nhave charged 1 edit; that is the "
+                "reference-bias reduction genome graphs buy.)\n");
+    return result.editDistance == 0 ? 0 : 1;
+}

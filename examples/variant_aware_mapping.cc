@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Variant-aware mapping: the paper's motivating scenario (Section 1).
+ * Simulate a population-style dataset — reference, variant set, donor
+ * haplotype, noisy short reads — then map the same reads against
+ * (a) the genome graph and (b) the plain linear reference, and compare
+ * edit distances and mapping accuracy.
+ *
+ * Reads sampled over ALT alleles align exactly on the graph but pay
+ * edits on the linear reference (reference bias).
+ *
+ *   ./variant_aware_mapping
+ */
+
+#include <cstdio>
+
+#include "src/core/segram.h"
+#include "src/sim/dataset.h"
+
+int
+main()
+{
+    using namespace segram;
+
+    // A 100 kbp chromosome with human-like variant density.
+    sim::DatasetConfig config;
+    config.genome.length = 100'000;
+    config.variants.meanSpacing = 250.0;
+    config.index.sketch = {15, 10};
+    config.index.bucketBits = 14;
+    config.seed = 7;
+    const auto with_variants = sim::makeDataset(config);
+    const auto linear = sim::makeLinearDataset(config);
+
+    std::printf("reference: %zu bp, %zu variants, donor carries %zu ALT "
+                "alleles\n",
+                with_variants.reference.size(),
+                with_variants.variants.size(),
+                with_variants.donor.numAltsApplied());
+
+    Rng rng(8);
+    sim::ReadSimConfig read_config;
+    read_config.readLen = 150;
+    read_config.numReads = 60;
+    read_config.errors = sim::ErrorProfile::illumina();
+    const auto reads =
+        sim::simulateReads(with_variants.donor, read_config, rng);
+
+    core::SegramConfig mapper_config;
+    mapper_config.earlyExitFraction = 1.0;
+    const core::SegramMapper graph_mapper(with_variants.graph,
+                                          with_variants.index,
+                                          mapper_config);
+    const core::SegramMapper linear_mapper(linear.graph, linear.index,
+                                           mapper_config);
+
+    int both = 0;
+    int graph_only = 0;
+    uint64_t graph_edits = 0;
+    uint64_t linear_edits = 0;
+    for (const auto &read : reads) {
+        const auto on_graph = graph_mapper.mapRead(read.seq);
+        const auto on_linear = linear_mapper.mapRead(read.seq);
+        if (on_graph.mapped && on_linear.mapped) {
+            ++both;
+            graph_edits += on_graph.editDistance;
+            linear_edits += on_linear.editDistance;
+        } else if (on_graph.mapped) {
+            ++graph_only;
+        }
+    }
+
+    std::printf("\nreads mapped by both: %d; graph-only: %d\n", both,
+                graph_only);
+    std::printf("total edits on graph reference:  %llu\n",
+                static_cast<unsigned long long>(graph_edits));
+    std::printf("total edits on linear reference: %llu\n",
+                static_cast<unsigned long long>(linear_edits));
+    if (both > 0) {
+        std::printf("\nreference-bias edits removed by the graph: %lld "
+                    "(%.1f%% of linear edits)\n",
+                    static_cast<long long>(linear_edits - graph_edits),
+                    linear_edits == 0
+                        ? 0.0
+                        : 100.0 *
+                              (static_cast<double>(linear_edits) -
+                               static_cast<double>(graph_edits)) /
+                              static_cast<double>(linear_edits));
+    }
+    return 0;
+}

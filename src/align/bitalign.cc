@@ -1,0 +1,147 @@
+#include "src/align/bitalign.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/check.h"
+
+namespace segram::align
+{
+
+namespace
+{
+
+void
+validateConfig(const BitAlignConfig &config)
+{
+    SEGRAM_CHECK(config.windowLen >= 2, "windowLen must be >= 2");
+    SEGRAM_CHECK(config.overlap >= 0 && config.overlap < config.windowLen,
+                 "overlap must be in [0, windowLen)");
+    SEGRAM_CHECK(config.windowEditCap >= 0, "windowEditCap must be >= 0");
+    SEGRAM_CHECK(config.textSlack >= 0, "textSlack must be >= 0");
+    SEGRAM_CHECK(config.firstWindowExtraText >= 0,
+                 "firstWindowExtraText must be >= 0");
+}
+
+} // namespace
+
+int
+numWindows(int read_len, const BitAlignConfig &config)
+{
+    validateConfig(config);
+    if (read_len <= config.windowLen)
+        return 1;
+    const int stride = config.windowLen - config.overlap;
+    return 1 + (read_len - config.windowLen + stride - 1) / stride;
+}
+
+GraphAlignment
+alignExact(const graph::LinearizedGraph &text, std::string_view read, int k,
+           AlignMode mode)
+{
+    const WindowResult window = alignWindow(text, read, k, mode);
+    GraphAlignment out;
+    out.found = window.found;
+    if (!window.found)
+        return out;
+    out.editDistance = window.editDistance;
+    out.textStart = window.startPos;
+    out.linearStart = text.linearStart() + window.startPos;
+    out.cigar = window.cigar;
+    return out;
+}
+
+GraphAlignment
+alignWindowed(const graph::LinearizedGraph &text, std::string_view read,
+              const BitAlignConfig &config)
+{
+    validateConfig(config);
+    const int m = static_cast<int>(read.size());
+    const int n = text.size();
+    SEGRAM_CHECK(m > 0, "read must be non-empty");
+
+    if (m <= config.windowLen) {
+        return alignExact(text, read, config.windowEditCap,
+                          AlignMode::SemiGlobal);
+    }
+
+    GraphAlignment out;
+    int pat_pos = 0;  // first read char not yet committed
+    int text_pos = 0; // window start within the linearized input
+    bool first = true;
+
+    while (pat_pos < m) {
+        const int chunk = std::min(config.windowLen, m - pat_pos);
+        const bool last = pat_pos + chunk >= m;
+        const int slack =
+            config.textSlack +
+            (first ? config.firstWindowExtraText : 0);
+        const int text_len = std::min(n - text_pos, chunk + slack);
+        if (text_len <= 0)
+            return {}; // reference exhausted before the read
+        const graph::LinearizedGraph window =
+            text.window(text_pos, text_len);
+        const std::string_view pattern = read.substr(pat_pos, chunk);
+        const AlignMode mode =
+            first ? AlignMode::SemiGlobal : AlignMode::Anchored;
+        const WindowResult result =
+            alignWindow(window, pattern, config.windowEditCap, mode);
+        if (!result.found)
+            return {}; // window exceeded the per-window edit cap
+
+        if (first) {
+            out.textStart = text_pos + result.startPos;
+            out.linearStart = text.linearStart() + out.textStart;
+            first = false;
+        }
+
+        // Commit the whole final window; otherwise the first
+        // chunk-overlap read chars. Trailing deletions at the cut stay
+        // uncommitted (re-decided by the next window).
+        const int commit_len = last ? chunk : chunk - config.overlap;
+        assert(commit_len > 0);
+        int read_consumed = 0;
+        size_t text_idx = 0; // consumed entries of result.textPositions
+        for (const auto &run : result.cigar.runs()) {
+            if (read_consumed >= commit_len)
+                break;
+            for (uint32_t rep = 0; rep < run.len; ++rep) {
+                if (read_consumed >= commit_len)
+                    break;
+                out.cigar.push(run.op);
+                if (run.op != EditOp::Insertion)
+                    ++text_idx;
+                if (run.op != EditOp::Deletion)
+                    ++read_consumed;
+            }
+        }
+        assert(read_consumed == commit_len);
+
+        if (last)
+            break;
+        pat_pos += commit_len;
+        // Anchor the next window at the graph position where the
+        // uncommitted alignment continues. This honors hops across the
+        // cut: the continuation may sit several positions ahead of the
+        // last committed character.
+        int anchor_rel;
+        if (text_idx < result.textPositions.size()) {
+            anchor_rel = result.textPositions[text_idx];
+        } else if (text_idx > 0) {
+            // Uncommitted suffix was all insertions: continue right
+            // after the last consumed character.
+            anchor_rel = result.textPositions[text_idx - 1] + 1;
+        } else {
+            anchor_rel = result.startPos; // nothing consumed at all
+        }
+        text_pos += anchor_rel;
+        if (text_pos >= n)
+            return {};
+    }
+
+    out.found = true;
+    out.editDistance = static_cast<int>(out.cigar.editDistance());
+    return out;
+}
+
+} // namespace segram::align

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * BitAlign: the full sequence-to-graph aligner, combining the
+ * single-window core (Algorithm 1) with the overlapping-window
+ * divide-and-conquer scheme inherited from GenASM (paper Section 7):
+ * "we divide the linearized subgraph and the query read into
+ * overlapping windows and execute BitAlign for each window. After all
+ * windows' traceback outputs are found, we merge them."
+ *
+ * The first window aligns with a free start (the candidate region
+ * includes MinSeed's left extension); every later window is anchored at
+ * the graph position where the previously *committed* alignment ended.
+ * Only the first windowLen-overlap read characters of each window are
+ * committed; the overlap tail is re-aligned by the next window, which
+ * absorbs cut-point artifacts. The windowed result is a heuristic upper
+ * bound on the exact distance (equal in the vast majority of cases;
+ * quantified by bench_ablation_window).
+ */
+
+#ifndef SEGRAM_SRC_ALIGN_BITALIGN_H
+#define SEGRAM_SRC_ALIGN_BITALIGN_H
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/align/bitalign_core.h"
+#include "src/graph/linearize.h"
+#include "src/util/cigar.h"
+
+namespace segram::align
+{
+
+/**
+ * Divide-and-conquer parameters (hardware: W = bits per PE). The
+ * defaults mirror the paper's BitAlign configuration: W = 128 with a
+ * stride of 80 (overlap 48), which is what makes a 10 kbp read take 125
+ * windows (vs. GenASM's 250 windows at W = 64, stride 40).
+ */
+struct BitAlignConfig
+{
+    int windowLen = 128;  ///< read chars per window (BitAlign PE width)
+    int overlap = 48;     ///< uncommitted tail re-aligned next window
+    int windowEditCap = 32; ///< per-window edit threshold k
+    /**
+     * Extra graph characters given to each window beyond the read chunk
+     * length, so deletions in the read do not starve the window of
+     * reference sequence.
+     */
+    int textSlack = 32;
+
+    /**
+     * Additional graph characters for the *first* window only. The
+     * alignment start within a MinSeed region is uncertain by up to
+     * 2*E*a characters (a = the seed's minimizer offset in the read,
+     * Fig. 9), so the free-start window must cover that span. The
+     * mapper sets this per region; standalone callers whose text
+     * begins at the alignment start can leave it 0.
+     */
+    int firstWindowExtraText = 0;
+};
+
+/** A complete alignment of a read against a linearized subgraph. */
+struct GraphAlignment
+{
+    bool found = false;
+    int editDistance = 0;
+    /** Window position (within the linearized input) of the first
+     *  consumed graph character. */
+    int textStart = 0;
+    /** Concatenated-genome coordinate of the first consumed char. */
+    uint64_t linearStart = 0;
+    Cigar cigar;
+};
+
+/**
+ * Aligns @p read against @p text exactly (one window over everything).
+ * Intended for short reads and for oracle comparisons; cost grows with
+ * text length x read length x k.
+ *
+ * @param k Edit distance threshold.
+ */
+GraphAlignment alignExact(const graph::LinearizedGraph &text,
+                          std::string_view read, int k,
+                          AlignMode mode = AlignMode::SemiGlobal);
+
+/**
+ * Aligns @p read against @p text with the divide-and-conquer windowing
+ * scheme. Falls back to a single exact window when the read fits in
+ * one window.
+ */
+GraphAlignment alignWindowed(const graph::LinearizedGraph &text,
+                             std::string_view read,
+                             const BitAlignConfig &config = {});
+
+/**
+ * @return Number of windows the divide-and-conquer scheme uses for a
+ *         read of @p read_len under @p config (the quantity the
+ *         hardware cycle model multiplies by cycles-per-window).
+ */
+int numWindows(int read_len, const BitAlignConfig &config);
+
+} // namespace segram::align
+
+#endif // SEGRAM_SRC_ALIGN_BITALIGN_H

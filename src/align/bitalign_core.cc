@@ -1,0 +1,358 @@
+#include "src/align/bitalign_core.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/bitvector.h"
+#include "src/util/check.h"
+#include "src/util/dna.h"
+
+namespace segram::align
+{
+
+using bitops::clearBit;
+using bitops::testBit;
+
+PatternBitmasks
+PatternBitmasks::build(std::string_view pattern)
+{
+    SEGRAM_CHECK(!pattern.empty(), "pattern must be non-empty");
+    PatternBitmasks out;
+    out.m = static_cast<int>(pattern.size());
+    out.nwords = bitops::wordsForWidth(out.m);
+    for (auto &mask : out.masks) {
+        mask.assign(out.nwords, ~uint64_t{0});
+    }
+    for (int b = 0; b < out.m; ++b) {
+        const char base = pattern[out.m - 1 - b];
+        const uint8_t code = baseToCode(base);
+        SEGRAM_CHECK(code != kInvalidBaseCode,
+                     "pattern contains a non-ACGT character");
+        clearBit(out.masks[code].data(), b);
+    }
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Shared state of one window computation: the flat allR store plus the
+ * scratch vectors of the recurrence.
+ */
+class WindowComputation
+{
+  public:
+    WindowComputation(const graph::LinearizedGraph &text,
+                      std::string_view pattern, int k)
+        : text_(text), pattern_(pattern), k_(k),
+          pm_(PatternBitmasks::build(pattern)), n_(text.size()),
+          nwords_(pm_.nwords),
+          all_r_(static_cast<size_t>(n_) * (k + 1) * nwords_),
+          virtual_r_(static_cast<size_t>(k + 1) * nwords_),
+          scratch_(nwords_)
+    {
+        SEGRAM_CHECK(n_ > 0, "window text must be non-empty");
+        SEGRAM_CHECK(k >= 0, "edit distance threshold must be >= 0");
+        // The virtual successor of sink nodes: at edit level d, a
+        // pattern suffix of length <= d can still be consumed past the
+        // text end using insertions only, so bits [0, d) are clear.
+        for (int d = 0; d <= k; ++d) {
+            uint64_t *vec = virtualR(d);
+            bitops::fillOnes(vec, nwords_);
+            for (int b = 0; b < std::min(d, pm_.m); ++b)
+                bitops::clearBit(vec, b);
+        }
+    }
+
+    /** @return Pointer to R[i][d]. */
+    uint64_t *
+    r(int i, int d)
+    {
+        return all_r_.data() +
+               (static_cast<size_t>(i) * (k_ + 1) + d) * nwords_;
+    }
+
+    const uint64_t *
+    r(int i, int d) const
+    {
+        return all_r_.data() +
+               (static_cast<size_t>(i) * (k_ + 1) + d) * nwords_;
+    }
+
+    /** @return The virtual sink-successor vector at level @p d. */
+    uint64_t *
+    virtualR(int d)
+    {
+        return virtual_r_.data() + static_cast<size_t>(d) * nwords_;
+    }
+
+    const uint64_t *
+    virtualR(int d) const
+    {
+        return virtual_r_.data() + static_cast<size_t>(d) * nwords_;
+    }
+
+    /** Fills allR for the whole window (Algorithm 1 lines 7-24). */
+    void
+    computeBitvectors()
+    {
+        for (int i = n_ - 1; i >= 0; --i) {
+            const uint64_t *pm = pm_.masks[text_.code(i)].data();
+            const auto succs = text_.successorDeltas(i);
+
+            // R[i][0]: exact-match vector (lines 11-14).
+            uint64_t *r0 = r(i, 0);
+            if (succs.empty()) {
+                bitops::shiftLeftOneOr(r0, virtualR(0), pm, nwords_);
+            } else {
+                bitops::fillOnes(r0, nwords_);
+                for (const uint16_t delta : succs) {
+                    bitops::shiftLeftOneOr(scratch_.data(),
+                                           r(i + delta, 0), pm, nwords_);
+                    bitops::andInPlace(r0, scratch_.data(), nwords_);
+                }
+            }
+
+            // R[i][d] for d in 1..k (lines 16-24).
+            for (int d = 1; d <= k_; ++d) {
+                uint64_t *rd = r(i, d);
+                // I: insertion consumes a read char in place.
+                bitops::shiftLeftOne(rd, r(i, d - 1), nwords_);
+                for (const uint16_t delta : succs) {
+                    const uint64_t *succ_prev = r(i + delta, d - 1);
+                    // D: deletion, no shift.
+                    bitops::andInPlace(rd, succ_prev, nwords_);
+                    // S: substitution.
+                    bitops::shiftLeftOne(scratch_.data(), succ_prev,
+                                         nwords_);
+                    bitops::andInPlace(rd, scratch_.data(), nwords_);
+                    // M: match through this successor.
+                    bitops::shiftLeftOneOr(scratch_.data(),
+                                           r(i + delta, d), pm, nwords_);
+                    bitops::andInPlace(rd, scratch_.data(), nwords_);
+                }
+                if (succs.empty()) {
+                    // Sink node: apply the D/S/M terms against the
+                    // virtual successor so alignments may run off the
+                    // text end (trailing read chars become insertions).
+                    const uint64_t *virt_prev = virtualR(d - 1);
+                    bitops::andInPlace(rd, virt_prev, nwords_);
+                    bitops::shiftLeftOne(scratch_.data(), virt_prev,
+                                         nwords_);
+                    bitops::andInPlace(rd, scratch_.data(), nwords_);
+                    bitops::shiftLeftOneOr(scratch_.data(), virtualR(d),
+                                           pm, nwords_);
+                    bitops::andInPlace(rd, scratch_.data(), nwords_);
+                }
+            }
+        }
+    }
+
+    /**
+     * Scans for the minimum d whose whole-read bit (m-1) is clear at
+     * some admissible start node.
+     *
+     * @param[out] best_start The smallest admissible start position.
+     * @return The minimum edit distance, or -1 when none is <= k.
+     */
+    int
+    findBest(AlignMode mode, int *best_start) const
+    {
+        const int msb = pm_.m - 1;
+        for (int d = 0; d <= k_; ++d) {
+            if (mode == AlignMode::Anchored) {
+                if (!testBit(r(0, d), msb)) {
+                    *best_start = 0;
+                    return d;
+                }
+            } else {
+                for (int i = 0; i < n_; ++i) {
+                    if (!testBit(r(i, d), msb)) {
+                        *best_start = i;
+                        return d;
+                    }
+                }
+            }
+        }
+        return -1;
+    }
+
+    /**
+     * Regenerates the traceback (Algorithm 1 line 25) from state
+     * (start, d): walks the stored R vectors, re-deriving which of the
+     * M/S/D/I terms produced each 0 bit.
+     */
+    void
+    traceback(int start, int d, WindowResult *result) const
+    {
+        int b = pm_.m - 1; // current read char is m-1-b
+        int pos = start;
+        Cigar &cigar = result->cigar;
+        // Each step consumes a read char and/or one unit of edit budget.
+        const int max_steps = pm_.m + k_ + 2;
+        for (int step = 0; step < max_steps; ++step) {
+            assert(!testBit(r(pos, d), b));
+            const uint64_t *pm = pm_.masks[text_.code(pos)].data();
+            const auto succs = text_.successorDeltas(pos);
+            const bool is_sink = succs.empty();
+            const bool char_match = !testBit(pm, b);
+
+            // Moving past a sink: the remaining read suffix (length b
+            // after the move) is consumed by trailing insertions.
+            const auto finish_past_sink = [&](int remaining) {
+                cigar.push(EditOp::Insertion,
+                           static_cast<uint32_t>(remaining));
+            };
+
+            // 1. Match: cheapest, always preferred.
+            if (char_match) {
+                if (b == 0) {
+                    cigar.push(EditOp::Match);
+                    result->textPositions.push_back(pos);
+                    return;
+                }
+                bool taken = false;
+                for (const uint16_t delta : succs) {
+                    if (!testBit(r(pos + delta, d), b - 1)) {
+                        cigar.push(EditOp::Match);
+                        result->textPositions.push_back(pos);
+                        pos += delta;
+                        --b;
+                        taken = true;
+                        break;
+                    }
+                }
+                if (taken)
+                    continue;
+                if (is_sink && !testBit(virtualR(d), b - 1)) {
+                    cigar.push(EditOp::Match);
+                    result->textPositions.push_back(pos);
+                    finish_past_sink(b);
+                    return;
+                }
+            }
+            // 2. Substitution (only on a true mismatch, so the CIGAR
+            //    stays consistent with the sequences).
+            if (d > 0 && !char_match) {
+                if (b == 0) {
+                    cigar.push(EditOp::Substitution);
+                    result->textPositions.push_back(pos);
+                    return;
+                }
+                bool taken = false;
+                for (const uint16_t delta : succs) {
+                    if (!testBit(r(pos + delta, d - 1), b - 1)) {
+                        cigar.push(EditOp::Substitution);
+                        result->textPositions.push_back(pos);
+                        pos += delta;
+                        --b;
+                        --d;
+                        taken = true;
+                        break;
+                    }
+                }
+                if (taken)
+                    continue;
+                if (is_sink && !testBit(virtualR(d - 1), b - 1)) {
+                    cigar.push(EditOp::Substitution);
+                    result->textPositions.push_back(pos);
+                    finish_past_sink(b);
+                    return;
+                }
+            }
+            // 3. Deletion: consume the graph char, keep the read char.
+            if (d > 0) {
+                bool taken = false;
+                for (const uint16_t delta : succs) {
+                    if (!testBit(r(pos + delta, d - 1), b)) {
+                        cigar.push(EditOp::Deletion);
+                        result->textPositions.push_back(pos);
+                        pos += delta;
+                        --d;
+                        taken = true;
+                        break;
+                    }
+                }
+                if (taken)
+                    continue;
+                if (is_sink && !testBit(virtualR(d - 1), b)) {
+                    cigar.push(EditOp::Deletion);
+                    result->textPositions.push_back(pos);
+                    finish_past_sink(b + 1);
+                    return;
+                }
+            }
+            // 4. Insertion: consume the read char in place.
+            if (d > 0) {
+                if (b == 0) {
+                    cigar.push(EditOp::Insertion);
+                    return;
+                }
+                if (!testBit(r(pos, d - 1), b - 1)) {
+                    cigar.push(EditOp::Insertion);
+                    --b;
+                    --d;
+                    continue;
+                }
+            }
+            assert(false && "traceback found no consistent predecessor");
+            return;
+        }
+        assert(false && "traceback exceeded its step bound");
+    }
+
+  private:
+    const graph::LinearizedGraph &text_;
+    std::string_view pattern_;
+    const int k_;
+    const PatternBitmasks pm_;
+    const int n_;
+    const int nwords_;
+    std::vector<uint64_t> all_r_;
+    std::vector<uint64_t> virtual_r_;
+    std::vector<uint64_t> scratch_;
+};
+
+WindowResult
+run(const graph::LinearizedGraph &text, std::string_view pattern, int k,
+    AlignMode mode, bool want_traceback)
+{
+    WindowComputation computation(text, pattern, k);
+    computation.computeBitvectors();
+
+    WindowResult result;
+    int start = 0;
+    const int dist = computation.findBest(mode, &start);
+    if (dist < 0)
+        return result;
+    result.found = true;
+    result.startPos = start;
+    result.editDistance = dist;
+    if (want_traceback) {
+        computation.traceback(start, dist, &result);
+        // The traceback alignment can only realize the minimal distance.
+        assert(static_cast<int>(result.cigar.editDistance()) == dist);
+        result.editDistance =
+            static_cast<int>(result.cigar.editDistance());
+    }
+    return result;
+}
+
+} // namespace
+
+WindowResult
+alignWindow(const graph::LinearizedGraph &text, std::string_view pattern,
+            int k, AlignMode mode)
+{
+    return run(text, pattern, k, mode, true);
+}
+
+WindowResult
+alignWindowDistanceOnly(const graph::LinearizedGraph &text,
+                        std::string_view pattern, int k, AlignMode mode)
+{
+    return run(text, pattern, k, mode, false);
+}
+
+} // namespace segram::align

@@ -1,0 +1,90 @@
+#include "src/align/genasm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/align/bitalign_core.h"
+#include "src/util/bitvector.h"
+#include "src/util/check.h"
+#include "src/util/dna.h"
+
+namespace segram::align
+{
+
+GenAsmResult
+genAsmAlign(std::string_view text, std::string_view pattern, int k)
+{
+    SEGRAM_CHECK(!text.empty(), "text must be non-empty");
+    SEGRAM_CHECK(k >= 0, "edit distance threshold must be >= 0");
+    const PatternBitmasks pm = PatternBitmasks::build(pattern);
+    const int n = static_cast<int>(text.size());
+    const int nwords = pm.nwords;
+    const int msb = pm.m - 1;
+
+    // Rolling columns: old = column i+1, cur = column i. The virtual
+    // column n encodes "past the text end": at edit level d, a pattern
+    // suffix of length <= d can still be consumed by insertions only,
+    // so bits [0, d) start clear; everything else is 1.
+    std::vector<uint64_t> old_r(
+        static_cast<size_t>(k + 1) * nwords, ~uint64_t{0});
+    for (int d = 1; d <= k; ++d) {
+        uint64_t *vec = old_r.data() + static_cast<size_t>(d) * nwords;
+        for (int b = 0; b < std::min(d, pm.m); ++b)
+            bitops::clearBit(vec, b);
+    }
+    std::vector<uint64_t> cur_r(static_cast<size_t>(k + 1) * nwords);
+    std::vector<uint64_t> scratch(nwords);
+
+    GenAsmResult best;
+    for (int i = n - 1; i >= 0; --i) {
+        const uint8_t code = baseToCode(text[i]);
+        SEGRAM_CHECK(code != kInvalidBaseCode,
+                     "text contains a non-ACGT character");
+        const uint64_t *mask = pm.masks[code].data();
+
+        // R[0] = (oldR[0] << 1) | PM.
+        bitops::shiftLeftOneOr(cur_r.data(), old_r.data(), mask, nwords);
+        for (int d = 1; d <= k; ++d) {
+            uint64_t *rd = cur_r.data() + static_cast<size_t>(d) * nwords;
+            const uint64_t *cur_prev =
+                cur_r.data() + static_cast<size_t>(d - 1) * nwords;
+            const uint64_t *old_prev =
+                old_r.data() + static_cast<size_t>(d - 1) * nwords;
+            const uint64_t *old_same =
+                old_r.data() + static_cast<size_t>(d) * nwords;
+            // I = curR[d-1] << 1.
+            bitops::shiftLeftOne(rd, cur_prev, nwords);
+            // D = oldR[d-1].
+            bitops::andInPlace(rd, old_prev, nwords);
+            // S = oldR[d-1] << 1.
+            bitops::shiftLeftOne(scratch.data(), old_prev, nwords);
+            bitops::andInPlace(rd, scratch.data(), nwords);
+            // M = (oldR[d] << 1) | PM.
+            bitops::shiftLeftOneOr(scratch.data(), old_same, mask, nwords);
+            bitops::andInPlace(rd, scratch.data(), nwords);
+        }
+
+        // A clear bit m-1 at level d means "pattern aligns starting at
+        // text position i with <= d edits". Track the best (d, then
+        // leftmost i — later iterations have smaller i).
+        for (int d = 0; d <= k; ++d) {
+            if (best.found && d > best.editDistance)
+                break;
+            const uint64_t *rd =
+                cur_r.data() + static_cast<size_t>(d) * nwords;
+            if (!bitops::testBit(rd, msb)) {
+                if (!best.found || d < best.editDistance ||
+                    (d == best.editDistance && i < best.textStart)) {
+                    best.found = true;
+                    best.editDistance = d;
+                    best.textStart = i;
+                }
+                break;
+            }
+        }
+        std::swap(old_r, cur_r);
+    }
+    return best;
+}
+
+} // namespace segram::align

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * GenASM: the bitvector-based sequence-to-sequence aligner BitAlign is
+ * built on (Senol Cali et al., MICRO 2020), implemented independently
+ * over plain strings.
+ *
+ * This is the "linear special case" of Algorithm 1 — every text
+ * character's only successor is its right neighbor — kept as a separate
+ * tight implementation for two reasons: (1) it cross-checks BitAlign on
+ * chain graphs with an independent code path, and (2) it is the S2S
+ * comparison point of Section 11.3 (GenASM runs W=64 windows where
+ * BitAlign runs W=128).
+ */
+
+#ifndef SEGRAM_SRC_ALIGN_GENASM_H
+#define SEGRAM_SRC_ALIGN_GENASM_H
+
+#include <string_view>
+
+namespace segram::align
+{
+
+/** Result of a GenASM semi-global alignment (distance only). */
+struct GenAsmResult
+{
+    bool found = false;
+    int editDistance = 0;
+    int textStart = 0; ///< text position where the pattern begins
+};
+
+/**
+ * Computes the semi-global edit distance of @p pattern against @p text
+ * (free text start and end, pattern fully consumed) with threshold
+ * @p k, using the GenASM/Bitap recurrence.
+ *
+ * @throws InputError on empty inputs or negative k.
+ */
+GenAsmResult genAsmAlign(std::string_view text, std::string_view pattern,
+                         int k);
+
+} // namespace segram::align
+
+#endif // SEGRAM_SRC_ALIGN_GENASM_H

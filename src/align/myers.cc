@@ -1,0 +1,62 @@
+#include "src/align/myers.h"
+
+#include <array>
+
+#include "src/util/check.h"
+#include "src/util/dna.h"
+
+namespace segram::align
+{
+
+MyersResult
+myersAlign(std::string_view text, std::string_view pattern)
+{
+    const int m = static_cast<int>(pattern.size());
+    SEGRAM_CHECK(m >= 1 && m <= 64, "Myers pattern must be 1..64 chars");
+    SEGRAM_CHECK(!text.empty(), "text must be non-empty");
+
+    // Peq: bit j set iff pattern[j] == base (active-high, unlike Bitap).
+    std::array<uint64_t, 4> peq{};
+    for (int j = 0; j < m; ++j) {
+        const uint8_t code = baseToCode(pattern[j]);
+        SEGRAM_CHECK(code != kInvalidBaseCode,
+                     "pattern contains a non-ACGT character");
+        peq[code] |= uint64_t{1} << j;
+    }
+
+    const uint64_t msb = uint64_t{1} << (m - 1);
+    uint64_t pv = ~uint64_t{0};
+    uint64_t mv = 0;
+    int score = m;
+
+    MyersResult best{m + 1, 0};
+    for (size_t i = 0; i < text.size(); ++i) {
+        const uint8_t code = baseToCode(text[i]);
+        SEGRAM_CHECK(code != kInvalidBaseCode,
+                     "text contains a non-ACGT character");
+        const uint64_t eq = peq[code];
+
+        // Myers 1999, approximate-matching variant: the shifted-in 0 of
+        // Ph grants a free alignment start at every text position.
+        const uint64_t xv = eq | mv;
+        const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+        uint64_t ph = mv | ~(xh | pv);
+        uint64_t mh = pv & xh;
+        if (ph & msb)
+            ++score;
+        else if (mh & msb)
+            --score;
+        ph <<= 1;
+        mh <<= 1;
+        pv = mh | ~(xv | ph);
+        mv = ph & xv;
+
+        if (score < best.editDistance) {
+            best.editDistance = score;
+            best.textEnd = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+} // namespace segram::align

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Myers' 1999 bit-parallel approximate string matching algorithm,
+ * limited to patterns of up to 64 characters.
+ *
+ * Kept as a third, structurally different implementation of semi-global
+ * edit distance (dynamic-programming deltas encoded in carry chains,
+ * rather than the Bitap status vectors of GenASM/BitAlign). It serves
+ * as a cross-check in the property tests and as the software
+ * state-of-the-art S2S baseline in the benches.
+ */
+
+#ifndef SEGRAM_SRC_ALIGN_MYERS_H
+#define SEGRAM_SRC_ALIGN_MYERS_H
+
+#include <string_view>
+
+namespace segram::align
+{
+
+/** Result of a Myers semi-global scan. */
+struct MyersResult
+{
+    int editDistance = 0; ///< min over all end positions
+    int textEnd = 0;      ///< text position (inclusive) of the best end
+};
+
+/**
+ * Computes the minimum semi-global edit distance of @p pattern against
+ * @p text (free text start and end).
+ *
+ * @throws InputError if the pattern is empty or longer than 64 chars,
+ *         or the text is empty.
+ */
+MyersResult myersAlign(std::string_view text, std::string_view pattern);
+
+} // namespace segram::align
+
+#endif // SEGRAM_SRC_ALIGN_MYERS_H

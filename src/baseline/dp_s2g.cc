@@ -1,0 +1,191 @@
+#include "src/baseline/dp_s2g.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/dna.h"
+
+namespace segram::baseline
+{
+
+namespace
+{
+
+constexpr int kInf = std::numeric_limits<int>::max() / 2;
+
+/** Builds predecessor lists (transposed successor deltas). */
+std::vector<std::vector<int>>
+buildPredecessors(const graph::LinearizedGraph &text)
+{
+    std::vector<std::vector<int>> preds(text.size());
+    for (int pos = 0; pos < text.size(); ++pos) {
+        for (const uint16_t delta : text.successorDeltas(pos))
+            preds[pos + delta].push_back(pos);
+    }
+    return preds;
+}
+
+} // namespace
+
+DpGraphResult
+dpGraphDistance(const graph::LinearizedGraph &text, std::string_view pattern)
+{
+    const int n = text.size();
+    const int m = static_cast<int>(pattern.size());
+    SEGRAM_CHECK(n > 0 && m > 0, "DP alignment needs non-empty inputs");
+    const auto preds = buildPredecessors(text);
+
+    // prev = row j-1, cur = row j, over nodes in topological order.
+    std::vector<int> prev(n, 0); // D[v][0] = 0: free start, delete-free
+    std::vector<int> cur(n, kInf);
+    // Row 0 is all zeros: a path may "end" at v having consumed nothing
+    // *before* v; deletions of graph chars only count once the read has
+    // started, which matches semi-global free-start semantics where v
+    // itself is the first consumed char (handled via the virtual start).
+    for (int j = 1; j <= m; ++j) {
+        const char read_char = pattern[j - 1];
+        for (int v = 0; v < n; ++v) {
+            const int match_cost =
+                codeToBase(text.code(v)) == read_char ? 0 : 1;
+            // Virtual start predecessor: D[start][j-1] = j-1 and
+            // D[start][j] = j.
+            int best = (j - 1) + match_cost; // start the path at v
+            best = std::min(best, j + 1);    // delete v before starting
+            for (const int u : preds[v]) {
+                best = std::min(best, prev[u] + match_cost);
+                best = std::min(best, cur[u] + 1); // delete v
+            }
+            best = std::min(best, prev[v] + 1); // insert read char
+            cur[v] = best;
+        }
+        std::swap(prev, cur);
+    }
+
+    DpGraphResult out;
+    out.editDistance = kInf;
+    for (int v = 0; v < n; ++v) {
+        if (prev[v] < out.editDistance) {
+            out.editDistance = prev[v];
+            out.textEnd = v;
+        }
+    }
+    // A read aligned to an empty path costs m insertions.
+    if (m < out.editDistance) {
+        out.editDistance = m;
+        out.textEnd = 0;
+    }
+    return out;
+}
+
+DpGraphResult
+dpGraphAlign(const graph::LinearizedGraph &text, std::string_view pattern)
+{
+    const int n = text.size();
+    const int m = static_cast<int>(pattern.size());
+    SEGRAM_CHECK(n > 0 && m > 0, "DP alignment needs non-empty inputs");
+    const auto preds = buildPredecessors(text);
+
+    // Full table D[j][v]; row 0 is the free-start row.
+    std::vector<std::vector<int>> table(
+        m + 1, std::vector<int>(n, kInf));
+    for (int v = 0; v < n; ++v)
+        table[0][v] = 0;
+
+    for (int j = 1; j <= m; ++j) {
+        const char read_char = pattern[j - 1];
+        for (int v = 0; v < n; ++v) {
+            const int match_cost =
+                codeToBase(text.code(v)) == read_char ? 0 : 1;
+            int best = (j - 1) + match_cost;
+            best = std::min(best, j + 1);
+            for (const int u : preds[v]) {
+                best = std::min(best, table[j - 1][u] + match_cost);
+                best = std::min(best, table[j][u] + 1);
+            }
+            best = std::min(best, table[j - 1][v] + 1);
+            table[j][v] = best;
+        }
+    }
+
+    DpGraphResult out;
+    out.editDistance = kInf;
+    for (int v = 0; v < n; ++v) {
+        if (table[m][v] < out.editDistance) {
+            out.editDistance = table[m][v];
+            out.textEnd = v;
+        }
+    }
+    if (m < out.editDistance) {
+        // Degenerate all-insertions alignment; report it without a path.
+        out.editDistance = m;
+        out.textEnd = 0;
+        out.textStart = 0;
+        out.cigar.push(EditOp::Insertion, static_cast<uint32_t>(m));
+        return out;
+    }
+
+    // Traceback from (m, textEnd).
+    Cigar reversed;
+    int j = m;
+    int v = out.textEnd;
+    while (true) {
+        const int cost = table[j][v];
+        const char read_char = j > 0 ? pattern[j - 1] : '\0';
+        const int match_cost =
+            j > 0 && codeToBase(text.code(v)) == read_char ? 0 : 1;
+        if (j == 0) {
+            // Free-start row reached; v is where the alignment begins.
+            break;
+        }
+        // Path start at v?
+        if (cost == (j - 1) + match_cost) {
+            reversed.push(match_cost == 0 ? EditOp::Match
+                                          : EditOp::Substitution);
+            --j;
+            // consume leading insertions
+            reversed.push(EditOp::Insertion, static_cast<uint32_t>(j));
+            j = 0;
+            break;
+        }
+        bool moved = false;
+        for (const int u : preds[v]) {
+            if (cost == table[j - 1][u] + match_cost) {
+                reversed.push(match_cost == 0 ? EditOp::Match
+                                              : EditOp::Substitution);
+                --j;
+                v = u;
+                moved = true;
+                break;
+            }
+            if (cost == table[j][u] + 1) {
+                reversed.push(EditOp::Deletion);
+                v = u;
+                moved = true;
+                break;
+            }
+        }
+        if (moved)
+            continue;
+        if (cost == table[j - 1][v] + 1) {
+            reversed.push(EditOp::Insertion);
+            --j;
+            continue;
+        }
+        // Delete v as the first consumed char of the path.
+        assert(cost == j + 1);
+        reversed.push(EditOp::Deletion);
+        reversed.push(EditOp::Insertion, static_cast<uint32_t>(j));
+        j = 0;
+        break;
+    }
+    out.textStart = v;
+    reversed.reverse();
+    out.cigar = std::move(reversed);
+    assert(static_cast<int>(out.cigar.editDistance()) == out.editDistance);
+    return out;
+}
+
+} // namespace segram::baseline

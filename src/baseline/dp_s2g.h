@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Dynamic-programming sequence-to-graph alignment over a linearized
+ * DAG — the algorithmic core of PaSGAL/vg/HGA-style aligners and the
+ * correctness oracle for BitAlign.
+ *
+ * Semantics match BitAlign's semi-global mode: the read must be fully
+ * consumed, the alignment may start at any node and end at any node,
+ * and costs are unit edits. The recurrence at node v considers every
+ * predecessor u (the transpose of the successor hops):
+ *
+ *   D[v][j] = min( D[u][j-1] + (P[j-1]==c(v) ? 0 : 1),   match/sub
+ *                  D[u][j]   + 1,                        delete c(v)
+ *                  D[v][j-1] + 1 )                       insert P[j-1]
+ *
+ * with a virtual start predecessor D[start][j] = j (free entry at every
+ * node, leading insertions paid).
+ */
+
+#ifndef SEGRAM_SRC_BASELINE_DP_S2G_H
+#define SEGRAM_SRC_BASELINE_DP_S2G_H
+
+#include <string_view>
+
+#include "src/graph/linearize.h"
+#include "src/util/cigar.h"
+
+namespace segram::baseline
+{
+
+/** Result of a DP graph alignment. */
+struct DpGraphResult
+{
+    int editDistance = 0;
+    int textStart = 0; ///< linearized position of the first consumed char
+    int textEnd = 0;   ///< linearized position of the last consumed char
+    Cigar cigar;       ///< empty unless traceback was requested
+};
+
+/**
+ * Distance-only semi-global DP (rolling rows, O(n) memory). This is the
+ * DP-fwd step of the PaSGAL substitute.
+ */
+DpGraphResult dpGraphDistance(const graph::LinearizedGraph &text,
+                              std::string_view pattern);
+
+/**
+ * Full DP with traceback (O(n*m) 32-bit cells); the oracle the BitAlign
+ * property tests compare against, and the traceback step of the PaSGAL
+ * substitute.
+ */
+DpGraphResult dpGraphAlign(const graph::LinearizedGraph &text,
+                           std::string_view pattern);
+
+} // namespace segram::baseline
+
+#endif // SEGRAM_SRC_BASELINE_DP_S2G_H

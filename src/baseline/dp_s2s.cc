@@ -1,0 +1,150 @@
+#include "src/baseline/dp_s2s.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace segram::baseline
+{
+
+namespace
+{
+
+/**
+ * Shared DP engine. Row j of the (m+1) x (n+1) table holds the cost of
+ * aligning the first j pattern chars; column i the first i text chars.
+ * Semi-global mode zeroes row 0 (free text start) and takes the minimum
+ * over row m (free text end).
+ */
+DpResult
+dpAlign(std::string_view text, std::string_view pattern, bool semi_global,
+        bool want_cigar)
+{
+    const int n = static_cast<int>(text.size());
+    const int m = static_cast<int>(pattern.size());
+    SEGRAM_CHECK(n > 0 && m > 0, "DP alignment needs non-empty inputs");
+
+    // Full table: rows are pattern positions (small count in tests).
+    std::vector<std::vector<int>> table(
+        m + 1, std::vector<int>(n + 1, 0));
+    for (int i = 0; i <= n; ++i)
+        table[0][i] = semi_global ? 0 : i;
+    for (int j = 1; j <= m; ++j)
+        table[j][0] = j;
+
+    for (int j = 1; j <= m; ++j) {
+        for (int i = 1; i <= n; ++i) {
+            const int match_cost =
+                pattern[j - 1] == text[i - 1] ? 0 : 1;
+            table[j][i] = std::min({
+                table[j - 1][i - 1] + match_cost, // match/substitution
+                table[j][i - 1] + 1,              // deletion (text char)
+                table[j - 1][i] + 1,              // insertion (read char)
+            });
+        }
+    }
+
+    DpResult out;
+    int end = n;
+    if (semi_global) {
+        for (int i = 0; i <= n; ++i) {
+            if (table[m][i] < table[m][end])
+                end = i;
+        }
+    }
+    out.editDistance = table[m][end];
+    out.textEnd = end;
+
+    if (want_cigar) {
+        // Walk back from (m, end) to row 0.
+        Cigar reversed;
+        int i = end;
+        int j = m;
+        while (j > 0) {
+            const int match_cost =
+                (i > 0 && pattern[j - 1] == text[i - 1]) ? 0 : 1;
+            if (i > 0 && table[j][i] == table[j - 1][i - 1] + match_cost) {
+                reversed.push(match_cost == 0 ? EditOp::Match
+                                              : EditOp::Substitution);
+                --i;
+                --j;
+            } else if (i > 0 && table[j][i] == table[j][i - 1] + 1) {
+                reversed.push(EditOp::Deletion);
+                --i;
+            } else {
+                assert(table[j][i] == table[j - 1][i] + 1);
+                reversed.push(EditOp::Insertion);
+                --j;
+            }
+        }
+        if (!semi_global) {
+            // Global mode consumes leading text chars as deletions.
+            reversed.push(EditOp::Deletion, static_cast<uint32_t>(i));
+            i = 0;
+        }
+        out.textStart = i;
+        reversed.reverse();
+        out.cigar = std::move(reversed);
+    } else if (semi_global) {
+        out.textStart = 0; // unknown without traceback
+    }
+    return out;
+}
+
+} // namespace
+
+DpResult
+nwGlobal(std::string_view text, std::string_view pattern)
+{
+    return dpAlign(text, pattern, false, true);
+}
+
+DpResult
+semiGlobal(std::string_view text, std::string_view pattern, bool want_cigar)
+{
+    return dpAlign(text, pattern, true, want_cigar);
+}
+
+int
+bandedSemiGlobalDistance(std::string_view text, std::string_view pattern,
+                         int band)
+{
+    const int n = static_cast<int>(text.size());
+    const int m = static_cast<int>(pattern.size());
+    SEGRAM_CHECK(n > 0 && m > 0, "DP alignment needs non-empty inputs");
+    SEGRAM_CHECK(band >= 0, "band must be >= 0");
+    const int inf = std::numeric_limits<int>::max() / 2;
+
+    // Rolling rows over pattern positions; cells outside |i-j| <= band
+    // relative to the pattern diagonal stay at infinity. Text-start
+    // freedom makes every column of row 0 zero, so the band is anchored
+    // per text offset; a full-width row keeps the code simple while the
+    // inner loop is clipped to the band around the monotone frontier.
+    std::vector<int> prev(n + 1, 0);
+    std::vector<int> cur(n + 1, inf);
+    for (int j = 1; j <= m; ++j) {
+        std::fill(cur.begin(), cur.end(), inf);
+        cur[0] = j;
+        // Any alignment within `band` edits stays inside a corridor of
+        // width 2*band around some diagonal; with a free text start the
+        // corridor spans all offsets, so clip only against j.
+        const int lo = std::max(1, j - band);
+        const int hi = std::min(n, j + band + (n - m > 0 ? n - m : 0));
+        for (int i = lo; i <= hi; ++i) {
+            const int match_cost =
+                pattern[j - 1] == text[i - 1] ? 0 : 1;
+            cur[i] = std::min({prev[i - 1] + match_cost, cur[i - 1] + 1,
+                               prev[i] + 1});
+        }
+        std::swap(prev, cur);
+    }
+    int best = inf;
+    for (int i = 0; i <= n; ++i)
+        best = std::min(best, prev[i]);
+    return best;
+}
+
+} // namespace segram::baseline

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Dynamic-programming sequence-to-sequence alignment: the classic
+ * quadratic algorithms (Needleman-Wunsch / semi-global Levenshtein)
+ * that the bitvector aligners are checked against and that the
+ * software-baseline mappers are built from.
+ */
+
+#ifndef SEGRAM_SRC_BASELINE_DP_S2S_H
+#define SEGRAM_SRC_BASELINE_DP_S2S_H
+
+#include <string_view>
+
+#include "src/util/cigar.h"
+
+namespace segram::baseline
+{
+
+/** Result of a DP string alignment. */
+struct DpResult
+{
+    int editDistance = 0;
+    int textStart = 0; ///< first consumed text position (semi-global)
+    int textEnd = 0;   ///< one past the last consumed text position
+    Cigar cigar;       ///< empty unless traceback was requested
+};
+
+/**
+ * Global (Needleman-Wunsch, unit costs) edit distance with traceback.
+ */
+DpResult nwGlobal(std::string_view text, std::string_view pattern);
+
+/**
+ * Semi-global edit distance: pattern fully consumed, text start and end
+ * free. @p want_cigar enables traceback.
+ */
+DpResult semiGlobal(std::string_view text, std::string_view pattern,
+                    bool want_cigar = true);
+
+/**
+ * Banded semi-global edit distance (distance only): cells farther than
+ * @p band from the main diagonal are skipped. Used by the software
+ * mapper baselines; returns editDistance > band when no alignment fits
+ * inside the band.
+ */
+int bandedSemiGlobalDistance(std::string_view text, std::string_view pattern,
+                             int band);
+
+} // namespace segram::baseline
+
+#endif // SEGRAM_SRC_BASELINE_DP_S2S_H

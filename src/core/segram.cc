@@ -1,0 +1,192 @@
+#include "src/core/segram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/dna.h"
+
+namespace segram::core
+{
+
+SegramMapper::SegramMapper(const graph::GenomeGraph &graph,
+                           const index::MinimizerIndex &index,
+                           const SegramConfig &config)
+    : graph_(graph), index_(index), config_(config),
+      minseed_(graph, index, config.minseed)
+{
+    SEGRAM_CHECK(graph.isTopologicallySorted(),
+                 "SegramMapper requires a topologically sorted graph");
+    SEGRAM_CHECK(config.earlyExitFraction >= 0.0,
+                 "earlyExitFraction must be >= 0");
+    SEGRAM_CHECK(config.maxChains >= 1, "maxChains must be >= 1");
+}
+
+std::vector<seed::CandidateRegion>
+SegramMapper::filterRegions(std::vector<seed::CandidateRegion> regions,
+                            size_t read_len) const
+{
+    if (!config_.enableChainFilter || regions.empty())
+        return regions;
+
+    // Group candidate seeds by diagonal (step 2 of Fig. 2) and keep the
+    // regions of the best chains only.
+    std::vector<seed::SeedHit> hits;
+    hits.reserve(regions.size());
+    for (const auto &region : regions) {
+        const uint64_t seed_pos =
+            graph_.node(region.seed.node).linearOffset +
+            region.seed.offset;
+        hits.push_back({seed_pos, region.minimizerPos});
+    }
+    const auto chains = seed::chainSeeds(std::move(hits), config_.chain);
+
+    const double extend = 1.0 + config_.minseed.errorRate;
+    std::vector<seed::CandidateRegion> filtered;
+    const int take = std::min<int>(config_.maxChains,
+                                   static_cast<int>(chains.size()));
+    for (int c = 0; c < take; ++c) {
+        const auto &chain = chains[c];
+        const seed::SeedHit &first = chain.hits.front();
+        const seed::SeedHit &last = chain.hits.back();
+        seed::CandidateRegion region;
+        const auto left = static_cast<uint64_t>(
+            std::llround(first.readPos * extend));
+        region.start =
+            first.refPos >= left ? first.refPos - left : 0;
+        region.end = std::min<uint64_t>(
+            last.refPos +
+                static_cast<uint64_t>(std::llround(
+                    (static_cast<double>(read_len) - last.readPos) *
+                    extend)),
+            graph_.totalSeqLen() - 1);
+        region.minimizerPos = first.readPos;
+        region.seed = {graph_.nodeAtLinear(first.refPos), 0};
+        filtered.push_back(region);
+    }
+    return filtered;
+}
+
+MapResult
+SegramMapper::mapOneStrand(std::string_view read,
+                           PipelineStats *stats) const
+{
+    PipelineStats local;
+    local.readsTotal = 1;
+
+    auto regions = filterRegions(minseed_.seedRead(read, &local.seeding),
+                                 read.size());
+    if (config_.maxRegions != 0 && regions.size() > config_.maxRegions)
+        regions.resize(config_.maxRegions);
+
+    const int early_exit_edits =
+        config_.earlyExitFraction > 0.0
+            ? static_cast<int>(std::ceil(config_.earlyExitFraction *
+                                         config_.minseed.errorRate *
+                                         static_cast<double>(read.size())))
+            : -1;
+
+    MapResult best;
+    for (const auto &region : regions) {
+        ++best.regionsTried;
+        ++local.regionsAligned;
+        const auto subgraph = graph::linearizeRange(
+            graph_, region.start, region.end, config_.hopLimit);
+        // The alignment start is uncertain by up to 2*E*a within the
+        // region (Fig. 9); widen the first free-start window to cover
+        // the whole span.
+        align::BitAlignConfig bitalign = config_.bitalign;
+        bitalign.firstWindowExtraText +=
+            static_cast<int>(std::ceil(2.0 * config_.minseed.errorRate *
+                                       region.minimizerPos)) +
+            32;
+        const auto alignment =
+            align::alignWindowed(subgraph, read, bitalign);
+        if (!alignment.found)
+            continue;
+        ++local.alignmentsFound;
+        if (!best.mapped || alignment.editDistance < best.editDistance) {
+            best.mapped = true;
+            best.editDistance = alignment.editDistance;
+            best.linearStart = alignment.linearStart;
+            best.cigar = alignment.cigar;
+        }
+        if (early_exit_edits >= 0 && best.mapped &&
+            best.editDistance <= early_exit_edits) {
+            break;
+        }
+    }
+
+    if (best.mapped)
+        ++local.readsMapped;
+    if (stats != nullptr)
+        *stats += local;
+    return best;
+}
+
+MapResult
+SegramMapper::mapRead(std::string_view read, PipelineStats *stats) const
+{
+    SEGRAM_CHECK(!read.empty(), "cannot map an empty read");
+    MapResult forward = mapOneStrand(read, stats);
+    if (!config_.tryReverseComplement)
+        return forward;
+
+    const std::string rc = reverseComplement(read);
+    MapResult reverse = mapOneStrand(rc, stats);
+    reverse.reverseComplemented = true;
+    if (stats != nullptr) {
+        // Both strands were one logical read.
+        --stats->readsTotal;
+        if (forward.mapped && reverse.mapped)
+            --stats->readsMapped;
+    }
+    if (!reverse.mapped)
+        return forward;
+    if (!forward.mapped || reverse.editDistance < forward.editDistance)
+        return reverse;
+    return forward;
+}
+
+MultiGraphMapper::MultiGraphMapper(std::vector<ChromosomeRef> chromosomes,
+                                   const SegramConfig &config)
+{
+    SEGRAM_CHECK(!chromosomes.empty(),
+                 "MultiGraphMapper needs at least one chromosome");
+    names_.reserve(chromosomes.size());
+    mappers_.reserve(chromosomes.size());
+    for (const auto &chromosome : chromosomes) {
+        SEGRAM_CHECK(chromosome.graph != nullptr &&
+                         chromosome.index != nullptr,
+                     "chromosome graph/index must not be null");
+        names_.push_back(chromosome.name);
+        mappers_.emplace_back(*chromosome.graph, *chromosome.index,
+                              config);
+    }
+}
+
+MultiMapResult
+MultiGraphMapper::mapRead(std::string_view read,
+                          PipelineStats *stats) const
+{
+    MultiMapResult best;
+    PipelineStats local;
+    for (size_t c = 0; c < mappers_.size(); ++c) {
+        const MapResult result = mappers_[c].mapRead(read, &local);
+        if (result.mapped &&
+            (!best.mapped || result.editDistance < best.editDistance)) {
+            static_cast<MapResult &>(best) = result;
+            best.chromosome = names_[c];
+        }
+    }
+    if (stats != nullptr) {
+        // Per-chromosome passes were one logical read; fold the
+        // read-level counters while keeping the work counters summed.
+        local.readsTotal = 1;
+        local.readsMapped = best.mapped ? 1 : 0;
+        *stats += local;
+    }
+    return best;
+}
+
+} // namespace segram::core

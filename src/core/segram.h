@@ -1,0 +1,198 @@
+/**
+ * @file
+ * SegramMapper: the end-to-end SeGraM pipeline (Fig. 4) as a library.
+ *
+ * One mapper binds a genome graph and its minimizer index; mapRead()
+ * then runs the full per-read flow the accelerator implements:
+ * MinSeed (minimizers -> frequency filter -> seeds -> candidate
+ * subgraphs) followed by BitAlign on every candidate region (exact for
+ * reads that fit one window, divide-and-conquer otherwise), returning
+ * the best alignment. Sequence-to-sequence mapping is the same code
+ * path on a chain graph, exactly as the paper's universality argument
+ * prescribes.
+ */
+
+#ifndef SEGRAM_SRC_CORE_SEGRAM_H
+#define SEGRAM_SRC_CORE_SEGRAM_H
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/align/bitalign.h"
+#include "src/graph/genome_graph.h"
+#include "src/graph/linearize.h"
+#include "src/index/minimizer_index.h"
+#include "src/seed/chaining.h"
+#include "src/seed/minseed.h"
+#include "src/util/cigar.h"
+
+namespace segram::core
+{
+
+/** Pipeline configuration. */
+struct SegramConfig
+{
+    seed::MinSeedConfig minseed;       ///< seeding parameters
+    align::BitAlignConfig bitalign;    ///< alignment parameters
+    /**
+     * HopBits height: hops longer than this are dropped when candidate
+     * subgraphs are linearized (Fig. 12/13). kUnlimitedHops gives the
+     * software-exact mode.
+     */
+    int hopLimit = graph::kDefaultHopLimit;
+    /**
+     * Cap on candidate regions aligned per read; 0 aligns all (the
+     * hardware behaviour — MinSeed performs no filtering).
+     */
+    uint32_t maxRegions = 0;
+    /**
+     * Early exit: stop aligning further candidates once an alignment
+     * with at most earlyExitFraction * errorRate * readLen edits is
+     * found. 0 disables (align everything, hardware-faithful).
+     */
+    double earlyExitFraction = 0.0;
+
+    /**
+     * Also try the reverse complement of each read and keep the better
+     * alignment. Off by default (the simulators emit forward-strand
+     * reads); real sequencing data needs it.
+     */
+    bool tryReverseComplement = false;
+
+    /**
+     * Enable the optional chaining/clustering step between seeding and
+     * alignment (step 2 of Fig. 2). The paper's MinSeed omits it
+     * (Section 11.4) and notes that adding one "would increase SeGraM's
+     * performance and efficiency, a study we leave to future work" —
+     * this implements that study: co-diagonal seeds are grouped and
+     * only the best maxChains chains are aligned.
+     */
+    bool enableChainFilter = false;
+
+    /** Chains kept when the chain filter is enabled. */
+    int maxChains = 4;
+
+    /** Chaining parameters (used when enableChainFilter is set). */
+    seed::ChainConfig chain;
+};
+
+/** Result of mapping one read. */
+struct MapResult
+{
+    bool mapped = false;
+    uint64_t linearStart = 0; ///< concatenated coordinate of the start
+    int editDistance = 0;
+    Cigar cigar;
+    uint32_t regionsTried = 0;
+    /** True when the reverse complement of the read aligned best. */
+    bool reverseComplemented = false;
+};
+
+/** Aggregated pipeline counters. */
+struct PipelineStats
+{
+    seed::MinSeedStats seeding;
+    uint64_t regionsAligned = 0;
+    uint64_t alignmentsFound = 0;
+    uint64_t readsMapped = 0;
+    uint64_t readsTotal = 0;
+
+    PipelineStats &
+    operator+=(const PipelineStats &other)
+    {
+        seeding += other.seeding;
+        regionsAligned += other.regionsAligned;
+        alignmentsFound += other.alignmentsFound;
+        readsMapped += other.readsMapped;
+        readsTotal += other.readsTotal;
+        return *this;
+    }
+};
+
+/** The end-to-end mapper. */
+class SegramMapper
+{
+  public:
+    /**
+     * @param graph  Topologically sorted genome graph (pre-processing
+     *               step 1, already in "memory").
+     * @param index  Minimizer index of @p graph (pre-processing step 2).
+     * @param config Pipeline parameters.
+     */
+    SegramMapper(const graph::GenomeGraph &graph,
+                 const index::MinimizerIndex &index,
+                 const SegramConfig &config = {});
+
+    /**
+     * Maps one read end to end.
+     *
+     * @param read       Query read (ACGT, non-empty).
+     * @param[out] stats Optional counter accumulator.
+     */
+    MapResult mapRead(std::string_view read,
+                      PipelineStats *stats = nullptr) const;
+
+    const SegramConfig &config() const { return config_; }
+    const graph::GenomeGraph &graph() const { return graph_; }
+
+  private:
+    /** Maps one orientation of a read (no reverse-complement retry). */
+    MapResult mapOneStrand(std::string_view read,
+                           PipelineStats *stats) const;
+
+    /** Applies the optional chaining filter to candidate regions. */
+    std::vector<seed::CandidateRegion>
+    filterRegions(std::vector<seed::CandidateRegion> regions,
+                  size_t read_len) const;
+
+    const graph::GenomeGraph &graph_;
+    const index::MinimizerIndex &index_;
+    SegramConfig config_;
+    seed::MinSeed minseed_;
+};
+
+/** One chromosome entry of a multi-chromosome reference. */
+struct ChromosomeRef
+{
+    std::string name;
+    const graph::GenomeGraph *graph = nullptr;
+    const index::MinimizerIndex *index = nullptr;
+};
+
+/** Map result extended with the winning chromosome. */
+struct MultiMapResult : MapResult
+{
+    std::string chromosome;
+};
+
+/**
+ * Maps reads against a set of per-chromosome graphs — the paper builds
+ * "one graph for each chromosome" and distributes them across HBM
+ * channels; this is the software equivalent, picking the chromosome
+ * with the best alignment.
+ */
+class MultiGraphMapper
+{
+  public:
+    /**
+     * @param chromosomes Per-chromosome graphs/indexes (pointees must
+     *                    outlive the mapper).
+     * @throws InputError when empty or any pointer is null.
+     */
+    MultiGraphMapper(std::vector<ChromosomeRef> chromosomes,
+                     const SegramConfig &config = {});
+
+    /** Maps one read against every chromosome; returns the best hit. */
+    MultiMapResult mapRead(std::string_view read,
+                           PipelineStats *stats = nullptr) const;
+
+    size_t numChromosomes() const { return mappers_.size(); }
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<SegramMapper> mappers_;
+};
+
+} // namespace segram::core
+
+#endif // SEGRAM_SRC_CORE_SEGRAM_H

@@ -1,0 +1,204 @@
+#include "src/graph/genome_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace segram::graph
+{
+
+std::string
+GenomeGraph::nodeSeq(NodeId id) const
+{
+    const NodeRecord &record = nodes_[id];
+    return chars_.substr(record.seqStart, record.seqLen);
+}
+
+uint8_t
+GenomeGraph::charAt(NodeId id, uint32_t offset) const
+{
+    const NodeRecord &record = nodes_[id];
+    assert(offset < record.seqLen);
+    return chars_.codeAt(record.seqStart + offset);
+}
+
+uint8_t
+GenomeGraph::charAtLinear(uint64_t linear_pos) const
+{
+    // Linear offsets coincide with character-table indices because nodes
+    // are laid out consecutively in ID order.
+    assert(linear_pos < chars_.size());
+    return chars_.codeAt(linear_pos);
+}
+
+std::span<const NodeId>
+GenomeGraph::successors(NodeId id) const
+{
+    const NodeRecord &record = nodes_[id];
+    return {edges_.data() + record.edgeStart, record.edgeCount};
+}
+
+NodeId
+GenomeGraph::nodeAtLinear(uint64_t linear_pos) const
+{
+    assert(linear_pos < totalSeqLen());
+    // First node whose linearOffset is > linear_pos, minus one.
+    auto it = std::upper_bound(
+        nodes_.begin(), nodes_.end(), linear_pos,
+        [](uint64_t pos, const NodeRecord &node) {
+            return pos < node.linearOffset;
+        });
+    assert(it != nodes_.begin());
+    return static_cast<NodeId>(std::distance(nodes_.begin(), it) - 1);
+}
+
+bool
+GenomeGraph::isTopologicallySorted() const
+{
+    for (NodeId id = 0; id < numNodes(); ++id) {
+        for (const NodeId succ : successors(id)) {
+            if (succ <= id)
+                return false;
+        }
+    }
+    return true;
+}
+
+GenomeGraph
+GenomeGraph::topologicallySorted() const
+{
+    // Kahn's algorithm; ties are broken by smallest original ID so the
+    // result is deterministic and reference backbones stay in order.
+    std::vector<uint32_t> in_degree(numNodes(), 0);
+    for (const NodeId target : edges_)
+        ++in_degree[target];
+
+    std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+    for (NodeId id = 0; id < numNodes(); ++id) {
+        if (in_degree[id] == 0)
+            ready.push(id);
+    }
+
+    std::vector<NodeId> order; // order[new_id] = old_id
+    order.reserve(numNodes());
+    while (!ready.empty()) {
+        const NodeId id = ready.top();
+        ready.pop();
+        order.push_back(id);
+        for (const NodeId succ : successors(id)) {
+            if (--in_degree[succ] == 0)
+                ready.push(succ);
+        }
+    }
+    SEGRAM_CHECK(order.size() == numNodes(),
+                 "genome graph contains a cycle; cannot topologically sort");
+
+    std::vector<NodeId> new_id(numNodes());
+    for (NodeId rank = 0; rank < order.size(); ++rank)
+        new_id[order[rank]] = rank;
+
+    GraphBuilder builder;
+    for (const NodeId old_id : order) {
+        const NodeRecord &record = nodes_[old_id];
+        builder.addNode(nodeSeq(old_id), record.refPos, record.isAlt);
+    }
+    for (NodeId id = 0; id < numNodes(); ++id) {
+        for (const NodeId succ : successors(id))
+            builder.addEdge(new_id[id], new_id[succ]);
+    }
+    return std::move(builder).build();
+}
+
+io::GfaDocument
+GenomeGraph::toGfa() const
+{
+    io::GfaDocument doc;
+    doc.segments.reserve(numNodes());
+    for (NodeId id = 0; id < numNodes(); ++id)
+        doc.segments.push_back({std::to_string(id + 1), nodeSeq(id)});
+    doc.links.reserve(numEdges());
+    for (NodeId id = 0; id < numNodes(); ++id) {
+        for (const NodeId succ : successors(id)) {
+            doc.links.push_back(
+                {std::to_string(id + 1), std::to_string(succ + 1)});
+        }
+    }
+    return doc;
+}
+
+GenomeGraph
+GenomeGraph::fromGfa(const io::GfaDocument &doc)
+{
+    SEGRAM_CHECK(!doc.segments.empty(), "GFA document has no segments");
+    std::unordered_map<std::string, NodeId> ids;
+    GraphBuilder builder;
+    for (const auto &segment : doc.segments)
+        ids[segment.name] = builder.addNode(segment.seq);
+    for (const auto &link : doc.links)
+        builder.addEdge(ids.at(link.from), ids.at(link.to));
+    return std::move(builder).build();
+}
+
+NodeId
+GraphBuilder::addNode(std::string_view seq, uint32_t ref_pos, bool is_alt)
+{
+    SEGRAM_CHECK(!seq.empty(), "graph nodes must have non-empty sequences");
+    seqs_.emplace_back(seq);
+    meta_.push_back({ref_pos, is_alt});
+    return static_cast<NodeId>(seqs_.size() - 1);
+}
+
+void
+GraphBuilder::addEdge(NodeId from, NodeId to)
+{
+    edges_.emplace_back(from, to);
+}
+
+GenomeGraph
+GraphBuilder::build() &&
+{
+    const auto num_nodes = static_cast<NodeId>(seqs_.size());
+    for (const auto &[from, to] : edges_) {
+        SEGRAM_CHECK(from < num_nodes && to < num_nodes,
+                     "graph edge endpoint out of range");
+        SEGRAM_CHECK(from != to, "graph self-loops are not allowed");
+    }
+
+    GenomeGraph out;
+    out.nodes_.resize(num_nodes);
+
+    // Character table + linear offsets.
+    uint64_t offset = 0;
+    for (NodeId id = 0; id < num_nodes; ++id) {
+        NodeRecord &record = out.nodes_[id];
+        record.seqStart = offset;
+        record.seqLen = static_cast<uint32_t>(seqs_[id].size());
+        record.linearOffset = offset;
+        record.refPos = meta_[id].refPos;
+        record.isAlt = meta_[id].isAlt;
+        out.chars_.append(seqs_[id]);
+        offset += record.seqLen;
+    }
+
+    // Edge table in CSR form, successors sorted for determinism.
+    std::sort(edges_.begin(), edges_.end());
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+    out.edges_.resize(edges_.size());
+    size_t edge_idx = 0;
+    for (NodeId id = 0; id < num_nodes; ++id) {
+        NodeRecord &record = out.nodes_[id];
+        record.edgeStart = static_cast<uint32_t>(edge_idx);
+        while (edge_idx < edges_.size() && edges_[edge_idx].first == id) {
+            out.edges_[edge_idx] = edges_[edge_idx].second;
+            ++edge_idx;
+        }
+        record.edgeCount =
+            static_cast<uint32_t>(edge_idx - record.edgeStart);
+    }
+    return out;
+}
+
+} // namespace segram::graph

@@ -1,0 +1,173 @@
+#include "src/graph/graph_builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "src/util/check.h"
+
+namespace segram::graph
+{
+
+namespace
+{
+
+/** Node classes at one junction coordinate; insertions sort first. */
+enum class NodeClass : uint8_t
+{
+    Insertion = 0,
+    Segment = 1, // reference backbone segment or substitution ALT
+};
+
+struct PendingNode
+{
+    uint64_t start;      ///< junction coordinate where the node begins
+    NodeClass cls;
+    uint64_t end;        ///< junction coordinate where the node ends
+                         ///< (== start for insertions)
+    std::string seq;
+    bool isAlt;
+};
+
+} // namespace
+
+GenomeGraph
+buildGraph(std::string_view reference, const std::vector<Variant> &variants,
+           const BuildOptions &options)
+{
+    SEGRAM_CHECK(!reference.empty(), "reference sequence must be non-empty");
+    const uint64_t ref_len = reference.size();
+
+    // Validate ordering / overlap and gather breakpoints.
+    std::vector<uint64_t> breakpoints = {0, ref_len};
+    uint64_t prev_end = 0;
+    int64_t prev_ins_point = -1;
+    bool first = true;
+    for (const auto &variant : variants) {
+        SEGRAM_CHECK(variant.pos + variant.refSpan() <= ref_len,
+                     "variant extends past the reference end");
+        if (!first) {
+            SEGRAM_CHECK(variant.pos >= prev_end,
+                         "variants must be sorted and non-overlapping");
+        }
+        if (variant.kind() == VariantKind::Insertion) {
+            SEGRAM_CHECK(static_cast<int64_t>(variant.pos) != prev_ins_point,
+                         "two insertions at the same point");
+            prev_ins_point = static_cast<int64_t>(variant.pos);
+            breakpoints.push_back(variant.pos);
+            prev_end = std::max(prev_end, variant.pos);
+        } else {
+            breakpoints.push_back(variant.pos);
+            breakpoints.push_back(variant.pos + variant.refSpan());
+            prev_end = variant.pos + variant.refSpan();
+        }
+        first = false;
+    }
+    std::sort(breakpoints.begin(), breakpoints.end());
+    breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()),
+                      breakpoints.end());
+
+    // Create node descriptors: backbone segments between breakpoints
+    // (split at maxNodeLen), then variant nodes.
+    std::vector<PendingNode> pending;
+    for (size_t i = 0; i + 1 < breakpoints.size(); ++i) {
+        const uint64_t seg_start = breakpoints[i];
+        const uint64_t seg_end = breakpoints[i + 1];
+        if (seg_start >= seg_end)
+            continue;
+        const uint64_t cap = options.maxNodeLen == 0
+                                 ? seg_end - seg_start
+                                 : options.maxNodeLen;
+        for (uint64_t piece = seg_start; piece < seg_end; piece += cap) {
+            const uint64_t piece_end = std::min(piece + cap, seg_end);
+            pending.push_back({piece, NodeClass::Segment, piece_end,
+                               std::string(reference.substr(
+                                   piece, piece_end - piece)),
+                               false});
+        }
+    }
+    for (const auto &variant : variants) {
+        switch (variant.kind()) {
+          case VariantKind::Substitution:
+            pending.push_back({variant.pos, NodeClass::Segment,
+                               variant.pos + variant.refSpan(), variant.alt,
+                               true});
+            break;
+          case VariantKind::Insertion:
+            pending.push_back({variant.pos, NodeClass::Insertion,
+                               variant.pos, variant.alt, true});
+            break;
+          case VariantKind::Deletion:
+            break; // bypass edge only, no node
+        }
+    }
+
+    // Coordinate order (insertions before segments at the same junction)
+    // yields topologically sorted IDs.
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const PendingNode &a, const PendingNode &b) {
+                         if (a.start != b.start)
+                             return a.start < b.start;
+                         return a.cls < b.cls;
+                     });
+
+    GraphBuilder builder;
+    std::map<uint64_t, std::vector<NodeId>> starters;
+    std::map<uint64_t, std::vector<NodeId>> enders;
+    std::map<uint64_t, NodeId> insertions;
+    for (const auto &node : pending) {
+        const NodeId id = builder.addNode(
+            node.seq, static_cast<uint32_t>(node.start), node.isAlt);
+        if (node.cls == NodeClass::Insertion) {
+            insertions[node.start] = id;
+        } else {
+            starters[node.start].push_back(id);
+            enders[node.end].push_back(id);
+        }
+    }
+
+    // Junction edges: every node ending at a coordinate connects to every
+    // node starting there; insertions sit optionally in between.
+    for (const auto &[coord, ender_ids] : enders) {
+        auto starter_it = starters.find(coord);
+        if (starter_it == starters.end())
+            continue;
+        for (const NodeId from : ender_ids) {
+            for (const NodeId to : starter_it->second)
+                builder.addEdge(from, to);
+        }
+    }
+    for (const auto &[coord, ins_id] : insertions) {
+        auto ender_it = enders.find(coord);
+        if (ender_it != enders.end()) {
+            for (const NodeId from : ender_it->second)
+                builder.addEdge(from, ins_id);
+        }
+        auto starter_it = starters.find(coord);
+        if (starter_it != starters.end()) {
+            for (const NodeId to : starter_it->second)
+                builder.addEdge(ins_id, to);
+        }
+    }
+    // Deletion bypass edges.
+    for (const auto &variant : variants) {
+        if (variant.kind() != VariantKind::Deletion)
+            continue;
+        const uint64_t from_coord = variant.pos;
+        const uint64_t to_coord = variant.pos + variant.refSpan();
+        auto ender_it = enders.find(from_coord);
+        auto starter_it = starters.find(to_coord);
+        if (ender_it == enders.end() || starter_it == starters.end())
+            continue; // deletion touching the reference boundary
+        for (const NodeId from : ender_it->second) {
+            for (const NodeId to : starter_it->second)
+                builder.addEdge(from, to);
+        }
+    }
+
+    GenomeGraph result = std::move(builder).build();
+    assert(result.isTopologicallySorted());
+    return result;
+}
+
+} // namespace segram::graph

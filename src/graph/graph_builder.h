@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Graph construction from a linear reference plus variants: the in-repo
+ * substitute for the paper's first pre-processing step
+ * (`vg construct` + `vg ids -s`, Section 5).
+ *
+ * The construction creates one reference backbone node per segment
+ * between variant breakpoints, one ALT node per substitution or
+ * insertion allele, and bypass edges for deletions. Node IDs are
+ * assigned in coordinate order, which makes the result topologically
+ * sorted by construction (verified by tests and asserted here).
+ */
+
+#ifndef SEGRAM_SRC_GRAPH_GRAPH_BUILDER_H
+#define SEGRAM_SRC_GRAPH_GRAPH_BUILDER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/graph/genome_graph.h"
+#include "src/graph/variants.h"
+
+namespace segram::graph
+{
+
+/** Options for buildGraph. */
+struct BuildOptions
+{
+    /**
+     * Maximum reference-node length; longer backbone segments are split
+     * into chained nodes. 0 disables splitting. (vg applies the same
+     * kind of cap; splitting only adds distance-1 hops.)
+     */
+    uint32_t maxNodeLen = 0;
+};
+
+/**
+ * Builds a topologically sorted genome graph from one chromosome.
+ *
+ * @param reference The chromosome's linear sequence (ACGT, non-empty).
+ * @param variants  Canonical variants, sorted and non-overlapping (as
+ *                  produced by canonicalizeSet()).
+ * @param options   See BuildOptions.
+ * @throws InputError on an empty reference or out-of-order/overlapping
+ *         variants.
+ */
+GenomeGraph buildGraph(std::string_view reference,
+                       const std::vector<Variant> &variants,
+                       const BuildOptions &options = {});
+
+} // namespace segram::graph
+
+#endif // SEGRAM_SRC_GRAPH_GRAPH_BUILDER_H

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Subgraph linearization: the input format of BitAlign.
+ *
+ * BitAlign consumes a *linearized, topologically sorted* subgraph: one
+ * character per position, intra-node chain edges, and inter-node "hops".
+ * In hardware, hops are encoded by the HopBits adjacency matrix
+ * (Fig. 12), whose height is the hop limit: a successor further than
+ * `hopLimit` positions ahead cannot be represented and is dropped
+ * (Fig. 13 quantifies the coverage/cost trade-off, >99% at limit 12).
+ *
+ * The software representation stores, per character, the list of
+ * successor *deltas* (distance to each successor), which is exactly the
+ * information content of one HopBits column.
+ */
+
+#ifndef SEGRAM_SRC_GRAPH_LINEARIZE_H
+#define SEGRAM_SRC_GRAPH_LINEARIZE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/genome_graph.h"
+
+namespace segram::graph
+{
+
+/** Hop limit that covers >99% of hops in human-like graphs (Fig. 13). */
+constexpr int kDefaultHopLimit = 12;
+
+/** Sentinel hop limit meaning "no limit" (software-exact mode). */
+constexpr int kUnlimitedHops = 0;
+
+/** Where one linearized character came from, for alignment reporting. */
+struct CharOrigin
+{
+    NodeId node = 0;
+    uint32_t offset = 0; ///< character offset within the node
+
+    bool operator==(const CharOrigin &) const = default;
+};
+
+/**
+ * A linearized subgraph: the reference-side input of BitAlign. Position
+ * `i` holds one 2-bit character; `successorDeltas(i)` lists the forward
+ * distances of its successors (1 for the implicit chain edge inside a
+ * node). An empty delta list marks a sink within this window.
+ */
+class LinearizedGraph
+{
+  public:
+    LinearizedGraph() = default;
+
+    /** @return Number of characters (text length n of Algorithm 1). */
+    int size() const { return static_cast<int>(codes_.size()); }
+
+    /** @return 2-bit character code at position @p pos. */
+    uint8_t code(int pos) const { return codes_[pos]; }
+
+    /** @return The characters as an ACGT string. */
+    std::string toString() const;
+
+    /** @return Successor deltas of position @p pos (ascending). */
+    std::span<const uint16_t>
+    successorDeltas(int pos) const
+    {
+        const uint32_t begin = succ_offsets_[pos];
+        const uint32_t end = succ_offsets_[pos + 1];
+        return {succ_deltas_.data() + begin, end - begin};
+    }
+
+    /** @return Origin (node, offset) of position @p pos. */
+    const CharOrigin &origin(int pos) const { return origins_[pos]; }
+
+    /** @return Concatenated-coordinate of the first character. */
+    uint64_t linearStart() const { return linear_start_; }
+
+    /** @return Number of hops dropped because they exceeded the limit. */
+    uint64_t droppedHops() const { return dropped_hops_; }
+
+    /** @return Largest successor delta present (1 if chain only). */
+    int maxDelta() const { return max_delta_; }
+
+    /**
+     * Extracts the sub-range [pos, pos+len) as its own linearized graph
+     * (used by the divide-and-conquer windowing); hops leaving the range
+     * are clipped.
+     */
+    LinearizedGraph window(int pos, int len) const;
+
+    /**
+     * Test/direct-construction API: appends a character with explicit
+     * successor deltas. Deltas must be positive and in range once the
+     * graph is complete (checked by finalize()).
+     */
+    void pushChar(char base, std::vector<uint16_t> deltas,
+                  CharOrigin origin = {});
+
+    /** Validates deltas and computes summary fields after pushChar use. */
+    void finalize();
+
+  private:
+    friend LinearizedGraph linearizeRange(const GenomeGraph &, uint64_t,
+                                          uint64_t, int);
+
+    std::vector<uint8_t> codes_;
+    std::vector<uint32_t> succ_offsets_ = {0};
+    std::vector<uint16_t> succ_deltas_;
+    std::vector<CharOrigin> origins_;
+    uint64_t linear_start_ = 0;
+    uint64_t dropped_hops_ = 0;
+    int max_delta_ = 0;
+};
+
+/**
+ * Linearizes the concatenated-coordinate range [start, end] of a
+ * topologically sorted graph (both inclusive; clamped to the sequence).
+ *
+ * @param graph     The (whole) genome graph.
+ * @param start     First concatenated coordinate of the region.
+ * @param end       Last concatenated coordinate of the region.
+ * @param hop_limit Maximum representable hop distance (HopBits height);
+ *                  kUnlimitedHops disables dropping. Hops that leave the
+ *                  region are always dropped (they cannot take part in
+ *                  this window's alignment).
+ * @throws InputError if the graph is not topologically sorted.
+ */
+LinearizedGraph linearizeRange(const GenomeGraph &graph, uint64_t start,
+                               uint64_t end,
+                               int hop_limit = kUnlimitedHops);
+
+/** Linearizes an entire graph (convenience for small graphs/baselines). */
+LinearizedGraph linearizeWhole(const GenomeGraph &graph,
+                               int hop_limit = kUnlimitedHops);
+
+/**
+ * Histogram of hop distances over a whole graph, in linearized-character
+ * units (a plain intra-node edge has distance 1). Index `d` counts hops
+ * of distance `d`; the last bucket aggregates overflow. This is the data
+ * behind Fig. 13.
+ */
+std::vector<uint64_t> hopLengthHistogram(const GenomeGraph &graph,
+                                         int max_tracked = 64);
+
+/**
+ * @return Fraction of hops with distance <= @p hop_limit, computed from
+ *         a hopLengthHistogram() result.
+ */
+double hopCoverage(const std::vector<uint64_t> &histogram, int hop_limit);
+
+} // namespace segram::graph
+
+#endif // SEGRAM_SRC_GRAPH_LINEARIZE_H

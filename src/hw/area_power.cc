@@ -1,0 +1,131 @@
+#include "src/hw/area_power.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace segram::hw
+{
+
+namespace
+{
+
+// 28 nm low-power process rates, calibrated so the default configuration
+// totals match the paper's synthesis results (0.867 mm2 / 758 mW per
+// accelerator). SRAM macros are cheaper per bit than the hop-queue
+// register files, which the paper singles out as the dominant cost of
+// BitAlign's edit-distance logic (>60%).
+constexpr double kSramAreaMm2PerKb = 0.0029;
+constexpr double kSramPowerMwPerKb = 2.27;
+constexpr double kHopQueueAreaMm2PerKb = 0.012;
+constexpr double kHopQueuePowerMwPerKb = 12.5;
+constexpr double kPeLogicAreaMm2PerPe128 = 0.0014375; // per 128-bit PE
+constexpr double kPeLogicPowerMwPerPe128 = 1.484375;
+constexpr double kTracebackAreaMm2 = 0.030;
+constexpr double kTracebackPowerMw = 35.0;
+constexpr double kMinseedLogicAreaMm2 = 0.015;
+constexpr double kMinseedLogicPowerMw = 20.0;
+constexpr double kHbmPowerWPerStack = 0.95;
+
+double
+toKb(double bytes)
+{
+    return bytes / 1024.0;
+}
+
+ComponentCost
+sramCost(double bytes)
+{
+    return {toKb(bytes) * kSramAreaMm2PerKb,
+            toKb(bytes) * kSramPowerMwPerKb};
+}
+
+} // namespace
+
+ComponentCost
+AreaPowerBreakdown::accelTotal() const
+{
+    return minseedLogic + minseedSpads + bitalignEditLogic + hopQueues +
+           tracebackLogic + inputSpad + bitvectorSpads;
+}
+
+ComponentCost
+AreaPowerBreakdown::systemTotal(const HwConfig &config) const
+{
+    ComponentCost one = accelTotal();
+    const double count = config.totalAccels();
+    return {one.areaMm2 * count, one.powerMw * count};
+}
+
+double
+AreaPowerBreakdown::hbmPowerW(const HwConfig &config) const
+{
+    return kHbmPowerWPerStack * config.numStacks;
+}
+
+AreaPowerBreakdown
+modelAreaPower(const HwConfig &config)
+{
+    AreaPowerBreakdown out;
+    out.minseedLogic = {kMinseedLogicAreaMm2, kMinseedLogicPowerMw};
+    out.minseedSpads = sramCost(config.readSpadBytes +
+                                config.minimizerSpadBytes +
+                                config.seedSpadBytes);
+    // PE datapath scales with PE count and bitvector width.
+    const double pe_scale = config.numPes *
+                            (static_cast<double>(config.bitsPerPe) / 128.0);
+    out.bitalignEditLogic = {pe_scale * kPeLogicAreaMm2PerPe128,
+                             pe_scale * kPeLogicPowerMwPerPe128};
+    const double hop_bytes =
+        static_cast<double>(config.hopQueueBytesPerPe) * config.numPes;
+    out.hopQueues = {toKb(hop_bytes) * kHopQueueAreaMm2PerKb,
+                     toKb(hop_bytes) * kHopQueuePowerMwPerKb};
+    out.tracebackLogic = {kTracebackAreaMm2, kTracebackPowerMw};
+    out.inputSpad = sramCost(config.inputSpadBytes);
+    out.bitvectorSpads = sramCost(
+        static_cast<double>(config.bitvectorSpadBytesPerPe) *
+        config.numPes);
+    return out;
+}
+
+void
+printTable1(std::ostream &out, const HwConfig &config)
+{
+    const AreaPowerBreakdown breakdown = modelAreaPower(config);
+    const auto row = [&out](const char *name, const ComponentCost &cost) {
+        out << "  " << std::left << std::setw(38) << name << std::right
+            << std::fixed << std::setprecision(4) << std::setw(10)
+            << cost.areaMm2 << std::setw(12) << std::setprecision(1)
+            << cost.powerMw << '\n';
+    };
+    out << "Table 1: SeGraM area and power breakdown (28 nm, 1 GHz)\n";
+    out << "  " << std::left << std::setw(38) << "Component" << std::right
+        << std::setw(10) << "mm^2" << std::setw(12) << "mW" << '\n';
+    row("MinSeed logic", breakdown.minseedLogic);
+    row("MinSeed scratchpads (read+minim+seed)", breakdown.minseedSpads);
+    row("BitAlign edit-distance logic (PEs)", breakdown.bitalignEditLogic);
+    row("BitAlign hop queue registers", breakdown.hopQueues);
+    row("BitAlign traceback logic", breakdown.tracebackLogic);
+    row("BitAlign input scratchpad", breakdown.inputSpad);
+    row("BitAlign bitvector scratchpads", breakdown.bitvectorSpads);
+    row("Total (1 accelerator)", breakdown.accelTotal());
+    const ComponentCost system = breakdown.systemTotal(config);
+    out << "  " << std::left << std::setw(38)
+        << ("Total (" + std::to_string(config.totalAccels()) +
+            " accelerators)")
+        << std::right << std::fixed << std::setprecision(1) << std::setw(10)
+        << system.areaMm2 << std::setw(12) << system.powerMw / 1000.0
+        << " W\n";
+    out << "  " << std::left << std::setw(38) << "+ HBM (4 stacks)"
+        << std::right << std::setw(10) << "-" << std::setw(12)
+        << std::fixed << std::setprecision(1)
+        << system.powerMw / 1000.0 + breakdown.hbmPowerW(config)
+        << " W\n";
+    const double hop_share =
+        breakdown.hopQueues.areaMm2 /
+        (breakdown.hopQueues.areaMm2 + breakdown.bitalignEditLogic.areaMm2);
+    out << "  hop queues / BitAlign edit logic area: " << std::fixed
+        << std::setprecision(1) << hop_share * 100.0
+        << "% (paper: >60%)\n";
+}
+
+} // namespace segram::hw

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Analytical area/power model of SeGraM (paper Table 1, Section 11.1).
+ *
+ * Component costs are parametric in the configuration (per-kB SRAM
+ * rates, per-PE logic rates, per-kB register-file rates for the hop
+ * queues) with the rates calibrated so the default configuration lands
+ * on the paper's synthesized totals: 0.867 mm2 and 758 mW per
+ * accelerator, 27.7 mm2 / 24.3 W for 32 accelerators, 28.1 W including
+ * HBM. The paper's qualitative claim — hop queues make up more than
+ * 60% of BitAlign's edit-distance-calculation logic — is preserved and
+ * asserted by tests.
+ */
+
+#ifndef SEGRAM_SRC_HW_AREA_POWER_H
+#define SEGRAM_SRC_HW_AREA_POWER_H
+
+#include <iosfwd>
+
+#include "src/hw/config.h"
+
+namespace segram::hw
+{
+
+/** Area (mm2) and power (mW) of one component. */
+struct ComponentCost
+{
+    double areaMm2 = 0.0;
+    double powerMw = 0.0;
+
+    ComponentCost &
+    operator+=(const ComponentCost &other)
+    {
+        areaMm2 += other.areaMm2;
+        powerMw += other.powerMw;
+        return *this;
+    }
+
+    friend ComponentCost
+    operator+(ComponentCost lhs, const ComponentCost &rhs)
+    {
+        lhs += rhs;
+        return lhs;
+    }
+};
+
+/** The Table 1 rows. */
+struct AreaPowerBreakdown
+{
+    ComponentCost minseedLogic;
+    ComponentCost minseedSpads;     ///< read + minimizer + seed spads
+    ComponentCost bitalignEditLogic; ///< PE datapaths (excl. hop queues)
+    ComponentCost hopQueues;         ///< hop queue register files
+    ComponentCost tracebackLogic;
+    ComponentCost inputSpad;
+    ComponentCost bitvectorSpads;
+
+    /** @return One accelerator's totals. */
+    ComponentCost accelTotal() const;
+
+    /** @return Totals for all accelerators of @p config. */
+    ComponentCost systemTotal(const HwConfig &config) const;
+
+    /** HBM dynamic power for all stacks of @p config, in W. */
+    double hbmPowerW(const HwConfig &config) const;
+};
+
+/** @return The component breakdown for @p config. */
+AreaPowerBreakdown modelAreaPower(const HwConfig &config);
+
+/** Prints the Table 1 reproduction. */
+void printTable1(std::ostream &out, const HwConfig &config);
+
+} // namespace segram::hw
+
+#endif // SEGRAM_SRC_HW_AREA_POWER_H

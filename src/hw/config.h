@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Hardware configuration of a SeGraM accelerator (paper Section 8).
+ *
+ * One SeGraM accelerator = one MinSeed + one BitAlign, attached to one
+ * HBM2E channel; 8 accelerators per stack, 4 stacks (32 total). The
+ * defaults reproduce the paper's synthesized configuration: 1 GHz
+ * clock, 64 PEs x 128 bits, hop queues 12 deep, and the scratchpad
+ * sizes of Sections 8.1-8.2.
+ */
+
+#ifndef SEGRAM_SRC_HW_CONFIG_H
+#define SEGRAM_SRC_HW_CONFIG_H
+
+#include <cstdint>
+
+namespace segram::hw
+{
+
+/** Static configuration of one SeGraM accelerator + its memory system. */
+struct HwConfig
+{
+    double clockGhz = 1.0;
+
+    // BitAlign datapath.
+    int numPes = 64;       ///< processing elements in the systolic array
+    int bitsPerPe = 128;   ///< bitvector width W processed per PE
+    int windowOverlap = 48; ///< divide-and-conquer overlap (stride = W-48)
+    int hopQueueDepth = 12; ///< hop limit / hop queue entries per PE
+
+    // Scratchpads (Section 8.1/8.2 sizes, in bytes).
+    uint32_t readSpadBytes = 6 * 1024;       ///< 2 reads x 10 kbp x 2 b
+    uint32_t minimizerSpadBytes = 40 * 1024; ///< 2 x 2050 x 10 B
+    uint32_t seedSpadBytes = 4 * 1024;       ///< 2 x 242 x 8 B
+    uint32_t inputSpadBytes = 24 * 1024;     ///< linearized subgraph
+    uint32_t bitvectorSpadBytesPerPe = 2 * 1024;
+    uint32_t hopQueueBytesPerPe = 192;       ///< 12 entries x 128 b
+
+    // HBM2E (per channel; Section 8.3).
+    double hbmLatencyNs = 100.0;    ///< random access latency
+    double hbmChannelBwGBps = 32.0; ///< sustained per-channel bandwidth
+    int memoryParallelism = 4;      ///< overlapped outstanding requests
+    int accelsPerStack = 8;
+    int numStacks = 4;
+
+    /** @return Total accelerator count (one per HBM channel). */
+    int totalAccels() const { return accelsPerStack * numStacks; }
+
+    /** @return Divide-and-conquer stride (read chars committed/window). */
+    int windowStride() const { return bitsPerPe - windowOverlap; }
+
+    /** The paper's SeGraM configuration (identical to the defaults). */
+    static HwConfig
+    segram()
+    {
+        return HwConfig{};
+    }
+
+    /**
+     * The GenASM accelerator configuration of the Section 11.3
+     * comparison: 64-bit PEs with a 40-char stride (overlap 24).
+     */
+    static HwConfig
+    genasm()
+    {
+        HwConfig config;
+        config.bitsPerPe = 64;
+        config.windowOverlap = 24;
+        config.bitvectorSpadBytesPerPe = 2 * 1024 / 3; // pre-optimization
+        return config;
+    }
+};
+
+} // namespace segram::hw
+
+#endif // SEGRAM_SRC_HW_CONFIG_H

@@ -1,0 +1,94 @@
+#include "src/hw/cycle_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace segram::hw
+{
+
+namespace
+{
+
+// Calibration anchors from the paper (Section 11.3, "BitAlign vs.
+// GenASM"): 169 cycles per 64-bit window, 272 cycles per 128-bit one.
+constexpr double kAnchorWidthA = 64.0;
+constexpr double kAnchorCyclesA = 169.0;
+constexpr double kAnchorWidthB = 128.0;
+constexpr double kAnchorCyclesB = 272.0;
+
+} // namespace
+
+double
+cyclesPerWindow(const HwConfig &config)
+{
+    SEGRAM_CHECK(config.bitsPerPe >= 2, "bitsPerPe must be >= 2");
+    const double slope = (kAnchorCyclesB - kAnchorCyclesA) /
+                         (kAnchorWidthB - kAnchorWidthA);
+    return kAnchorCyclesA +
+           slope * (static_cast<double>(config.bitsPerPe) - kAnchorWidthA);
+}
+
+int
+windowsPerRead(int read_len, const HwConfig &config)
+{
+    SEGRAM_CHECK(read_len >= 1, "read length must be >= 1");
+    const int w = config.bitsPerPe;
+    if (read_len <= w)
+        return 1;
+    const int stride = config.windowStride();
+    SEGRAM_CHECK(stride >= 1, "window stride must be >= 1");
+    return 1 + (read_len - w + stride - 1) / stride;
+}
+
+double
+bitalignCyclesPerSeed(int read_len, const HwConfig &config)
+{
+    return windowsPerRead(read_len, config) * cyclesPerWindow(config);
+}
+
+AccelTiming
+estimateTiming(const HwConfig &config, const ReadWorkload &workload)
+{
+    SEGRAM_CHECK(workload.seedsPerRead > 0.0,
+                 "workload must have at least one seed per read");
+    AccelTiming timing;
+
+    const double cycle_ns = 1.0 / config.clockGhz;
+    timing.bitalignUsPerSeed =
+        bitalignCyclesPerSeed(workload.readLen, config) * cycle_ns / 1e3;
+
+    // MinSeed per read:
+    //  - compute: one base per cycle over the read (single-loop sketch);
+    //  - memory: per minimizer, a dependent bucket + entry lookup; per
+    //    surviving minimizer, its location list; per seed, the subgraph
+    //    fetch. Latency-bound accesses overlap up to memoryParallelism;
+    //    streaming transfers are bandwidth-bound.
+    const double compute_us =
+        static_cast<double>(workload.readLen) * cycle_ns / 1e3;
+    const double lookups =
+        workload.minimizersPerRead * 2.0 + workload.seedsPerRead;
+    const double latency_us = lookups * config.hbmLatencyNs /
+                              config.memoryParallelism / 1e3;
+    const double stream_bytes =
+        workload.minimizersPerRead * workload.seedHitsPerMinimizer * 8.0 +
+        workload.seedsPerRead * workload.regionBytes;
+    const double stream_us =
+        stream_bytes / (config.hbmChannelBwGBps * 1e3); // GB/s = B/ns
+    const double minseed_read_us = compute_us + latency_us + stream_us;
+    timing.minseedUsPerSeed = minseed_read_us / workload.seedsPerRead;
+
+    // Double buffering pipelines MinSeed behind BitAlign (Section 8.3).
+    timing.usPerSeed =
+        std::max(timing.bitalignUsPerSeed, timing.minseedUsPerSeed);
+    timing.usPerRead = timing.usPerSeed * workload.seedsPerRead;
+    timing.memBytesPerRead = stream_bytes + lookups * 16.0;
+    timing.memBandwidthGBps =
+        timing.usPerRead > 0.0
+            ? timing.memBytesPerRead / (timing.usPerRead * 1e3)
+            : 0.0;
+    return timing;
+}
+
+} // namespace segram::hw

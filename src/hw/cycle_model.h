@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cycle-level performance model of one SeGraM accelerator.
+ *
+ * BitAlign's systolic array is modeled through its cycles-per-window
+ * cost, calibrated to the two data points the paper publishes
+ * (Section 11.3): a 64-bit window costs 169 cycles on GenASM's array
+ * and a 128-bit window costs 272 cycles on BitAlign's. Combined with
+ * the divide-and-conquer window count (e.g. 125 windows for a 10 kbp
+ * read at stride 80) this reproduces the paper's 34.0 k cycles per
+ * 10 kbp alignment, and the 42.3 k-cycle GenASM equivalent.
+ *
+ * MinSeed is modeled as compute (1 base/cycle minimizer scan) plus
+ * latency/bandwidth-bound HBM traffic; the pipeline hides it behind
+ * BitAlign (Section 8.3), so per-seed time is max(BitAlign, MinSeed).
+ */
+
+#ifndef SEGRAM_SRC_HW_CYCLE_MODEL_H
+#define SEGRAM_SRC_HW_CYCLE_MODEL_H
+
+#include "src/hw/config.h"
+
+namespace segram::hw
+{
+
+/**
+ * @return Cycles one window execution takes on the systolic array
+ *         (edit-distance pass + its share of traceback), linear in the
+ *         window width and exact at the paper's two published points.
+ */
+double cyclesPerWindow(const HwConfig &config);
+
+/** @return Divide-and-conquer window count for a read of @p read_len. */
+int windowsPerRead(int read_len, const HwConfig &config);
+
+/** @return BitAlign cycles to align one (read, subgraph) pair. */
+double bitalignCyclesPerSeed(int read_len, const HwConfig &config);
+
+/** Workload parameters extracted from a dataset (measured, not guessed). */
+struct ReadWorkload
+{
+    int readLen = 10'000;
+    double seedsPerRead = 1.0;     ///< candidate regions per read
+    double minimizersPerRead = 1.0;
+    double seedHitsPerMinimizer = 1.0;
+    double regionBytes = 0.0;      ///< avg subgraph fetch size (bytes)
+};
+
+/** Per-seed / per-read timing estimate for one accelerator. */
+struct AccelTiming
+{
+    double bitalignUsPerSeed = 0.0;
+    double minseedUsPerSeed = 0.0; ///< memory+compute, amortized per seed
+    double usPerSeed = 0.0;        ///< pipelined max of the two
+    double usPerRead = 0.0;        ///< seedsPerRead x usPerSeed
+    double memBytesPerRead = 0.0;  ///< HBM traffic per read
+    double memBandwidthGBps = 0.0; ///< implied per-channel demand
+};
+
+/** @return The timing model for @p workload on @p config. */
+AccelTiming estimateTiming(const HwConfig &config,
+                           const ReadWorkload &workload);
+
+} // namespace segram::hw
+
+#endif // SEGRAM_SRC_HW_CYCLE_MODEL_H

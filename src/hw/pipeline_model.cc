@@ -1,0 +1,71 @@
+#include "src/hw/pipeline_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace segram::hw
+{
+
+PipelineSim
+simulatePipeline(const HwConfig &config, const ReadWorkload &workload)
+{
+    SEGRAM_CHECK(workload.seedsPerRead >= 1.0,
+                 "pipeline simulation needs at least one seed");
+    PipelineSim sim;
+
+    const double cycle_us = 1e-3 / config.clockGhz;
+
+    // Batching: each batch may hold half the minimizer scratchpad
+    // (double buffering), at 10 B per minimizer (Section 8.1).
+    const double batch_capacity =
+        static_cast<double>(config.minimizerSpadBytes) / 2.0 / 10.0;
+    sim.batches = static_cast<uint32_t>(std::max(
+        1.0, std::ceil(workload.minimizersPerRead / batch_capacity)));
+
+    // Per-seed MinSeed service time: frequency lookup + location fetch
+    // + subgraph fetch, overlapped up to memoryParallelism.
+    const double lookups_per_seed =
+        2.0 * workload.minimizersPerRead / workload.seedsPerRead + 1.0;
+    const double latency_us = lookups_per_seed * config.hbmLatencyNs /
+                              config.memoryParallelism / 1e3;
+    const double stream_us =
+        workload.regionBytes / (config.hbmChannelBwGBps * 1e3);
+    const double minseed_per_seed_us = latency_us + stream_us;
+
+    // Per-seed BitAlign service time.
+    const double bitalign_per_seed_us =
+        bitalignCyclesPerSeed(workload.readLen, config) * cycle_us;
+
+    // Event walk: MinSeed prefetches seed i+1 while BitAlign runs seed
+    // i; per batch, the first seed of the batch exposes MinSeed's
+    // minimizer-scan latency (1 base/cycle over the batch's share of
+    // the read).
+    const auto num_seeds =
+        static_cast<uint64_t>(std::llround(workload.seedsPerRead));
+    const double scan_us_per_batch =
+        static_cast<double>(workload.readLen) / sim.batches * cycle_us;
+    const uint64_t seeds_per_batch =
+        std::max<uint64_t>(1, num_seeds / sim.batches);
+
+    double minseed_ready_at = scan_us_per_batch + minseed_per_seed_us;
+    double bitalign_free_at = 0.0;
+    for (uint64_t seed = 0; seed < num_seeds; ++seed) {
+        const double start =
+            std::max(bitalign_free_at, minseed_ready_at);
+        sim.stallUs += start - bitalign_free_at;
+        bitalign_free_at = start + bitalign_per_seed_us;
+        sim.bitalignBusyUs += bitalign_per_seed_us;
+        // MinSeed immediately works on the next seed; a batch boundary
+        // adds another scan pass.
+        minseed_ready_at = std::max(minseed_ready_at, start) +
+                           minseed_per_seed_us;
+        if ((seed + 1) % seeds_per_batch == 0)
+            minseed_ready_at += scan_us_per_batch;
+    }
+    sim.totalUs = bitalign_free_at;
+    return sim;
+}
+
+} // namespace segram::hw

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Event-level model of the double-buffered MinSeed/BitAlign pipeline
+ * (paper Section 8.3).
+ *
+ * The accelerator overlaps three activities per seed: (1) MinSeed
+ * producing the *next* seed's subgraph into the double-buffered input
+ * scratchpad, (2) BitAlign aligning the current seed, (3) the host
+ * streaming the next read into the double-buffered read scratchpad.
+ * When a read's minimizers exceed the minimizer scratchpad, MinSeed
+ * falls back to batching ("a batch (i.e., a subset) of minimizers is
+ * found, stored, and used, and then the next batch will be generated").
+ *
+ * This model walks seeds one by one with those latencies and returns
+ * the stall breakdown — the quantity behind the paper's claim that
+ * "pipelining of the two accelerators ... allows us to completely hide
+ * the latency of MinSeed" — so the claim can be tested and perturbed
+ * (see bench/accelerator_model and tests/test_hw.cc).
+ */
+
+#ifndef SEGRAM_SRC_HW_PIPELINE_MODEL_H
+#define SEGRAM_SRC_HW_PIPELINE_MODEL_H
+
+#include <cstdint>
+
+#include "src/hw/cycle_model.h"
+
+namespace segram::hw
+{
+
+/** Outcome of simulating one read through the pipelined accelerator. */
+struct PipelineSim
+{
+    double totalUs = 0.0;       ///< wall time for the whole read
+    double bitalignBusyUs = 0.0; ///< time BitAlign spent aligning
+    double stallUs = 0.0;        ///< BitAlign idle, waiting on MinSeed
+    uint32_t batches = 1;        ///< minimizer batches (1 = no batching)
+
+    /** @return Fraction of the read time BitAlign was stalled. */
+    double
+    stallFraction() const
+    {
+        return totalUs == 0.0 ? 0.0 : stallUs / totalUs;
+    }
+};
+
+/**
+ * Simulates one read: @p num_seeds seed alignments fed by MinSeed with
+ * per-seed fetch latency derived from @p workload and @p config. The
+ * minimizer scratchpad capacity (10 B per minimizer, double-buffered:
+ * half the scratchpad per batch) decides whether batching kicks in.
+ */
+PipelineSim simulatePipeline(const HwConfig &config,
+                             const ReadWorkload &workload);
+
+} // namespace segram::hw
+
+#endif // SEGRAM_SRC_HW_PIPELINE_MODEL_H

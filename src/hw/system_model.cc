@@ -1,0 +1,44 @@
+#include "src/hw/system_model.h"
+
+#include "src/util/check.h"
+
+namespace segram::hw
+{
+
+SystemEstimate
+estimateSystem(const HwConfig &config, const ReadWorkload &workload)
+{
+    SystemEstimate out;
+    out.timing = estimateTiming(config, workload);
+    out.bandwidthBound =
+        out.timing.memBandwidthGBps > config.hbmChannelBwGBps;
+    double per_read_us = out.timing.usPerRead;
+    if (out.bandwidthBound) {
+        // Channel saturation stretches the read time proportionally.
+        per_read_us *=
+            out.timing.memBandwidthGBps / config.hbmChannelBwGBps;
+    }
+    out.readsPerSecPerAccel = 1e6 / per_read_us;
+    out.readsPerSecTotal =
+        out.readsPerSecPerAccel * config.totalAccels();
+
+    const AreaPowerBreakdown breakdown = modelAreaPower(config);
+    out.accelPowerW = breakdown.systemTotal(config).powerMw / 1000.0;
+    out.totalPowerW = out.accelPowerW + breakdown.hbmPowerW(config);
+    return out;
+}
+
+double
+scaledThroughput(const HwConfig &config, const ReadWorkload &workload,
+                 int active_accels)
+{
+    SEGRAM_CHECK(active_accels >= 1 &&
+                     active_accels <= config.totalAccels(),
+                 "active accelerator count out of range");
+    const SystemEstimate estimate = estimateSystem(config, workload);
+    // Channel-per-accelerator isolation: no interference, pure linear
+    // scaling in the accelerator count.
+    return estimate.readsPerSecPerAccel * active_accels;
+}
+
+} // namespace segram::hw

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Whole-system model: 32 SeGraM accelerators across 4 HBM2E stacks
+ * (Section 8.3, Fig. 14). Accelerators are fully independent (one per
+ * channel, replicated graph/index per stack), so system throughput
+ * scales linearly with accelerator count as long as each channel's
+ * bandwidth demand stays below its capacity — the paper's third
+ * scalability dimension.
+ */
+
+#ifndef SEGRAM_SRC_HW_SYSTEM_MODEL_H
+#define SEGRAM_SRC_HW_SYSTEM_MODEL_H
+
+#include "src/hw/area_power.h"
+#include "src/hw/cycle_model.h"
+
+namespace segram::hw
+{
+
+/** System-level throughput/power estimate. */
+struct SystemEstimate
+{
+    AccelTiming timing;             ///< per-accelerator timing
+    double readsPerSecPerAccel = 0.0;
+    double readsPerSecTotal = 0.0;
+    double accelPowerW = 0.0;       ///< all accelerators
+    double totalPowerW = 0.0;       ///< accelerators + HBM
+    bool bandwidthBound = false;    ///< channel bandwidth saturated?
+};
+
+/** @return The full-system estimate for @p workload on @p config. */
+SystemEstimate estimateSystem(const HwConfig &config,
+                              const ReadWorkload &workload);
+
+/**
+ * @return Throughput (reads/sec) when only @p active_accels of the
+ *         accelerators are used — the accelerator-count scaling curve
+ *         of the Section 3.1 Observation 4 rebuttal.
+ */
+double scaledThroughput(const HwConfig &config, const ReadWorkload &workload,
+                        int active_accels);
+
+} // namespace segram::hw
+
+#endif // SEGRAM_SRC_HW_SYSTEM_MODEL_H

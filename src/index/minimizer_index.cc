@@ -1,0 +1,174 @@
+#include "src/index/minimizer_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/check.h"
+
+namespace segram::index
+{
+
+namespace
+{
+
+struct RawHit
+{
+    uint64_t hash;
+    SeedLocation loc;
+};
+
+/** Scans every graph node and collects (hash, location) tuples. */
+std::vector<RawHit>
+collectHits(const graph::GenomeGraph &graph, const seed::SketchConfig &sketch)
+{
+    std::vector<RawHit> hits;
+    for (graph::NodeId id = 0; id < graph.numNodes(); ++id) {
+        const std::string seq = graph.nodeSeq(id);
+        for (const auto &minimizer : seed::computeMinimizers(seq, sketch))
+            hits.push_back({minimizer.hash, {id, minimizer.pos}});
+    }
+    return hits;
+}
+
+} // namespace
+
+uint64_t
+MinimizerIndex::bucketOf(uint64_t hash) const
+{
+    return hash & ((uint64_t{1} << bucket_bits_) - 1);
+}
+
+MinimizerIndex
+MinimizerIndex::build(const graph::GenomeGraph &graph,
+                      const IndexConfig &config)
+{
+    SEGRAM_CHECK(config.bucketBits >= 1 && config.bucketBits <= 32,
+                 "bucketBits must be in [1, 32]");
+    SEGRAM_CHECK(config.discardTopFraction >= 0.0 &&
+                     config.discardTopFraction < 1.0,
+                 "discardTopFraction must be in [0, 1)");
+
+    MinimizerIndex out;
+    out.sketch_ = config.sketch;
+    out.bucket_bits_ = config.bucketBits;
+
+    std::vector<RawHit> hits = collectHits(graph, config.sketch);
+    std::sort(hits.begin(), hits.end(),
+              [&out](const RawHit &a, const RawHit &b) {
+                  const uint64_t bucket_a = out.bucketOf(a.hash);
+                  const uint64_t bucket_b = out.bucketOf(b.hash);
+                  if (bucket_a != bucket_b)
+                      return bucket_a < bucket_b;
+                  if (a.hash != b.hash)
+                      return a.hash < b.hash;
+                  return a.loc < b.loc;
+              });
+
+    const uint64_t num_buckets = uint64_t{1} << config.bucketBits;
+    out.bucket_offsets_.assign(num_buckets + 1, 0);
+    out.locations_.reserve(hits.size());
+
+    // Single pass: emit level-2 entries at hash boundaries, level-3
+    // entries everywhere, and level-1 offsets at bucket boundaries.
+    for (size_t i = 0; i < hits.size(); ++i) {
+        const bool new_hash = i == 0 || hits[i].hash != hits[i - 1].hash;
+        if (new_hash) {
+            out.minimizers_.push_back(
+                {hits[i].hash, static_cast<uint32_t>(out.locations_.size()),
+                 0});
+        }
+        out.minimizers_.back().locCount++;
+        out.locations_.push_back(hits[i].loc);
+    }
+    // Bucket CSR offsets over the level-2 array.
+    {
+        size_t entry = 0;
+        for (uint64_t bucket = 0; bucket < num_buckets; ++bucket) {
+            out.bucket_offsets_[bucket] = static_cast<uint32_t>(entry);
+            while (entry < out.minimizers_.size() &&
+                   out.bucketOf(out.minimizers_[entry].hash) == bucket) {
+                ++entry;
+            }
+        }
+        out.bucket_offsets_[num_buckets] =
+            static_cast<uint32_t>(out.minimizers_.size());
+        assert(entry == out.minimizers_.size());
+    }
+
+    // Frequency threshold: smallest count such that at most
+    // discardTopFraction of distinct minimizers exceed it.
+    if (!out.minimizers_.empty()) {
+        std::vector<uint32_t> counts;
+        counts.reserve(out.minimizers_.size());
+        for (const auto &entry : out.minimizers_)
+            counts.push_back(entry.locCount);
+        std::sort(counts.begin(), counts.end());
+        const auto discarded = static_cast<size_t>(
+            config.discardTopFraction *
+            static_cast<double>(counts.size()));
+        const size_t keep = counts.size() - discarded;
+        out.freq_threshold_ =
+            keep == 0 ? 0 : counts[keep - 1];
+    }
+
+    // Statistics (Fig. 7 series).
+    IndexStats &stats = out.stats_;
+    stats.numDistinctMinimizers = out.minimizers_.size();
+    stats.numLocations = out.locations_.size();
+    for (uint64_t bucket = 0; bucket < num_buckets; ++bucket) {
+        stats.maxMinimizersPerBucket = std::max<uint64_t>(
+            stats.maxMinimizersPerBucket,
+            out.bucket_offsets_[bucket + 1] - out.bucket_offsets_[bucket]);
+    }
+    for (const auto &entry : out.minimizers_) {
+        stats.maxLocationsPerMinimizer = std::max<uint64_t>(
+            stats.maxLocationsPerMinimizer, entry.locCount);
+    }
+    stats.firstLevelBytes = num_buckets * 4;
+    stats.secondLevelBytes = stats.numDistinctMinimizers * 12;
+    stats.thirdLevelBytes = stats.numLocations * 8;
+    return out;
+}
+
+const MinimizerIndex::MinimizerEntry *
+MinimizerIndex::find(uint64_t hash) const
+{
+    const uint64_t bucket = bucketOf(hash);
+    const auto begin = minimizers_.begin() + bucket_offsets_[bucket];
+    const auto end = minimizers_.begin() + bucket_offsets_[bucket + 1];
+    const auto it = std::lower_bound(
+        begin, end, hash,
+        [](const MinimizerEntry &entry, uint64_t value) {
+            return entry.hash < value;
+        });
+    if (it == end || it->hash != hash)
+        return nullptr;
+    return &*it;
+}
+
+uint32_t
+MinimizerIndex::frequency(uint64_t hash) const
+{
+    const MinimizerEntry *entry = find(hash);
+    return entry == nullptr ? 0 : entry->locCount;
+}
+
+std::span<const SeedLocation>
+MinimizerIndex::locations(uint64_t hash) const
+{
+    const MinimizerEntry *entry = find(hash);
+    if (entry == nullptr)
+        return {};
+    return {locations_.data() + entry->locStart, entry->locCount};
+}
+
+IndexStats
+statsForBucketBits(const graph::GenomeGraph &graph,
+                   const IndexConfig &config)
+{
+    // Footprints of levels 2/3 do not depend on the bucket count, so a
+    // full build under the requested bucketBits gives the exact series.
+    return MinimizerIndex::build(graph, config).stats();
+}
+
+} // namespace segram::index

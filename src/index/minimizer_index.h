@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The hash-table-based index of the genome graph (paper Section 5,
+ * Fig. 6): the second pre-processing step.
+ *
+ * Three levels:
+ *  1. *Buckets*  — 2^bucketBits entries of 4 B each; a bucket holds the
+ *     span of its minimizers in level 2 (CSR offsets).
+ *  2. *Minimizers* — 12 B per distinct minimizer: hash value plus the
+ *     span of its seed locations in level 3; sorted by hash within each
+ *     bucket so a query is one binary search.
+ *  3. *Seed locations* — 8 B per occurrence: (node ID, offset) pairs,
+ *     grouped per minimizer and sorted.
+ *
+ * The byte widths are modeled exactly so the Fig. 7 footprint sweep
+ * reproduces; the in-memory C++ layout uses the same CSR structure.
+ */
+
+#ifndef SEGRAM_SRC_INDEX_MINIMIZER_INDEX_H
+#define SEGRAM_SRC_INDEX_MINIMIZER_INDEX_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/genome_graph.h"
+#include "src/seed/minimizer.h"
+
+namespace segram::index
+{
+
+/** Paper's empirically chosen first-level bucket count (Fig. 7). */
+constexpr int kPaperBucketBits = 24;
+
+/** One level-3 entry: an exact-match location of a minimizer. */
+struct SeedLocation
+{
+    graph::NodeId node = 0; ///< graph node holding the occurrence
+    uint32_t offset = 0;    ///< character offset within the node
+
+    bool operator==(const SeedLocation &) const = default;
+    auto operator<=>(const SeedLocation &) const = default;
+};
+
+/** Index construction parameters. */
+struct IndexConfig
+{
+    seed::SketchConfig sketch;  ///< minimizer k and w
+    int bucketBits = 18;        ///< log2 of the first-level bucket count
+                                ///< (2^24 in the paper; smaller default
+                                ///< suits synthetic-scale genomes)
+    /**
+     * Fraction of most-frequent distinct minimizers whose occurrence
+     * lists are ignored at query time (paper: top 0.02%).
+     */
+    double discardTopFraction = 0.0002;
+};
+
+/** Footprint and occupancy statistics (the Fig. 7 series). */
+struct IndexStats
+{
+    uint64_t numDistinctMinimizers = 0;
+    uint64_t numLocations = 0;
+    uint64_t maxMinimizersPerBucket = 0;
+    uint64_t maxLocationsPerMinimizer = 0;
+    uint64_t firstLevelBytes = 0;  ///< buckets * 4 B
+    uint64_t secondLevelBytes = 0; ///< distinct minimizers * 12 B
+    uint64_t thirdLevelBytes = 0;  ///< locations * 8 B
+
+    uint64_t
+    totalBytes() const
+    {
+        return firstLevelBytes + secondLevelBytes + thirdLevelBytes;
+    }
+};
+
+/**
+ * The queryable index. Construction scans every node of the graph (the
+ * paper indexes "the nodes of the graph"); k-mers crossing node
+ * boundaries are not indexed, which mirrors the paper's structure.
+ */
+class MinimizerIndex
+{
+  public:
+    MinimizerIndex() = default;
+
+    /**
+     * Builds the index of @p graph under @p config.
+     *
+     * @throws InputError for invalid sketch parameters or bucketBits
+     *         outside [1, 32].
+     */
+    static MinimizerIndex build(const graph::GenomeGraph &graph,
+                                const IndexConfig &config);
+
+    /**
+     * @return Occurrence count of minimizer @p hash (0 when absent).
+     *         This is MinSeed's first query ("fetches its occurrence
+     *         frequency from the hash table", step 3 of Fig. 4).
+     */
+    uint32_t frequency(uint64_t hash) const;
+
+    /**
+     * @return The seed locations of @p hash (MinSeed step 5). Empty when
+     *         the minimizer is absent.
+     */
+    std::span<const SeedLocation> locations(uint64_t hash) const;
+
+    /**
+     * The occurrence-count threshold above which MinSeed discards a
+     * minimizer, computed at build time so that the top
+     * `discardTopFraction` of distinct minimizers exceed it.
+     */
+    uint32_t frequencyThreshold() const { return freq_threshold_; }
+
+    /** @return Footprint/occupancy statistics of this index. */
+    const IndexStats &stats() const { return stats_; }
+
+    /** @return The sketch parameters the index was built with. */
+    const seed::SketchConfig &sketch() const { return sketch_; }
+
+    int bucketBits() const { return bucket_bits_; }
+
+  private:
+    struct MinimizerEntry
+    {
+        uint64_t hash;
+        uint32_t locStart;
+        uint32_t locCount;
+    };
+
+    /** @return Level-2 entry for @p hash, or nullptr. */
+    const MinimizerEntry *find(uint64_t hash) const;
+
+    uint64_t bucketOf(uint64_t hash) const;
+
+    seed::SketchConfig sketch_;
+    int bucket_bits_ = 0;
+    uint32_t freq_threshold_ = 0;
+    std::vector<uint32_t> bucket_offsets_; ///< level 1 (CSR into level 2)
+    std::vector<MinimizerEntry> minimizers_; ///< level 2
+    std::vector<SeedLocation> locations_;    ///< level 3
+    IndexStats stats_;
+};
+
+/**
+ * Recomputes the Fig. 7 series for an alternative bucket count without
+ * rebuilding: footprint in bytes and max minimizers per bucket.
+ */
+IndexStats statsForBucketBits(const graph::GenomeGraph &graph,
+                              const IndexConfig &config);
+
+} // namespace segram::index
+
+#endif // SEGRAM_SRC_INDEX_MINIMIZER_INDEX_H

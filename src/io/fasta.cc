@@ -1,0 +1,93 @@
+#include "src/io/fasta.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/check.h"
+#include "src/util/dna.h"
+
+namespace segram::io
+{
+
+namespace
+{
+
+std::string
+headerName(const std::string &line)
+{
+    // ">name description" -> "name"
+    const size_t start = 1;
+    size_t end = line.find_first_of(" \t", start);
+    if (end == std::string::npos)
+        end = line.size();
+    return line.substr(start, end - start);
+}
+
+} // namespace
+
+std::vector<FastaRecord>
+readFasta(std::istream &in)
+{
+    std::vector<FastaRecord> records;
+    std::string line;
+    bool have_record = false;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            SEGRAM_CHECK(line.size() > 1, "FASTA header with no name");
+            if (have_record) {
+                SEGRAM_CHECK(!records.back().seq.empty(),
+                             "FASTA record '" + records.back().name +
+                                 "' has no sequence");
+            }
+            records.push_back({headerName(line), ""});
+            have_record = true;
+        } else {
+            SEGRAM_CHECK(have_record,
+                         "FASTA sequence data before any '>' header");
+            records.back().seq += normalizeDna(line);
+        }
+    }
+    SEGRAM_CHECK(!have_record || !records.back().seq.empty(),
+                 "FASTA record '" + records.back().name +
+                     "' has no sequence");
+    return records;
+}
+
+std::vector<FastaRecord>
+readFastaFile(const std::string &path)
+{
+    std::ifstream in(path);
+    SEGRAM_CHECK(in.good(), "cannot open FASTA file: " + path);
+    return readFasta(in);
+}
+
+void
+writeFasta(std::ostream &out, const std::vector<FastaRecord> &records,
+           int line_width)
+{
+    SEGRAM_CHECK(line_width > 0, "FASTA line width must be positive");
+    for (const auto &record : records) {
+        out << '>' << record.name << '\n';
+        for (size_t pos = 0; pos < record.seq.size();
+             pos += static_cast<size_t>(line_width)) {
+            out << record.seq.substr(pos, line_width) << '\n';
+        }
+    }
+}
+
+void
+writeFastaFile(const std::string &path,
+               const std::vector<FastaRecord> &records, int line_width)
+{
+    std::ofstream out(path);
+    SEGRAM_CHECK(out.good(), "cannot open FASTA file for write: " + path);
+    writeFasta(out, records, line_width);
+}
+
+} // namespace segram::io

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * FASTA reading and writing. The paper's pipeline ingests the linear
+ * reference genome as a FASTA file; this is the substitute for that
+ * ingestion path (plus a writer so simulated genomes can be persisted).
+ */
+
+#ifndef SEGRAM_SRC_IO_FASTA_H
+#define SEGRAM_SRC_IO_FASTA_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace segram::io
+{
+
+/** One FASTA record: a named sequence. */
+struct FastaRecord
+{
+    std::string name; ///< header text up to the first whitespace
+    std::string seq;  ///< sequence, normalized to upper-case ACGT
+
+    bool operator==(const FastaRecord &) const = default;
+};
+
+/**
+ * Parses FASTA from a stream. Non-ACGT characters (e.g. 'N') are
+ * normalized to 'A', mirroring the masking mappers apply.
+ *
+ * @throws InputError on malformed input (sequence data before any
+ *         header, or an empty record).
+ */
+std::vector<FastaRecord> readFasta(std::istream &in);
+
+/** Parses FASTA from a file path. @throws InputError if unreadable. */
+std::vector<FastaRecord> readFastaFile(const std::string &path);
+
+/** Writes records as FASTA with @p line_width columns per line. */
+void writeFasta(std::ostream &out, const std::vector<FastaRecord> &records,
+                int line_width = 70);
+
+/** Writes records to a file. @throws InputError if not writable. */
+void writeFastaFile(const std::string &path,
+                    const std::vector<FastaRecord> &records,
+                    int line_width = 70);
+
+} // namespace segram::io
+
+#endif // SEGRAM_SRC_IO_FASTA_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * FASTQ reading/writing: sequencing reads ship as FASTQ (sequence +
+ * per-base quality). The pipeline ignores qualities, but a mapper a
+ * downstream user adopts must ingest the format; readReadsFile()
+ * dispatches between FASTA and FASTQ by content.
+ */
+
+#ifndef SEGRAM_SRC_IO_FASTQ_H
+#define SEGRAM_SRC_IO_FASTQ_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/io/fasta.h"
+
+namespace segram::io
+{
+
+/** One FASTQ record. */
+struct FastqRecord
+{
+    std::string name;
+    std::string seq;  ///< normalized to upper-case ACGT
+    std::string qual; ///< Phred+33 string, same length as seq
+
+    bool operator==(const FastqRecord &) const = default;
+};
+
+/**
+ * Parses FASTQ from a stream (strict 4-line records).
+ *
+ * @throws InputError on malformed headers, truncated records, or a
+ *         quality string whose length differs from the sequence.
+ */
+std::vector<FastqRecord> readFastq(std::istream &in);
+
+/** Parses FASTQ from a file. @throws InputError if unreadable. */
+std::vector<FastqRecord> readFastqFile(const std::string &path);
+
+/** Writes records as FASTQ. */
+void writeFastq(std::ostream &out, const std::vector<FastqRecord> &records);
+
+/** Writes records to a file. @throws InputError if not writable. */
+void writeFastqFile(const std::string &path,
+                    const std::vector<FastqRecord> &records);
+
+/**
+ * Reads a read set from either FASTA or FASTQ, sniffing the format
+ * from the first non-empty character ('>' vs '@'). Qualities, when
+ * present, are dropped.
+ *
+ * @throws InputError when the file is unreadable, empty, or neither
+ *         format.
+ */
+std::vector<FastaRecord> readReadsFile(const std::string &path);
+
+} // namespace segram::io
+
+#endif // SEGRAM_SRC_IO_FASTQ_H

@@ -1,0 +1,120 @@
+#include "src/io/gfa.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+#include "src/util/check.h"
+#include "src/util/dna.h"
+
+namespace segram::io
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitTabs(const std::string &line)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (true) {
+        const size_t tab = line.find('\t', start);
+        if (tab == std::string::npos) {
+            fields.push_back(line.substr(start));
+            break;
+        }
+        fields.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+    return fields;
+}
+
+} // namespace
+
+GfaDocument
+readGfa(std::istream &in)
+{
+    GfaDocument doc;
+    std::unordered_set<std::string> segment_names;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        const std::string where = "GFA line " + std::to_string(line_no);
+        switch (line[0]) {
+          case 'H':
+          case 'P':
+          case 'W':
+          case '#':
+            break; // headers / paths / comments: ignored
+          case 'S': {
+            const auto fields = splitTabs(line);
+            SEGRAM_CHECK(fields.size() >= 3, where + ": S needs 3 fields");
+            SEGRAM_CHECK(!fields[1].empty(), where + ": empty segment name");
+            SEGRAM_CHECK(!fields[2].empty() && fields[2] != "*",
+                         where + ": segment must carry a sequence");
+            SEGRAM_CHECK(segment_names.insert(fields[1]).second,
+                         where + ": duplicate segment " + fields[1]);
+            doc.segments.push_back({fields[1], normalizeDna(fields[2])});
+            break;
+          }
+          case 'L': {
+            const auto fields = splitTabs(line);
+            SEGRAM_CHECK(fields.size() >= 5, where + ": L needs 5 fields");
+            SEGRAM_CHECK(fields[2] == "+" && fields[4] == "+",
+                         where + ": only +/+ orientations are supported");
+            if (fields.size() >= 6) {
+                SEGRAM_CHECK(fields[5] == "0M" || fields[5] == "*",
+                             where + ": only 0M overlaps are supported");
+            }
+            doc.links.push_back({fields[1], fields[3]});
+            break;
+          }
+          default:
+            SEGRAM_CHECK(false, where + ": unknown record type '" +
+                                    std::string(1, line[0]) + "'");
+        }
+    }
+    for (const auto &link : doc.links) {
+        SEGRAM_CHECK(segment_names.count(link.from),
+                     "GFA link from undeclared segment " + link.from);
+        SEGRAM_CHECK(segment_names.count(link.to),
+                     "GFA link to undeclared segment " + link.to);
+    }
+    return doc;
+}
+
+GfaDocument
+readGfaFile(const std::string &path)
+{
+    std::ifstream in(path);
+    SEGRAM_CHECK(in.good(), "cannot open GFA file: " + path);
+    return readGfa(in);
+}
+
+void
+writeGfa(std::ostream &out, const GfaDocument &doc)
+{
+    out << "H\tVN:Z:1.0\n";
+    for (const auto &segment : doc.segments)
+        out << "S\t" << segment.name << '\t' << segment.seq << '\n';
+    for (const auto &link : doc.links)
+        out << "L\t" << link.from << "\t+\t" << link.to << "\t+\t0M\n";
+}
+
+void
+writeGfaFile(const std::string &path, const GfaDocument &doc)
+{
+    std::ofstream out(path);
+    SEGRAM_CHECK(out.good(), "cannot open GFA file for write: " + path);
+    writeGfa(out, doc);
+}
+
+} // namespace segram::io

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * GFA v1 reading/writing. The paper converts VG-formatted graphs to GFA
+ * ("GFA is easier to work with for the later steps of the pre-processing");
+ * this module is that interchange format. Only S (segment) and L (link)
+ * lines are modeled; links must be + / + oriented with 0M overlap, which
+ * is what acyclic genome variation graphs use.
+ */
+
+#ifndef SEGRAM_SRC_IO_GFA_H
+#define SEGRAM_SRC_IO_GFA_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace segram::io
+{
+
+/** An S line: one node of the graph. */
+struct GfaSegment
+{
+    std::string name;
+    std::string seq;
+
+    bool operator==(const GfaSegment &) const = default;
+};
+
+/** An L line: a directed edge between segments (+/+ orientation). */
+struct GfaLink
+{
+    std::string from;
+    std::string to;
+
+    bool operator==(const GfaLink &) const = default;
+};
+
+/** An in-memory GFA document. */
+struct GfaDocument
+{
+    std::vector<GfaSegment> segments;
+    std::vector<GfaLink> links;
+
+    bool operator==(const GfaDocument &) const = default;
+};
+
+/**
+ * Parses GFA v1 from a stream. H lines are ignored; P/W lines are
+ * ignored (paths are not needed by the pipeline).
+ *
+ * @throws InputError on malformed S/L lines, non-(+,+) orientations,
+ *         overlaps other than 0M or '*', or links to undeclared segments.
+ */
+GfaDocument readGfa(std::istream &in);
+
+/** Parses GFA from a file path. @throws InputError if unreadable. */
+GfaDocument readGfaFile(const std::string &path);
+
+/** Writes a GFA v1 document (H, S and L lines). */
+void writeGfa(std::ostream &out, const GfaDocument &doc);
+
+/** Writes a document to a file. @throws InputError if not writable. */
+void writeGfaFile(const std::string &path, const GfaDocument &doc);
+
+} // namespace segram::io
+
+#endif // SEGRAM_SRC_IO_GFA_H

@@ -1,0 +1,45 @@
+#include "src/io/paf.h"
+
+#include <ostream>
+
+namespace segram::io
+{
+
+void
+writePaf(std::ostream &out, const PafRecord &record)
+{
+    out << record.queryName << '\t' << record.queryLen << '\t'
+        << record.queryStart << '\t' << record.queryEnd << '\t'
+        << record.strand << '\t' << record.targetName << '\t'
+        << record.targetLen << '\t' << record.targetStart << '\t'
+        << record.targetEnd << '\t' << record.matches << '\t'
+        << record.alignmentLen << '\t' << record.mapq << "\tNM:i:"
+        << record.cigar.editDistance() << "\tcg:Z:"
+        << record.cigar.toString() << '\n';
+}
+
+PafRecord
+makePafRecord(std::string query_name, uint64_t query_len, char strand,
+              std::string target_name, uint64_t target_len,
+              uint64_t target_start, const Cigar &cigar)
+{
+    PafRecord record;
+    record.queryName = std::move(query_name);
+    record.queryLen = query_len;
+    record.queryStart = 0;
+    record.queryEnd = cigar.readLength();
+    record.strand = strand;
+    record.targetName = std::move(target_name);
+    record.targetLen = target_len;
+    record.targetStart = target_start;
+    record.targetEnd = target_start + cigar.refLength();
+    record.matches = cigar.count(EditOp::Match);
+    record.alignmentLen = cigar.count(EditOp::Match) +
+                          cigar.count(EditOp::Substitution) +
+                          cigar.count(EditOp::Insertion) +
+                          cigar.count(EditOp::Deletion);
+    record.cigar = cigar;
+    return record;
+}
+
+} // namespace segram::io

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal PAF (Pairwise mApping Format) output — the de-facto mapping
+ * result format minimap2 introduced. The CLI writes one PAF line per
+ * mapped read so downstream genomics tooling can consume SeGraM output
+ * directly.
+ */
+
+#ifndef SEGRAM_SRC_IO_PAF_H
+#define SEGRAM_SRC_IO_PAF_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/util/cigar.h"
+
+namespace segram::io
+{
+
+/** One PAF record. */
+struct PafRecord
+{
+    std::string queryName;
+    uint64_t queryLen = 0;
+    uint64_t queryStart = 0;
+    uint64_t queryEnd = 0;
+    char strand = '+';
+    std::string targetName;
+    uint64_t targetLen = 0;
+    uint64_t targetStart = 0;
+    uint64_t targetEnd = 0;
+    uint64_t matches = 0;      ///< '=' count
+    uint64_t alignmentLen = 0; ///< '='+'X'+'I'+'D' count
+    int mapq = 60;
+    Cigar cigar;               ///< emitted as the cg:Z tag
+};
+
+/** Writes one PAF line (with NM and cg:Z tags). */
+void writePaf(std::ostream &out, const PafRecord &record);
+
+/**
+ * Convenience: fills the alignment-derived fields of a record from a
+ * cigar (matches, alignmentLen, queryEnd, targetEnd).
+ */
+PafRecord makePafRecord(std::string query_name, uint64_t query_len,
+                        char strand, std::string target_name,
+                        uint64_t target_len, uint64_t target_start,
+                        const Cigar &cigar);
+
+} // namespace segram::io
+
+#endif // SEGRAM_SRC_IO_PAF_H

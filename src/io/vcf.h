@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal VCF reading/writing: the variant ingestion path of the paper's
+ * graph construction (`vg construct` consumes one or more VCF files).
+ *
+ * Only the columns the graph builder needs are modeled: CHROM, POS, ID,
+ * REF, ALT. Multi-allelic records (comma-separated ALT) are expanded to
+ * one record per alternative allele.
+ */
+
+#ifndef SEGRAM_SRC_IO_VCF_H
+#define SEGRAM_SRC_IO_VCF_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace segram::io
+{
+
+/** One VCF variant line (one alternative allele). */
+struct VcfRecord
+{
+    std::string chrom;
+    uint64_t pos = 0;  ///< 1-based position of the first REF base
+    std::string id;    ///< "." when absent
+    std::string ref;   ///< reference allele (>= 1 base)
+    std::string alt;   ///< alternative allele (>= 1 base)
+
+    bool operator==(const VcfRecord &) const = default;
+
+    /** @return True for a single-base substitution. */
+    bool isSnp() const { return ref.size() == 1 && alt.size() == 1; }
+
+    /** @return True when ALT is longer than REF (insertion). */
+    bool isInsertion() const { return alt.size() > ref.size(); }
+
+    /** @return True when REF is longer than ALT (deletion). */
+    bool isDeletion() const { return ref.size() > alt.size(); }
+};
+
+/**
+ * Parses VCF from a stream, skipping '#' header lines and expanding
+ * multi-allelic records.
+ *
+ * @throws InputError on short lines, non-numeric POS, or empty alleles.
+ */
+std::vector<VcfRecord> readVcf(std::istream &in);
+
+/** Parses VCF from a file path. @throws InputError if unreadable. */
+std::vector<VcfRecord> readVcfFile(const std::string &path);
+
+/** Writes records with a minimal VCFv4.2 header. */
+void writeVcf(std::ostream &out, const std::vector<VcfRecord> &records);
+
+/** Writes records to a file. @throws InputError if not writable. */
+void writeVcfFile(const std::string &path,
+                  const std::vector<VcfRecord> &records);
+
+} // namespace segram::io
+
+#endif // SEGRAM_SRC_IO_VCF_H

@@ -1,0 +1,60 @@
+#include "src/seed/chaining.h"
+
+#include <algorithm>
+
+namespace segram::seed
+{
+
+std::vector<Chain>
+chainSeeds(std::vector<SeedHit> hits, const ChainConfig &config)
+{
+    std::vector<Chain> chains;
+    if (hits.empty())
+        return chains;
+
+    // Sort by (banded diagonal, reference position); hits that map the
+    // same read region to the same reference region become adjacent.
+    const auto diagonal = [](const SeedHit &hit) {
+        // Offset keeps the subtraction non-negative for early read hits.
+        return hit.refPos + (uint64_t{1} << 32) - hit.readPos;
+    };
+    std::sort(hits.begin(), hits.end(),
+              [&](const SeedHit &a, const SeedHit &b) {
+                  if (diagonal(a) != diagonal(b))
+                      return diagonal(a) < diagonal(b);
+                  return a.refPos < b.refPos;
+              });
+
+    Chain current;
+    const auto flush = [&]() {
+        if (!current.hits.empty()) {
+            current.score = static_cast<int>(current.hits.size());
+            chains.push_back(std::move(current));
+            current = Chain{};
+        }
+    };
+    for (const auto &hit : hits) {
+        if (!current.hits.empty()) {
+            const SeedHit &prev = current.hits.back();
+            const uint64_t diag_drift = diagonal(hit) - diagonal(prev);
+            const bool same_chain =
+                diag_drift <= config.diagonalBand &&
+                hit.refPos >= prev.refPos &&
+                hit.refPos - prev.refPos <= config.maxGap;
+            if (!same_chain)
+                flush();
+        }
+        current.hits.push_back(hit);
+    }
+    flush();
+
+    std::sort(chains.begin(), chains.end(),
+              [](const Chain &a, const Chain &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.refStart() < b.refStart();
+              });
+    return chains;
+}
+
+} // namespace segram::seed

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Seed chaining/clustering: the optional filtering step (step 2 of the
+ * mapping pipeline, Fig. 2) that the software baselines implement and
+ * MinSeed deliberately omits (Section 11.4). Seeds whose (reference -
+ * read) diagonals agree within a band and whose reference positions are
+ * close are grouped; groups are scored by seed count.
+ */
+
+#ifndef SEGRAM_SRC_SEED_CHAINING_H
+#define SEGRAM_SRC_SEED_CHAINING_H
+
+#include <cstdint>
+#include <vector>
+
+namespace segram::seed
+{
+
+/** One seed hit in chaining coordinates. */
+struct SeedHit
+{
+    uint64_t refPos = 0; ///< concatenated-genome coordinate of the seed
+    uint32_t readPos = 0; ///< seed (minimizer) start within the read
+
+    bool operator==(const SeedHit &) const = default;
+};
+
+/** A chain: a group of co-diagonal seeds. */
+struct Chain
+{
+    std::vector<SeedHit> hits; ///< members, sorted by refPos
+    int score = 0;             ///< number of member seeds
+
+    /** @return The diagonal-anchored reference start of the chain. */
+    uint64_t refStart() const { return hits.front().refPos; }
+    uint64_t refEnd() const { return hits.back().refPos; }
+};
+
+/** Chaining parameters. */
+struct ChainConfig
+{
+    uint64_t diagonalBand = 64; ///< max diagonal drift within a chain
+    uint64_t maxGap = 2000;     ///< max reference gap between neighbors
+};
+
+/**
+ * Groups seed hits into chains and returns them sorted by descending
+ * score (then ascending reference start). O(h log h).
+ */
+std::vector<Chain> chainSeeds(std::vector<SeedHit> hits,
+                              const ChainConfig &config = {});
+
+} // namespace segram::seed
+
+#endif // SEGRAM_SRC_SEED_CHAINING_H

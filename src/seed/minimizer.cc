@@ -1,0 +1,105 @@
+#include "src/seed/minimizer.h"
+
+#include <deque>
+
+#include "src/util/check.h"
+#include "src/util/dna.h"
+#include "src/util/hash.h"
+
+namespace segram::seed
+{
+
+namespace
+{
+
+void
+validateConfig(const SketchConfig &config)
+{
+    SEGRAM_CHECK(config.k >= 1 && config.k <= 31,
+                 "minimizer k must be in [1, 31]");
+    SEGRAM_CHECK(config.w >= 1, "minimizer window must be >= 1");
+}
+
+} // namespace
+
+uint64_t
+kmerHash(std::string_view seq, size_t pos, const SketchConfig &config)
+{
+    uint64_t packed = 0;
+    for (int i = 0; i < config.k; ++i) {
+        const uint8_t code = baseToCode(seq[pos + i]);
+        SEGRAM_CHECK(code != kInvalidBaseCode,
+                     "k-mer contains a non-ACGT character");
+        packed = (packed << 2) | code;
+    }
+    return hash64(packed, config.hashMask());
+}
+
+std::vector<Minimizer>
+computeMinimizers(std::string_view seq, const SketchConfig &config)
+{
+    validateConfig(config);
+    std::vector<Minimizer> out;
+    const int64_t m = static_cast<int64_t>(seq.size());
+    const int64_t num_kmers = m - config.k + 1;
+    if (num_kmers < config.w)
+        return out;
+
+    const uint64_t mask = config.hashMask();
+
+    // Monotone wedge of candidate (hash, pos) pairs: front is the current
+    // window minimum. This is the single-loop formulation of Section 6 —
+    // "we can eliminate the inner loop by caching the previous minimum
+    // k-mers within the current window".
+    std::deque<Minimizer> wedge;
+    uint64_t packed = 0;
+    for (int64_t i = 0; i < m; ++i) {
+        const uint8_t code = baseToCode(seq[i]);
+        SEGRAM_CHECK(code != kInvalidBaseCode,
+                     "sequence contains a non-ACGT character");
+        packed = ((packed << 2) | code) & mask;
+        const int64_t kmer_pos = i - config.k + 1;
+        if (kmer_pos < 0)
+            continue;
+        const Minimizer candidate{hash64(packed, mask),
+                                  static_cast<uint32_t>(kmer_pos)};
+        // Strictly-greater pops keep the leftmost occurrence on ties.
+        while (!wedge.empty() && wedge.back().hash > candidate.hash)
+            wedge.pop_back();
+        wedge.push_back(candidate);
+        // Expire candidates that left the window.
+        const int64_t window_start = kmer_pos - config.w + 1;
+        while (wedge.front().pos < window_start)
+            wedge.pop_front();
+        if (window_start >= 0) {
+            if (out.empty() || out.back() != wedge.front())
+                out.push_back(wedge.front());
+        }
+    }
+    return out;
+}
+
+std::vector<Minimizer>
+computeMinimizersNaive(std::string_view seq, const SketchConfig &config)
+{
+    validateConfig(config);
+    std::vector<Minimizer> out;
+    const int64_t m = static_cast<int64_t>(seq.size());
+    const int64_t num_kmers = m - config.k + 1;
+    if (num_kmers < config.w)
+        return out;
+
+    for (int64_t window = 0; window + config.w <= num_kmers; ++window) {
+        Minimizer best{~uint64_t{0}, 0};
+        for (int64_t j = window; j < window + config.w; ++j) {
+            const uint64_t hash = kmerHash(seq, j, config);
+            if (hash < best.hash) // '<' keeps the leftmost tie
+                best = {hash, static_cast<uint32_t>(j)};
+        }
+        if (out.empty() || out.back() != best)
+            out.push_back(best);
+    }
+    return out;
+}
+
+} // namespace segram::seed

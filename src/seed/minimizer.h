@@ -1,0 +1,76 @@
+/**
+ * @file
+ * <w,k>-minimizer computation (the paper's Section 6, Fig. 8).
+ *
+ * A <w,k>-minimizer is the smallest k-mer in a window of w consecutive
+ * k-mers. "Smallest" is judged by an invertible hash of the 2-bit packed
+ * k-mer (as in Minimap2's mm_sketch), not lexicographically, to avoid
+ * poly-A bias. Two sequences sharing an exact match of at least w+k-1
+ * bases are guaranteed to share a minimizer.
+ *
+ * computeMinimizers() is the O(m) single-loop algorithm the MinSeed
+ * accelerator implements (monotone wedge over the window);
+ * computeMinimizersNaive() is the quadratic textbook version kept as the
+ * property-test reference.
+ */
+
+#ifndef SEGRAM_SRC_SEED_MINIMIZER_H
+#define SEGRAM_SRC_SEED_MINIMIZER_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace segram::seed
+{
+
+/** One selected minimizer. */
+struct Minimizer
+{
+    uint64_t hash = 0; ///< hashed 2-bit packed k-mer (the index key)
+    uint32_t pos = 0;  ///< start offset of the k-mer in the sequence
+
+    bool operator==(const Minimizer &) const = default;
+};
+
+/** Minimizer sketch parameters. */
+struct SketchConfig
+{
+    int k = 15; ///< k-mer length (<= 31 so 2k bits fit a word)
+    int w = 10; ///< window size in k-mers
+
+    /** @return The 2k-bit mask of the k-mer hash domain. */
+    uint64_t
+    hashMask() const
+    {
+        return (k >= 32) ? ~uint64_t{0}
+                         : ((uint64_t{1} << (2 * k)) - 1);
+    }
+};
+
+/**
+ * Computes the minimizers of @p seq in one O(m) pass.
+ *
+ * Each window's minimum-hash k-mer is selected (leftmost on ties);
+ * consecutive windows sharing a selection report it once. Sequences
+ * shorter than w+k-1 bases produce no minimizers.
+ *
+ * @throws InputError if k is out of (0, 31] or w < 1.
+ */
+std::vector<Minimizer> computeMinimizers(std::string_view seq,
+                                         const SketchConfig &config);
+
+/** Quadratic reference implementation (tests only; same contract). */
+std::vector<Minimizer> computeMinimizersNaive(std::string_view seq,
+                                              const SketchConfig &config);
+
+/**
+ * @return The hash of the single k-mer starting at @p pos of @p seq
+ *         (helper for index construction and tests).
+ */
+uint64_t kmerHash(std::string_view seq, size_t pos,
+                  const SketchConfig &config);
+
+} // namespace segram::seed
+
+#endif // SEGRAM_SRC_SEED_MINIMIZER_H

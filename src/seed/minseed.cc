@@ -1,0 +1,96 @@
+#include "src/seed/minseed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace segram::seed
+{
+
+MinSeed::MinSeed(const graph::GenomeGraph &graph,
+                 const index::MinimizerIndex &idx,
+                 const MinSeedConfig &config)
+    : graph_(graph), index_(idx), config_(config)
+{
+    SEGRAM_CHECK(config.errorRate >= 0.0 && config.errorRate < 1.0,
+                 "error rate must be in [0, 1)");
+}
+
+uint32_t
+MinSeed::effectiveThreshold() const
+{
+    return config_.frequencyThreshold != 0 ? config_.frequencyThreshold
+                                           : index_.frequencyThreshold();
+}
+
+std::vector<CandidateRegion>
+MinSeed::seedRead(std::string_view read, MinSeedStats *stats) const
+{
+    const auto &sketch = index_.sketch();
+    const double extend = 1.0 + config_.errorRate;
+    const uint64_t total_len = graph_.totalSeqLen();
+    const uint32_t threshold = effectiveThreshold();
+    const auto m = static_cast<int64_t>(read.size());
+
+    MinSeedStats local;
+    std::vector<CandidateRegion> regions;
+
+    const auto minimizers = computeMinimizers(read, sketch);
+    local.minimizersComputed = minimizers.size();
+
+    for (const auto &minimizer : minimizers) {
+        // Step 3-4 of Fig. 4: frequency lookup + threshold filter.
+        const uint32_t freq = index_.frequency(minimizer.hash);
+        local.seedsAvailable += freq;
+        if (freq == 0 || freq > threshold)
+            continue;
+        ++local.minimizersKept;
+
+        // Step 5: fetch seed locations.
+        for (const auto &loc : index_.locations(minimizer.hash)) {
+            ++local.seedsFetched;
+            // Fig. 9 coordinates: [a,b] in the read, [c,d] in the graph.
+            const int64_t a = minimizer.pos;
+            const int64_t b = a + sketch.k - 1;
+            const uint64_t c =
+                graph_.node(loc.node).linearOffset + loc.offset;
+            const uint64_t d = c + sketch.k - 1;
+
+            const auto left = static_cast<uint64_t>(
+                std::llround(static_cast<double>(a) * extend));
+            const auto right = static_cast<uint64_t>(std::llround(
+                static_cast<double>(m - b - 1) * extend));
+
+            CandidateRegion region;
+            region.start = c >= left ? c - left : 0;
+            region.end = std::min(d + right, total_len - 1);
+            region.minimizerPos = minimizer.pos;
+            region.seed = loc;
+            regions.push_back(region);
+        }
+    }
+
+    std::sort(regions.begin(), regions.end(),
+              [](const CandidateRegion &lhs, const CandidateRegion &rhs) {
+                  if (lhs.start != rhs.start)
+                      return lhs.start < rhs.start;
+                  return lhs.end < rhs.end;
+              });
+    if (config_.mergeDuplicateRegions) {
+        regions.erase(
+            std::unique(regions.begin(), regions.end(),
+                        [](const CandidateRegion &lhs,
+                           const CandidateRegion &rhs) {
+                            return lhs.start == rhs.start &&
+                                   lhs.end == rhs.end;
+                        }),
+            regions.end());
+    }
+    local.regionsEmitted = regions.size();
+    if (stats != nullptr)
+        *stats += local;
+    return regions;
+}
+
+} // namespace segram::seed

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * MinSeed: the seeding stage of SeGraM (paper Sections 6 and 8.1).
+ *
+ * For a query read, MinSeed (1) computes the read's minimizers, (2)
+ * fetches each minimizer's occurrence frequency from the hash-table
+ * index and discards minimizers above the frequency threshold, (3)
+ * fetches the seed locations of the surviving minimizers, and (4)
+ * converts every seed into a candidate reference region using the
+ * left/right extension formulas of Fig. 9:
+ *
+ *     x = c - a*(1+E)            (leftmost region coordinate)
+ *     y = d + (m-b-1)*(1+E)      (rightmost region coordinate)
+ *
+ * where [a,b] is the minimizer's span in the read, [c,d] the seed's span
+ * in the graph's concatenated coordinates, m the read length and E the
+ * expected error rate.
+ *
+ * MinSeed performs no filtering/chaining beyond the frequency threshold
+ * (Section 11.4); an optional exact-duplicate region merge is provided
+ * for the software pipeline and is reported separately so seed counts
+ * stay comparable with the paper's.
+ */
+
+#ifndef SEGRAM_SRC_SEED_MINSEED_H
+#define SEGRAM_SRC_SEED_MINSEED_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/graph/genome_graph.h"
+#include "src/index/minimizer_index.h"
+#include "src/seed/minimizer.h"
+
+namespace segram::seed
+{
+
+/** MinSeed configuration. */
+struct MinSeedConfig
+{
+    /** Expected per-base error rate E of the Fig. 9 extension. */
+    double errorRate = 0.10;
+
+    /**
+     * Occurrence-frequency cutoff; 0 means "use the index's built-in
+     * threshold" (top 0.02% of distinct minimizers).
+     */
+    uint32_t frequencyThreshold = 0;
+
+    /** Merge candidate regions with identical spans before alignment. */
+    bool mergeDuplicateRegions = true;
+};
+
+/** One candidate region: the subgraph BitAlign will align against. */
+struct CandidateRegion
+{
+    uint64_t start = 0; ///< first concatenated coordinate (x of Fig. 9)
+    uint64_t end = 0;   ///< last concatenated coordinate (y of Fig. 9)
+    uint32_t minimizerPos = 0; ///< minimizer start within the read (a)
+    index::SeedLocation seed;  ///< the seed hit that produced the region
+
+    bool operator==(const CandidateRegion &) const = default;
+};
+
+/** Per-read seeding statistics (drives the Section 11.4 analysis). */
+struct MinSeedStats
+{
+    uint64_t minimizersComputed = 0;
+    uint64_t minimizersKept = 0;    ///< after the frequency filter
+    uint64_t seedsAvailable = 0;    ///< locations before the filter
+    uint64_t seedsFetched = 0;      ///< level-3 locations fetched
+    uint64_t regionsEmitted = 0;    ///< after optional duplicate merge
+
+    MinSeedStats &
+    operator+=(const MinSeedStats &other)
+    {
+        minimizersComputed += other.minimizersComputed;
+        minimizersKept += other.minimizersKept;
+        seedsAvailable += other.seedsAvailable;
+        seedsFetched += other.seedsFetched;
+        regionsEmitted += other.regionsEmitted;
+        return *this;
+    }
+};
+
+/** The MinSeed stage bound to one graph + index pair. */
+class MinSeed
+{
+  public:
+    /**
+     * @param graph  The topologically sorted genome graph.
+     * @param idx    The minimizer index built over @p graph.
+     * @param config Seeding parameters.
+     */
+    MinSeed(const graph::GenomeGraph &graph, const index::MinimizerIndex &idx,
+            const MinSeedConfig &config = {});
+
+    /**
+     * Runs seeding for one read.
+     *
+     * @param read        The query read (ACGT).
+     * @param[out] stats  Optional statistics accumulator.
+     * @return Candidate regions, ordered by (start, end).
+     */
+    std::vector<CandidateRegion> seedRead(std::string_view read,
+                                          MinSeedStats *stats = nullptr) const;
+
+    const MinSeedConfig &config() const { return config_; }
+
+    /** @return The effective frequency cutoff used by seedRead. */
+    uint32_t effectiveThreshold() const;
+
+  private:
+    const graph::GenomeGraph &graph_;
+    const index::MinimizerIndex &index_;
+    MinSeedConfig config_;
+};
+
+} // namespace segram::seed
+
+#endif // SEGRAM_SRC_SEED_MINSEED_H

@@ -1,0 +1,38 @@
+#include "src/sim/dataset.h"
+
+#include "src/graph/graph_builder.h"
+
+namespace segram::sim
+{
+
+Dataset
+makeDataset(const DatasetConfig &config)
+{
+    Rng rng(config.seed);
+    Dataset out;
+    out.reference = simulateGenome(config.genome, rng);
+    out.variants = simulateVariants(out.reference, config.variants, rng);
+    out.graph = graph::buildGraph(out.reference, out.variants);
+    out.index = index::MinimizerIndex::build(out.graph, config.index);
+    out.donor = DonorGenome(out.reference, out.variants, out.graph,
+                            config.altProbability, rng);
+    return out;
+}
+
+Dataset
+makeLinearDataset(DatasetConfig config)
+{
+    Rng rng(config.seed);
+    Dataset out;
+    out.reference = simulateGenome(config.genome, rng);
+    // No variants: the graph is a chain of capped backbone nodes.
+    graph::BuildOptions options;
+    options.maxNodeLen = 4096;
+    out.graph = graph::buildGraph(out.reference, {}, options);
+    out.index = index::MinimizerIndex::build(out.graph, config.index);
+    out.donor = DonorGenome(out.reference, {}, out.graph,
+                            config.altProbability, rng);
+    return out;
+}
+
+} // namespace segram::sim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * One-stop synthetic dataset assembly: genome -> variants -> graph ->
+ * index -> donor haplotype, with one deterministic seed. Tests,
+ * examples and every bench build their workloads through this, so the
+ * whole evaluation is reproducible bit-for-bit.
+ */
+
+#ifndef SEGRAM_SRC_SIM_DATASET_H
+#define SEGRAM_SRC_SIM_DATASET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/genome_graph.h"
+#include "src/graph/variants.h"
+#include "src/index/minimizer_index.h"
+#include "src/sim/genome_sim.h"
+#include "src/sim/read_sim.h"
+#include "src/sim/variant_sim.h"
+
+namespace segram::sim
+{
+
+/** All knobs of a synthetic dataset. */
+struct DatasetConfig
+{
+    GenomeConfig genome;
+    VariantConfig variants;
+    index::IndexConfig index;
+    /** Probability that the donor haplotype carries each ALT allele. */
+    double altProbability = 0.5;
+    uint64_t seed = 42;
+};
+
+/** A fully assembled dataset. */
+struct Dataset
+{
+    std::string reference;
+    std::vector<graph::Variant> variants;
+    graph::GenomeGraph graph;
+    index::MinimizerIndex index;
+    DonorGenome donor;
+};
+
+/** Builds a dataset deterministically from @p config. */
+Dataset makeDataset(const DatasetConfig &config);
+
+/**
+ * Builds a *linear* dataset: the same genome with zero variants, whose
+ * graph is a node chain. This is the sequence-to-sequence special case
+ * the paper's universality claim rests on.
+ */
+Dataset makeLinearDataset(DatasetConfig config);
+
+} // namespace segram::sim
+
+#endif // SEGRAM_SRC_SIM_DATASET_H

@@ -1,0 +1,54 @@
+#include "src/sim/genome_sim.h"
+
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace segram::sim
+{
+
+std::string
+randomSequence(uint64_t length, Rng &rng)
+{
+    std::string out;
+    out.reserve(length);
+    for (uint64_t i = 0; i < length; ++i)
+        out.push_back(rng.nextBase());
+    return out;
+}
+
+std::string
+simulateGenome(const GenomeConfig &config, Rng &rng)
+{
+    SEGRAM_CHECK(config.length > 0, "genome length must be positive");
+    SEGRAM_CHECK(config.repeatFraction >= 0.0 &&
+                     config.repeatFraction < 1.0,
+                 "repeatFraction must be in [0, 1)");
+    std::string genome = randomSequence(config.length, rng);
+    if (config.repeatFraction <= 0.0 || config.repeatMotifCount == 0 ||
+        config.repeatMotifLen == 0 ||
+        config.repeatMotifLen >= config.length) {
+        return genome;
+    }
+
+    // Plant repeat copies: overwrite random windows with random motifs.
+    std::vector<std::string> motifs;
+    motifs.reserve(config.repeatMotifCount);
+    for (uint32_t i = 0; i < config.repeatMotifCount; ++i)
+        motifs.push_back(randomSequence(config.repeatMotifLen, rng));
+
+    const uint64_t target_bases = static_cast<uint64_t>(
+        config.repeatFraction * static_cast<double>(config.length));
+    uint64_t planted = 0;
+    while (planted < target_bases) {
+        const std::string &motif =
+            motifs[rng.nextBelow(motifs.size())];
+        const uint64_t pos =
+            rng.nextBelow(config.length - motif.size() + 1);
+        genome.replace(pos, motif.size(), motif);
+        planted += motif.size();
+    }
+    return genome;
+}
+
+} // namespace segram::sim

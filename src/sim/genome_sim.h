@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Synthetic reference-genome generation: the stand-in for GRCh38 in the
+ * paper's evaluation. Sequences are uniform-random ACGT with optional
+ * planted repeats, which give the minimizer-frequency distribution the
+ * heavy tail that the MinSeed frequency filter exists for.
+ */
+
+#ifndef SEGRAM_SRC_SIM_GENOME_SIM_H
+#define SEGRAM_SRC_SIM_GENOME_SIM_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace segram::sim
+{
+
+/** Parameters of the synthetic genome. */
+struct GenomeConfig
+{
+    uint64_t length = 1'000'000; ///< chromosome length in bases
+    /** Fraction of the genome covered by copies of repeat motifs. */
+    double repeatFraction = 0.05;
+    /** Length of each planted repeat motif. */
+    uint32_t repeatMotifLen = 500;
+    /** Number of distinct repeat motifs. */
+    uint32_t repeatMotifCount = 4;
+};
+
+/**
+ * Generates a synthetic chromosome.
+ *
+ * @param config Genome shape parameters.
+ * @param rng    Deterministic generator (seed fixes the genome).
+ */
+std::string simulateGenome(const GenomeConfig &config, Rng &rng);
+
+/** Convenience: a plain uniform-random sequence of @p length bases. */
+std::string randomSequence(uint64_t length, Rng &rng);
+
+} // namespace segram::sim
+
+#endif // SEGRAM_SRC_SIM_GENOME_SIM_H

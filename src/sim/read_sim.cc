@@ -1,0 +1,120 @@
+#include "src/sim/read_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/genome_sim.h"
+#include "src/util/check.h"
+
+namespace segram::sim
+{
+
+DonorGenome::DonorGenome(std::string_view reference,
+                         const std::vector<graph::Variant> &variants,
+                         const graph::GenomeGraph &graph,
+                         double alt_probability, Rng &rng)
+{
+    SEGRAM_CHECK(alt_probability >= 0.0 && alt_probability <= 1.0,
+                 "alt probability must be in [0, 1]");
+    const uint64_t ref_len = reference.size();
+
+    // Backbone coordinate map: reference position -> concatenated graph
+    // coordinate, taken from the non-ALT nodes (they tile the backbone).
+    std::vector<uint64_t> ref_to_linear(ref_len, 0);
+    for (graph::NodeId id = 0; id < graph.numNodes(); ++id) {
+        const auto &node = graph.node(id);
+        if (node.isAlt)
+            continue;
+        for (uint32_t i = 0; i < node.seqLen; ++i)
+            ref_to_linear[node.refPos + i] = node.linearOffset + i;
+    }
+
+    seq_.reserve(ref_len);
+    to_linear_.reserve(ref_len);
+    const auto copy_backbone = [&](uint64_t from, uint64_t to) {
+        for (uint64_t p = from; p < to; ++p) {
+            seq_.push_back(reference[p]);
+            to_linear_.push_back(ref_to_linear[p]);
+        }
+    };
+
+    uint64_t pos = 0;
+    for (const auto &variant : variants) {
+        copy_backbone(pos, variant.pos);
+        pos = variant.pos;
+        if (!rng.nextBool(alt_probability))
+            continue; // haplotype keeps the reference allele
+        ++alts_applied_;
+        const uint64_t anchor =
+            ref_to_linear[std::min(variant.pos, ref_len - 1)];
+        for (const char base : variant.alt) {
+            seq_.push_back(base);
+            to_linear_.push_back(anchor);
+        }
+        pos += variant.refSpan();
+    }
+    copy_backbone(pos, ref_len);
+}
+
+std::vector<SimRead>
+simulateReads(const DonorGenome &donor, const ReadSimConfig &config,
+              Rng &rng)
+{
+    const uint64_t donor_len = donor.seq().size();
+    SEGRAM_CHECK(config.readLen >= 1, "read length must be >= 1");
+    SEGRAM_CHECK(donor_len >= config.readLen,
+                 "donor genome shorter than the read length");
+    const auto &profile = config.errors;
+    SEGRAM_CHECK(profile.errorRate >= 0.0 && profile.errorRate < 1.0,
+                 "error rate must be in [0, 1)");
+    const double frac_sum = profile.subFraction + profile.insFraction +
+                            profile.delFraction;
+    SEGRAM_CHECK(profile.errorRate == 0.0 ||
+                     std::abs(frac_sum - 1.0) < 1e-6,
+                 "error class fractions must sum to 1");
+
+    std::vector<SimRead> reads;
+    reads.reserve(config.numReads);
+    // Keep a margin so deletions cannot run past the donor end.
+    const uint64_t margin =
+        static_cast<uint64_t>(config.readLen * (1.0 + profile.errorRate)) +
+        16;
+    SEGRAM_CHECK(donor_len >= margin,
+                 "donor genome too short for the requested reads");
+    const uint64_t max_start = donor_len - margin;
+
+    for (uint32_t r = 0; r < config.numReads; ++r) {
+        SimRead read;
+        read.donorStart = rng.nextBelow(max_start + 1);
+        read.truthLinearStart = donor.toLinear(read.donorStart);
+        uint64_t pos = read.donorStart;
+        while (read.seq.size() < config.readLen && pos < donor_len) {
+            if (rng.nextBool(profile.errorRate)) {
+                ++read.plantedErrors;
+                const double which = rng.nextDouble() * frac_sum;
+                if (which < profile.subFraction) {
+                    char base = rng.nextBase();
+                    while (base == donor.seq()[pos])
+                        base = rng.nextBase();
+                    read.seq.push_back(base);
+                    ++pos;
+                } else if (which <
+                           profile.subFraction + profile.insFraction) {
+                    read.seq.push_back(rng.nextBase());
+                } else {
+                    ++pos; // deletion: skip a donor base
+                }
+            } else {
+                read.seq.push_back(donor.seq()[pos]);
+                ++pos;
+            }
+        }
+        // The margin guarantees full-length reads.
+        SEGRAM_CHECK(read.seq.size() == config.readLen,
+                     "read simulation ran past the donor end");
+        reads.push_back(std::move(read));
+    }
+    return reads;
+}
+
+} // namespace segram::sim

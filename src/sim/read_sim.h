@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Read simulation: the PBSIM2 (long reads) and Mason (short reads)
+ * substitutes. Reads are sampled from a *donor genome* — the reference
+ * with a random haplotype of the variant set applied — so that reads
+ * genuinely exercise the ALT paths of the graph, and each read carries
+ * its ground-truth graph coordinate for sensitivity evaluation.
+ */
+
+#ifndef SEGRAM_SRC_SIM_READ_SIM_H
+#define SEGRAM_SRC_SIM_READ_SIM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/genome_graph.h"
+#include "src/graph/variants.h"
+#include "src/util/rng.h"
+
+namespace segram::sim
+{
+
+/** Sequencing error profile. */
+struct ErrorProfile
+{
+    double errorRate = 0.0; ///< per-base total error probability
+    double subFraction = 1.0;
+    double insFraction = 0.0;
+    double delFraction = 0.0;
+
+    /** PacBio-like long-read profile (paper: 10 kbp, 5% or 10%). */
+    static ErrorProfile
+    pacbio(double rate)
+    {
+        return {rate, 0.20, 0.50, 0.30};
+    }
+
+    /** ONT-like long-read profile. */
+    static ErrorProfile
+    ont(double rate)
+    {
+        return {rate, 0.35, 0.25, 0.40};
+    }
+
+    /** Illumina-like short-read profile (paper: 1% error). */
+    static ErrorProfile
+    illumina(double rate = 0.01)
+    {
+        return {rate, 0.95, 0.025, 0.025};
+    }
+};
+
+/** One simulated read with its ground truth. */
+struct SimRead
+{
+    std::string seq;
+    uint64_t donorStart = 0;       ///< start in the donor genome
+    uint64_t truthLinearStart = 0; ///< graph concatenated coordinate
+    uint32_t plantedErrors = 0;    ///< sequencing errors injected
+};
+
+/**
+ * A donor genome: the reference with a sampled haplotype of the variant
+ * set applied, plus the per-base mapping back to graph coordinates.
+ */
+class DonorGenome
+{
+  public:
+    /** Creates an empty donor (assign a real one before use). */
+    DonorGenome() = default;
+
+    /**
+     * Applies each variant with probability @p alt_probability.
+     *
+     * @param reference Reference chromosome.
+     * @param variants  Canonical sorted non-overlapping variants.
+     * @param graph     Graph built from the same reference + variants
+     *                  (provides the coordinate mapping).
+     */
+    DonorGenome(std::string_view reference,
+                const std::vector<graph::Variant> &variants,
+                const graph::GenomeGraph &graph, double alt_probability,
+                Rng &rng);
+
+    const std::string &seq() const { return seq_; }
+
+    /** @return Graph concatenated coordinate of donor position @p pos. */
+    uint64_t toLinear(uint64_t pos) const { return to_linear_[pos]; }
+
+    /** @return Number of variants present in this haplotype. */
+    size_t numAltsApplied() const { return alts_applied_; }
+
+  private:
+    std::string seq_;
+    std::vector<uint64_t> to_linear_;
+    size_t alts_applied_ = 0;
+};
+
+/** Read-set parameters. */
+struct ReadSimConfig
+{
+    uint32_t readLen = 10'000;
+    uint32_t numReads = 100;
+    ErrorProfile errors;
+};
+
+/**
+ * Samples reads from a donor genome with sequencing errors.
+ *
+ * @throws InputError if the donor is shorter than the read length.
+ */
+std::vector<SimRead> simulateReads(const DonorGenome &donor,
+                                   const ReadSimConfig &config, Rng &rng);
+
+} // namespace segram::sim
+
+#endif // SEGRAM_SRC_SIM_READ_SIM_H

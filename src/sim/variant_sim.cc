@@ -1,0 +1,74 @@
+#include "src/sim/variant_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/genome_sim.h"
+#include "src/util/check.h"
+#include "src/util/dna.h"
+
+namespace segram::sim
+{
+
+std::vector<graph::Variant>
+simulateVariants(std::string_view reference, const VariantConfig &config,
+                 Rng &rng)
+{
+    SEGRAM_CHECK(config.meanSpacing >= 2.0,
+                 "variant spacing must be >= 2 bases");
+    const double total_fraction = config.snpFraction + config.insFraction +
+                                  config.delFraction + config.svFraction;
+    SEGRAM_CHECK(std::abs(total_fraction - 1.0) < 1e-6,
+                 "variant class fractions must sum to 1");
+    SEGRAM_CHECK(config.svMinLen <= config.svMaxLen,
+                 "svMinLen must be <= svMaxLen");
+
+    std::vector<graph::Variant> variants;
+    const uint64_t ref_len = reference.size();
+    // March along the reference with geometric-ish gaps; this yields
+    // sorted, non-overlapping variants by construction.
+    uint64_t pos = 1 + rng.nextBelow(
+        static_cast<uint64_t>(config.meanSpacing) + 1);
+    while (pos + config.svMaxLen + 2 < ref_len) {
+        const double which = rng.nextDouble();
+        graph::Variant variant;
+        variant.pos = pos;
+        if (which < config.snpFraction) {
+            // SNP: substitute with a different base.
+            const char ref_base = reference[pos];
+            char alt_base = rng.nextBase();
+            while (alt_base == ref_base)
+                alt_base = rng.nextBase();
+            variant.ref = std::string(1, ref_base);
+            variant.alt = std::string(1, alt_base);
+        } else if (which < config.snpFraction + config.insFraction) {
+            const uint32_t len =
+                1 + static_cast<uint32_t>(rng.nextBelow(config.maxIndelLen));
+            variant.alt = randomSequence(len, rng);
+        } else if (which < config.snpFraction + config.insFraction +
+                               config.delFraction) {
+            const uint32_t len =
+                1 + static_cast<uint32_t>(rng.nextBelow(config.maxIndelLen));
+            variant.ref = std::string(reference.substr(pos, len));
+        } else {
+            // Structural variant: a long deletion or insertion.
+            const uint32_t len = config.svMinLen +
+                static_cast<uint32_t>(rng.nextBelow(
+                    config.svMaxLen - config.svMinLen + 1));
+            if (rng.nextBool(0.5)) {
+                variant.ref = std::string(reference.substr(pos, len));
+            } else {
+                variant.alt = randomSequence(len, rng);
+            }
+        }
+        const uint64_t span = std::max<uint64_t>(variant.refSpan(), 1);
+        variants.push_back(std::move(variant));
+        // Next position: past this variant plus a random gap.
+        pos += span + 1 +
+               rng.nextBelow(static_cast<uint64_t>(
+                                 2.0 * config.meanSpacing) + 1);
+    }
+    return variants;
+}
+
+} // namespace segram::sim

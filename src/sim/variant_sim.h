@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Synthetic variant-set generation: the stand-in for the seven GIAB VCF
+ * files. Variant class proportions follow the 1000 Genomes Project
+ * findings the paper leans on for its hop-limit argument (Section 8.2):
+ * the overwhelming majority of variants are SNPs and small indels,
+ * while large structural variants are rare — which is exactly what
+ * makes hop distances short (Fig. 13).
+ */
+
+#ifndef SEGRAM_SRC_SIM_VARIANT_SIM_H
+#define SEGRAM_SRC_SIM_VARIANT_SIM_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/graph/variants.h"
+#include "src/util/rng.h"
+
+namespace segram::sim
+{
+
+/** Parameters of the synthetic variant set. */
+struct VariantConfig
+{
+    /** Mean spacing between variants in bases (human-like: ~440). */
+    double meanSpacing = 440.0;
+    double snpFraction = 0.90;     ///< single-nucleotide substitutions
+    double insFraction = 0.048;    ///< small insertions
+    double delFraction = 0.048;    ///< small deletions
+    double svFraction = 0.004;     ///< large structural deletions/inserts
+    uint32_t maxIndelLen = 6;      ///< small indel length cap
+    uint32_t svMinLen = 50;        ///< SV length range
+    uint32_t svMaxLen = 500;
+};
+
+/**
+ * Generates a sorted, non-overlapping canonical variant set over a
+ * reference of the given content.
+ *
+ * @param reference The chromosome sequence the variants apply to.
+ * @param config    Class mix and density.
+ * @param rng       Deterministic generator.
+ */
+std::vector<graph::Variant> simulateVariants(std::string_view reference,
+                                             const VariantConfig &config,
+                                             Rng &rng);
+
+} // namespace segram::sim
+
+#endif // SEGRAM_SRC_SIM_VARIANT_SIM_H

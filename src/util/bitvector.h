@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Fixed-width multi-word bitvector, the data type that the Bitap/GenASM/
+ * BitAlign status vectors (R[d]) are made of.
+ *
+ * Conventions follow the active-low Bitap family used throughout SeGraM:
+ * a 0 bit means "match so far", a 1 bit means "no match". Shifting left
+ * brings a 0 into the least-significant bit, which is exactly the
+ * behaviour the recurrences in Algorithm 1 of the paper need. Bits above
+ * the configured width are always kept at 1 so that equality comparisons
+ * and most-significant-bit probes are well defined.
+ */
+
+#ifndef SEGRAM_SRC_UTIL_BITVECTOR_H
+#define SEGRAM_SRC_UTIL_BITVECTOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace segram
+{
+
+/**
+ * A fixed-width bitvector with the handful of operations the BitAlign
+ * recurrence needs: shift-left-by-one, bitwise AND/OR, and single-bit
+ * probes. Width is set at construction and never changes; all operands of
+ * binary operations must share the same width.
+ */
+class Bitvector
+{
+  public:
+    /** Number of payload bits per storage word. */
+    static constexpr int bitsPerWord = 64;
+
+    /** Creates an empty (zero-width) bitvector. */
+    Bitvector() = default;
+
+    /**
+     * Creates a bitvector of the given width.
+     *
+     * @param width Number of bits.
+     * @param ones  When true (the default, matching the all-ones
+     *              initialization of Algorithm 1), every bit starts at 1.
+     */
+    explicit Bitvector(int width, bool ones = true);
+
+    /** @return The width in bits. */
+    int width() const { return width_; }
+
+    /** @return Number of 64-bit words backing this vector. */
+    int numWords() const { return static_cast<int>(words_.size()); }
+
+    /** Sets every payload bit to 1. */
+    void setAllOnes();
+
+    /** Sets every payload bit to 0. */
+    void setAllZeros();
+
+    /** @return Bit at position @p pos (0 = least significant). */
+    bool test(int pos) const;
+
+    /** Sets bit at position @p pos to @p value. */
+    void set(int pos, bool value);
+
+    /**
+     * Shifts the whole vector left by one bit, bringing a 0 into bit 0 and
+     * discarding the old most-significant payload bit.
+     */
+    void shiftLeftOne();
+
+    /** @return A copy of this vector shifted left by one. */
+    Bitvector shiftedLeftOne() const;
+
+    /** In-place bitwise OR with @p other (same width required). */
+    Bitvector &operator|=(const Bitvector &other);
+
+    /** In-place bitwise AND with @p other (same width required). */
+    Bitvector &operator&=(const Bitvector &other);
+
+    friend Bitvector operator|(Bitvector lhs, const Bitvector &rhs)
+    {
+        lhs |= rhs;
+        return lhs;
+    }
+
+    friend Bitvector operator&(Bitvector lhs, const Bitvector &rhs)
+    {
+        lhs &= rhs;
+        return lhs;
+    }
+
+    bool operator==(const Bitvector &other) const = default;
+
+    /** @return Number of 0 bits (i.e., "match" positions). */
+    int countZeros() const;
+
+    /** @return The raw word at index @p idx (LSB word is index 0). */
+    uint64_t word(int idx) const { return words_[idx]; }
+
+    /** Direct mutable access to the backing words (keeps padding rule). */
+    uint64_t *data() { return words_.data(); }
+    const uint64_t *data() const { return words_.data(); }
+
+    /**
+     * Renders the vector as a binary string, most-significant bit first,
+     * e.g. "0111" for width 4 with only bit 3 clear... (bit 3 = '0').
+     */
+    std::string toString() const;
+
+  private:
+    /** Forces all padding bits (>= width) back to 1. */
+    void repairPadding();
+
+    int width_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+/**
+ * Free-function kernels operating on raw word arrays. BitAlignCore uses
+ * these on flat storage to avoid per-node allocations; Bitvector methods
+ * forward to them so both layers share one implementation.
+ */
+namespace bitops
+{
+
+/** @return Words needed to hold @p width bits. */
+inline int
+wordsForWidth(int width)
+{
+    return (width + Bitvector::bitsPerWord - 1) / Bitvector::bitsPerWord;
+}
+
+/** dst = src << 1 over @p nwords words (0 shifted into bit 0). */
+void shiftLeftOne(uint64_t *dst, const uint64_t *src, int nwords);
+
+/** dst &= src over @p nwords words. */
+void andInPlace(uint64_t *dst, const uint64_t *src, int nwords);
+
+/** dst |= src over @p nwords words. */
+void orInPlace(uint64_t *dst, const uint64_t *src, int nwords);
+
+/** dst = (src << 1) | mask over @p nwords words. */
+void shiftLeftOneOr(uint64_t *dst, const uint64_t *src, const uint64_t *mask,
+                    int nwords);
+
+/** Sets all @p nwords words to all-ones. */
+void fillOnes(uint64_t *dst, int nwords);
+
+/** @return Bit @p pos of the array. */
+bool testBit(const uint64_t *words, int pos);
+
+/** Clears bit @p pos of the array. */
+void clearBit(uint64_t *words, int pos);
+
+} // namespace bitops
+
+} // namespace segram
+
+#endif // SEGRAM_SRC_UTIL_BITVECTOR_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Error-handling helpers, following the gem5 fatal/panic distinction:
+ * user-facing input errors throw (the library equivalent of fatal()),
+ * internal invariant violations assert (the equivalent of panic()).
+ */
+
+#ifndef SEGRAM_SRC_UTIL_CHECK_H
+#define SEGRAM_SRC_UTIL_CHECK_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace segram
+{
+
+/** Thrown when user-supplied input (files, parameters) is invalid. */
+class InputError : public std::runtime_error
+{
+  public:
+    explicit InputError(const std::string &what) : std::runtime_error(what) {}
+};
+
+namespace detail
+{
+
+[[noreturn]] inline void
+throwInputError(const char *cond, const std::string &message)
+{
+    std::ostringstream oss;
+    oss << "input error: " << message << " (violated: " << cond << ")";
+    throw InputError(oss.str());
+}
+
+} // namespace detail
+
+} // namespace segram
+
+/**
+ * Validates user-controllable conditions; throws segram::InputError with
+ * @p msg when @p cond is false. Never compiled out.
+ */
+#define SEGRAM_CHECK(cond, msg)                                             \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::segram::detail::throwInputError(#cond, (msg));                \
+    } while (0)
+
+#endif // SEGRAM_SRC_UTIL_CHECK_H

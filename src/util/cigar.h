@@ -1,0 +1,107 @@
+/**
+ * @file
+ * CIGAR strings: the traceback output format of BitAlign (Algorithm 1
+ * returns `<editDist, CIGARstr>`).
+ *
+ * We use the extended CIGAR alphabet: '=' match, 'X' substitution,
+ * 'I' insertion (read character absent from the reference path) and
+ * 'D' deletion (reference-path character absent from the read).
+ */
+
+#ifndef SEGRAM_SRC_UTIL_CIGAR_H
+#define SEGRAM_SRC_UTIL_CIGAR_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace segram
+{
+
+/** One alignment edit operation. */
+enum class EditOp : uint8_t
+{
+    Match,        ///< '=' : read char equals reference char
+    Substitution, ///< 'X' : read char differs from reference char
+    Insertion,    ///< 'I' : read char with no reference counterpart
+    Deletion,     ///< 'D' : reference char with no read counterpart
+};
+
+/** @return The CIGAR character for @p op. */
+char editOpToChar(EditOp op);
+
+/** @return The EditOp for CIGAR character @p c; throws InputError else. */
+EditOp charToEditOp(char c);
+
+/** A maximal run of one edit operation. */
+struct CigarRun
+{
+    EditOp op;
+    uint32_t len;
+
+    bool operator==(const CigarRun &) const = default;
+};
+
+/**
+ * An alignment description as a run-length-encoded list of edit
+ * operations, ordered from the start of the read to its end.
+ */
+class Cigar
+{
+  public:
+    Cigar() = default;
+
+    /** Parses a CIGAR string such as "12=1X3D2I". */
+    static Cigar fromString(std::string_view text);
+
+    /** Appends @p len repetitions of @p op, coalescing with the tail run. */
+    void push(EditOp op, uint32_t len = 1);
+
+    /** Appends another cigar, coalescing at the junction. */
+    void append(const Cigar &other);
+
+    /** Reverses the operation order in place. */
+    void reverse();
+
+    /** @return The run list. */
+    const std::vector<CigarRun> &runs() const { return runs_; }
+
+    bool empty() const { return runs_.empty(); }
+
+    /** @return Total count of ops equal to @p op. */
+    uint64_t count(EditOp op) const;
+
+    /** @return Number of edits (substitutions + insertions + deletions). */
+    uint64_t editDistance() const;
+
+    /** @return Number of read characters consumed ('=', 'X', 'I'). */
+    uint64_t readLength() const;
+
+    /** @return Number of reference characters consumed ('=', 'X', 'D'). */
+    uint64_t refLength() const;
+
+    /** @return The "12=1X3D" textual form. */
+    std::string toString() const;
+
+    /**
+     * Checks this cigar against concrete sequences: every '=' run must
+     * match characters, every 'X' run must mismatch, and the consumed
+     * lengths must equal the sequence lengths exactly.
+     *
+     * @param read     The read (query/pattern) sequence.
+     * @param ref_path The reference path the read was aligned to.
+     * @return True iff the cigar is a valid alignment of @p read against
+     *         @p ref_path.
+     */
+    bool validate(std::string_view read, std::string_view ref_path) const;
+
+    bool operator==(const Cigar &) const = default;
+
+  private:
+    std::vector<CigarRun> runs_;
+};
+
+} // namespace segram
+
+#endif // SEGRAM_SRC_UTIL_CIGAR_H

@@ -1,0 +1,83 @@
+#include "src/util/dna.h"
+
+#include <array>
+#include <cassert>
+
+namespace segram
+{
+
+namespace
+{
+
+constexpr std::array<uint8_t, 256>
+makeCodeTable()
+{
+    std::array<uint8_t, 256> table{};
+    for (auto &entry : table)
+        entry = kInvalidBaseCode;
+    table['A'] = 0; table['a'] = 0;
+    table['C'] = 1; table['c'] = 1;
+    table['G'] = 2; table['g'] = 2;
+    table['T'] = 3; table['t'] = 3;
+    return table;
+}
+
+constexpr std::array<uint8_t, 256> codeTable = makeCodeTable();
+constexpr std::array<char, 4> baseTable = {'A', 'C', 'G', 'T'};
+
+} // namespace
+
+uint8_t
+baseToCode(char base)
+{
+    return codeTable[static_cast<uint8_t>(base)];
+}
+
+char
+codeToBase(uint8_t code)
+{
+    assert(code < kDnaAlphabetSize);
+    return baseTable[code];
+}
+
+char
+complementBase(char base)
+{
+    const uint8_t code = baseToCode(base);
+    assert(code != kInvalidBaseCode);
+    return codeToBase(complementCode(code));
+}
+
+std::string
+reverseComplement(std::string_view seq)
+{
+    std::string out;
+    out.reserve(seq.size());
+    for (auto it = seq.rbegin(); it != seq.rend(); ++it)
+        out.push_back(complementBase(*it));
+    return out;
+}
+
+bool
+isValidDna(std::string_view seq)
+{
+    for (const char base : seq) {
+        if (baseToCode(base) == kInvalidBaseCode)
+            return false;
+    }
+    return true;
+}
+
+std::string
+normalizeDna(std::string_view seq)
+{
+    std::string out;
+    out.reserve(seq.size());
+    for (const char base : seq) {
+        const uint8_t code = baseToCode(base);
+        out.push_back(code == kInvalidBaseCode ? 'A' : codeToBase(code));
+    }
+    return out;
+}
+
+} // namespace segram

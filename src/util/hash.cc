@@ -1,0 +1,64 @@
+#include "src/util/hash.h"
+
+#include <cassert>
+
+namespace segram
+{
+
+namespace
+{
+
+/** Modular inverse of an odd @p value modulo 2^64 (Newton iteration). */
+uint64_t
+inverseOdd(uint64_t value)
+{
+    assert(value & 1);
+    uint64_t inv = value; // correct to 3 bits
+    for (int i = 0; i < 5; ++i)
+        inv *= 2 - value * inv; // doubles correct bit count per step
+    return inv;
+}
+
+/** Inverts key ^= key >> shift within the masked domain. */
+uint64_t
+unshiftRightXor(uint64_t key, int shift, uint64_t mask)
+{
+    uint64_t recovered = key;
+    // Each iteration fixes another `shift` high-order bits.
+    for (int fixed = shift; fixed < 64; fixed += shift)
+        recovered = key ^ (recovered >> shift);
+    return recovered & mask;
+}
+
+} // namespace
+
+uint64_t
+hash64Inverse(uint64_t hashed, uint64_t mask)
+{
+    uint64_t key = hashed & mask;
+
+    // Inverse of key = key + (key << 31) i.e. key *= (1 + 2^31).
+    key = (key * inverseOdd(1ULL + (1ULL << 31))) & mask;
+
+    // Inverse of key ^= key >> 28.
+    key = unshiftRightXor(key, 28, mask);
+
+    // Inverse of key *= 21.
+    key = (key * inverseOdd(21)) & mask;
+
+    // Inverse of key ^= key >> 14.
+    key = unshiftRightXor(key, 14, mask);
+
+    // Inverse of key *= 265.
+    key = (key * inverseOdd(265)) & mask;
+
+    // Inverse of key ^= key >> 24.
+    key = unshiftRightXor(key, 24, mask);
+
+    // Inverse of key = (~key) + (key << 21) = key * (2^21 - 1) - 1.
+    key = ((key + 1) * inverseOdd((1ULL << 21) - 1)) & mask;
+
+    return key;
+}
+
+} // namespace segram

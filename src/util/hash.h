@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The invertible 64-bit mixing hash used for minimizer selection.
+ *
+ * MinSeed inherits Minimap2's scoring mechanism: instead of picking the
+ * lexicographically smallest k-mer in a window, the k-mer with the
+ * smallest *hash* is picked, which avoids biasing minimizers toward
+ * poly-A sequence. The hash is Thomas Wang's 64-bit mix; it is a
+ * bijection on the masked domain, so no two distinct k-mers collide
+ * (property-tested in tests/test_util.cc).
+ */
+
+#ifndef SEGRAM_SRC_UTIL_HASH_H
+#define SEGRAM_SRC_UTIL_HASH_H
+
+#include <cstdint>
+
+namespace segram
+{
+
+/**
+ * Thomas Wang invertible integer hash on the low bits selected by
+ * @p mask. @p mask must be of the form 2^b - 1.
+ */
+inline uint64_t
+hash64(uint64_t key, uint64_t mask)
+{
+    key = (~key + (key << 21)) & mask; // key = (key << 21) - key - 1
+    key = key ^ (key >> 24);
+    key = ((key + (key << 3)) + (key << 8)) & mask; // key * 265
+    key = key ^ (key >> 14);
+    key = ((key + (key << 2)) + (key << 4)) & mask; // key * 21
+    key = key ^ (key >> 28);
+    key = (key + (key << 31)) & mask;
+    return key;
+}
+
+/**
+ * Exact inverse of hash64 on the same mask; exists only to prove
+ * invertibility (used by tests and by index debugging tools).
+ */
+uint64_t hash64Inverse(uint64_t hashed, uint64_t mask);
+
+} // namespace segram
+
+#endif // SEGRAM_SRC_UTIL_HASH_H

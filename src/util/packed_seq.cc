@@ -1,0 +1,63 @@
+#include "src/util/packed_seq.h"
+
+#include <cassert>
+
+#include "src/util/check.h"
+
+namespace segram
+{
+
+PackedSeq::PackedSeq(std::string_view seq)
+{
+    append(seq);
+}
+
+void
+PackedSeq::pushBase(char base)
+{
+    const uint8_t code = baseToCode(base);
+    SEGRAM_CHECK(code != kInvalidBaseCode,
+                 std::string("invalid DNA base: ") + base);
+    pushCode(code);
+}
+
+void
+PackedSeq::pushCode(uint8_t code)
+{
+    assert(code < kDnaAlphabetSize);
+    const size_t word = size_ / basesPerWord;
+    const int slot = static_cast<int>(size_ % basesPerWord);
+    if (word >= words_.size())
+        words_.push_back(0);
+    words_[word] |= uint64_t{code} << (2 * slot);
+    ++size_;
+}
+
+void
+PackedSeq::append(std::string_view seq)
+{
+    for (const char base : seq)
+        pushBase(base);
+}
+
+uint8_t
+PackedSeq::codeAt(size_t idx) const
+{
+    assert(idx < size_);
+    const size_t word = idx / basesPerWord;
+    const int slot = static_cast<int>(idx % basesPerWord);
+    return (words_[word] >> (2 * slot)) & 0x3;
+}
+
+std::string
+PackedSeq::substr(size_t start, size_t len) const
+{
+    assert(start + len <= size_);
+    std::string out;
+    out.reserve(len);
+    for (size_t i = start; i < start + len; ++i)
+        out.push_back(baseAt(i));
+    return out;
+}
+
+} // namespace segram

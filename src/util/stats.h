@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small numeric helpers for benchmark reporting (means, percentiles,
+ * speedup ratios), kept header-only.
+ */
+
+#ifndef SEGRAM_SRC_UTIL_STATS_H
+#define SEGRAM_SRC_UTIL_STATS_H
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace segram
+{
+
+/** @return Arithmetic mean of @p values; 0 for an empty vector. */
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+/** @return Geometric mean of @p values (all must be > 0). */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double v : values) {
+        assert(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/**
+ * @return The @p q quantile (0 <= q <= 1) of @p values using the
+ *         nearest-rank method; 0 for an empty vector.
+ */
+inline double
+percentile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const auto rank = static_cast<size_t>(
+        std::min<double>(values.size() - 1,
+                         std::ceil(q * values.size()) - 1));
+    return values[std::max<size_t>(rank, 0)];
+}
+
+} // namespace segram
+
+#endif // SEGRAM_SRC_UTIL_STATS_H

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Unit tests for the align module: Algorithm 1 on handcrafted graphs
+ * (branches, bypass hops, sinks), traceback CIGAR validity, windowed
+ * divide-and-conquer, the GenASM S2S special case, and Myers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/align/bitalign.h"
+#include "src/align/bitalign_core.h"
+#include "src/align/genasm.h"
+#include "src/align/myers.h"
+#include "src/baseline/dp_s2s.h"
+#include "src/graph/graph_builder.h"
+#include "src/graph/linearize.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace segram::align
+{
+namespace
+{
+
+using graph::LinearizedGraph;
+
+/** Builds a chain-graph text from a string. */
+LinearizedGraph
+chain(const std::string &text)
+{
+    LinearizedGraph out;
+    for (size_t i = 0; i < text.size(); ++i) {
+        std::vector<uint16_t> deltas;
+        if (i + 1 < text.size())
+            deltas.push_back(1);
+        out.pushChar(text[i], std::move(deltas));
+    }
+    out.finalize();
+    return out;
+}
+
+/** Reference path string consumed by a window result. */
+std::string
+consumedPath(const LinearizedGraph &text, const WindowResult &result)
+{
+    std::string out;
+    for (const int pos : result.textPositions)
+        out.push_back("ACGT"[text.code(pos)]);
+    return out;
+}
+
+TEST(PatternBitmasks, BitOrderIsReversed)
+{
+    // Pattern "ACG": bit 0 <-> 'G', bit 1 <-> 'C', bit 2 <-> 'A'.
+    const PatternBitmasks pm = PatternBitmasks::build("ACG");
+    EXPECT_EQ(pm.m, 3);
+    EXPECT_FALSE(pm.masks[2][0] & 1);        // G at bit 0
+    EXPECT_FALSE((pm.masks[1][0] >> 1) & 1); // C at bit 1
+    EXPECT_FALSE((pm.masks[0][0] >> 2) & 1); // A at bit 2
+    EXPECT_TRUE(pm.masks[3][0] & 1);         // T matches nothing
+    EXPECT_THROW(PatternBitmasks::build(""), InputError);
+    EXPECT_THROW(PatternBitmasks::build("ACGN"), InputError);
+}
+
+TEST(BitAlignCore, ExactMatchOnChain)
+{
+    const auto text = chain("ACGTACGT");
+    const auto result = alignWindow(text, "GTAC", 2);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.editDistance, 0);
+    EXPECT_EQ(result.startPos, 2);
+    EXPECT_EQ(result.cigar.toString(), "4=");
+    EXPECT_EQ(consumedPath(text, result), "GTAC");
+}
+
+TEST(BitAlignCore, SubstitutionOnChain)
+{
+    const auto text = chain("ACGTACGT");
+    const auto result = alignWindow(text, "GTCC", 2);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.editDistance, 1);
+    EXPECT_TRUE(result.cigar.validate("GTCC",
+                                      consumedPath(text, result)));
+}
+
+TEST(BitAlignCore, InsertionOnChain)
+{
+    // Read has an extra base relative to the text.
+    const auto text = chain("ACGTACGT");
+    const auto result = alignWindow(text, "GTTAC", 2);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.editDistance, 1);
+    EXPECT_EQ(result.cigar.count(EditOp::Insertion), 1u);
+    EXPECT_TRUE(result.cigar.validate("GTTAC",
+                                      consumedPath(text, result)));
+}
+
+TEST(BitAlignCore, DeletionOnChain)
+{
+    // Read misses one text base.
+    const auto text = chain("ACGTACGT");
+    const auto result = alignWindow(text, "GTCGT", 2);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.editDistance, 1);
+    EXPECT_EQ(result.cigar.count(EditOp::Deletion), 1u);
+    EXPECT_TRUE(result.cigar.validate("GTCGT",
+                                      consumedPath(text, result)));
+}
+
+TEST(BitAlignCore, AlignmentMayEndAtSink)
+{
+    const auto text = chain("ACGT");
+    const auto result = alignWindow(text, "CGT", 0);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.editDistance, 0);
+    EXPECT_EQ(result.startPos, 1);
+}
+
+TEST(BitAlignCore, WholeTextIsPattern)
+{
+    const auto text = chain("ACGT");
+    const auto result = alignWindow(text, "ACGT", 0);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.editDistance, 0);
+    EXPECT_EQ(result.cigar.toString(), "4=");
+}
+
+TEST(BitAlignCore, NotFoundBeyondThreshold)
+{
+    const auto text = chain("AAAAAAAA");
+    const auto result = alignWindow(text, "TTTT", 2);
+    EXPECT_FALSE(result.found);
+    // Distance-only variant agrees.
+    EXPECT_FALSE(alignWindowDistanceOnly(text, "TTTT", 2).found);
+    // With a large enough threshold it is found (4 substitutions).
+    const auto relaxed = alignWindow(text, "TTTT", 4);
+    ASSERT_TRUE(relaxed.found);
+    EXPECT_EQ(relaxed.editDistance, 4);
+}
+
+TEST(BitAlignCore, AnchoredModeRestrictsStart)
+{
+    const auto text = chain("ACGTACGT");
+    // "TACG" occurs at position 3 only.
+    const auto semi = alignWindow(text, "TACG", 1, AlignMode::SemiGlobal);
+    ASSERT_TRUE(semi.found);
+    EXPECT_EQ(semi.editDistance, 0);
+    EXPECT_EQ(semi.startPos, 3);
+    const auto anchored = alignWindow(text, "TACG", 1, AlignMode::Anchored);
+    ASSERT_TRUE(anchored.found);
+    EXPECT_EQ(anchored.startPos, 0);
+    EXPECT_GE(anchored.editDistance, 1); // must pay to start at 0
+}
+
+TEST(BitAlignCore, SnpBranchAlignsAltPathExactly)
+{
+    // Reference ACGTACGT with SNP T->G at position 3. A read carrying
+    // the ALT allele aligns with 0 edits through the branch, 1 through
+    // the REF path.
+    const auto g = graph::buildGraph("ACGTACGT", {{3, "T", "G"}});
+    const auto text = graph::linearizeWhole(g);
+    const auto alt_read = alignWindow(text, "ACGGACGT", 2);
+    ASSERT_TRUE(alt_read.found);
+    EXPECT_EQ(alt_read.editDistance, 0);
+    EXPECT_EQ(alt_read.startPos, 0);
+    EXPECT_TRUE(alt_read.cigar.validate("ACGGACGT",
+                                        consumedPath(text, alt_read)));
+    const auto ref_read = alignWindow(text, "ACGTACGT", 2);
+    ASSERT_TRUE(ref_read.found);
+    EXPECT_EQ(ref_read.editDistance, 0);
+}
+
+TEST(BitAlignCore, DeletionBypassHopAlignsExactly)
+{
+    // Deleting TTTT: a read without those bases must use the bypass
+    // hop — no other 0-edit path exists in this graph.
+    const auto g = graph::buildGraph("ACTTTTGA", {{2, "TTTT", ""}});
+    const auto text = graph::linearizeWhole(g);
+    const auto result = alignWindow(text, "ACGA", 1);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.editDistance, 0);
+    EXPECT_EQ(consumedPath(text, result), "ACGA");
+    // The consumed path must jump over the deleted region.
+    EXPECT_EQ(result.textPositions[1] + 5, result.textPositions[2]);
+}
+
+TEST(BitAlignCore, InsertionBranchAlignsExactly)
+{
+    const auto g = graph::buildGraph("ACGTACGT", {{4, "", "TT"}});
+    const auto text = graph::linearizeWhole(g);
+    const auto with_ins = alignWindow(text, "ACGTTTACGT", 1);
+    ASSERT_TRUE(with_ins.found);
+    EXPECT_EQ(with_ins.editDistance, 0);
+    const auto without_ins = alignWindow(text, "ACGTACGT", 1);
+    ASSERT_TRUE(without_ins.found);
+    EXPECT_EQ(without_ins.editDistance, 0);
+}
+
+TEST(BitAlignCore, HopLimitChangesResult)
+{
+    // With the hop dropped, the deleted bases must be paid as edits.
+    const auto g = graph::buildGraph("ACGTACGTACGT", {{2, "GTACGT", ""}});
+    const auto full = graph::linearizeWhole(g, graph::kUnlimitedHops);
+    const auto limited = graph::linearizeWhole(g, 3);
+    const std::string read = "ACACGT"; // donor carries the deletion
+    const auto exact = alignWindow(full, read, 3);
+    ASSERT_TRUE(exact.found);
+    EXPECT_EQ(exact.editDistance, 0);
+    const auto degraded = alignWindow(limited, read, 8);
+    ASSERT_TRUE(degraded.found);
+    EXPECT_GT(degraded.editDistance, 0);
+}
+
+TEST(BitAlignCore, MultiWordPattern)
+{
+    // Patterns beyond 64 and 128 chars exercise the multi-word carry
+    // chain of the bitvector shifts.
+    Rng rng(33);
+    std::string text;
+    for (int i = 0; i < 400; ++i)
+        text.push_back(rng.nextBase());
+    const auto graph_text = chain(text);
+    for (const int len : {65, 128, 129, 200, 320}) {
+        const std::string read = text.substr(37, len);
+        const auto result = alignWindow(graph_text, read, 2);
+        ASSERT_TRUE(result.found) << len;
+        EXPECT_EQ(result.editDistance, 0) << len;
+        EXPECT_EQ(result.startPos, 37) << len;
+        // One substitution in the middle still aligns.
+        std::string mutated = read;
+        mutated[len / 2] = mutated[len / 2] == 'A' ? 'C' : 'A';
+        const auto sub = alignWindow(graph_text, mutated, 2);
+        ASSERT_TRUE(sub.found) << len;
+        EXPECT_EQ(sub.editDistance, 1) << len;
+    }
+}
+
+TEST(BitAlignCore, SingleCharTextAndPattern)
+{
+    const auto text = chain("A");
+    const auto hit = alignWindow(text, "A", 0);
+    ASSERT_TRUE(hit.found);
+    EXPECT_EQ(hit.editDistance, 0);
+    EXPECT_EQ(hit.cigar.toString(), "1=");
+    const auto miss = alignWindow(text, "T", 0);
+    EXPECT_FALSE(miss.found);
+    const auto sub = alignWindow(text, "T", 1);
+    ASSERT_TRUE(sub.found);
+    EXPECT_EQ(sub.editDistance, 1);
+    // Pattern longer than the text: trailing insertions past the sink.
+    const auto longer = alignWindow(text, "ACG", 2);
+    ASSERT_TRUE(longer.found);
+    EXPECT_EQ(longer.editDistance, 2);
+    EXPECT_TRUE(longer.cigar.validate(
+        "ACG", consumedPath(text, longer)));
+}
+
+TEST(BitAlignCore, ZeroThresholdExactOnly)
+{
+    const auto g = graph::buildGraph("ACGTACGT", {{3, "T", "G"}});
+    const auto text = graph::linearizeWhole(g);
+    // k = 0: only exact paths are admissible.
+    ASSERT_TRUE(alignWindow(text, "ACGG", 0).found); // ALT path
+    ASSERT_TRUE(alignWindow(text, "ACGT", 0).found); // REF path
+    EXPECT_FALSE(alignWindow(text, "ACCC", 0).found);
+}
+
+TEST(BitAlignCore, BranchesOfDifferentLengths)
+{
+    // An insertion branch makes two parallel paths of different
+    // lengths; both must be exactly alignable.
+    const auto g = graph::buildGraph("AACCGGTT", {{4, "", "TATA"}});
+    const auto text = graph::linearizeWhole(g);
+    const auto with_branch = alignWindow(text, "AACCTATAGGTT", 1);
+    ASSERT_TRUE(with_branch.found);
+    EXPECT_EQ(with_branch.editDistance, 0);
+    const auto without_branch = alignWindow(text, "AACCGGTT", 1);
+    ASSERT_TRUE(without_branch.found);
+    EXPECT_EQ(without_branch.editDistance, 0);
+    // A read mixing both paths pays edits.
+    const auto mixed = alignWindow(text, "AACCTAGGTT", 4);
+    ASSERT_TRUE(mixed.found);
+    EXPECT_GT(mixed.editDistance, 0);
+}
+
+TEST(BitAlignCore, RejectsBadInputs)
+{
+    const auto text = chain("ACGT");
+    EXPECT_THROW(alignWindow(text, "", 1), InputError);
+    EXPECT_THROW(alignWindow(text, "AC", -1), InputError);
+    LinearizedGraph empty;
+    empty.finalize();
+    EXPECT_THROW(alignWindow(empty, "AC", 1), InputError);
+}
+
+TEST(BitAlignWindowed, MatchesExactOnShortReads)
+{
+    const auto text = chain("ACGTACGTACGTACGTACGT");
+    BitAlignConfig config;
+    config.windowEditCap = 4;
+    const auto windowed = alignWindowed(text, "GTACGTAC", config);
+    const auto exact = alignExact(text, "GTACGTAC", 4);
+    ASSERT_TRUE(windowed.found);
+    ASSERT_TRUE(exact.found);
+    EXPECT_EQ(windowed.editDistance, exact.editDistance);
+    EXPECT_EQ(windowed.linearStart, exact.linearStart);
+}
+
+TEST(BitAlignWindowed, NumWindowsMatchesPaper)
+{
+    BitAlignConfig bitalign; // W=128, overlap 48 -> stride 80
+    EXPECT_EQ(numWindows(10'000, bitalign), 125);
+    BitAlignConfig genasm;
+    genasm.windowLen = 64;
+    genasm.overlap = 24; // stride 40
+    EXPECT_EQ(numWindows(10'000, genasm), 250);
+    EXPECT_EQ(numWindows(100, bitalign), 1);
+}
+
+TEST(BitAlignWindowed, LongReadOnGraph)
+{
+    // A long exact read across a variant graph must align with 0 edits
+    // through the divide-and-conquer scheme.
+    std::string reference;
+    Rng rng(31);
+    for (int i = 0; i < 2'000; ++i)
+        reference.push_back(rng.nextBase());
+    std::vector<graph::Variant> variants;
+    for (uint64_t pos = 100; pos + 50 < reference.size(); pos += 200) {
+        char alt = rng.nextBase();
+        while (alt == reference[pos])
+            alt = rng.nextBase();
+        variants.push_back({pos, std::string(1, reference[pos]),
+                            std::string(1, alt)});
+    }
+    const auto g = graph::buildGraph(reference, variants);
+    const auto text = graph::linearizeWhole(g);
+    // Read = the reference backbone (one valid path). The alignment
+    // must start inside the first window, so the read begins at the
+    // region start — exactly the contract MinSeed regions satisfy.
+    const std::string read = reference.substr(0, 800);
+    BitAlignConfig config;
+    const auto result = alignWindowed(text, read, config);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.editDistance, 0);
+    EXPECT_EQ(result.cigar.readLength(), read.size());
+}
+
+TEST(BitAlignWindowed, RejectsBadConfig)
+{
+    const auto text = chain("ACGTACGT");
+    BitAlignConfig config;
+    config.overlap = config.windowLen;
+    EXPECT_THROW(alignWindowed(text, "ACGT", config), InputError);
+    config = {};
+    config.windowLen = 1;
+    EXPECT_THROW(alignWindowed(text, "ACGT", config), InputError);
+}
+
+TEST(GenAsm, MatchesDpSemiGlobal)
+{
+    const std::string text = "ACGTACGTACGTTTGGCA";
+    for (const std::string pattern :
+         {"ACGT", "TTGG", "GTACGTT", "AAAA", "CATG"}) {
+        const auto genasm = genAsmAlign(text, pattern, 8);
+        const auto dp = baseline::semiGlobal(text, pattern, false);
+        ASSERT_TRUE(genasm.found) << pattern;
+        EXPECT_EQ(genasm.editDistance, dp.editDistance) << pattern;
+    }
+}
+
+TEST(GenAsm, ReportsLeftmostBestStart)
+{
+    const auto result = genAsmAlign("AACGTAACGT", "ACGT", 2);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.editDistance, 0);
+    EXPECT_EQ(result.textStart, 1);
+}
+
+TEST(GenAsm, AgreesWithBitAlignOnChain)
+{
+    const std::string text = "ACGTACGTACGTTTGGCATT";
+    const auto graph_text = chain(text);
+    for (const std::string pattern : {"CGTAC", "TTTGG", "GGTTC", "ACCA"}) {
+        const auto genasm = genAsmAlign(text, pattern, 6);
+        const auto bitalign = alignWindow(graph_text, pattern, 6);
+        ASSERT_EQ(genasm.found, bitalign.found) << pattern;
+        if (genasm.found) {
+            EXPECT_EQ(genasm.editDistance, bitalign.editDistance)
+                << pattern;
+            EXPECT_EQ(genasm.textStart, bitalign.startPos) << pattern;
+        }
+    }
+}
+
+TEST(Myers, MatchesDpSemiGlobal)
+{
+    const std::string text = "ACGTACGTACGTTTGGCA";
+    for (const std::string pattern :
+         {"ACGT", "TTGG", "GTACGTT", "AAAA", "CATG"}) {
+        const auto myers = myersAlign(text, pattern);
+        const auto dp = baseline::semiGlobal(text, pattern, false);
+        EXPECT_EQ(myers.editDistance, dp.editDistance) << pattern;
+    }
+}
+
+TEST(Myers, RejectsBadInputs)
+{
+    EXPECT_THROW(myersAlign("ACGT", ""), InputError);
+    EXPECT_THROW(myersAlign("ACGT", std::string(65, 'A')), InputError);
+    EXPECT_THROW(myersAlign("", "ACGT"), InputError);
+}
+
+} // namespace
+} // namespace segram::align

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Property tests for BitAlign: randomized sweeps (TEST_P) comparing the
+ * bitvector aligner against the DP oracle on random DAGs and random
+ * strings, with full CIGAR validation on the consumed path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/align/bitalign.h"
+#include "src/align/bitalign_core.h"
+#include "src/align/genasm.h"
+#include "src/align/myers.h"
+#include "src/baseline/dp_s2g.h"
+#include "src/baseline/dp_s2s.h"
+#include "src/graph/linearize.h"
+#include "src/util/rng.h"
+
+namespace segram::align
+{
+namespace
+{
+
+using graph::LinearizedGraph;
+
+/** Random DAG with chain edges, random extra hops and chain breaks. */
+LinearizedGraph
+randomDag(Rng &rng, int size, double hop_prob, double break_prob)
+{
+    LinearizedGraph out;
+    for (int i = 0; i < size; ++i) {
+        std::vector<uint16_t> deltas;
+        if (i + 1 < size && !rng.nextBool(break_prob))
+            deltas.push_back(1);
+        if (i + 2 < size && rng.nextBool(hop_prob)) {
+            const auto max_delta =
+                std::min<uint64_t>(10, size - 1 - i);
+            const auto delta =
+                static_cast<uint16_t>(2 + rng.nextBelow(max_delta - 1));
+            if (delta >= 2)
+                deltas.push_back(delta);
+        }
+        out.pushChar(rng.nextBase(), std::move(deltas));
+    }
+    out.finalize();
+    return out;
+}
+
+/** Samples a path string through the DAG starting at a random node. */
+std::string
+samplePath(const LinearizedGraph &text, Rng &rng, int max_len,
+           int max_start = -1)
+{
+    std::string out;
+    const uint64_t bound = max_start < 0
+                               ? static_cast<uint64_t>(text.size())
+                               : static_cast<uint64_t>(max_start) + 1;
+    int pos = static_cast<int>(rng.nextBelow(bound));
+    while (static_cast<int>(out.size()) < max_len) {
+        out.push_back("ACGT"[text.code(pos)]);
+        const auto deltas = text.successorDeltas(pos);
+        if (deltas.empty())
+            break;
+        pos += deltas[rng.nextBelow(deltas.size())];
+    }
+    return out;
+}
+
+/** Applies random edits to a string. */
+std::string
+mutate(const std::string &seq, Rng &rng, double rate, int *edits)
+{
+    std::string out;
+    for (const char base : seq) {
+        if (rng.nextBool(rate)) {
+            ++*edits;
+            const double which = rng.nextDouble();
+            if (which < 0.4) {
+                char alt = rng.nextBase();
+                while (alt == base)
+                    alt = rng.nextBase();
+                out.push_back(alt); // substitution
+            } else if (which < 0.7) {
+                out.push_back(rng.nextBase());
+                out.push_back(base); // insertion
+            } // else deletion: skip the base
+        } else {
+            out.push_back(base);
+        }
+    }
+    if (out.empty())
+        out.push_back('A');
+    return out;
+}
+
+std::string
+consumedPath(const LinearizedGraph &text,
+             const std::vector<int> &positions)
+{
+    std::string out;
+    for (const int pos : positions)
+        out.push_back("ACGT"[text.code(pos)]);
+    return out;
+}
+
+class BitAlignVsOracle : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitAlignVsOracle, RandomDagMatchesDp)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 8; ++trial) {
+        const int size = 20 + static_cast<int>(rng.nextBelow(120));
+        const auto text = randomDag(rng, size, 0.15, 0.02);
+        int edits = 0;
+        const std::string path =
+            samplePath(text, rng, 10 + rng.nextBelow(40));
+        const std::string read = mutate(path, rng, 0.12, &edits);
+        const int k = std::max<int>(8, edits + 4);
+
+        const auto bitalign = alignWindow(text, read, k);
+        const auto oracle = baseline::dpGraphDistance(text, read);
+
+        if (oracle.editDistance <= k) {
+            ASSERT_TRUE(bitalign.found)
+                << "seed " << GetParam() << " trial " << trial;
+            EXPECT_EQ(bitalign.editDistance, oracle.editDistance)
+                << "seed " << GetParam() << " trial " << trial;
+            // The traceback must be a real alignment of the read against
+            // the consumed path, at the claimed cost.
+            const std::string ref_path =
+                consumedPath(text, bitalign.textPositions);
+            EXPECT_TRUE(bitalign.cigar.validate(read, ref_path))
+                << "read " << read << " path " << ref_path;
+            EXPECT_EQ(bitalign.cigar.editDistance(),
+                      static_cast<uint64_t>(bitalign.editDistance));
+            // Consumed positions must follow graph edges.
+            for (size_t i = 0; i + 1 < bitalign.textPositions.size();
+                 ++i) {
+                const int from = bitalign.textPositions[i];
+                const int to = bitalign.textPositions[i + 1];
+                bool edge = false;
+                for (const auto delta : text.successorDeltas(from))
+                    edge |= from + delta == to;
+                EXPECT_TRUE(edge) << from << " -> " << to;
+            }
+        } else {
+            EXPECT_FALSE(bitalign.found)
+                << "oracle " << oracle.editDistance << " k " << k;
+        }
+    }
+}
+
+TEST_P(BitAlignVsOracle, DistanceOnlyAgreesWithTraceback)
+{
+    Rng rng(GetParam() + 1000);
+    const auto text = randomDag(rng, 80, 0.2, 0.02);
+    for (int trial = 0; trial < 10; ++trial) {
+        int edits = 0;
+        const std::string read =
+            mutate(samplePath(text, rng, 30), rng, 0.15, &edits);
+        const auto with_tb = alignWindow(text, read, 12);
+        const auto without_tb = alignWindowDistanceOnly(text, read, 12);
+        EXPECT_EQ(with_tb.found, without_tb.found);
+        if (with_tb.found) {
+            EXPECT_EQ(with_tb.editDistance, without_tb.editDistance);
+            EXPECT_EQ(with_tb.startPos, without_tb.startPos);
+        }
+    }
+}
+
+TEST_P(BitAlignVsOracle, ChainCaseMatchesStringAligners)
+{
+    // On chain graphs, four independent implementations must agree:
+    // BitAlign, GenASM, Myers and the DP table.
+    Rng rng(GetParam() + 2000);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::string text;
+        const int n = 30 + static_cast<int>(rng.nextBelow(100));
+        for (int i = 0; i < n; ++i)
+            text.push_back(rng.nextBase());
+        LinearizedGraph chain_text;
+        for (int i = 0; i < n; ++i) {
+            chain_text.pushChar(
+                text[i], i + 1 < n ? std::vector<uint16_t>{1}
+                                   : std::vector<uint16_t>{});
+        }
+        chain_text.finalize();
+
+        int edits = 0;
+        const int start = static_cast<int>(rng.nextBelow(n / 2));
+        const int len =
+            1 + static_cast<int>(rng.nextBelow(std::min(60, n - start)));
+        const std::string read =
+            mutate(text.substr(start, len), rng, 0.15, &edits);
+
+        const auto dp = baseline::semiGlobal(text, read, false);
+        const int k = dp.editDistance + 3;
+        const auto bitalign = alignWindow(chain_text, read, k);
+        const auto genasm = genAsmAlign(text, read, k);
+        ASSERT_TRUE(bitalign.found);
+        ASSERT_TRUE(genasm.found);
+        EXPECT_EQ(bitalign.editDistance, dp.editDistance);
+        EXPECT_EQ(genasm.editDistance, dp.editDistance);
+        EXPECT_EQ(genasm.textStart, bitalign.startPos);
+        if (read.size() <= 64) {
+            EXPECT_EQ(myersAlign(text, read).editDistance,
+                      dp.editDistance);
+        }
+    }
+}
+
+TEST_P(BitAlignVsOracle, WindowedIsValidAndNearExact)
+{
+    Rng rng(GetParam() + 3000);
+    int equal = 0;
+    int total = 0;
+    for (int trial = 0; trial < 6; ++trial) {
+        const auto text = randomDag(rng, 600, 0.1, 0.0);
+        int edits = 0;
+        // The divide-and-conquer contract: the alignment must start
+        // within the first window, as MinSeed regions guarantee.
+        const std::string read =
+            mutate(samplePath(text, rng, 400, 24), rng, 0.05, &edits);
+        if (read.size() < 200)
+            continue;
+        BitAlignConfig config;
+        config.windowLen = 96;
+        config.overlap = 32;
+        config.windowEditCap = 24;
+        const auto windowed = alignWindowed(text, read, config);
+        const auto oracle = baseline::dpGraphDistance(text, read);
+        if (!windowed.found)
+            continue;
+        ++total;
+        // Windowed is a heuristic upper bound with bounded overage.
+        EXPECT_GE(windowed.editDistance, oracle.editDistance);
+        EXPECT_LE(windowed.editDistance,
+                  oracle.editDistance +
+                      std::max<int>(16, static_cast<int>(read.size()) / 8));
+        EXPECT_EQ(windowed.cigar.readLength(), read.size());
+        equal += windowed.editDistance == oracle.editDistance;
+    }
+    if (total > 0) {
+        // Even on adversarial random DAGs (worst case for the greedy
+        // cut), at least a third of alignments stay exactly optimal;
+        // genome-like inputs are exercised by the integration tests.
+        EXPECT_GE(equal * 3, total)
+            << equal << " of " << total << " exact";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitAlignVsOracle,
+                         ::testing::Range(1, 13));
+
+class S2SEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(S2SEquivalence, RandomStrings)
+{
+    // Fully random (unrelated) strings: worst-case edit distances.
+    Rng rng(GetParam() + 5000);
+    for (int trial = 0; trial < 6; ++trial) {
+        const int n = 10 + static_cast<int>(rng.nextBelow(80));
+        const int m = 1 + static_cast<int>(rng.nextBelow(40));
+        std::string text;
+        std::string read;
+        for (int i = 0; i < n; ++i)
+            text.push_back(rng.nextBase());
+        for (int i = 0; i < m; ++i)
+            read.push_back(rng.nextBase());
+        const auto dp = baseline::semiGlobal(text, read, false);
+        const auto genasm = genAsmAlign(text, read, m);
+        ASSERT_TRUE(genasm.found);
+        EXPECT_EQ(genasm.editDistance, dp.editDistance)
+            << text << " / " << read;
+        if (m <= 64) {
+            EXPECT_EQ(myersAlign(text, read).editDistance,
+                      dp.editDistance);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, S2SEquivalence, ::testing::Range(1, 9));
+
+} // namespace
+} // namespace segram::align

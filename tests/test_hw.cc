@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for the hardware model: cycle calibration against the paper's
+ * published numbers (169/272 cycles, 250/125 windows, 42.3k/34.0k
+ * cycles per 10 kbp read), Table 1 totals, and system scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/hw/area_power.h"
+#include "src/hw/config.h"
+#include "src/hw/cycle_model.h"
+#include "src/hw/pipeline_model.h"
+#include "src/hw/system_model.h"
+#include "src/util/check.h"
+
+namespace segram::hw
+{
+namespace
+{
+
+TEST(CycleModel, MatchesPaperAnchors)
+{
+    // Section 11.3: "each window execution of GenASM takes 169 cycles,
+    // whereas it takes 272 cycles for BitAlign".
+    EXPECT_DOUBLE_EQ(cyclesPerWindow(HwConfig::segram()), 272.0);
+    EXPECT_DOUBLE_EQ(cyclesPerWindow(HwConfig::genasm()), 169.0);
+}
+
+TEST(CycleModel, WindowCountsMatchPaper)
+{
+    // "the number of windows required to consume 10 kbp is 250 for
+    // GenASM, whereas this number is 125 for BitAlign".
+    EXPECT_EQ(windowsPerRead(10'000, HwConfig::segram()), 125);
+    EXPECT_EQ(windowsPerRead(10'000, HwConfig::genasm()), 250);
+    EXPECT_EQ(windowsPerRead(100, HwConfig::segram()), 1);
+}
+
+TEST(CycleModel, PerReadCyclesMatchPaper)
+{
+    // "BitAlign (34.0k cycles) performs better than GenASM (42.3k
+    // cycles) by 24% (1.2x)".
+    const double bitalign =
+        bitalignCyclesPerSeed(10'000, HwConfig::segram());
+    const double genasm =
+        bitalignCyclesPerSeed(10'000, HwConfig::genasm());
+    EXPECT_NEAR(bitalign, 34'000.0, 1.0);
+    EXPECT_NEAR(genasm, 42'250.0, 1.0);
+    EXPECT_NEAR(genasm / bitalign, 1.24, 0.02);
+}
+
+TEST(CycleModel, TimingPipelinesMinSeedBehindBitAlign)
+{
+    ReadWorkload workload;
+    workload.readLen = 10'000;
+    workload.seedsPerRead = 100.0;
+    workload.minimizersPerRead = 1'800.0;
+    workload.seedHitsPerMinimizer = 1.2;
+    workload.regionBytes = 4'000.0;
+    const auto timing = estimateTiming(HwConfig::segram(), workload);
+    EXPECT_GT(timing.bitalignUsPerSeed, 0.0);
+    EXPECT_GE(timing.usPerSeed, timing.bitalignUsPerSeed);
+    EXPECT_GE(timing.usPerSeed, timing.minseedUsPerSeed);
+    EXPECT_NEAR(timing.usPerRead,
+                timing.usPerSeed * workload.seedsPerRead, 1e-9);
+    // The paper reports ~35.9 us per seed execution for long reads;
+    // BitAlign alone is 34.0 us at 1 GHz.
+    EXPECT_NEAR(timing.bitalignUsPerSeed, 34.0, 0.1);
+}
+
+TEST(CycleModel, RejectsBadWorkload)
+{
+    ReadWorkload workload;
+    workload.seedsPerRead = 0.0;
+    EXPECT_THROW(estimateTiming(HwConfig::segram(), workload), InputError);
+    EXPECT_THROW(windowsPerRead(0, HwConfig::segram()), InputError);
+}
+
+TEST(AreaPower, MatchesTable1Totals)
+{
+    const auto breakdown = modelAreaPower(HwConfig::segram());
+    const auto total = breakdown.accelTotal();
+    // Paper Table 1: 0.867 mm2 and 758 mW per accelerator.
+    EXPECT_NEAR(total.areaMm2, 0.867, 0.01);
+    EXPECT_NEAR(total.powerMw, 758.0, 8.0);
+    // 32 accelerators: 27.7 mm2 and 24.3 W; +HBM = 28.1 W.
+    const auto system = breakdown.systemTotal(HwConfig::segram());
+    EXPECT_NEAR(system.areaMm2, 27.7, 0.4);
+    EXPECT_NEAR(system.powerMw / 1000.0, 24.3, 0.3);
+    EXPECT_NEAR(system.powerMw / 1000.0 +
+                    breakdown.hbmPowerW(HwConfig::segram()),
+                28.1, 0.4);
+}
+
+TEST(AreaPower, HopQueuesDominateEditLogic)
+{
+    // "the hop queue registers ... constitute more than 60% of the area
+    // and power of BitAlign's edit distance calculation logic".
+    const auto breakdown = modelAreaPower(HwConfig::segram());
+    const double area_share =
+        breakdown.hopQueues.areaMm2 /
+        (breakdown.hopQueues.areaMm2 +
+         breakdown.bitalignEditLogic.areaMm2);
+    const double power_share =
+        breakdown.hopQueues.powerMw /
+        (breakdown.hopQueues.powerMw +
+         breakdown.bitalignEditLogic.powerMw);
+    EXPECT_GT(area_share, 0.60);
+    EXPECT_GT(power_share, 0.60);
+}
+
+TEST(AreaPower, ScalesWithConfiguration)
+{
+    HwConfig small = HwConfig::segram();
+    small.numPes = 32;
+    small.hopQueueDepth = 6;
+    small.hopQueueBytesPerPe = 96;
+    const auto big = modelAreaPower(HwConfig::segram()).accelTotal();
+    const auto little = modelAreaPower(small).accelTotal();
+    EXPECT_LT(little.areaMm2, big.areaMm2);
+    EXPECT_LT(little.powerMw, big.powerMw);
+}
+
+TEST(AreaPower, PrintsTable)
+{
+    std::ostringstream out;
+    printTable1(out, HwConfig::segram());
+    const std::string text = out.str();
+    EXPECT_NE(text.find("MinSeed logic"), std::string::npos);
+    EXPECT_NE(text.find("hop queue"), std::string::npos);
+    EXPECT_NE(text.find("Total"), std::string::npos);
+}
+
+TEST(SystemModel, LinearAcceleratorScaling)
+{
+    ReadWorkload workload;
+    workload.readLen = 10'000;
+    workload.seedsPerRead = 50.0;
+    workload.minimizersPerRead = 1'800.0;
+    workload.regionBytes = 4'000.0;
+    const HwConfig config = HwConfig::segram();
+    const double one = scaledThroughput(config, workload, 1);
+    const double sixteen = scaledThroughput(config, workload, 16);
+    const double thirty_two = scaledThroughput(config, workload, 32);
+    EXPECT_NEAR(sixteen / one, 16.0, 1e-6);
+    EXPECT_NEAR(thirty_two / one, 32.0, 1e-6);
+    EXPECT_THROW(scaledThroughput(config, workload, 0), InputError);
+    EXPECT_THROW(scaledThroughput(config, workload, 33), InputError);
+}
+
+TEST(SystemModel, EstimateIsConsistent)
+{
+    ReadWorkload workload;
+    workload.readLen = 150;
+    workload.seedsPerRead = 30.0;
+    workload.minimizersPerRead = 25.0;
+    workload.seedHitsPerMinimizer = 1.5;
+    workload.regionBytes = 300.0;
+    const auto estimate = estimateSystem(HwConfig::segram(), workload);
+    EXPECT_GT(estimate.readsPerSecPerAccel, 0.0);
+    EXPECT_NEAR(estimate.readsPerSecTotal,
+                estimate.readsPerSecPerAccel * 32, 1e-6);
+    EXPECT_GT(estimate.totalPowerW, estimate.accelPowerW);
+    // Short reads keep the channel far from saturation.
+    EXPECT_FALSE(estimate.bandwidthBound);
+}
+
+TEST(SystemModel, ShortReadsAreFasterThanLongReads)
+{
+    ReadWorkload long_reads;
+    long_reads.readLen = 10'000;
+    long_reads.seedsPerRead = 100.0;
+    long_reads.minimizersPerRead = 1'800.0;
+    long_reads.regionBytes = 4'000.0;
+    ReadWorkload short_reads;
+    short_reads.readLen = 150;
+    short_reads.seedsPerRead = 30.0;
+    short_reads.minimizersPerRead = 25.0;
+    short_reads.regionBytes = 300.0;
+    const auto config = HwConfig::segram();
+    EXPECT_GT(estimateSystem(config, short_reads).readsPerSecTotal,
+              estimateSystem(config, long_reads).readsPerSecTotal * 10);
+}
+
+TEST(CycleModel, MonotoneInReadLengthAndSeeds)
+{
+    const auto config = HwConfig::segram();
+    ReadWorkload workload;
+    workload.minimizersPerRead = 100.0;
+    workload.seedsPerRead = 10.0;
+    workload.regionBytes = 500.0;
+    double prev = 0.0;
+    for (const int len : {100, 500, 1'000, 5'000, 10'000}) {
+        workload.readLen = len;
+        const double us = estimateTiming(config, workload).usPerRead;
+        EXPECT_GT(us, prev) << len;
+        prev = us;
+    }
+    workload.readLen = 1'000;
+    prev = 0.0;
+    for (const double seeds : {1.0, 10.0, 100.0, 1'000.0}) {
+        workload.seedsPerRead = seeds;
+        const double us = estimateTiming(config, workload).usPerRead;
+        EXPECT_GT(us, prev) << seeds;
+        prev = us;
+    }
+}
+
+TEST(SystemModel, BandwidthBoundWorkloadIsThrottled)
+{
+    // An absurdly memory-heavy workload must trip the bandwidth bound
+    // and reduce throughput relative to the unthrottled estimate.
+    ReadWorkload heavy;
+    heavy.readLen = 150;
+    heavy.seedsPerRead = 50.0;
+    heavy.minimizersPerRead = 30.0;
+    heavy.regionBytes = 50'000'000.0; // 50 MB per seed
+    HwConfig config = HwConfig::segram();
+    config.hbmChannelBwGBps = 0.5;
+    const auto estimate = estimateSystem(config, heavy);
+    EXPECT_TRUE(estimate.bandwidthBound);
+    const auto timing = estimateTiming(config, heavy);
+    EXPECT_LT(estimate.readsPerSecPerAccel,
+              1e6 / timing.usPerRead * 1.0001);
+}
+
+TEST(CycleModel, GenasmConfigInterpolation)
+{
+    // The linear calibration must interpolate smoothly between and
+    // beyond the two anchor widths.
+    HwConfig config = HwConfig::segram();
+    config.bitsPerPe = 96;
+    const double mid = cyclesPerWindow(config);
+    EXPECT_GT(mid, 169.0);
+    EXPECT_LT(mid, 272.0);
+    config.bitsPerPe = 256;
+    EXPECT_GT(cyclesPerWindow(config), 272.0);
+}
+
+TEST(PipelineModel, MinSeedLatencyIsHiddenOnLongReads)
+{
+    // Section 8.3: the double-buffered pipeline "completely hides the
+    // latency of MinSeed" — BitAlign stalls should be negligible for
+    // the paper's long-read workload on an HBM channel.
+    ReadWorkload workload;
+    workload.readLen = 10'000;
+    workload.seedsPerRead = 100.0;
+    workload.minimizersPerRead = 1'800.0;
+    workload.regionBytes = 4'000.0;
+    const auto sim =
+        simulatePipeline(HwConfig::segram(), workload);
+    EXPECT_EQ(sim.batches, 1u); // 2050-minimizer capacity per batch
+    EXPECT_LT(sim.stallFraction(), 0.02);
+    EXPECT_NEAR(sim.totalUs, sim.bitalignBusyUs,
+                0.05 * sim.totalUs);
+}
+
+TEST(PipelineModel, SlowMemoryExposesMinSeed)
+{
+    ReadWorkload workload;
+    workload.readLen = 10'000;
+    workload.seedsPerRead = 100.0;
+    workload.minimizersPerRead = 1'800.0;
+    workload.regionBytes = 4'000.0;
+    HwConfig slow = HwConfig::segram();
+    slow.hbmLatencyNs = 5'000.0;
+    slow.hbmChannelBwGBps = 0.2;
+    slow.memoryParallelism = 1;
+    const auto sim = simulatePipeline(slow, workload);
+    EXPECT_GT(sim.stallFraction(), 0.2);
+    EXPECT_GT(sim.totalUs,
+              simulatePipeline(HwConfig::segram(), workload).totalUs);
+}
+
+TEST(PipelineModel, OversizedReadTriggersBatching)
+{
+    // A read whose minimizers exceed the 40 kB scratchpad (2050 per
+    // half) must fall back to the paper's batching approach.
+    ReadWorkload workload;
+    workload.readLen = 100'000;
+    workload.seedsPerRead = 1'000.0;
+    workload.minimizersPerRead = 18'000.0;
+    workload.regionBytes = 4'000.0;
+    const auto sim =
+        simulatePipeline(HwConfig::segram(), workload);
+    EXPECT_GT(sim.batches, 1u);
+    // Batching costs a little extra but the pipeline still runs.
+    EXPECT_GT(sim.totalUs, 0.0);
+    EXPECT_LT(sim.stallFraction(), 0.5);
+}
+
+TEST(AreaPower, GenasmVariantIsSmaller)
+{
+    const auto segram = modelAreaPower(HwConfig::segram()).accelTotal();
+    const auto genasm = modelAreaPower(HwConfig::genasm()).accelTotal();
+    // Narrower PEs and smaller bitvector scratchpads must cost less.
+    EXPECT_LT(genasm.areaMm2, segram.areaMm2);
+    EXPECT_LT(genasm.powerMw, segram.powerMw);
+}
+
+} // namespace
+} // namespace segram::hw

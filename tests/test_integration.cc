@@ -1,0 +1,258 @@
+/**
+ * @file
+ * End-to-end integration tests: the full pipeline on simulated
+ * datasets — genome -> variants -> graph -> index -> donor -> noisy
+ * reads -> SeGraM mapping — asserting sensitivity (reads map back to
+ * their true origin) under the paper's read profiles, and agreement
+ * between the SeGraM pipeline and the software baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/baseline/mappers.h"
+#include "src/core/segram.h"
+#include "src/graph/graph_builder.h"
+#include "src/graph/variants.h"
+#include "src/io/fasta.h"
+#include "src/io/gfa.h"
+#include "src/io/vcf.h"
+#include "src/sim/dataset.h"
+#include "src/util/rng.h"
+
+namespace segram
+{
+namespace
+{
+
+struct MappingScore
+{
+    int mapped = 0;
+    int correct = 0;
+    int total = 0;
+};
+
+MappingScore
+scoreMapping(const core::SegramMapper &mapper,
+             const std::vector<sim::SimRead> &reads,
+             uint64_t tolerance)
+{
+    MappingScore score;
+    for (const auto &read : reads) {
+        ++score.total;
+        const auto result = mapper.mapRead(read.seq);
+        if (!result.mapped)
+            continue;
+        ++score.mapped;
+        const uint64_t truth = read.truthLinearStart;
+        const uint64_t delta = result.linearStart > truth
+                                   ? result.linearStart - truth
+                                   : truth - result.linearStart;
+        score.correct += delta <= tolerance;
+    }
+    return score;
+}
+
+sim::DatasetConfig
+datasetConfig(uint64_t seed, uint64_t genome_len)
+{
+    sim::DatasetConfig config;
+    config.genome.length = genome_len;
+    config.index.sketch = {15, 10};
+    config.index.bucketBits = 14;
+    config.seed = seed;
+    return config;
+}
+
+TEST(Integration, ShortReadsIlluminaProfile)
+{
+    const auto dataset = sim::makeDataset(datasetConfig(101, 80'000));
+    Rng rng(102);
+    sim::ReadSimConfig read_config;
+    read_config.readLen = 150;
+    read_config.numReads = 40;
+    read_config.errors = sim::ErrorProfile::illumina();
+    const auto reads = sim::simulateReads(dataset.donor, read_config, rng);
+
+    core::SegramConfig config;
+    config.minseed.errorRate = 0.05;
+    config.bitalign.windowEditCap = 24;
+    config.earlyExitFraction = 1.0;
+    const core::SegramMapper mapper(dataset.graph, dataset.index, config);
+    const auto score = scoreMapping(mapper, reads, 32);
+    // Sensitivity: nearly all short reads map to the right place.
+    EXPECT_GE(score.mapped * 100, score.total * 90);
+    EXPECT_GE(score.correct * 100, score.mapped * 90);
+}
+
+TEST(Integration, LongReadsPacbioProfile)
+{
+    const auto dataset = sim::makeDataset(datasetConfig(103, 120'000));
+    Rng rng(104);
+    sim::ReadSimConfig read_config;
+    read_config.readLen = 3'000;
+    read_config.numReads = 8;
+    read_config.errors = sim::ErrorProfile::pacbio(0.05);
+    const auto reads = sim::simulateReads(dataset.donor, read_config, rng);
+
+    core::SegramConfig config;
+    config.minseed.errorRate = 0.10;
+    config.bitalign.windowEditCap = 40;
+    config.earlyExitFraction = 2.0;
+    config.maxRegions = 64;
+    const core::SegramMapper mapper(dataset.graph, dataset.index, config);
+    const auto score = scoreMapping(mapper, reads, 64);
+    EXPECT_GE(score.mapped * 100, score.total * 85);
+    EXPECT_GE(score.correct * 100, score.mapped * 85);
+}
+
+TEST(Integration, OntProfileHigherErrorStillMaps)
+{
+    const auto dataset = sim::makeDataset(datasetConfig(105, 100'000));
+    Rng rng(106);
+    sim::ReadSimConfig read_config;
+    read_config.readLen = 2'000;
+    read_config.numReads = 6;
+    read_config.errors = sim::ErrorProfile::ont(0.10);
+    const auto reads = sim::simulateReads(dataset.donor, read_config, rng);
+
+    core::SegramConfig config;
+    config.minseed.errorRate = 0.15;
+    config.bitalign.windowEditCap = 56;
+    config.bitalign.textSlack = 64;
+    config.earlyExitFraction = 2.0;
+    config.maxRegions = 64;
+    const core::SegramMapper mapper(dataset.graph, dataset.index, config);
+    const auto score = scoreMapping(mapper, reads, 64);
+    EXPECT_GE(score.mapped * 100, score.total * 66);
+}
+
+TEST(Integration, SegramAgreesWithBaselineMappers)
+{
+    const auto dataset = sim::makeDataset(datasetConfig(107, 60'000));
+    Rng rng(108);
+    sim::ReadSimConfig read_config;
+    read_config.readLen = 250;
+    read_config.numReads = 15;
+    read_config.errors = sim::ErrorProfile::illumina();
+    const auto reads = sim::simulateReads(dataset.donor, read_config, rng);
+
+    core::SegramConfig segram_config;
+    segram_config.earlyExitFraction = 1.0;
+    const core::SegramMapper segram(dataset.graph, dataset.index,
+                                    segram_config);
+    baseline::BaselineConfig baseline_config;
+    baseline_config.errorRate = 0.05;
+    const baseline::GraphAlignerLike graphaligner(
+        dataset.graph, dataset.index, baseline_config);
+
+    int agreements = 0;
+    int comparable = 0;
+    for (const auto &read : reads) {
+        const auto a = segram.mapRead(read.seq);
+        const auto b = graphaligner.map(read.seq);
+        if (a.mapped && b.mapped) {
+            ++comparable;
+            const uint64_t delta = a.linearStart > b.linearStart
+                                       ? a.linearStart - b.linearStart
+                                       : b.linearStart - a.linearStart;
+            agreements += delta <= 64;
+        }
+    }
+    ASSERT_GT(comparable, 8);
+    EXPECT_GE(agreements * 100, comparable * 85);
+}
+
+TEST(Integration, FileBasedPipelineRoundTrip)
+{
+    // The CLI path: dataset -> FASTA/VCF files on disk -> parse ->
+    // canonicalize -> graph -> GFA round trip -> index -> map reads.
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "segram_integration_test";
+    std::filesystem::create_directories(dir);
+    const auto cleanup = [&] { std::filesystem::remove_all(dir); };
+
+    const auto dataset = sim::makeDataset(datasetConfig(211, 50'000));
+    const std::string fasta_path = (dir / "ref.fa").string();
+    const std::string vcf_path = (dir / "vars.vcf").string();
+    io::writeFastaFile(fasta_path, {{"chr1", dataset.reference}});
+    std::vector<io::VcfRecord> vcf;
+    for (const auto &variant : dataset.variants) {
+        if (variant.pos == 0)
+            continue;
+        vcf.push_back(
+            graph::toVcfRecord(variant, "chr1", dataset.reference));
+    }
+    io::writeVcfFile(vcf_path, vcf);
+
+    // Parse back and rebuild the graph from files.
+    const auto records = io::readFastaFile(fasta_path);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].seq, dataset.reference);
+    const auto parsed_vcf = io::readVcfFile(vcf_path);
+    uint64_t dropped = 0;
+    const auto variants = graph::canonicalizeSet(
+        parsed_vcf, "chr1", records[0].seq.size(), &dropped);
+    EXPECT_EQ(dropped, 0u);
+    EXPECT_EQ(variants.size(), vcf.size());
+    const auto graph = graph::buildGraph(records[0].seq, variants);
+    EXPECT_EQ(graph.numNodes(), dataset.graph.numNodes());
+    EXPECT_EQ(graph.totalSeqLen(), dataset.graph.totalSeqLen());
+
+    // GFA round trip preserves the structure.
+    const std::string gfa_path = (dir / "graph.gfa").string();
+    io::writeGfaFile(gfa_path, graph.toGfa());
+    const auto reloaded =
+        graph::GenomeGraph::fromGfa(io::readGfaFile(gfa_path));
+    EXPECT_EQ(reloaded.numNodes(), graph.numNodes());
+    EXPECT_EQ(reloaded.numEdges(), graph.numEdges());
+
+    // Index + map donor reads on the file-derived graph.
+    index::IndexConfig index_config;
+    index_config.bucketBits = 13;
+    const auto index = index::MinimizerIndex::build(graph, index_config);
+    core::SegramConfig config;
+    config.earlyExitFraction = 1.0;
+    const core::SegramMapper mapper(graph, index, config);
+    Rng rng(212);
+    int mapped = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+        const uint64_t start =
+            rng.nextBelow(dataset.donor.seq().size() - 400);
+        mapped +=
+            mapper.mapRead(dataset.donor.seq().substr(start, 200)).mapped;
+    }
+    EXPECT_GE(mapped, 9);
+    cleanup();
+}
+
+TEST(Integration, HopLimitBarelyAffectsSensitivity)
+{
+    // Fig. 13's design point: hop limit 12 covers >99% of hops, so
+    // sensitivity is essentially unchanged vs. unlimited hops.
+    const auto dataset = sim::makeDataset(datasetConfig(109, 60'000));
+    Rng rng(110);
+    sim::ReadSimConfig read_config;
+    read_config.readLen = 200;
+    read_config.numReads = 25;
+    read_config.errors = sim::ErrorProfile::illumina();
+    const auto reads = sim::simulateReads(dataset.donor, read_config, rng);
+
+    core::SegramConfig limited;
+    limited.hopLimit = graph::kDefaultHopLimit;
+    limited.earlyExitFraction = 1.0;
+    core::SegramConfig unlimited = limited;
+    unlimited.hopLimit = graph::kUnlimitedHops;
+    const core::SegramMapper limited_mapper(dataset.graph, dataset.index,
+                                            limited);
+    const core::SegramMapper unlimited_mapper(dataset.graph,
+                                              dataset.index, unlimited);
+    const auto limited_score = scoreMapping(limited_mapper, reads, 32);
+    const auto unlimited_score =
+        scoreMapping(unlimited_mapper, reads, 32);
+    EXPECT_GE(limited_score.mapped + 2, unlimited_score.mapped);
+}
+
+} // namespace
+} // namespace segram

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for the io substrate: FASTA, VCF and GFA parsing/writing,
+ * including malformed-input failure injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/io/fasta.h"
+#include "src/io/fastq.h"
+#include "src/io/gfa.h"
+#include "src/io/paf.h"
+#include "src/io/vcf.h"
+#include "src/util/check.h"
+
+namespace segram::io
+{
+namespace
+{
+
+TEST(Fasta, ParsesRecords)
+{
+    std::istringstream in(">chr1 description here\nACGT\nacgt\n>chr2\nTTTT\n");
+    const auto records = readFasta(in);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].name, "chr1");
+    EXPECT_EQ(records[0].seq, "ACGTACGT");
+    EXPECT_EQ(records[1].name, "chr2");
+    EXPECT_EQ(records[1].seq, "TTTT");
+}
+
+TEST(Fasta, NormalizesAmbiguousBases)
+{
+    std::istringstream in(">x\nACGNN\n");
+    EXPECT_EQ(readFasta(in)[0].seq, "ACGAA");
+}
+
+TEST(Fasta, HandlesCrlf)
+{
+    std::istringstream in(">x\r\nACGT\r\n");
+    EXPECT_EQ(readFasta(in)[0].seq, "ACGT");
+}
+
+TEST(Fasta, RoundTrip)
+{
+    const std::vector<FastaRecord> records = {
+        {"a", "ACGTACGTACGT"}, {"b", "TT"}};
+    std::ostringstream out;
+    writeFasta(out, records, 5);
+    std::istringstream in(out.str());
+    EXPECT_EQ(readFasta(in), records);
+}
+
+TEST(Fasta, RejectsMalformed)
+{
+    std::istringstream data_before_header("ACGT\n");
+    EXPECT_THROW(readFasta(data_before_header), InputError);
+    std::istringstream empty_record(">x\n>y\nAC\n");
+    EXPECT_THROW(readFasta(empty_record), InputError);
+    std::istringstream trailing_empty(">x\nAC\n>y\n");
+    EXPECT_THROW(readFasta(trailing_empty), InputError);
+    EXPECT_THROW(readFastaFile("/nonexistent/path.fa"), InputError);
+}
+
+TEST(Vcf, ParsesAndExpandsMultiAllelic)
+{
+    std::istringstream in(
+        "##fileformat=VCFv4.2\n"
+        "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n"
+        "chr1\t5\trs1\tA\tG\t.\t.\t.\n"
+        "chr1\t9\t.\tAC\tA,ACT\t.\t.\t.\n");
+    const auto records = readVcf(in);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].pos, 5u);
+    EXPECT_TRUE(records[0].isSnp());
+    EXPECT_TRUE(records[1].isDeletion());
+    EXPECT_TRUE(records[2].isInsertion());
+    EXPECT_EQ(records[2].alt, "ACT");
+}
+
+TEST(Vcf, RoundTrip)
+{
+    const std::vector<VcfRecord> records = {
+        {"chr1", 5, "rs1", "A", "G"},
+        {"chr1", 9, ".", "AC", "A"},
+    };
+    std::ostringstream out;
+    writeVcf(out, records);
+    std::istringstream in(out.str());
+    EXPECT_EQ(readVcf(in), records);
+}
+
+TEST(Vcf, RejectsMalformed)
+{
+    std::istringstream short_line("chr1\t5\tx\tA\n");
+    EXPECT_THROW(readVcf(short_line), InputError);
+    std::istringstream bad_pos("chr1\tfoo\tx\tA\tG\n");
+    EXPECT_THROW(readVcf(bad_pos), InputError);
+    std::istringstream zero_pos("chr1\t0\tx\tA\tG\n");
+    EXPECT_THROW(readVcf(zero_pos), InputError);
+    EXPECT_THROW(readVcfFile("/nonexistent/path.vcf"), InputError);
+}
+
+TEST(Gfa, ParsesSegmentsAndLinks)
+{
+    std::istringstream in(
+        "H\tVN:Z:1.0\n"
+        "S\t1\tACGT\n"
+        "S\t2\tTT\n"
+        "L\t1\t+\t2\t+\t0M\n");
+    const auto doc = readGfa(in);
+    ASSERT_EQ(doc.segments.size(), 2u);
+    ASSERT_EQ(doc.links.size(), 1u);
+    EXPECT_EQ(doc.segments[0].seq, "ACGT");
+    EXPECT_EQ(doc.links[0].from, "1");
+    EXPECT_EQ(doc.links[0].to, "2");
+}
+
+TEST(Gfa, RoundTrip)
+{
+    GfaDocument doc;
+    doc.segments = {{"1", "ACGT"}, {"2", "GG"}, {"3", "T"}};
+    doc.links = {{"1", "2"}, {"2", "3"}, {"1", "3"}};
+    std::ostringstream out;
+    writeGfa(out, doc);
+    std::istringstream in(out.str());
+    EXPECT_EQ(readGfa(in), doc);
+}
+
+TEST(Gfa, RejectsMalformed)
+{
+    std::istringstream dup("S\t1\tAC\nS\t1\tGG\n");
+    EXPECT_THROW(readGfa(dup), InputError);
+    std::istringstream reverse_link("S\t1\tAC\nS\t2\tGG\nL\t1\t+\t2\t-\t0M\n");
+    EXPECT_THROW(readGfa(reverse_link), InputError);
+    std::istringstream overlap("S\t1\tAC\nS\t2\tGG\nL\t1\t+\t2\t+\t3M\n");
+    EXPECT_THROW(readGfa(overlap), InputError);
+    std::istringstream dangling("S\t1\tAC\nL\t1\t+\t9\t+\t0M\n");
+    EXPECT_THROW(readGfa(dangling), InputError);
+    std::istringstream no_seq("S\t1\t*\n");
+    EXPECT_THROW(readGfa(no_seq), InputError);
+    std::istringstream unknown("Z\tfoo\n");
+    EXPECT_THROW(readGfa(unknown), InputError);
+}
+
+TEST(Fastq, ParsesRecords)
+{
+    std::istringstream in(
+        "@read1 extra stuff\nACGT\n+\nIIII\n@read2\nTTNA\n+anything\n"
+        "!!!!\n");
+    const auto records = readFastq(in);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].name, "read1");
+    EXPECT_EQ(records[0].seq, "ACGT");
+    EXPECT_EQ(records[0].qual, "IIII");
+    EXPECT_EQ(records[1].seq, "TTAA"); // N normalized
+}
+
+TEST(Fastq, RoundTrip)
+{
+    const std::vector<FastqRecord> records = {
+        {"a", "ACGTAC", "IIIIII"}, {"b", "TT", "!!"}};
+    std::ostringstream out;
+    writeFastq(out, records);
+    std::istringstream in(out.str());
+    EXPECT_EQ(readFastq(in), records);
+}
+
+TEST(Fastq, RejectsMalformed)
+{
+    std::istringstream no_at(">x\nACGT\n+\nIIII\n");
+    EXPECT_THROW(readFastq(no_at), InputError);
+    std::istringstream truncated("@x\nACGT\n+\n");
+    EXPECT_THROW(readFastq(truncated), InputError);
+    std::istringstream bad_plus("@x\nACGT\nIIII\nIIII\n");
+    EXPECT_THROW(readFastq(bad_plus), InputError);
+    std::istringstream qual_mismatch("@x\nACGT\n+\nII\n");
+    EXPECT_THROW(readFastq(qual_mismatch), InputError);
+    EXPECT_THROW(readFastqFile("/nonexistent/reads.fq"), InputError);
+}
+
+TEST(Paf, WritesRecordWithTags)
+{
+    const Cigar cigar = Cigar::fromString("10=1X5=2D3=1I4=");
+    const PafRecord record =
+        makePafRecord("read1", 24, '+', "chr1", 1000, 100, cigar);
+    EXPECT_EQ(record.queryEnd, cigar.readLength());
+    EXPECT_EQ(record.targetEnd, 100 + cigar.refLength());
+    EXPECT_EQ(record.matches, 22u);
+    std::ostringstream out;
+    writePaf(out, record);
+    const std::string line = out.str();
+    EXPECT_NE(line.find("read1\t24\t0\t24\t+\tchr1\t1000\t100\t"),
+              std::string::npos);
+    EXPECT_NE(line.find("NM:i:4"), std::string::npos);
+    EXPECT_NE(line.find("cg:Z:10=1X5=2D3=1I4="), std::string::npos);
+}
+
+class FileRoundTrip : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("segram_io_test_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::string
+    path(const char *name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(FileRoundTrip, Fasta)
+{
+    const std::vector<FastaRecord> records = {
+        {"chr1", "ACGTACGTAC"}, {"chr2", "TTTT"}};
+    writeFastaFile(path("x.fa"), records);
+    EXPECT_EQ(readFastaFile(path("x.fa")), records);
+}
+
+TEST_F(FileRoundTrip, Vcf)
+{
+    const std::vector<VcfRecord> records = {
+        {"chr1", 3, "rs7", "A", "T"}, {"chr1", 8, ".", "ACG", "A"}};
+    writeVcfFile(path("x.vcf"), records);
+    EXPECT_EQ(readVcfFile(path("x.vcf")), records);
+}
+
+TEST_F(FileRoundTrip, Gfa)
+{
+    GfaDocument doc;
+    doc.segments = {{"a", "ACGT"}, {"b", "GG"}};
+    doc.links = {{"a", "b"}};
+    writeGfaFile(path("x.gfa"), doc);
+    EXPECT_EQ(readGfaFile(path("x.gfa")), doc);
+}
+
+TEST_F(FileRoundTrip, ReadsFileSniffsFormat)
+{
+    writeFastaFile(path("r.fa"), {{"a", "ACGT"}});
+    writeFastqFile(path("r.fq"), {{"b", "GGTT", "IIII"}});
+    const auto from_fasta = readReadsFile(path("r.fa"));
+    ASSERT_EQ(from_fasta.size(), 1u);
+    EXPECT_EQ(from_fasta[0].seq, "ACGT");
+    const auto from_fastq = readReadsFile(path("r.fq"));
+    ASSERT_EQ(from_fastq.size(), 1u);
+    EXPECT_EQ(from_fastq[0].name, "b");
+    EXPECT_EQ(from_fastq[0].seq, "GGTT");
+    // Neither format:
+    std::ofstream junk(path("r.txt"));
+    junk << "hello\n";
+    junk.close();
+    EXPECT_THROW(readReadsFile(path("r.txt")), InputError);
+}
+
+TEST_F(FileRoundTrip, WriteToUnwritablePathThrows)
+{
+    EXPECT_THROW(writeFastaFile("/nonexistent/dir/x.fa", {}), InputError);
+    EXPECT_THROW(writeVcfFile("/nonexistent/dir/x.vcf", {}), InputError);
+    EXPECT_THROW(writeGfaFile("/nonexistent/dir/x.gfa", {}), InputError);
+}
+
+} // namespace
+} // namespace segram::io

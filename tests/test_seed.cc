@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for minimizer sketching (Fig. 8) and the MinSeed stage
+ * (Fig. 9): the O(m) single-loop algorithm against the naive reference,
+ * the shared-minimizer guarantee, and seed-to-region conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/graph/graph_builder.h"
+#include "src/index/minimizer_index.h"
+#include "src/seed/minimizer.h"
+#include "src/seed/minseed.h"
+#include "src/sim/genome_sim.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace segram::seed
+{
+namespace
+{
+
+TEST(Minimizer, EmptyWhenSequenceTooShort)
+{
+    const SketchConfig config{5, 4}; // needs w+k-1 = 8 bases
+    EXPECT_TRUE(computeMinimizers("ACGTACG", config).empty());
+    EXPECT_EQ(computeMinimizers("ACGTACGT", config).size(), 1u);
+}
+
+TEST(Minimizer, SingleLoopMatchesNaive)
+{
+    // The load-bearing property: the deque-based O(m) algorithm must
+    // produce exactly the nested-loop definition of Section 6.
+    Rng rng(11);
+    struct Param { int k; int w; };
+    for (const auto &param :
+         {Param{4, 3}, Param{7, 5}, Param{11, 10}, Param{15, 10},
+          Param{21, 11}}) {
+        const SketchConfig config{param.k, param.w};
+        for (int trial = 0; trial < 20; ++trial) {
+            const auto len = static_cast<uint64_t>(
+                param.k + param.w + rng.nextBelow(500));
+            const std::string seq = sim::randomSequence(len, rng);
+            EXPECT_EQ(computeMinimizers(seq, config),
+                      computeMinimizersNaive(seq, config))
+                << "k=" << param.k << " w=" << param.w << " len=" << len;
+        }
+    }
+}
+
+TEST(Minimizer, SharedExactMatchSharesMinimizer)
+{
+    // Two sequences sharing an exact stretch of >= w+k-1 bases must
+    // share at least one minimizer (the guarantee seeding relies on).
+    Rng rng(13);
+    const SketchConfig config{11, 8};
+    const int need = config.w + config.k - 1;
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::string shared =
+            sim::randomSequence(need + rng.nextBelow(30), rng);
+        const std::string a =
+            sim::randomSequence(rng.nextBelow(40), rng) + shared +
+            sim::randomSequence(rng.nextBelow(40), rng);
+        const std::string b =
+            sim::randomSequence(rng.nextBelow(40), rng) + shared +
+            sim::randomSequence(rng.nextBelow(40), rng);
+        std::set<uint64_t> hashes_a;
+        for (const auto &m : computeMinimizers(a, config))
+            hashes_a.insert(m.hash);
+        bool found = false;
+        for (const auto &m : computeMinimizers(b, config))
+            found |= hashes_a.count(m.hash) > 0;
+        EXPECT_TRUE(found) << "trial " << trial;
+    }
+}
+
+TEST(Minimizer, DensityNearTheoreticalRate)
+{
+    // Expected density of <w,k>-minimizers is ~2/(w+1) per position.
+    Rng rng(17);
+    const SketchConfig config{15, 10};
+    const std::string seq = sim::randomSequence(100'000, rng);
+    const auto minimizers = computeMinimizers(seq, config);
+    const double density =
+        static_cast<double>(minimizers.size()) /
+        static_cast<double>(seq.size());
+    const double expected = 2.0 / (config.w + 1);
+    EXPECT_NEAR(density, expected, expected * 0.15);
+}
+
+TEST(Minimizer, RejectsBadInputs)
+{
+    EXPECT_THROW(computeMinimizers("ACGT", {0, 5}), InputError);
+    EXPECT_THROW(computeMinimizers("ACGT", {32, 5}), InputError);
+    EXPECT_THROW(computeMinimizers("ACGT", {4, 0}), InputError);
+    EXPECT_THROW(computeMinimizers("ACGNACGT", {3, 2}), InputError);
+}
+
+TEST(Minimizer, KmerHashMatchesSketch)
+{
+    const SketchConfig config{5, 1};
+    const std::string seq = "ACGTACGTAC";
+    // With w=1 every k-mer is a minimizer; hashes must agree.
+    const auto minimizers = computeMinimizers(seq, config);
+    ASSERT_EQ(minimizers.size(), seq.size() - config.k + 1);
+    for (const auto &m : minimizers)
+        EXPECT_EQ(m.hash, kmerHash(seq, m.pos, config));
+}
+
+class MinSeedTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng rng(23);
+        reference_ = sim::randomSequence(20'000, rng);
+        graph::BuildOptions options;
+        options.maxNodeLen = 300;
+        graph_ = graph::buildGraph(reference_, {}, options);
+        index::IndexConfig config;
+        config.sketch = {11, 6};
+        config.bucketBits = 12;
+        index_ = index::MinimizerIndex::build(graph_, config);
+    }
+
+    std::string reference_;
+    graph::GenomeGraph graph_;
+    index::MinimizerIndex index_;
+};
+
+TEST_F(MinSeedTest, ExactReadSeedsCoverTrueRegion)
+{
+    MinSeedConfig config;
+    config.errorRate = 0.10;
+    const MinSeed minseed(graph_, index_, config);
+    Rng rng(29);
+    for (int trial = 0; trial < 20; ++trial) {
+        const uint64_t true_start = rng.nextBelow(reference_.size() - 600);
+        const std::string read = reference_.substr(true_start, 500);
+        MinSeedStats stats;
+        const auto regions = minseed.seedRead(read, &stats);
+        ASSERT_FALSE(regions.empty());
+        EXPECT_GT(stats.minimizersComputed, 0u);
+        EXPECT_GE(stats.minimizersComputed, stats.minimizersKept);
+        // At least one region must contain the true location. Since the
+        // backbone is a chain, linear coordinates equal reference ones.
+        bool covered = false;
+        for (const auto &region : regions) {
+            covered |= region.start <= true_start &&
+                       true_start + read.size() - 1 <= region.end + 8;
+        }
+        EXPECT_TRUE(covered) << "true start " << true_start;
+    }
+}
+
+TEST_F(MinSeedTest, RegionFollowsFig9Formulas)
+{
+    MinSeedConfig config;
+    config.errorRate = 0.10;
+    config.mergeDuplicateRegions = false;
+    const MinSeed minseed(graph_, index_, config);
+    const std::string read = reference_.substr(1'000, 400);
+    const auto regions = minseed.seedRead(read);
+    const int k = index_.sketch().k;
+    const auto m = static_cast<int64_t>(read.size());
+    for (const auto &region : regions) {
+        const int64_t a = region.minimizerPos;
+        const int64_t b = a + k - 1;
+        const uint64_t c = graph_.node(region.seed.node).linearOffset +
+                           region.seed.offset;
+        const uint64_t d = c + k - 1;
+        const auto left =
+            static_cast<uint64_t>(std::llround(a * 1.10));
+        const uint64_t expect_start = c >= left ? c - left : 0;
+        const uint64_t expect_end = std::min<uint64_t>(
+            d + static_cast<uint64_t>(std::llround((m - b - 1) * 1.10)),
+            graph_.totalSeqLen() - 1);
+        EXPECT_EQ(region.start, expect_start);
+        EXPECT_EQ(region.end, expect_end);
+    }
+}
+
+TEST_F(MinSeedTest, FrequencyThresholdFiltersSeeds)
+{
+    // With threshold 1, only unique minimizers survive.
+    MinSeedConfig strict;
+    strict.frequencyThreshold = 1;
+    const MinSeed minseed_strict(graph_, index_, strict);
+    MinSeedConfig loose;
+    loose.frequencyThreshold = 100000;
+    const MinSeed minseed_loose(graph_, index_, loose);
+    const std::string read = reference_.substr(2'000, 300);
+    MinSeedStats strict_stats;
+    MinSeedStats loose_stats;
+    minseed_strict.seedRead(read, &strict_stats);
+    minseed_loose.seedRead(read, &loose_stats);
+    EXPECT_LE(strict_stats.seedsFetched, loose_stats.seedsFetched);
+    EXPECT_GT(loose_stats.seedsFetched, 0u);
+}
+
+TEST_F(MinSeedTest, DuplicateRegionsMergedWhenEnabled)
+{
+    MinSeedConfig merged_config;
+    merged_config.mergeDuplicateRegions = true;
+    MinSeedConfig raw_config;
+    raw_config.mergeDuplicateRegions = false;
+    const MinSeed merged(graph_, index_, merged_config);
+    const MinSeed raw(graph_, index_, raw_config);
+    const std::string read = reference_.substr(3'000, 300);
+    EXPECT_LE(merged.seedRead(read).size(), raw.seedRead(read).size());
+}
+
+TEST_F(MinSeedTest, ShortReadYieldsNoRegions)
+{
+    const MinSeed minseed(graph_, index_);
+    // Shorter than w+k-1: no minimizers, hence no regions.
+    const auto regions = minseed.seedRead("ACGTACGTACGT");
+    EXPECT_TRUE(regions.empty());
+}
+
+TEST(MinSeedConfigTest, RejectsBadErrorRate)
+{
+    Rng rng(1);
+    const std::string reference = sim::randomSequence(2'000, rng);
+    const auto graph = graph::buildGraph(reference, {});
+    index::IndexConfig index_config;
+    index_config.bucketBits = 8;
+    const auto index = index::MinimizerIndex::build(graph, index_config);
+    MinSeedConfig config;
+    config.errorRate = 1.5;
+    EXPECT_THROW(MinSeed(graph, index, config), InputError);
+}
+
+} // namespace
+} // namespace segram::seed

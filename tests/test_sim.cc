@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the simulators: genome/variant generation statistics, donor
+ * construction, read error rates, and dataset assembly determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/dp_s2s.h"
+#include "src/graph/graph_builder.h"
+#include "src/sim/dataset.h"
+#include "src/sim/genome_sim.h"
+#include "src/sim/read_sim.h"
+#include "src/sim/variant_sim.h"
+#include "src/util/check.h"
+#include "src/util/dna.h"
+#include "src/util/rng.h"
+
+namespace segram::sim
+{
+namespace
+{
+
+TEST(GenomeSim, GeneratesRequestedLengthAndAlphabet)
+{
+    Rng rng(1);
+    GenomeConfig config;
+    config.length = 10'000;
+    const std::string genome = simulateGenome(config, rng);
+    EXPECT_EQ(genome.size(), config.length);
+    EXPECT_TRUE(isValidDna(genome));
+}
+
+TEST(GenomeSim, BaseCompositionRoughlyUniform)
+{
+    Rng rng(2);
+    const std::string genome = randomSequence(40'000, rng);
+    size_t counts[4] = {0, 0, 0, 0};
+    for (const char base : genome)
+        ++counts[baseToCode(base)];
+    for (const auto count : counts)
+        EXPECT_NEAR(static_cast<double>(count) / genome.size(), 0.25,
+                    0.02);
+}
+
+TEST(GenomeSim, Deterministic)
+{
+    GenomeConfig config;
+    config.length = 5'000;
+    Rng a(7);
+    Rng b(7);
+    EXPECT_EQ(simulateGenome(config, a), simulateGenome(config, b));
+}
+
+TEST(VariantSim, MixMatchesConfiguredFractions)
+{
+    Rng rng(3);
+    const std::string reference = randomSequence(500'000, rng);
+    VariantConfig config;
+    config.meanSpacing = 100.0;
+    const auto variants = simulateVariants(reference, config, rng);
+    ASSERT_GT(variants.size(), 1'000u);
+
+    size_t snps = 0;
+    size_t small_indels = 0;
+    size_t svs = 0;
+    uint64_t prev_end = 0;
+    for (const auto &variant : variants) {
+        EXPECT_GE(variant.pos, prev_end) << "variants must not overlap";
+        prev_end = variant.pos + std::max<uint64_t>(variant.refSpan(), 1);
+        const auto span =
+            std::max(variant.ref.size(), variant.alt.size());
+        if (variant.kind() == graph::VariantKind::Substitution) {
+            ++snps;
+        } else if (span <= config.maxIndelLen) {
+            ++small_indels;
+        } else {
+            ++svs;
+            EXPECT_GE(span, config.svMinLen);
+            EXPECT_LE(span, config.svMaxLen);
+        }
+    }
+    const double total = static_cast<double>(variants.size());
+    EXPECT_NEAR(snps / total, 0.90, 0.03);
+    EXPECT_NEAR(small_indels / total, 0.096, 0.03);
+    EXPECT_NEAR(svs / total, 0.004, 0.004);
+}
+
+TEST(VariantSim, BuildsValidGraph)
+{
+    Rng rng(4);
+    const std::string reference = randomSequence(100'000, rng);
+    const auto variants = simulateVariants(reference, {}, rng);
+    const auto graph = graph::buildGraph(reference, variants);
+    EXPECT_TRUE(graph.isTopologicallySorted());
+    EXPECT_GE(graph.totalSeqLen(), reference.size() / 2);
+}
+
+TEST(DonorGenome, NoVariantsIsIdentity)
+{
+    Rng rng(5);
+    const std::string reference = randomSequence(5'000, rng);
+    const auto graph = graph::buildGraph(reference, {});
+    const DonorGenome donor(reference, {}, graph, 1.0, rng);
+    EXPECT_EQ(donor.seq(), reference);
+    for (uint64_t pos = 0; pos < reference.size(); pos += 503)
+        EXPECT_EQ(donor.toLinear(pos), pos);
+}
+
+TEST(DonorGenome, AppliesAllVariantsAtProbabilityOne)
+{
+    Rng rng(6);
+    const std::string reference = "ACGTACGTACGT";
+    const std::vector<graph::Variant> variants = {
+        {2, "G", "C"},   // SNP
+        {5, "CG", ""},   // deletion
+        {9, "", "TT"},   // insertion
+    };
+    const auto graph = graph::buildGraph(reference, variants);
+    const DonorGenome donor(reference, variants, graph, 1.0, rng);
+    EXPECT_EQ(donor.numAltsApplied(), 3u);
+    // ACGTACGTACGT -> AC | C(snp) | TA | (CG deleted) | TA | TT(ins) | CGT
+    EXPECT_EQ(donor.seq(), "ACCTATATTCGT");
+}
+
+TEST(DonorGenome, ProbabilityZeroKeepsReference)
+{
+    Rng rng(7);
+    const std::string reference = randomSequence(10'000, rng);
+    const auto variants = simulateVariants(reference, {}, rng);
+    const auto graph = graph::buildGraph(reference, variants);
+    const DonorGenome donor(reference, variants, graph, 0.0, rng);
+    EXPECT_EQ(donor.seq(), reference);
+    EXPECT_EQ(donor.numAltsApplied(), 0u);
+}
+
+TEST(ReadSim, ErrorFreeReadsAreExactSubstrings)
+{
+    Rng rng(8);
+    const std::string reference = randomSequence(20'000, rng);
+    const auto graph = graph::buildGraph(reference, {});
+    const DonorGenome donor(reference, {}, graph, 0.5, rng);
+    ReadSimConfig config;
+    config.readLen = 500;
+    config.numReads = 20;
+    config.errors = {};
+    const auto reads = simulateReads(donor, config, rng);
+    ASSERT_EQ(reads.size(), config.numReads);
+    for (const auto &read : reads) {
+        EXPECT_EQ(read.seq.size(), config.readLen);
+        EXPECT_EQ(read.seq,
+                  donor.seq().substr(read.donorStart, config.readLen));
+        EXPECT_EQ(read.plantedErrors, 0u);
+        EXPECT_EQ(read.truthLinearStart, read.donorStart);
+    }
+}
+
+TEST(ReadSim, ErrorRateIsRespected)
+{
+    Rng rng(9);
+    const std::string reference = randomSequence(100'000, rng);
+    const auto graph = graph::buildGraph(reference, {});
+    const DonorGenome donor(reference, {}, graph, 0.5, rng);
+    ReadSimConfig config;
+    config.readLen = 5'000;
+    config.numReads = 20;
+    config.errors = ErrorProfile::pacbio(0.10);
+    const auto reads = simulateReads(donor, config, rng);
+    uint64_t total_errors = 0;
+    for (const auto &read : reads) {
+        total_errors += read.plantedErrors;
+        // The edit distance to the error-free donor window must be
+        // bounded by the planted error count.
+        const std::string window = donor.seq().substr(
+            read.donorStart,
+            static_cast<size_t>(config.readLen * 1.25));
+        const auto dp =
+            baseline::semiGlobal(window, read.seq, false);
+        EXPECT_LE(dp.editDistance,
+                  static_cast<int>(read.plantedErrors));
+    }
+    const double observed =
+        static_cast<double>(total_errors) /
+        (static_cast<double>(config.readLen) * config.numReads);
+    EXPECT_NEAR(observed, 0.10, 0.015);
+}
+
+TEST(ReadSim, IlluminaProfileIsSubstitutionHeavy)
+{
+    const auto profile = ErrorProfile::illumina();
+    EXPECT_NEAR(profile.subFraction, 0.95, 1e-9);
+    EXPECT_DOUBLE_EQ(profile.errorRate, 0.01);
+}
+
+TEST(ReadSim, RejectsBadConfig)
+{
+    Rng rng(10);
+    const std::string reference = randomSequence(1'000, rng);
+    const auto graph = graph::buildGraph(reference, {});
+    const DonorGenome donor(reference, {}, graph, 0.5, rng);
+    ReadSimConfig config;
+    config.readLen = 5'000; // longer than the donor
+    EXPECT_THROW(simulateReads(donor, config, rng), InputError);
+}
+
+TEST(Dataset, AssemblesAndIsDeterministic)
+{
+    DatasetConfig config;
+    config.genome.length = 30'000;
+    config.index.bucketBits = 12;
+    config.seed = 99;
+    const Dataset a = makeDataset(config);
+    const Dataset b = makeDataset(config);
+    EXPECT_EQ(a.reference, b.reference);
+    EXPECT_EQ(a.variants.size(), b.variants.size());
+    EXPECT_EQ(a.donor.seq(), b.donor.seq());
+    EXPECT_EQ(a.graph.numNodes(), b.graph.numNodes());
+    EXPECT_GT(a.variants.size(), 0u);
+    EXPECT_TRUE(a.graph.isTopologicallySorted());
+}
+
+TEST(Dataset, LinearDatasetIsChain)
+{
+    DatasetConfig config;
+    config.genome.length = 20'000;
+    config.index.bucketBits = 12;
+    const Dataset dataset = makeLinearDataset(config);
+    EXPECT_TRUE(dataset.variants.empty());
+    // Chain: every node except the last has exactly one successor.
+    for (graph::NodeId id = 0; id + 1 < dataset.graph.numNodes(); ++id)
+        EXPECT_EQ(dataset.graph.successors(id).size(), 1u);
+    EXPECT_EQ(dataset.donor.seq(), dataset.reference);
+}
+
+} // namespace
+} // namespace segram::sim

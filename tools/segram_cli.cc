@@ -1,0 +1,239 @@
+/**
+ * @file
+ * `segram` — the command-line front end of the library, covering the
+ * whole paper pipeline on real files:
+ *
+ *   segram construct <ref.fa> <vars.vcf> <out.gfa>
+ *       Pre-processing step 0.1: build the topologically sorted genome
+ *       graph (one per FASTA record / chromosome) and write it as GFA.
+ *
+ *   segram map <ref.fa> <vars.vcf> <reads.fa> [E]
+ *       Full pipeline: construct + index each chromosome, then map
+ *       every read (trying both strands) and print PAF to stdout.
+ *       E is the expected per-base error rate (default 0.10).
+ *
+ *   segram simulate <out_prefix> <genome_len> <num_reads> <read_len> <err>
+ *       Emit a synthetic dataset (<prefix>.fa, <prefix>.vcf,
+ *       <prefix>.reads.fa) for trying the two commands above.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/segram.h"
+#include "src/graph/graph_builder.h"
+#include "src/graph/variants.h"
+#include "src/io/fasta.h"
+#include "src/io/fastq.h"
+#include "src/io/gfa.h"
+#include "src/io/paf.h"
+#include "src/io/vcf.h"
+#include "src/sim/dataset.h"
+
+namespace
+{
+
+using namespace segram;
+
+/** Per-chromosome pre-processed state. */
+struct Chromosome
+{
+    std::string name;
+    graph::GenomeGraph graph;
+    index::MinimizerIndex index;
+};
+
+std::vector<Chromosome>
+preprocess(const std::string &fasta_path, const std::string &vcf_path,
+           bool build_index)
+{
+    const auto records = io::readFastaFile(fasta_path);
+    const auto vcf = io::readVcfFile(vcf_path);
+    std::vector<Chromosome> chromosomes;
+    for (const auto &record : records) {
+        uint64_t dropped = 0;
+        const auto variants = graph::canonicalizeSet(
+            vcf, record.name, record.seq.size(), &dropped);
+        Chromosome chromosome;
+        chromosome.name = record.name;
+        chromosome.graph = graph::buildGraph(record.seq, variants);
+        if (build_index) {
+            index::IndexConfig config;
+            config.bucketBits = 16;
+            chromosome.index =
+                index::MinimizerIndex::build(chromosome.graph, config);
+        }
+        std::fprintf(stderr,
+                     "[segram] %s: %zu bp, %zu variants (%llu dropped), "
+                     "%zu nodes, %zu edges\n",
+                     record.name.c_str(), record.seq.size(),
+                     variants.size(),
+                     static_cast<unsigned long long>(dropped),
+                     chromosome.graph.numNodes(),
+                     chromosome.graph.numEdges());
+        chromosomes.push_back(std::move(chromosome));
+    }
+    return chromosomes;
+}
+
+int
+cmdConstruct(const std::string &fasta_path, const std::string &vcf_path,
+             const std::string &gfa_path)
+{
+    const auto chromosomes = preprocess(fasta_path, vcf_path, false);
+    // Multiple chromosomes are written as disjoint components with
+    // name-prefixed segments.
+    io::GfaDocument doc;
+    for (const auto &chromosome : chromosomes) {
+        const auto part = chromosome.graph.toGfa();
+        for (const auto &segment : part.segments)
+            doc.segments.push_back(
+                {chromosome.name + "." + segment.name, segment.seq});
+        for (const auto &link : part.links)
+            doc.links.push_back({chromosome.name + "." + link.from,
+                                 chromosome.name + "." + link.to});
+    }
+    io::writeGfaFile(gfa_path, doc);
+    std::fprintf(stderr, "[segram] wrote %zu segments, %zu links to %s\n",
+                 doc.segments.size(), doc.links.size(),
+                 gfa_path.c_str());
+    return 0;
+}
+
+int
+cmdMap(const std::string &fasta_path, const std::string &vcf_path,
+       const std::string &reads_path, double error_rate)
+{
+    const auto chromosomes = preprocess(fasta_path, vcf_path, true);
+
+    core::SegramConfig config;
+    config.minseed.errorRate = error_rate;
+    config.bitalign.windowEditCap =
+        std::max(32, static_cast<int>(config.bitalign.windowLen *
+                                      error_rate * 3));
+    config.earlyExitFraction = 1.5;
+    config.tryReverseComplement = true;
+    std::vector<core::ChromosomeRef> refs;
+    for (const auto &chromosome : chromosomes)
+        refs.push_back({chromosome.name, &chromosome.graph,
+                        &chromosome.index});
+    const core::MultiGraphMapper mapper(refs, config);
+
+    const auto reads = io::readReadsFile(reads_path);
+    core::PipelineStats stats;
+    size_t mapped = 0;
+    for (const auto &read : reads) {
+        const auto result = mapper.mapRead(read.seq, &stats);
+        if (!result.mapped)
+            continue;
+        ++mapped;
+        uint64_t target_len = 0;
+        for (const auto &chromosome : chromosomes) {
+            if (chromosome.name == result.chromosome)
+                target_len = chromosome.graph.totalSeqLen();
+        }
+        io::writePaf(std::cout,
+                     io::makePafRecord(
+                         read.name, read.seq.size(),
+                         result.reverseComplemented ? '-' : '+',
+                         result.chromosome, target_len,
+                         result.linearStart, result.cigar));
+    }
+    std::fprintf(stderr,
+                 "[segram] mapped %zu/%zu reads (%llu regions aligned, "
+                 "%llu seeds fetched)\n",
+                 mapped, reads.size(),
+                 static_cast<unsigned long long>(stats.regionsAligned),
+                 static_cast<unsigned long long>(
+                     stats.seeding.seedsFetched));
+    return mapped == 0 && !reads.empty() ? 1 : 0;
+}
+
+int
+cmdSimulate(const std::string &prefix, uint64_t genome_len,
+            uint32_t num_reads, uint32_t read_len, double error_rate)
+{
+    sim::DatasetConfig config;
+    config.genome.length = genome_len;
+    config.index.bucketBits = 14;
+    config.seed = 1234;
+    const auto dataset = sim::makeDataset(config);
+
+    io::writeFastaFile(prefix + ".fa", {{"chr1", dataset.reference}});
+    std::vector<io::VcfRecord> vcf;
+    for (const auto &variant : dataset.variants) {
+        if (variant.pos == 0)
+            continue; // indels at position 0 cannot be VCF-padded
+        vcf.push_back(
+            graph::toVcfRecord(variant, "chr1", dataset.reference));
+    }
+    io::writeVcfFile(prefix + ".vcf", vcf);
+
+    Rng rng(config.seed + 1);
+    sim::ReadSimConfig read_config{
+        read_len, num_reads,
+        read_len >= 1000 ? sim::ErrorProfile::pacbio(error_rate)
+                         : sim::ErrorProfile::illumina(error_rate)};
+    const auto reads =
+        sim::simulateReads(dataset.donor, read_config, rng);
+    std::vector<io::FastaRecord> read_records;
+    for (size_t i = 0; i < reads.size(); ++i) {
+        read_records.push_back(
+            {"read" + std::to_string(i) + "_truth" +
+                 std::to_string(reads[i].truthLinearStart),
+             reads[i].seq});
+    }
+    io::writeFastaFile(prefix + ".reads.fa", read_records);
+    std::fprintf(stderr,
+                 "[segram] wrote %s.fa (%llu bp), %s.vcf (%zu records), "
+                 "%s.reads.fa (%u reads)\n",
+                 prefix.c_str(),
+                 static_cast<unsigned long long>(genome_len),
+                 prefix.c_str(), vcf.size(), prefix.c_str(), num_reads);
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  segram construct <ref.fa> <vars.vcf> <out.gfa>\n"
+        "  segram map <ref.fa> <vars.vcf> <reads.fa> [error_rate]\n"
+        "  segram simulate <prefix> <genome_len> <num_reads> "
+        "<read_len> <error_rate>\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc >= 5 && std::strcmp(argv[1], "construct") == 0)
+            return cmdConstruct(argv[2], argv[3], argv[4]);
+        if (argc >= 5 && std::strcmp(argv[1], "map") == 0) {
+            const double error_rate =
+                argc >= 6 ? std::atof(argv[5]) : 0.10;
+            return cmdMap(argv[2], argv[3], argv[4], error_rate);
+        }
+        if (argc >= 7 && std::strcmp(argv[1], "simulate") == 0) {
+            return cmdSimulate(
+                argv[2], std::strtoull(argv[3], nullptr, 10),
+                static_cast<uint32_t>(std::atoi(argv[4])),
+                static_cast<uint32_t>(std::atoi(argv[5])),
+                std::atof(argv[6]));
+        }
+        usage();
+        return 2;
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "[segram] error: %s\n", error.what());
+        return 1;
+    }
+}
