@@ -1,0 +1,131 @@
+/**
+ * @file
+ * End-to-end batched mapping throughput: the BatchMapper driver over
+ * the full SeGraM pipeline at 1/2/4/8 worker threads, against the
+ * plain single-thread mapRead loop as the reference.
+ *
+ * This is the software analogue of the paper's channel scaling claim
+ * (one MinSeed+BitAlign pair per HBM2E channel, linear scaling across
+ * channels): workers share only the read-only graph+index, so reads/s
+ * should scale with cores. The bench also re-verifies the determinism
+ * contract — every thread count must produce bit-identical results —
+ * so the measured speedup is a speedup of the *same* computation.
+ *
+ * Like every bench, fully deterministic inputs (fixed seeds).
+ */
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/engine.h"
+#include "src/core/segram.h"
+#include "src/sim/read_sim.h"
+
+namespace
+{
+
+using namespace segram;
+
+/** Compact equality over everything a mapping run produces. */
+bool
+sameResults(const std::vector<core::MultiMapResult> &lhs,
+            const std::vector<core::MultiMapResult> &rhs)
+{
+    if (lhs.size() != rhs.size())
+        return false;
+    for (size_t i = 0; i < lhs.size(); ++i) {
+        if (lhs[i].mapped != rhs[i].mapped ||
+            lhs[i].linearStart != rhs[i].linearStart ||
+            lhs[i].editDistance != rhs[i].editDistance ||
+            lhs[i].regionsTried != rhs[i].regionsTried ||
+            lhs[i].reverseComplemented != rhs[i].reverseComplemented ||
+            lhs[i].chromosome != rhs[i].chromosome ||
+            lhs[i].cigar.toString() != rhs[i].cigar.toString())
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Batched mapping throughput (BatchMapper)");
+
+    const auto dataset = sim::makeDataset(bench::datasetConfig(400'000));
+    core::SegramConfig config;
+    config.minseed.errorRate = 0.05;
+    config.earlyExitFraction = 1.5;
+    const core::SegramMapper mapper(dataset.graph, dataset.index, config);
+
+    Rng rng(47);
+    sim::ReadSimConfig read_config{1'000, 200,
+                                   sim::ErrorProfile::pacbio(0.05)};
+    const auto sim_reads =
+        sim::simulateReads(dataset.donor, read_config, rng);
+    std::vector<std::string_view> reads;
+    reads.reserve(sim_reads.size());
+    uint64_t total_bases = 0;
+    for (const auto &read : sim_reads) {
+        reads.push_back(read.seq);
+        total_bases += read.seq.size();
+    }
+    std::printf("%zu reads x %u bp, genome %llu bp\n\n", reads.size(),
+                read_config.readLen,
+                static_cast<unsigned long long>(
+                    dataset.graph.totalSeqLen()));
+
+    // Reference: the plain single-thread mapRead loop (no engine, no
+    // pool) — what the CLI did before the batch driver existed.
+    std::vector<core::MultiMapResult> reference;
+    const double single_sec = bench::timeSec([&] {
+        reference.reserve(reads.size());
+        for (const auto read : reads) {
+            core::MultiMapResult result;
+            static_cast<core::MapResult &>(result) = mapper.mapRead(read);
+            reference.push_back(std::move(result));
+        }
+    });
+    const double single_rps =
+        static_cast<double>(reads.size()) / single_sec;
+    std::printf("%-12s %12s %14s %12s %10s\n", "config", "reads/s",
+                "bases/s", "speedup", "identical");
+    std::printf("%-12s %12.1f %14.0f %12s %10s\n", "loop(1T)",
+                single_rps,
+                static_cast<double>(total_bases) / single_sec, "1.00x",
+                "ref");
+
+    for (const int threads : {1, 2, 4, 8}) {
+        core::BatchConfig batch_config;
+        batch_config.threads = threads;
+        const core::BatchMapper batch_mapper(mapper, batch_config);
+        std::vector<core::MultiMapResult> results;
+        const double sec = bench::timeSec([&] {
+            results = batch_mapper.mapBatch(
+                std::span<const std::string_view>(reads));
+        });
+        const double rps = static_cast<double>(reads.size()) / sec;
+        char label[32];
+        std::snprintf(label, sizeof label, "batch(%dT)", threads);
+        std::printf("%-12s %12.1f %14.0f %11.2fx %10s\n", label, rps,
+                    static_cast<double>(total_bases) / sec,
+                    rps / single_rps,
+                    sameResults(reference, results) ? "yes" : "NO");
+        if (!sameResults(reference, results)) {
+            std::fprintf(stderr,
+                         "FAIL: %d-thread batch results diverge from "
+                         "the single-thread reference\n",
+                         threads);
+            return 1;
+        }
+    }
+
+    std::printf(
+        "\nWorkers share only the read-only graph+index (the paper's\n"
+        "per-channel module isolation); speedup tracks physical cores.\n");
+    return 0;
+}

@@ -58,6 +58,45 @@ chainRegion(const Chain &chain, size_t read_len, double error_rate,
 
 } // namespace
 
+core::MultiMapResult
+foldBaselineResult(const BaselineMapResult &result,
+                   const BaselineStats &delta,
+                   core::PipelineStats *stats)
+{
+    core::MultiMapResult folded;
+    folded.mapped = result.mapped;
+    folded.linearStart = result.linearStart;
+    folded.editDistance = result.editDistance;
+    folded.regionsTried = static_cast<uint32_t>(delta.seedsExtended);
+    if (stats != nullptr) {
+        core::PipelineStats local;
+        local.readsTotal = 1;
+        local.readsMapped = result.mapped ? 1 : 0;
+        local.regionsAligned = delta.seedsExtended;
+        local.alignmentsFound = result.mapped ? 1 : 0;
+        local.seeding.seedsFetched = delta.rawSeeds;
+        *stats += local;
+    }
+    return folded;
+}
+
+core::MultiMapResult
+GraphAlignerLike::mapOne(std::string_view read,
+                         core::PipelineStats *stats) const
+{
+    BaselineStats delta;
+    const BaselineMapResult result = map(read, &delta);
+    return foldBaselineResult(result, delta, stats);
+}
+
+core::MultiMapResult
+VgLike::mapOne(std::string_view read, core::PipelineStats *stats) const
+{
+    BaselineStats delta;
+    const BaselineMapResult result = map(read, &delta);
+    return foldBaselineResult(result, delta, stats);
+}
+
 GraphAlignerLike::GraphAlignerLike(const graph::GenomeGraph &graph,
                                    const index::MinimizerIndex &index,
                                    const BaselineConfig &config)

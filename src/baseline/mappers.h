@@ -23,6 +23,7 @@
 #include <string_view>
 
 #include "src/align/bitalign.h"
+#include "src/core/engine.h"
 #include "src/seed/chaining.h"
 #include "src/graph/genome_graph.h"
 #include "src/index/minimizer_index.h"
@@ -75,8 +76,18 @@ struct BaselineConfig
     int vgChunkLen = 256;      ///< VgLike DP chunk length
 };
 
+/**
+ * Folds one read's BaselineMapResult/BaselineStats into the engine
+ * types so the baselines ride the same MappingEngine/BatchMapper rails
+ * as SeGraM: seedsExtended maps to regionsAligned, a successful map to
+ * alignmentsFound, and the baselines produce no CIGAR.
+ */
+core::MultiMapResult foldBaselineResult(const BaselineMapResult &result,
+                                        const BaselineStats &delta,
+                                        core::PipelineStats *stats);
+
 /** GraphAligner-shaped mapper: chaining + bitvector alignment. */
-class GraphAlignerLike
+class GraphAlignerLike : public core::MappingEngine
 {
   public:
     GraphAlignerLike(const graph::GenomeGraph &graph,
@@ -86,6 +97,15 @@ class GraphAlignerLike
     BaselineMapResult map(std::string_view read,
                           BaselineStats *stats = nullptr) const;
 
+    /** MappingEngine interface. */
+    core::MultiMapResult
+    mapOne(std::string_view read,
+           core::PipelineStats *stats = nullptr) const override;
+    std::string_view engineName() const override
+    {
+        return "graphaligner-like";
+    }
+
   private:
     const graph::GenomeGraph &graph_;
     const index::MinimizerIndex &index_;
@@ -93,7 +113,7 @@ class GraphAlignerLike
 };
 
 /** vg-shaped mapper: clustering + chunked DP alignment. */
-class VgLike
+class VgLike : public core::MappingEngine
 {
   public:
     VgLike(const graph::GenomeGraph &graph,
@@ -102,6 +122,12 @@ class VgLike
 
     BaselineMapResult map(std::string_view read,
                           BaselineStats *stats = nullptr) const;
+
+    /** MappingEngine interface. */
+    core::MultiMapResult
+    mapOne(std::string_view read,
+           core::PipelineStats *stats = nullptr) const override;
+    std::string_view engineName() const override { return "vg-like"; }
 
   private:
     const graph::GenomeGraph &graph_;

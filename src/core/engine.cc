@@ -1,0 +1,66 @@
+#include "src/core/engine.h"
+
+#include "src/util/check.h"
+
+namespace segram::core
+{
+
+std::vector<MultiMapResult>
+MappingEngine::mapBatch(std::span<const std::string_view> reads,
+                        PipelineStats *stats) const
+{
+    std::vector<MultiMapResult> results;
+    results.reserve(reads.size());
+    for (const auto read : reads)
+        results.push_back(mapOne(read, stats));
+    return results;
+}
+
+BatchMapper::BatchMapper(const MappingEngine &engine,
+                         const BatchConfig &config)
+    : engine_(engine), config_(config),
+      pool_(config.threads > 0 ? config.threads
+                               : util::ThreadPool::defaultThreads())
+{
+    SEGRAM_CHECK(config.chunkSize >= 1, "chunkSize must be >= 1");
+}
+
+std::vector<MultiMapResult>
+BatchMapper::mapBatch(std::span<const std::string_view> reads,
+                      PipelineStats *stats) const
+{
+    std::vector<MultiMapResult> results(reads.size());
+    if (reads.empty())
+        return results;
+
+    // One private accumulator per worker; merged once at the end.
+    // The merge is a commutative sum, so the totals are independent
+    // of which worker mapped which chunk.
+    std::vector<PipelineStats> worker_stats(
+        static_cast<size_t>(pool_.size()));
+    pool_.parallelFor(
+        reads.size(), config_.chunkSize,
+        [&](size_t begin, size_t end, int worker) {
+            PipelineStats *local =
+                stats != nullptr
+                    ? &worker_stats[static_cast<size_t>(worker)]
+                    : nullptr;
+            for (size_t i = begin; i < end; ++i)
+                results[i] = engine_.mapOne(reads[i], local);
+        });
+    if (stats != nullptr) {
+        for (const auto &partial : worker_stats)
+            *stats += partial;
+    }
+    return results;
+}
+
+std::vector<MultiMapResult>
+BatchMapper::mapBatch(std::span<const std::string> reads,
+                      PipelineStats *stats) const
+{
+    std::vector<std::string_view> views(reads.begin(), reads.end());
+    return mapBatch(std::span<const std::string_view>(views), stats);
+}
+
+} // namespace segram::core

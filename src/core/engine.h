@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The mapping-engine abstraction and its batch driver.
+ *
+ * SeGraM's throughput story is read-level parallelism: the paper
+ * provisions one MinSeed+BitAlign module pair per HBM2E channel, all
+ * pairs sharing only the read-only graph and index, and scales
+ * linearly across channels. `MappingEngine` is the software contract
+ * that makes the same story expressible here: any end-to-end mapper
+ * (SegramMapper, MultiGraphMapper, the sequence-to-sequence baselines)
+ * exposes a uniform per-read `mapOne` and batched `mapBatch`, and
+ * `BatchMapper` shards a batch of independent reads across a thread
+ * pool — each worker standing in for one channel's module pair —
+ * with results that are bit-identical regardless of thread count.
+ *
+ * This header owns the pipeline result/statistics types (`MapResult`,
+ * `MultiMapResult`, `PipelineStats`); src/core/segram.h layers the
+ * concrete SeGraM pipeline on top.
+ */
+
+#ifndef SEGRAM_SRC_CORE_ENGINE_H
+#define SEGRAM_SRC_CORE_ENGINE_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/seed/minseed.h"
+#include "src/util/cigar.h"
+#include "src/util/thread_pool.h"
+
+namespace segram::core
+{
+
+/** Result of mapping one read. */
+struct MapResult
+{
+    bool mapped = false;
+    uint64_t linearStart = 0; ///< concatenated coordinate of the start
+    int editDistance = 0;
+    Cigar cigar;
+    uint32_t regionsTried = 0;
+    /** True when the reverse complement of the read aligned best. */
+    bool reverseComplemented = false;
+};
+
+/** Map result extended with the winning chromosome (empty when the
+ *  engine maps against a single anonymous reference). */
+struct MultiMapResult : MapResult
+{
+    std::string chromosome;
+};
+
+/** Aggregated pipeline counters. */
+struct PipelineStats
+{
+    seed::MinSeedStats seeding;
+    uint64_t regionsAligned = 0;
+    uint64_t alignmentsFound = 0;
+    uint64_t readsMapped = 0;
+    uint64_t readsTotal = 0;
+
+    PipelineStats &
+    operator+=(const PipelineStats &other)
+    {
+        seeding += other.seeding;
+        regionsAligned += other.regionsAligned;
+        alignmentsFound += other.alignmentsFound;
+        readsMapped += other.readsMapped;
+        readsTotal += other.readsTotal;
+        return *this;
+    }
+};
+
+/**
+ * Uniform interface over every end-to-end mapper in the repo.
+ *
+ * Thread-safety contract (the software equivalent of the paper's
+ * shared read-only graph+index across channel modules): `mapOne` must
+ * be safe to call concurrently from multiple threads on one engine
+ * instance, and per-call state must be confined to the stack and the
+ * caller-supplied stats accumulator.
+ */
+class MappingEngine
+{
+  public:
+    virtual ~MappingEngine() = default;
+
+    /**
+     * Maps one read end to end.
+     *
+     * @param read       Query read (ACGT, non-empty).
+     * @param[out] stats Optional counter accumulator; when null, no
+     *                   counters are kept.
+     */
+    virtual MultiMapResult mapOne(std::string_view read,
+                                  PipelineStats *stats = nullptr) const = 0;
+
+    /**
+     * Maps a batch of reads sequentially, in order. Results are
+     * positional: result[i] belongs to reads[i]. BatchMapper is the
+     * multi-threaded driver over this same contract.
+     */
+    virtual std::vector<MultiMapResult>
+    mapBatch(std::span<const std::string_view> reads,
+             PipelineStats *stats = nullptr) const;
+
+    /** Short stable identifier ("segram", "vg-like", ...). */
+    virtual std::string_view engineName() const = 0;
+};
+
+/** BatchMapper knobs. */
+struct BatchConfig
+{
+    /**
+     * Worker threads; <= 0 picks the host's hardware concurrency.
+     * One worker models one HBM channel's MinSeed+BitAlign pair.
+     */
+    int threads = 1;
+
+    /**
+     * Reads claimed by a worker at a time. Small enough to balance
+     * skewed per-read cost (a repeat-heavy read can be 100x the
+     * median), large enough to amortize the claim.
+     */
+    size_t chunkSize = 8;
+};
+
+/**
+ * Multi-threaded batch driver over any MappingEngine.
+ *
+ * Results are written by read index and per-worker `PipelineStats`
+ * are merged by commutative sums, so output and stats are identical
+ * for every thread count — determinism is part of the contract, not
+ * luck. One BatchMapper owns one thread pool; `mapBatch` calls must
+ * be serialized by the caller (the pool runs one job at a time).
+ */
+class BatchMapper
+{
+  public:
+    /**
+     * @param engine Backend mapper; must outlive the BatchMapper and
+     *               honour the MappingEngine thread-safety contract.
+     */
+    explicit BatchMapper(const MappingEngine &engine,
+                         const BatchConfig &config = {});
+
+    /**
+     * Maps reads[i] -> result[i] across the worker pool.
+     *
+     * @param[out] stats Optional accumulator; receives exactly the
+     *                   sum every worker accumulated (merged once,
+     *                   after the batch completes).
+     */
+    std::vector<MultiMapResult>
+    mapBatch(std::span<const std::string_view> reads,
+             PipelineStats *stats = nullptr) const;
+
+    /** Convenience overload for owned-string batches. */
+    std::vector<MultiMapResult>
+    mapBatch(std::span<const std::string> reads,
+             PipelineStats *stats = nullptr) const;
+
+    int threads() const { return pool_.size(); }
+    const MappingEngine &engine() const { return engine_; }
+
+  private:
+    const MappingEngine &engine_;
+    BatchConfig config_;
+    /** Internally synchronized; mapBatch is logically const. */
+    mutable util::ThreadPool pool_;
+};
+
+} // namespace segram::core
+
+#endif // SEGRAM_SRC_CORE_ENGINE_H

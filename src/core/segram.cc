@@ -141,11 +141,27 @@ SegramMapper::mapRead(std::string_view read, PipelineStats *stats) const
         if (forward.mapped && reverse.mapped)
             --stats->readsMapped;
     }
+    // The winner reports the work of both strands, not just its own.
+    const uint32_t total_tried =
+        forward.regionsTried + reverse.regionsTried;
+    MapResult best;
     if (!reverse.mapped)
-        return forward;
-    if (!forward.mapped || reverse.editDistance < forward.editDistance)
-        return reverse;
-    return forward;
+        best = forward;
+    else if (!forward.mapped ||
+             reverse.editDistance < forward.editDistance)
+        best = reverse;
+    else
+        best = forward;
+    best.regionsTried = total_tried;
+    return best;
+}
+
+MultiMapResult
+SegramMapper::mapOne(std::string_view read, PipelineStats *stats) const
+{
+    MultiMapResult result;
+    static_cast<MapResult &>(result) = mapRead(read, stats);
+    return result;
 }
 
 MultiGraphMapper::MultiGraphMapper(std::vector<ChromosomeRef> chromosomes,

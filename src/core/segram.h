@@ -19,6 +19,7 @@
 #include <string_view>
 
 #include "src/align/bitalign.h"
+#include "src/core/engine.h"
 #include "src/graph/genome_graph.h"
 #include "src/graph/linearize.h"
 #include "src/index/minimizer_index.h"
@@ -76,41 +77,12 @@ struct SegramConfig
     seed::ChainConfig chain;
 };
 
-/** Result of mapping one read. */
-struct MapResult
-{
-    bool mapped = false;
-    uint64_t linearStart = 0; ///< concatenated coordinate of the start
-    int editDistance = 0;
-    Cigar cigar;
-    uint32_t regionsTried = 0;
-    /** True when the reverse complement of the read aligned best. */
-    bool reverseComplemented = false;
-};
-
-/** Aggregated pipeline counters. */
-struct PipelineStats
-{
-    seed::MinSeedStats seeding;
-    uint64_t regionsAligned = 0;
-    uint64_t alignmentsFound = 0;
-    uint64_t readsMapped = 0;
-    uint64_t readsTotal = 0;
-
-    PipelineStats &
-    operator+=(const PipelineStats &other)
-    {
-        seeding += other.seeding;
-        regionsAligned += other.regionsAligned;
-        alignmentsFound += other.alignmentsFound;
-        readsMapped += other.readsMapped;
-        readsTotal += other.readsTotal;
-        return *this;
-    }
-};
+// MapResult, MultiMapResult and PipelineStats live in
+// src/core/engine.h with the MappingEngine interface they travel
+// through; this header re-exports them via that include.
 
 /** The end-to-end mapper. */
-class SegramMapper
+class SegramMapper : public MappingEngine
 {
   public:
     /**
@@ -124,13 +96,19 @@ class SegramMapper
                  const SegramConfig &config = {});
 
     /**
-     * Maps one read end to end.
+     * Maps one read end to end. Safe to call concurrently: the graph
+     * and index are shared read-only and all per-read state is local.
      *
      * @param read       Query read (ACGT, non-empty).
      * @param[out] stats Optional counter accumulator.
      */
     MapResult mapRead(std::string_view read,
                       PipelineStats *stats = nullptr) const;
+
+    /** MappingEngine interface (chromosome is left empty). */
+    MultiMapResult mapOne(std::string_view read,
+                          PipelineStats *stats = nullptr) const override;
+    std::string_view engineName() const override { return "segram"; }
 
     const SegramConfig &config() const { return config_; }
     const graph::GenomeGraph &graph() const { return graph_; }
@@ -159,19 +137,13 @@ struct ChromosomeRef
     const index::MinimizerIndex *index = nullptr;
 };
 
-/** Map result extended with the winning chromosome. */
-struct MultiMapResult : MapResult
-{
-    std::string chromosome;
-};
-
 /**
  * Maps reads against a set of per-chromosome graphs — the paper builds
  * "one graph for each chromosome" and distributes them across HBM
  * channels; this is the software equivalent, picking the chromosome
  * with the best alignment.
  */
-class MultiGraphMapper
+class MultiGraphMapper : public MappingEngine
 {
   public:
     /**
@@ -185,6 +157,18 @@ class MultiGraphMapper
     /** Maps one read against every chromosome; returns the best hit. */
     MultiMapResult mapRead(std::string_view read,
                            PipelineStats *stats = nullptr) const;
+
+    /** MappingEngine interface. */
+    MultiMapResult
+    mapOne(std::string_view read,
+           PipelineStats *stats = nullptr) const override
+    {
+        return mapRead(read, stats);
+    }
+    std::string_view engineName() const override
+    {
+        return "segram-multigraph";
+    }
 
     size_t numChromosomes() const { return mappers_.size(); }
 

@@ -102,7 +102,9 @@ toVcfRecord(const Variant &variant, const std::string &chrom,
 {
     io::VcfRecord record;
     record.chrom = chrom;
-    record.id = ".";
+    // std::string(1, '.') sidesteps a GCC 12 -Wrestrict false positive
+    // on const char* assignment (GCC bug 105329).
+    record.id = std::string(1, '.');
     if (variant.kind() == VariantKind::Substitution) {
         record.pos = variant.pos + 1;
         record.ref = variant.ref;

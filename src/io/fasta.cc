@@ -3,59 +3,23 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <sstream>
 
+#include "src/io/fastx.h"
 #include "src/util/check.h"
-#include "src/util/dna.h"
 
 namespace segram::io
 {
 
-namespace
-{
-
-std::string
-headerName(const std::string &line)
-{
-    // ">name description" -> "name"
-    const size_t start = 1;
-    size_t end = line.find_first_of(" \t", start);
-    if (end == std::string::npos)
-        end = line.size();
-    return line.substr(start, end - start);
-}
-
-} // namespace
-
 std::vector<FastaRecord>
 readFasta(std::istream &in)
 {
+    // The streaming FastxReader is the single FASTA parser; this eager
+    // entry point just collects its records.
+    FastxReader reader(in, FastxFormat::Fasta);
     std::vector<FastaRecord> records;
-    std::string line;
-    bool have_record = false;
-    while (std::getline(in, line)) {
-        if (!line.empty() && line.back() == '\r')
-            line.pop_back();
-        if (line.empty())
-            continue;
-        if (line[0] == '>') {
-            SEGRAM_CHECK(line.size() > 1, "FASTA header with no name");
-            if (have_record) {
-                SEGRAM_CHECK(!records.back().seq.empty(),
-                             "FASTA record '" + records.back().name +
-                                 "' has no sequence");
-            }
-            records.push_back({headerName(line), ""});
-            have_record = true;
-        } else {
-            SEGRAM_CHECK(have_record,
-                         "FASTA sequence data before any '>' header");
-            records.back().seq += normalizeDna(line);
-        }
-    }
-    SEGRAM_CHECK(!have_record || !records.back().seq.empty(),
-                 "FASTA record '" + records.back().name +
-                     "' has no sequence");
+    FastxRecord record;
+    while (reader.next(record))
+        records.push_back({std::move(record.name), std::move(record.seq)});
     return records;
 }
 

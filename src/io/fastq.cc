@@ -4,65 +4,23 @@
 #include <istream>
 #include <ostream>
 
+#include "src/io/fastx.h"
 #include "src/util/check.h"
-#include "src/util/dna.h"
 
 namespace segram::io
 {
 
-namespace
-{
-
-std::string
-headerName(const std::string &line)
-{
-    size_t end = line.find_first_of(" \t", 1);
-    if (end == std::string::npos)
-        end = line.size();
-    return line.substr(1, end - 1);
-}
-
-bool
-getlineTrim(std::istream &in, std::string &line)
-{
-    if (!std::getline(in, line))
-        return false;
-    if (!line.empty() && line.back() == '\r')
-        line.pop_back();
-    return true;
-}
-
-} // namespace
-
 std::vector<FastqRecord>
 readFastq(std::istream &in)
 {
+    // The streaming FastxReader is the single FASTQ parser; this eager
+    // entry point just collects its records.
+    FastxReader reader(in, FastxFormat::Fastq);
     std::vector<FastqRecord> records;
-    std::string header;
-    size_t line_no = 0;
-    while (getlineTrim(in, header)) {
-        ++line_no;
-        if (header.empty())
-            continue;
-        const std::string where = "FASTQ line " + std::to_string(line_no);
-        SEGRAM_CHECK(header[0] == '@' && header.size() > 1,
-                     where + ": expected an '@name' header");
-        FastqRecord record;
-        record.name = headerName(header);
-        std::string plus;
-        SEGRAM_CHECK(getlineTrim(in, record.seq),
-                     where + ": truncated record (no sequence)");
-        SEGRAM_CHECK(getlineTrim(in, plus) && !plus.empty() &&
-                         plus[0] == '+',
-                     where + ": expected a '+' separator line");
-        SEGRAM_CHECK(getlineTrim(in, record.qual),
-                     where + ": truncated record (no quality)");
-        SEGRAM_CHECK(record.qual.size() == record.seq.size(),
-                     where + ": quality length != sequence length");
-        SEGRAM_CHECK(!record.seq.empty(), where + ": empty sequence");
-        record.seq = normalizeDna(record.seq);
-        line_no += 3;
-        records.push_back(std::move(record));
+    FastxRecord record;
+    while (reader.next(record)) {
+        records.push_back({std::move(record.name), std::move(record.seq),
+                           std::move(record.qual)});
     }
     return records;
 }
@@ -98,20 +56,10 @@ writeFastqFile(const std::string &path,
 std::vector<FastaRecord>
 readReadsFile(const std::string &path)
 {
-    std::ifstream sniff(path);
-    SEGRAM_CHECK(sniff.good(), "cannot open reads file: " + path);
-    char first = '\0';
-    while (sniff.get(first)) {
-        if (first != '\n' && first != '\r' && first != ' ')
-            break;
-    }
-    SEGRAM_CHECK(first == '>' || first == '@',
-                 "reads file is neither FASTA ('>') nor FASTQ ('@'): " +
-                     path);
-    if (first == '>')
-        return readFastaFile(path);
+    FastxReader reader(path);
     std::vector<FastaRecord> out;
-    for (auto &record : readFastqFile(path))
+    FastxRecord record;
+    while (reader.next(record))
         out.push_back({std::move(record.name), std::move(record.seq)});
     return out;
 }

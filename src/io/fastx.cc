@@ -1,0 +1,165 @@
+#include "src/io/fastx.h"
+
+#include <istream>
+
+#include "src/util/check.h"
+#include "src/util/dna.h"
+
+namespace segram::io
+{
+
+namespace
+{
+
+/** ">name description" / "@name description" -> "name". */
+std::string
+headerName(const std::string &line)
+{
+    size_t end = line.find_first_of(" \t", 1);
+    if (end == std::string::npos)
+        end = line.size();
+    return line.substr(1, end - 1);
+}
+
+} // namespace
+
+FastxReader::FastxReader(const std::string &path)
+    : file_(path), in_(&file_)
+{
+    SEGRAM_CHECK(file_.good(), "cannot open reads file: " + path);
+    sniffFormat(path);
+}
+
+FastxReader::FastxReader(std::istream &in,
+                         std::optional<FastxFormat> force)
+    : in_(&in)
+{
+    if (force.has_value())
+        format_ = *force;
+    else
+        sniffFormat("<stream>");
+}
+
+bool
+FastxReader::getlineTrim(std::string &line)
+{
+    if (havePending_) {
+        line = std::move(pending_);
+        havePending_ = false;
+        return true;
+    }
+    if (!std::getline(*in_, line))
+        return false;
+    ++lineNo_;
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    return true;
+}
+
+void
+FastxReader::sniffFormat(const std::string &what)
+{
+    std::string line;
+    while (getlineTrim(line)) {
+        if (line.empty())
+            continue;
+        SEGRAM_CHECK(line[0] == '>' || line[0] == '@',
+                     "reads file is neither FASTA ('>') nor FASTQ "
+                     "('@'): " +
+                         what);
+        format_ = line[0] == '>' ? FastxFormat::Fasta
+                                 : FastxFormat::Fastq;
+        pending_ = std::move(line);
+        havePending_ = true;
+        return;
+    }
+    SEGRAM_CHECK(false,
+                 "reads file is neither FASTA ('>') nor FASTQ ('@'): " +
+                     what);
+}
+
+bool
+FastxReader::next(FastxRecord &record)
+{
+    return format_ == FastxFormat::Fasta ? nextFasta(record)
+                                         : nextFastq(record);
+}
+
+bool
+FastxReader::nextFasta(FastxRecord &record)
+{
+    std::string line;
+    // Find the record's header, skipping blank lines.
+    bool have_header = false;
+    while (!have_header && getlineTrim(line)) {
+        if (line.empty())
+            continue;
+        SEGRAM_CHECK(line[0] == '>',
+                     "FASTA sequence data before any '>' header");
+        SEGRAM_CHECK(line.size() > 1, "FASTA header with no name");
+        have_header = true;
+    }
+    if (!have_header)
+        return false;
+
+    record.name = headerName(line);
+    record.seq.clear();
+    record.qual.clear();
+    // Accumulate sequence lines until the next header or end of input;
+    // the next header becomes the lookahead for the following call.
+    while (getlineTrim(line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            pending_ = std::move(line);
+            havePending_ = true;
+            break;
+        }
+        record.seq += normalizeDna(line);
+    }
+    SEGRAM_CHECK(!record.seq.empty(),
+                 "FASTA record '" + record.name + "' has no sequence");
+    return true;
+}
+
+bool
+FastxReader::nextFastq(FastxRecord &record)
+{
+    std::string header;
+    do {
+        if (!getlineTrim(header))
+            return false;
+    } while (header.empty());
+
+    const std::string where = "FASTQ line " + std::to_string(lineNo_);
+    SEGRAM_CHECK(header[0] == '@' && header.size() > 1,
+                 where + ": expected an '@name' header");
+    record.name = headerName(header);
+    std::string plus;
+    SEGRAM_CHECK(getlineTrim(record.seq),
+                 where + ": truncated record (no sequence)");
+    SEGRAM_CHECK(getlineTrim(plus) && !plus.empty() && plus[0] == '+',
+                 where + ": expected a '+' separator line");
+    SEGRAM_CHECK(getlineTrim(record.qual),
+                 where + ": truncated record (no quality)");
+    SEGRAM_CHECK(record.qual.size() == record.seq.size(),
+                 where + ": quality length != sequence length");
+    SEGRAM_CHECK(!record.seq.empty(), where + ": empty sequence");
+    record.seq = normalizeDna(record.seq);
+    return true;
+}
+
+size_t
+FastxReader::nextBatch(std::vector<FastxRecord> &batch,
+                       size_t max_records)
+{
+    size_t appended = 0;
+    FastxRecord record;
+    while (appended < max_records && next(record)) {
+        batch.push_back(std::move(record));
+        ++appended;
+    }
+    return appended;
+}
+
+} // namespace segram::io

@@ -6,16 +6,78 @@ namespace segram::io
 {
 
 void
+formatPaf(std::string &out, const PafRecord &record)
+{
+    const char tab = '\t';
+    out += record.queryName;
+    out += tab;
+    out += std::to_string(record.queryLen);
+    out += tab;
+    out += std::to_string(record.queryStart);
+    out += tab;
+    out += std::to_string(record.queryEnd);
+    out += tab;
+    out += record.strand;
+    out += tab;
+    out += record.targetName;
+    out += tab;
+    out += std::to_string(record.targetLen);
+    out += tab;
+    out += std::to_string(record.targetStart);
+    out += tab;
+    out += std::to_string(record.targetEnd);
+    out += tab;
+    out += std::to_string(record.matches);
+    out += tab;
+    out += std::to_string(record.alignmentLen);
+    out += tab;
+    out += std::to_string(record.mapq);
+    out += "\tNM:i:";
+    out += std::to_string(record.cigar.editDistance());
+    out += "\tcg:Z:";
+    out += record.cigar.toString();
+    out += '\n';
+}
+
+void
 writePaf(std::ostream &out, const PafRecord &record)
 {
-    out << record.queryName << '\t' << record.queryLen << '\t'
-        << record.queryStart << '\t' << record.queryEnd << '\t'
-        << record.strand << '\t' << record.targetName << '\t'
-        << record.targetLen << '\t' << record.targetStart << '\t'
-        << record.targetEnd << '\t' << record.matches << '\t'
-        << record.alignmentLen << '\t' << record.mapq << "\tNM:i:"
-        << record.cigar.editDistance() << "\tcg:Z:"
-        << record.cigar.toString() << '\n';
+    std::string line;
+    formatPaf(line, record);
+    out.write(line.data(), static_cast<std::streamsize>(line.size()));
+}
+
+PafWriter::PafWriter(std::ostream &out, size_t buffer_bytes)
+    : out_(out), bufferBytes_(buffer_bytes)
+{
+    buffer_.reserve(bufferBytes_);
+}
+
+PafWriter::~PafWriter()
+{
+    flush();
+}
+
+void
+PafWriter::write(const PafRecord &record)
+{
+    formatPaf(buffer_, record);
+    ++records_;
+    if (buffer_.size() >= bufferBytes_)
+        flush();
+}
+
+void
+PafWriter::flush()
+{
+    if (buffer_.empty())
+        return;
+    out_.write(buffer_.data(),
+               static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+    // Push through the ostream too, so a flush() is observable by a
+    // reader of the underlying file/pipe (as the header promises).
+    out_.flush();
 }
 
 PafRecord

@@ -39,6 +39,42 @@ struct PafRecord
 /** Writes one PAF line (with NM and cg:Z tags). */
 void writePaf(std::ostream &out, const PafRecord &record);
 
+/** Appends one PAF line (with NM and cg:Z tags) to @p out. */
+void formatPaf(std::string &out, const PafRecord &record);
+
+/**
+ * Buffered batch PAF writer: lines accumulate in a string buffer that
+ * is handed to the stream in large writes, so the streaming pipeline
+ * pays one syscall-sized write per buffer instead of per record. The
+ * destructor flushes; call flush() explicitly to observe output
+ * earlier (e.g. when tailing a live mapping run).
+ */
+class PafWriter
+{
+  public:
+    /** @param buffer_bytes Flush threshold (not a hard cap). */
+    explicit PafWriter(std::ostream &out,
+                       size_t buffer_bytes = 1 << 20);
+    ~PafWriter();
+
+    PafWriter(const PafWriter &) = delete;
+    PafWriter &operator=(const PafWriter &) = delete;
+
+    /** Buffers one record, flushing when over the threshold. */
+    void write(const PafRecord &record);
+
+    /** Drains the buffer to the stream. */
+    void flush();
+
+    uint64_t recordsWritten() const { return records_; }
+
+  private:
+    std::ostream &out_;
+    std::string buffer_;
+    size_t bufferBytes_;
+    uint64_t records_ = 0;
+};
+
 /**
  * Convenience: fills the alignment-derived fields of a record from a
  * cigar (matches, alignmentLen, queryEnd, targetEnd).

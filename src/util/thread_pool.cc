@@ -1,0 +1,136 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace segram::util
+{
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    const int n = std::max(1, num_threads);
+    workers_.reserve(static_cast<size_t>(n));
+    try {
+        for (int i = 0; i < n; ++i)
+            workers_.emplace_back([this, i] { workerLoop(i); });
+    } catch (...) {
+        // Destroying a vector of joinable threads calls
+        // std::terminate; join the ones that did spawn first.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        for (auto &worker : workers_)
+            worker.join();
+        throw;
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void
+ThreadPool::workerLoop(int worker_id)
+{
+    uint64_t seen_generation = 0;
+    while (true) {
+        const ChunkFn *fn = nullptr;
+        uint64_t my_generation = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || (job_ != nullptr &&
+                                 jobGeneration_ != seen_generation);
+            });
+            if (stop_)
+                return;
+            seen_generation = my_generation = jobGeneration_;
+            fn = job_;
+            ++jobActiveWorkers_;
+        }
+
+        // Claim chunks until the range is exhausted, a failure
+        // abandons the job, or the job is superseded (a straggler must
+        // never claim chunks of a later generation with the old fn).
+        while (true) {
+            size_t begin;
+            size_t end;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (jobGeneration_ != my_generation ||
+                    jobError_ != nullptr || jobNext_ >= jobItems_)
+                    break;
+                begin = jobNext_;
+                end = std::min(jobItems_, begin + jobChunk_);
+                jobNext_ = end;
+            }
+            try {
+                (*fn)(begin, end, worker_id);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (jobGeneration_ == my_generation &&
+                    jobError_ == nullptr)
+                    jobError_ = std::current_exception();
+                break;
+            }
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --jobActiveWorkers_;
+        }
+        done_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t num_items, size_t chunk_size,
+                        const ChunkFn &fn)
+{
+    SEGRAM_CHECK(chunk_size >= 1, "chunk size must be >= 1");
+    if (num_items == 0)
+        return;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = &fn;
+    jobItems_ = num_items;
+    jobChunk_ = chunk_size;
+    jobNext_ = 0;
+    jobError_ = nullptr;
+    ++jobGeneration_;
+    wake_.notify_all();
+
+    done_.wait(lock, [&] {
+        return jobActiveWorkers_ == 0 &&
+               (jobNext_ >= jobItems_ || jobError_ != nullptr);
+    });
+
+    // job_ is cleared under the same lock hold the predicate was last
+    // evaluated under, so no straggler can begin the finished job.
+    job_ = nullptr;
+    if (jobError_ != nullptr) {
+        std::exception_ptr error = jobError_;
+        jobError_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+} // namespace segram::util

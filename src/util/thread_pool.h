@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A small fixed-size thread pool with a chunked parallel-for, the
+ * software stand-in for SeGraM's per-channel module parallelism: the
+ * paper provisions one MinSeed+BitAlign pair per HBM2E channel and
+ * scales linearly across channels; here each worker thread plays the
+ * role of one channel's module pair, pulling chunks of independent
+ * per-read work from a shared counter.
+ *
+ * No external dependencies — std::thread + condition_variable only.
+ */
+
+#ifndef SEGRAM_SRC_UTIL_THREAD_POOL_H
+#define SEGRAM_SRC_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace segram::util
+{
+
+/**
+ * Fixed pool of worker threads executing chunked index-range jobs.
+ *
+ * Workers are spawned once and reused across parallelFor() calls, so
+ * per-batch dispatch costs no thread creation. One job runs at a time;
+ * parallelFor() blocks the caller until the job completes and rethrows
+ * the first worker exception, if any.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Chunk callback: processes items [begin, end) as worker
+     * @p worker_id (0-based, < size()). Called concurrently from
+     * different workers on disjoint ranges.
+     */
+    using ChunkFn =
+        std::function<void(size_t begin, size_t end, int worker_id)>;
+
+    /**
+     * @param num_threads Worker count; clamped to >= 1.
+     *                    ThreadPool(1) still runs work on the (single)
+     *                    worker thread, keeping the execution path
+     *                    identical across sizes.
+     */
+    explicit ThreadPool(int num_threads);
+
+    /** Joins all workers (after finishing any in-flight job). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return Number of worker threads. */
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Runs @p fn over [0, num_items) split into chunks of
+     * @p chunk_size, distributed dynamically across the workers.
+     * Blocks until every chunk has been processed; rethrows the first
+     * exception a worker hit (remaining chunks are abandoned).
+     *
+     * Chunk-to-worker assignment is nondeterministic under contention;
+     * callers that need deterministic output must write results by
+     * item index and keep per-worker accumulators whose merge is
+     * order-independent (see core::BatchMapper).
+     */
+    void parallelFor(size_t num_items, size_t chunk_size,
+                     const ChunkFn &fn);
+
+    /**
+     * @return A reasonable default worker count for this host:
+     *         std::thread::hardware_concurrency(), at least 1.
+     */
+    static int defaultThreads();
+
+  private:
+    void workerLoop(int worker_id);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;    ///< signals workers: job or stop
+    std::condition_variable done_;    ///< signals caller: job finished
+    const ChunkFn *job_ = nullptr;    ///< current job (guarded by mutex_)
+    size_t jobItems_ = 0;
+    size_t jobChunk_ = 1;
+    size_t jobNext_ = 0;              ///< next unclaimed item index
+    uint64_t jobGeneration_ = 0;      ///< bumps per job: wakeup token
+    int jobActiveWorkers_ = 0;        ///< workers still inside the job
+    std::exception_ptr jobError_;     ///< first failure, rethrown
+    bool stop_ = false;
+};
+
+} // namespace segram::util
+
+#endif // SEGRAM_SRC_UTIL_THREAD_POOL_H

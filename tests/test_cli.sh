@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# CLI integration test: simulate a dataset, then map the same reads as
+# FASTA (1 thread) and as FASTQ (2 threads) and require byte-identical
+# PAF output — wiring the FASTQ ingestion path and the BatchMapper
+# determinism contract through the real binary.
+#
+# usage: test_cli.sh <path-to-segram-binary>
+set -e
+bin="$1"
+test -x "$bin" || { echo "usage: test_cli.sh <segram-binary>"; exit 2; }
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$bin" simulate "$tmp/d" 20000 12 150 0.03 2> /dev/null
+"$bin" map --threads 1 --batch 5 "$tmp/d.fa" "$tmp/d.vcf" \
+    "$tmp/d.reads.fa" > "$tmp/t1.paf" 2> /dev/null
+"$bin" map --threads 2 "$tmp/d.fa" "$tmp/d.vcf" \
+    "$tmp/d.reads.fq" > "$tmp/t2.paf" 2> /dev/null
+
+test -s "$tmp/t1.paf" || { echo "FAIL: empty PAF output"; exit 1; }
+cmp "$tmp/t1.paf" "$tmp/t2.paf" || {
+    echo "FAIL: FASTA/1-thread and FASTQ/2-thread PAF differ"
+    exit 1
+}
+echo "cli fastq + threads OK ($(wc -l < "$tmp/t1.paf") PAF records)"

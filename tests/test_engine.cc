@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Tests for the batched mapping engine layer: the ThreadPool
+ * primitive, the MappingEngine contract across every backend, and the
+ * BatchMapper determinism guarantee (bit-identical results and
+ * correctly merged PipelineStats for every thread count).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/baseline/mappers.h"
+#include "src/core/engine.h"
+#include "src/core/segram.h"
+#include "src/sim/dataset.h"
+#include "src/util/check.h"
+#include "src/util/dna.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace segram::core
+{
+namespace
+{
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    util::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    constexpr size_t kItems = 1'000;
+    std::vector<std::atomic<int>> hits(kItems);
+    pool.parallelFor(kItems, 7, [&](size_t begin, size_t end, int) {
+        for (size_t i = begin; i < end; ++i)
+            ++hits[i];
+    });
+    for (size_t i = 0; i < kItems; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ReusableAcrossJobsAndSizes)
+{
+    util::ThreadPool pool(3);
+    for (int round = 0; round < 5; ++round) {
+        std::atomic<size_t> sum{0};
+        const size_t items = 10 + static_cast<size_t>(round) * 13;
+        pool.parallelFor(items, 1 + static_cast<size_t>(round),
+                         [&](size_t begin, size_t end, int) {
+                             for (size_t i = begin; i < end; ++i)
+                                 sum += i;
+                         });
+        EXPECT_EQ(sum.load(), items * (items - 1) / 2);
+    }
+    // Empty job is a no-op.
+    pool.parallelFor(0, 4, [](size_t, size_t, int) { FAIL(); });
+}
+
+TEST(ThreadPool, SingleWorkerStillRuns)
+{
+    util::ThreadPool pool(1);
+    std::vector<int> order;
+    pool.parallelFor(5, 2, [&](size_t begin, size_t end, int worker) {
+        EXPECT_EQ(worker, 0);
+        for (size_t i = begin; i < end; ++i)
+            order.push_back(static_cast<int>(i));
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, WorkerIdsAreInRange)
+{
+    util::ThreadPool pool(4);
+    std::mutex mutex;
+    std::set<int> seen;
+    pool.parallelFor(200, 1, [&](size_t, size_t, int worker) {
+        std::lock_guard<std::mutex> lock(mutex);
+        seen.insert(worker);
+    });
+    EXPECT_FALSE(seen.empty());
+    EXPECT_GE(*seen.begin(), 0);
+    EXPECT_LT(*seen.rbegin(), pool.size());
+}
+
+TEST(ThreadPool, PropagatesExceptionsAndSurvives)
+{
+    util::ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallelFor(100, 1,
+                         [&](size_t begin, size_t, int) {
+                             if (begin == 42)
+                                 throw InputError("boom");
+                         }),
+        InputError);
+    // The pool is still usable after a failed job.
+    std::atomic<int> count{0};
+    pool.parallelFor(10, 3, [&](size_t begin, size_t end, int) {
+        count += static_cast<int>(end - begin);
+    });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, RejectsZeroChunk)
+{
+    util::ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(4, 0, [](size_t, size_t, int) {}),
+                 InputError);
+}
+
+// --------------------------------------------------- engine test fixture
+
+sim::DatasetConfig
+smallConfig(uint64_t seed)
+{
+    sim::DatasetConfig config;
+    config.genome.length = 40'000;
+    config.genome.repeatFraction = 0.0;
+    config.index.sketch = {13, 8};
+    config.index.bucketBits = 13;
+    config.seed = seed;
+    return config;
+}
+
+/** A mixed workload: mappable, reverse-complemented and junk reads. */
+std::vector<std::string>
+makeReads(const sim::Dataset &dataset, int count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::string> reads;
+    for (int i = 0; i < count; ++i) {
+        const uint64_t start =
+            rng.nextBelow(dataset.donor.seq().size() - 400);
+        std::string read = dataset.donor.seq().substr(start, 300);
+        if (i % 3 == 1)
+            read = reverseComplement(read);
+        if (i % 7 == 6) { // unmappable noise
+            read.clear();
+            for (int j = 0; j < 200; ++j)
+                read.push_back(rng.nextBase());
+        }
+        reads.push_back(std::move(read));
+    }
+    return reads;
+}
+
+std::vector<std::string_view>
+viewsOf(const std::vector<std::string> &reads)
+{
+    return {reads.begin(), reads.end()};
+}
+
+void
+expectSameResults(const std::vector<MultiMapResult> &lhs,
+                  const std::vector<MultiMapResult> &rhs)
+{
+    ASSERT_EQ(lhs.size(), rhs.size());
+    for (size_t i = 0; i < lhs.size(); ++i) {
+        EXPECT_EQ(lhs[i].mapped, rhs[i].mapped) << "read " << i;
+        EXPECT_EQ(lhs[i].linearStart, rhs[i].linearStart) << "read " << i;
+        EXPECT_EQ(lhs[i].editDistance, rhs[i].editDistance)
+            << "read " << i;
+        EXPECT_EQ(lhs[i].regionsTried, rhs[i].regionsTried)
+            << "read " << i;
+        EXPECT_EQ(lhs[i].reverseComplemented, rhs[i].reverseComplemented)
+            << "read " << i;
+        EXPECT_EQ(lhs[i].chromosome, rhs[i].chromosome) << "read " << i;
+        EXPECT_EQ(lhs[i].cigar.toString(), rhs[i].cigar.toString())
+            << "read " << i;
+    }
+}
+
+void
+expectSameStats(const PipelineStats &lhs, const PipelineStats &rhs)
+{
+    EXPECT_EQ(lhs.readsTotal, rhs.readsTotal);
+    EXPECT_EQ(lhs.readsMapped, rhs.readsMapped);
+    EXPECT_EQ(lhs.regionsAligned, rhs.regionsAligned);
+    EXPECT_EQ(lhs.alignmentsFound, rhs.alignmentsFound);
+    EXPECT_EQ(lhs.seeding.minimizersComputed,
+              rhs.seeding.minimizersComputed);
+    EXPECT_EQ(lhs.seeding.minimizersKept, rhs.seeding.minimizersKept);
+    EXPECT_EQ(lhs.seeding.seedsAvailable, rhs.seeding.seedsAvailable);
+    EXPECT_EQ(lhs.seeding.seedsFetched, rhs.seeding.seedsFetched);
+    EXPECT_EQ(lhs.seeding.regionsEmitted, rhs.seeding.regionsEmitted);
+}
+
+// ----------------------------------------------------------- BatchMapper
+
+TEST(BatchMapper, FourThreadsMatchOneThreadExactly)
+{
+    const auto dataset = sim::makeDataset(smallConfig(101));
+    SegramConfig config;
+    config.tryReverseComplement = true;
+    const SegramMapper mapper(dataset.graph, dataset.index, config);
+    const auto reads = makeReads(dataset, 30, 102);
+    const auto views = viewsOf(reads);
+
+    PipelineStats stats1;
+    const BatchMapper one(mapper, {.threads = 1, .chunkSize = 4});
+    const auto results1 = one.mapBatch(
+        std::span<const std::string_view>(views), &stats1);
+
+    PipelineStats stats4;
+    const BatchMapper four(mapper, {.threads = 4, .chunkSize = 3});
+    const auto results4 = four.mapBatch(
+        std::span<const std::string_view>(views), &stats4);
+
+    expectSameResults(results1, results4);
+    expectSameStats(stats1, stats4);
+    EXPECT_EQ(stats4.readsTotal, reads.size());
+
+    // Both match the engine's own sequential mapBatch and a bare
+    // mapRead loop.
+    PipelineStats stats_seq;
+    const auto sequential = mapper.mapBatch(
+        std::span<const std::string_view>(views), &stats_seq);
+    expectSameResults(results4, sequential);
+    expectSameStats(stats4, stats_seq);
+
+    PipelineStats stats_loop;
+    for (size_t i = 0; i < reads.size(); ++i) {
+        const auto result = mapper.mapRead(reads[i], &stats_loop);
+        EXPECT_EQ(result.mapped, results4[i].mapped);
+        EXPECT_EQ(result.linearStart, results4[i].linearStart);
+    }
+    expectSameStats(stats4, stats_loop);
+}
+
+TEST(BatchMapper, OwnedStringOverloadAndEmptyBatch)
+{
+    const auto dataset = sim::makeDataset(smallConfig(103));
+    const SegramMapper mapper(dataset.graph, dataset.index);
+    const BatchMapper batch(mapper, {.threads = 2});
+    EXPECT_EQ(batch.threads(), 2);
+
+    const auto reads = makeReads(dataset, 8, 104);
+    const auto via_strings =
+        batch.mapBatch(std::span<const std::string>(reads));
+    const auto views = viewsOf(reads);
+    const auto via_views =
+        batch.mapBatch(std::span<const std::string_view>(views));
+    expectSameResults(via_strings, via_views);
+
+    const auto empty =
+        batch.mapBatch(std::span<const std::string>{});
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(BatchMapper, PropagatesMapperErrors)
+{
+    const auto dataset = sim::makeDataset(smallConfig(105));
+    const SegramMapper mapper(dataset.graph, dataset.index);
+    const std::vector<std::string> reads = {"ACGTACGTACGT", ""};
+    const BatchMapper batch(mapper, {.threads = 2});
+    EXPECT_THROW(batch.mapBatch(std::span<const std::string>(reads)),
+                 InputError);
+}
+
+TEST(BatchMapper, MultiGraphStatsFoldReadExactUnderBatching)
+{
+    const auto chr1 = sim::makeDataset(smallConfig(106));
+    const auto chr2 = sim::makeDataset(smallConfig(107));
+    SegramConfig config;
+    config.earlyExitFraction = 1.0;
+    const MultiGraphMapper mapper(
+        {{"chr1", &chr1.graph, &chr1.index},
+         {"chr2", &chr2.graph, &chr2.index}},
+        config);
+
+    // Half the reads from each chromosome's donor.
+    std::vector<std::string> reads;
+    Rng rng(108);
+    for (int i = 0; i < 10; ++i) {
+        const auto &donor = (i % 2 == 0 ? chr1 : chr2).donor;
+        const uint64_t start = rng.nextBelow(donor.seq().size() - 400);
+        reads.push_back(donor.seq().substr(start, 300));
+    }
+    const auto views = viewsOf(reads);
+
+    PipelineStats stats1;
+    const BatchMapper one(mapper, {.threads = 1});
+    const auto results1 = one.mapBatch(
+        std::span<const std::string_view>(views), &stats1);
+    PipelineStats stats4;
+    const BatchMapper four(mapper, {.threads = 4, .chunkSize = 2});
+    const auto results4 = four.mapBatch(
+        std::span<const std::string_view>(views), &stats4);
+
+    expectSameResults(results1, results4);
+    expectSameStats(stats1, stats4);
+    // The per-chromosome fold stays read-exact: one readsTotal per
+    // logical read, even though each read ran on every chromosome.
+    EXPECT_EQ(stats4.readsTotal, reads.size());
+    EXPECT_EQ(stats4.readsMapped, reads.size());
+    for (size_t i = 0; i < reads.size(); ++i) {
+        EXPECT_TRUE(results4[i].mapped) << "read " << i;
+        EXPECT_EQ(results4[i].chromosome, i % 2 == 0 ? "chr1" : "chr2")
+            << "read " << i;
+    }
+}
+
+// ------------------------------------------- MappingEngine polymorphism
+
+TEST(MappingEngine, AllBackendsDriveThroughTheInterface)
+{
+    const auto dataset = sim::makeDataset(smallConfig(109));
+    const SegramMapper segram_mapper(dataset.graph, dataset.index);
+    const MultiGraphMapper multi_mapper(
+        {{"chr1", &dataset.graph, &dataset.index}});
+    const baseline::GraphAlignerLike ga_mapper(dataset.graph,
+                                               dataset.index);
+    const baseline::VgLike vg_mapper(dataset.graph, dataset.index);
+
+    const std::string read = dataset.donor.seq().substr(2'000, 300);
+    const std::vector<const MappingEngine *> engines = {
+        &segram_mapper, &multi_mapper, &ga_mapper, &vg_mapper};
+    for (const MappingEngine *engine : engines) {
+        PipelineStats stats;
+        const auto result = engine->mapOne(read, &stats);
+        EXPECT_TRUE(result.mapped) << engine->engineName();
+        EXPECT_EQ(stats.readsTotal, 1u) << engine->engineName();
+        EXPECT_EQ(stats.readsMapped, 1u) << engine->engineName();
+        EXPECT_FALSE(engine->engineName().empty());
+
+        // Every backend also batches deterministically.
+        const std::vector<std::string> reads = {read, read, read};
+        const BatchMapper batch(*engine, {.threads = 3, .chunkSize = 1});
+        const auto results =
+            batch.mapBatch(std::span<const std::string>(reads));
+        ASSERT_EQ(results.size(), 3u);
+        for (const auto &batched : results) {
+            EXPECT_EQ(batched.mapped, result.mapped);
+            EXPECT_EQ(batched.linearStart, result.linearStart);
+            EXPECT_EQ(batched.editDistance, result.editDistance);
+        }
+    }
+    EXPECT_EQ(segram_mapper.engineName(), "segram");
+    EXPECT_EQ(multi_mapper.engineName(), "segram-multigraph");
+    EXPECT_EQ(ga_mapper.engineName(), "graphaligner-like");
+    EXPECT_EQ(vg_mapper.engineName(), "vg-like");
+}
+
+// ------------------------------------------------- regionsTried repair
+
+TEST(SegramMapper, RegionsTriedCountsBothStrands)
+{
+    const auto dataset = sim::makeDataset(smallConfig(110));
+    SegramConfig config;
+    config.tryReverseComplement = true;
+    const SegramMapper mapper(dataset.graph, dataset.index, config);
+
+    Rng rng(111);
+    for (int trial = 0; trial < 5; ++trial) {
+        const uint64_t start =
+            rng.nextBelow(dataset.donor.seq().size() - 400);
+        std::string read = dataset.donor.seq().substr(start, 300);
+        if (trial % 2 == 1)
+            read = reverseComplement(read);
+        PipelineStats stats;
+        const auto result = mapper.mapRead(read, &stats);
+        ASSERT_TRUE(result.mapped);
+        // Without early exit every candidate region of both strands is
+        // aligned, so the per-read counter must equal the stats-side
+        // work counter — not just the winning strand's share.
+        EXPECT_EQ(result.regionsTried, stats.regionsAligned)
+            << "trial " << trial;
+        EXPECT_GT(result.regionsTried, 0u);
+    }
+}
+
+} // namespace
+} // namespace segram::core

@@ -15,6 +15,7 @@
 
 #include "src/io/fasta.h"
 #include "src/io/fastq.h"
+#include "src/io/fastx.h"
 #include "src/io/gfa.h"
 #include "src/io/paf.h"
 #include "src/io/vcf.h"
@@ -184,6 +185,121 @@ TEST(Fastq, RejectsMalformed)
     std::istringstream qual_mismatch("@x\nACGT\n+\nII\n");
     EXPECT_THROW(readFastq(qual_mismatch), InputError);
     EXPECT_THROW(readFastqFile("/nonexistent/reads.fq"), InputError);
+}
+
+TEST(Fastx, StreamsFastaIncrementally)
+{
+    std::istringstream in(
+        ">chr1 desc\nACGT\nacgt\n\n>chr2\nTT\nTT\n");
+    FastxReader reader(in);
+    EXPECT_EQ(reader.format(), FastxFormat::Fasta);
+    FastxRecord record;
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.name, "chr1");
+    EXPECT_EQ(record.seq, "ACGTACGT");
+    EXPECT_TRUE(record.qual.empty());
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.name, "chr2");
+    EXPECT_EQ(record.seq, "TTTT");
+    EXPECT_FALSE(reader.next(record));
+    EXPECT_FALSE(reader.next(record)); // stays at end
+}
+
+TEST(Fastx, StreamsFastqIncrementally)
+{
+    std::istringstream in("@r1\nACGT\n+\nIIII\n@r2 x\nTTNA\n+sep\n!!!!\n");
+    FastxReader reader(in);
+    EXPECT_EQ(reader.format(), FastxFormat::Fastq);
+    FastxRecord record;
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.name, "r1");
+    EXPECT_EQ(record.seq, "ACGT");
+    EXPECT_EQ(record.qual, "IIII");
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.name, "r2");
+    EXPECT_EQ(record.seq, "TTAA"); // N normalized
+    EXPECT_FALSE(reader.next(record));
+}
+
+TEST(Fastx, NextBatchAppendsUpToLimit)
+{
+    std::istringstream in(">a\nAC\n>b\nGG\n>c\nTT\n");
+    FastxReader reader(in);
+    std::vector<FastxRecord> batch;
+    EXPECT_EQ(reader.nextBatch(batch, 2), 2u);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].name, "a");
+    EXPECT_EQ(batch[1].name, "b");
+    // Appends (no clear), and the tail is shorter than the limit.
+    EXPECT_EQ(reader.nextBatch(batch, 2), 1u);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[2].name, "c");
+    EXPECT_EQ(reader.nextBatch(batch, 2), 0u);
+}
+
+TEST(Fastx, ForcedFormatRejectsTheOther)
+{
+    std::istringstream fastq_as_fasta("@x\nACGT\n+\nIIII\n");
+    FastxReader forced_fasta(fastq_as_fasta, FastxFormat::Fasta);
+    FastxRecord record;
+    EXPECT_THROW(forced_fasta.next(record), InputError);
+
+    std::istringstream fasta_as_fastq(">x\nACGT\n");
+    FastxReader forced_fastq(fasta_as_fastq, FastxFormat::Fastq);
+    EXPECT_THROW(forced_fastq.next(record), InputError);
+}
+
+TEST(Fastx, SniffRejectsJunkAndEmpty)
+{
+    std::istringstream junk("hello\n");
+    EXPECT_THROW(FastxReader reader(junk), InputError);
+    std::istringstream empty("");
+    EXPECT_THROW(FastxReader reader(empty), InputError);
+    EXPECT_THROW(FastxReader("/nonexistent/reads.fq"), InputError);
+}
+
+TEST(Fastx, MalformedMidStreamThrowsAfterGoodRecords)
+{
+    std::istringstream in(">a\nACGT\n>broken\n>c\nTT\n");
+    FastxReader reader(in);
+    FastxRecord record;
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.name, "a");
+    EXPECT_THROW(reader.next(record), InputError);
+}
+
+TEST(Paf, BufferedWriterMatchesWritePaf)
+{
+    const Cigar cigar = Cigar::fromString("8=1X4=");
+    const PafRecord record =
+        makePafRecord("q", 13, '+', "chr9", 500, 42, cigar);
+
+    std::ostringstream direct;
+    writePaf(direct, record);
+
+    std::ostringstream buffered;
+    {
+        PafWriter writer(buffered, 16); // tiny threshold: many flushes
+        for (int i = 0; i < 5; ++i)
+            writer.write(record);
+        EXPECT_EQ(writer.recordsWritten(), 5u);
+    } // destructor flushes the tail
+
+    std::string expected;
+    for (int i = 0; i < 5; ++i)
+        expected += direct.str();
+    EXPECT_EQ(buffered.str(), expected);
+}
+
+TEST(Paf, WriterFlushIsObservable)
+{
+    std::ostringstream out;
+    PafWriter writer(out, 1 << 20);
+    writer.write(makePafRecord("q", 4, '+', "t", 10, 0,
+                               Cigar::fromString("4=")));
+    EXPECT_TRUE(out.str().empty()); // still buffered
+    writer.flush();
+    EXPECT_FALSE(out.str().empty());
 }
 
 TEST(Paf, WritesRecordWithTags)

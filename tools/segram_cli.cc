@@ -7,33 +7,42 @@
  *       Pre-processing step 0.1: build the topologically sorted genome
  *       graph (one per FASTA record / chromosome) and write it as GFA.
  *
- *   segram map <ref.fa> <vars.vcf> <reads.fa> [E]
- *       Full pipeline: construct + index each chromosome, then map
- *       every read (trying both strands) and print PAF to stdout.
+ *   segram map [--threads N] [--batch N] <ref.fa> <vars.vcf>
+ *              <reads.fa|fq> [E]
+ *       Full pipeline: construct + index each chromosome, then stream
+ *       the reads (FASTA or FASTQ) in batches through the
+ *       multi-threaded BatchMapper (trying both strands) and print PAF
+ *       to stdout, with an end-of-run throughput report on stderr.
  *       E is the expected per-base error rate (default 0.10).
  *
  *   segram simulate <out_prefix> <genome_len> <num_reads> <read_len> <err>
  *       Emit a synthetic dataset (<prefix>.fa, <prefix>.vcf,
- *       <prefix>.reads.fa) for trying the two commands above.
+ *       <prefix>.reads.fa and an identical <prefix>.reads.fq) for
+ *       trying the two commands above.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "src/core/engine.h"
 #include "src/core/segram.h"
 #include "src/graph/graph_builder.h"
 #include "src/graph/variants.h"
 #include "src/io/fasta.h"
 #include "src/io/fastq.h"
+#include "src/io/fastx.h"
 #include "src/io/gfa.h"
 #include "src/io/paf.h"
 #include "src/io/vcf.h"
 #include "src/sim/dataset.h"
+#include "src/util/check.h"
 
 namespace
 {
@@ -105,53 +114,98 @@ cmdConstruct(const std::string &fasta_path, const std::string &vcf_path,
     return 0;
 }
 
-int
-cmdMap(const std::string &fasta_path, const std::string &vcf_path,
-       const std::string &reads_path, double error_rate)
+/** Options of the map command. */
+struct MapOptions
 {
-    const auto chromosomes = preprocess(fasta_path, vcf_path, true);
+    std::string fastaPath;
+    std::string vcfPath;
+    std::string readsPath;
+    double errorRate = 0.10;
+    int threads = 1;
+    size_t batchSize = 256;
+};
+
+int
+cmdMap(const MapOptions &options)
+{
+    const auto chromosomes =
+        preprocess(options.fastaPath, options.vcfPath, true);
 
     core::SegramConfig config;
-    config.minseed.errorRate = error_rate;
+    config.minseed.errorRate = options.errorRate;
     config.bitalign.windowEditCap =
         std::max(32, static_cast<int>(config.bitalign.windowLen *
-                                      error_rate * 3));
+                                      options.errorRate * 3));
     config.earlyExitFraction = 1.5;
     config.tryReverseComplement = true;
     std::vector<core::ChromosomeRef> refs;
-    for (const auto &chromosome : chromosomes)
+    std::unordered_map<std::string, uint64_t> target_len;
+    for (const auto &chromosome : chromosomes) {
         refs.push_back({chromosome.name, &chromosome.graph,
                         &chromosome.index});
+        target_len[chromosome.name] = chromosome.graph.totalSeqLen();
+    }
     const core::MultiGraphMapper mapper(refs, config);
 
-    const auto reads = io::readReadsFile(reads_path);
+    core::BatchConfig batch_config;
+    batch_config.threads = options.threads;
+    const core::BatchMapper batch_mapper(mapper, batch_config);
+
+    // Stream reads -> batches -> worker pool -> buffered PAF, never
+    // holding more than one batch in memory.
+    io::FastxReader reader(options.readsPath);
+    io::PafWriter paf(std::cout);
     core::PipelineStats stats;
-    size_t mapped = 0;
-    for (const auto &read : reads) {
-        const auto result = mapper.mapRead(read.seq, &stats);
-        if (!result.mapped)
-            continue;
-        ++mapped;
-        uint64_t target_len = 0;
-        for (const auto &chromosome : chromosomes) {
-            if (chromosome.name == result.chromosome)
-                target_len = chromosome.graph.totalSeqLen();
+    uint64_t total_reads = 0;
+    uint64_t total_bases = 0;
+    uint64_t mapped = 0;
+    std::vector<io::FastxRecord> batch;
+    std::vector<std::string_view> seqs;
+    const auto start_time = std::chrono::steady_clock::now();
+    while (true) {
+        batch.clear();
+        if (reader.nextBatch(batch, options.batchSize) == 0)
+            break;
+        seqs.clear();
+        for (const auto &record : batch)
+            seqs.push_back(record.seq);
+        const auto results = batch_mapper.mapBatch(
+            std::span<const std::string_view>(seqs), &stats);
+        for (size_t i = 0; i < results.size(); ++i) {
+            total_bases += batch[i].seq.size();
+            const auto &result = results[i];
+            if (!result.mapped)
+                continue;
+            ++mapped;
+            paf.write(io::makePafRecord(
+                batch[i].name, batch[i].seq.size(),
+                result.reverseComplemented ? '-' : '+',
+                result.chromosome, target_len[result.chromosome],
+                result.linearStart, result.cigar));
         }
-        io::writePaf(std::cout,
-                     io::makePafRecord(
-                         read.name, read.seq.size(),
-                         result.reverseComplemented ? '-' : '+',
-                         result.chromosome, target_len,
-                         result.linearStart, result.cigar));
+        total_reads += batch.size();
     }
+    paf.flush();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() -
+                            start_time)
+                            .count();
+
     std::fprintf(stderr,
-                 "[segram] mapped %zu/%zu reads (%llu regions aligned, "
+                 "[segram] mapped %llu/%llu reads (%llu regions aligned, "
                  "%llu seeds fetched)\n",
-                 mapped, reads.size(),
+                 static_cast<unsigned long long>(mapped),
+                 static_cast<unsigned long long>(total_reads),
                  static_cast<unsigned long long>(stats.regionsAligned),
                  static_cast<unsigned long long>(
                      stats.seeding.seedsFetched));
-    return mapped == 0 && !reads.empty() ? 1 : 0;
+    std::fprintf(
+        stderr,
+        "[segram] %d thread%s, %.2f s wall: %.1f reads/s, %.0f bases/s\n",
+        batch_mapper.threads(), batch_mapper.threads() == 1 ? "" : "s",
+        wall, static_cast<double>(total_reads) / wall,
+        static_cast<double>(total_bases) / wall);
+    return mapped == 0 && total_reads > 0 ? 1 : 0;
 }
 
 int
@@ -182,16 +236,23 @@ cmdSimulate(const std::string &prefix, uint64_t genome_len,
     const auto reads =
         sim::simulateReads(dataset.donor, read_config, rng);
     std::vector<io::FastaRecord> read_records;
+    std::vector<io::FastqRecord> read_records_fq;
     for (size_t i = 0; i < reads.size(); ++i) {
-        read_records.push_back(
-            {"read" + std::to_string(i) + "_truth" +
-                 std::to_string(reads[i].truthLinearStart),
-             reads[i].seq});
+        const std::string name =
+            "read" + std::to_string(i) + "_truth" +
+            std::to_string(reads[i].truthLinearStart);
+        read_records.push_back({name, reads[i].seq});
+        // The same reads as FASTQ (constant quality) exercise the
+        // FASTQ ingestion path of `segram map`.
+        read_records_fq.push_back(
+            {name, reads[i].seq,
+             std::string(reads[i].seq.size(), 'I')});
     }
     io::writeFastaFile(prefix + ".reads.fa", read_records);
+    io::writeFastqFile(prefix + ".reads.fq", read_records_fq);
     std::fprintf(stderr,
                  "[segram] wrote %s.fa (%llu bp), %s.vcf (%zu records), "
-                 "%s.reads.fa (%u reads)\n",
+                 "%s.reads.{fa,fq} (%u reads)\n",
                  prefix.c_str(),
                  static_cast<unsigned long long>(genome_len),
                  prefix.c_str(), vcf.size(), prefix.c_str(), num_reads);
@@ -205,9 +266,56 @@ usage()
         stderr,
         "usage:\n"
         "  segram construct <ref.fa> <vars.vcf> <out.gfa>\n"
-        "  segram map <ref.fa> <vars.vcf> <reads.fa> [error_rate]\n"
+        "  segram map [--threads N] [--batch N] <ref.fa> <vars.vcf> "
+        "<reads.fa|fq> [error_rate]\n"
         "  segram simulate <prefix> <genome_len> <num_reads> "
         "<read_len> <error_rate>\n");
+}
+
+/** Parsed command line: flags extracted, positionals in order. */
+struct Args
+{
+    std::vector<std::string> positional;
+    int threads = 1;
+    size_t batchSize = 256;
+};
+
+/** Strict integer flag parsing: rejects "eight", "4x", "". */
+long long
+parseIntFlag(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const long long value = std::strtoll(text, &end, 10);
+    SEGRAM_CHECK(end != text && *end == '\0',
+                 std::string(flag) + " needs an integer, got '" + text +
+                     "'");
+    return value;
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--threads" || arg == "-t") {
+            SEGRAM_CHECK(i + 1 < argc, "--threads needs a value");
+            const long long value =
+                parseIntFlag("--threads", argv[++i]);
+            SEGRAM_CHECK(value >= 0 && value <= 4096,
+                         "--threads must be in [0, 4096] (0 = all "
+                         "cores)");
+            args.threads = static_cast<int>(value);
+        } else if (arg == "--batch") {
+            SEGRAM_CHECK(i + 1 < argc, "--batch needs a value");
+            const long long value = parseIntFlag("--batch", argv[++i]);
+            SEGRAM_CHECK(value >= 1, "--batch must be >= 1");
+            args.batchSize = static_cast<size_t>(value);
+        } else {
+            args.positional.emplace_back(arg);
+        }
+    }
+    return args;
 }
 
 } // namespace
@@ -216,19 +324,28 @@ int
 main(int argc, char **argv)
 {
     try {
-        if (argc >= 5 && std::strcmp(argv[1], "construct") == 0)
-            return cmdConstruct(argv[2], argv[3], argv[4]);
-        if (argc >= 5 && std::strcmp(argv[1], "map") == 0) {
-            const double error_rate =
-                argc >= 6 ? std::atof(argv[5]) : 0.10;
-            return cmdMap(argv[2], argv[3], argv[4], error_rate);
+        const Args args = parseArgs(argc, argv);
+        const auto &pos = args.positional;
+        if (pos.size() >= 4 && pos[0] == "construct")
+            return cmdConstruct(pos[1], pos[2], pos[3]);
+        if (pos.size() >= 4 && pos[0] == "map") {
+            MapOptions options;
+            options.fastaPath = pos[1];
+            options.vcfPath = pos[2];
+            options.readsPath = pos[3];
+            if (pos.size() >= 5)
+                options.errorRate = std::atof(pos[4].c_str());
+            // --threads 0 means "all cores" (BatchConfig semantics).
+            options.threads = args.threads;
+            options.batchSize = args.batchSize;
+            return cmdMap(options);
         }
-        if (argc >= 7 && std::strcmp(argv[1], "simulate") == 0) {
+        if (pos.size() >= 6 && pos[0] == "simulate") {
             return cmdSimulate(
-                argv[2], std::strtoull(argv[3], nullptr, 10),
-                static_cast<uint32_t>(std::atoi(argv[4])),
-                static_cast<uint32_t>(std::atoi(argv[5])),
-                std::atof(argv[6]));
+                pos[1], std::strtoull(pos[2].c_str(), nullptr, 10),
+                static_cast<uint32_t>(std::atoi(pos[3].c_str())),
+                static_cast<uint32_t>(std::atoi(pos[4].c_str())),
+                std::atof(pos[5].c_str()));
         }
         usage();
         return 2;
