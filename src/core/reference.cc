@@ -1,0 +1,92 @@
+#include "src/core/reference.h"
+
+#include <utility>
+
+#include "src/graph/graph_builder.h"
+#include "src/graph/variants.h"
+#include "src/io/fasta.h"
+#include "src/io/vcf.h"
+#include "src/util/check.h"
+
+namespace segram::core
+{
+
+PreprocessedReference::PreprocessedReference(
+    std::vector<PreprocessedChromosome> chromosomes)
+    : chromosomes_(std::move(chromosomes))
+{
+}
+
+PreprocessedReference
+PreprocessedReference::buildFromFiles(
+    const std::string &fasta_path, const std::string &vcf_path,
+    const index::IndexConfig &index_config,
+    std::vector<ChromosomeBuildInfo> *build_info)
+{
+    const auto records = io::readFastaFile(fasta_path);
+    const auto vcf = io::readVcfFile(vcf_path);
+    SEGRAM_CHECK(!records.empty(),
+                 "reference FASTA '" + fasta_path + "' has no records");
+
+    PreprocessedReference out;
+    for (const auto &record : records) {
+        uint64_t dropped = 0;
+        const auto variants = graph::canonicalizeSet(
+            vcf, record.name, record.seq.size(), &dropped);
+        PreprocessedChromosome chromosome;
+        chromosome.name = record.name;
+        chromosome.graph = graph::buildGraph(record.seq, variants);
+        chromosome.index =
+            index::MinimizerIndex::build(chromosome.graph, index_config);
+        if (build_info != nullptr) {
+            build_info->push_back({record.name, record.seq.size(),
+                                   variants.size(), dropped});
+        }
+        out.chromosomes_.push_back(std::move(chromosome));
+    }
+    return out;
+}
+
+PreprocessedReference
+PreprocessedReference::load(const std::string &pack_path,
+                            const io::PackLoadOptions &options)
+{
+    PreprocessedReference out;
+    auto pack = std::make_unique<io::PackFile>(
+        io::PackFile::open(pack_path, options));
+    out.chromosomes_.reserve(pack->numChromosomes());
+    for (size_t i = 0; i < pack->numChromosomes(); ++i) {
+        // Cheap copies: the graphs/indexes borrow their tables from the
+        // mapping (kept alive by pack_ below), so copying them copies
+        // spans and scalars, never table contents.
+        out.chromosomes_.push_back(
+            {pack->name(i), pack->graph(i), pack->index(i)});
+    }
+    out.pack_ = std::move(pack);
+    return out;
+}
+
+void
+PreprocessedReference::save(const std::string &pack_path) const
+{
+    std::vector<io::PackWriteEntry> entries;
+    entries.reserve(chromosomes_.size());
+    for (const auto &chromosome : chromosomes_) {
+        entries.push_back(
+            {chromosome.name, &chromosome.graph, &chromosome.index});
+    }
+    io::writePack(pack_path, entries);
+}
+
+std::vector<ChromosomeRef>
+PreprocessedReference::chromosomeRefs() const
+{
+    std::vector<ChromosomeRef> refs;
+    refs.reserve(chromosomes_.size());
+    for (const auto &chromosome : chromosomes_)
+        refs.push_back(
+            {chromosome.name, &chromosome.graph, &chromosome.index});
+    return refs;
+}
+
+} // namespace segram::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * PreprocessedReference: the product of SeGraM's one-time
+ * pre-processing (Section 5) as a value type — per chromosome, the
+ * topologically sorted genome graph and its minimizer index, plus the
+ * chromosome name.
+ *
+ * The paper's execution model generates these artifacts **once** and
+ * then keeps them resident and read-only for the entire mapping run.
+ * This type makes that split explicit in software: build it from
+ * FASTA+VCF (slow, scales with genome size), save() it as a `.segram`
+ * pack, and from then on load() mmaps it back in near-instantly. The
+ * mapping engines construct from it either way and cannot tell whether
+ * the tables are owned heap vectors or spans into a mapped pack.
+ */
+
+#ifndef SEGRAM_SRC_CORE_REFERENCE_H
+#define SEGRAM_SRC_CORE_REFERENCE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/segram.h"
+#include "src/graph/genome_graph.h"
+#include "src/index/minimizer_index.h"
+#include "src/io/pack.h"
+
+namespace segram::core
+{
+
+/** One pre-processed chromosome. */
+struct PreprocessedChromosome
+{
+    std::string name;
+    graph::GenomeGraph graph;
+    index::MinimizerIndex index;
+};
+
+/** Per-chromosome construction report (for CLI logging). */
+struct ChromosomeBuildInfo
+{
+    std::string name;
+    uint64_t referenceBases = 0;
+    uint64_t variantsApplied = 0;
+    uint64_t variantsDropped = 0;
+};
+
+/**
+ * The pre-processed reference the mapping engines run against. Movable,
+ * not copyable. When loaded from a pack, the mapped file is owned here
+ * and kept alive for as long as any table span can be reached.
+ */
+class PreprocessedReference
+{
+  public:
+    PreprocessedReference() = default;
+
+    /** Wraps already-built chromosomes (the simulators' path). */
+    explicit PreprocessedReference(
+        std::vector<PreprocessedChromosome> chromosomes);
+
+    /**
+     * Full pre-processing from files: reads the FASTA and VCF, builds
+     * one topologically sorted graph and one minimizer index per FASTA
+     * record (the paper builds "one graph for each chromosome").
+     *
+     * @param fasta_path   Reference FASTA.
+     * @param vcf_path     Variants VCF.
+     * @param index_config Index parameters (bucketBits, sketch, ...).
+     * @param[out] build_info Optional per-chromosome report.
+     * @throws InputError on unreadable/invalid inputs.
+     */
+    static PreprocessedReference
+    buildFromFiles(const std::string &fasta_path,
+                   const std::string &vcf_path,
+                   const index::IndexConfig &index_config = {},
+                   std::vector<ChromosomeBuildInfo> *build_info = nullptr);
+
+    /**
+     * Loads a `.segram` pack by memory-mapping it; every table borrows
+     * from the mapping (no rebuild, no copy).
+     *
+     * @throws InputError when validation fails (see io::PackFile).
+     */
+    static PreprocessedReference
+    load(const std::string &pack_path,
+         const io::PackLoadOptions &options = {});
+
+    /** Serializes to a `.segram` pack (works for built *and* loaded). */
+    void save(const std::string &pack_path) const;
+
+    size_t numChromosomes() const { return chromosomes_.size(); }
+    const std::string &name(size_t i) const { return chromosomes_[i].name; }
+    const graph::GenomeGraph &
+    graph(size_t i) const
+    {
+        return chromosomes_[i].graph;
+    }
+    const index::MinimizerIndex &
+    index(size_t i) const
+    {
+        return chromosomes_[i].index;
+    }
+
+    const std::vector<PreprocessedChromosome> &
+    chromosomes() const
+    {
+        return chromosomes_;
+    }
+
+    /**
+     * @return ChromosomeRef views for MultiGraphMapper; pointees live
+     *         inside this reference, which must outlive the mapper.
+     */
+    std::vector<ChromosomeRef> chromosomeRefs() const;
+
+    /** @return True when the tables are backed by a mapped pack. */
+    bool fromPack() const { return pack_ != nullptr; }
+
+    PreprocessedReference(PreprocessedReference &&) = default;
+    PreprocessedReference &operator=(PreprocessedReference &&) = default;
+    PreprocessedReference(const PreprocessedReference &) = delete;
+    PreprocessedReference &operator=(const PreprocessedReference &) = delete;
+
+  private:
+    std::vector<PreprocessedChromosome> chromosomes_;
+    /** Keeps mapped tables alive; null when chromosomes own their data. */
+    std::unique_ptr<io::PackFile> pack_;
+};
+
+} // namespace segram::core
+
+#endif // SEGRAM_SRC_CORE_REFERENCE_H

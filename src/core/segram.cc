@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/core/reference.h"
 #include "src/util/check.h"
 #include "src/util/dna.h"
 
@@ -20,6 +21,13 @@ SegramMapper::SegramMapper(const graph::GenomeGraph &graph,
     SEGRAM_CHECK(config.earlyExitFraction >= 0.0,
                  "earlyExitFraction must be >= 0");
     SEGRAM_CHECK(config.maxChains >= 1, "maxChains must be >= 1");
+}
+
+SegramMapper::SegramMapper(const PreprocessedReference &reference,
+                           size_t chromosome, const SegramConfig &config)
+    : SegramMapper(reference.graph(chromosome),
+                   reference.index(chromosome), config)
+{
 }
 
 std::vector<seed::CandidateRegion>
@@ -179,6 +187,12 @@ MultiGraphMapper::MultiGraphMapper(std::vector<ChromosomeRef> chromosomes,
         mappers_.emplace_back(*chromosome.graph, *chromosome.index,
                               config);
     }
+}
+
+MultiGraphMapper::MultiGraphMapper(const PreprocessedReference &reference,
+                                   const SegramConfig &config)
+    : MultiGraphMapper(reference.chromosomeRefs(), config)
+{
 }
 
 MultiMapResult

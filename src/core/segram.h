@@ -30,6 +30,8 @@
 namespace segram::core
 {
 
+class PreprocessedReference; // src/core/reference.h
+
 /** Pipeline configuration. */
 struct SegramConfig
 {
@@ -96,6 +98,14 @@ class SegramMapper : public MappingEngine
                  const SegramConfig &config = {});
 
     /**
+     * Binds chromosome @p chromosome of a pre-processed reference
+     * (built fresh or mmap-loaded from a pack — the mapper cannot tell
+     * the difference). @p reference must outlive the mapper.
+     */
+    SegramMapper(const PreprocessedReference &reference, size_t chromosome,
+                 const SegramConfig &config = {});
+
+    /**
      * Maps one read end to end. Safe to call concurrently: the graph
      * and index are shared read-only and all per-read state is local.
      *
@@ -153,6 +163,14 @@ class MultiGraphMapper : public MappingEngine
      */
     MultiGraphMapper(std::vector<ChromosomeRef> chromosomes,
                      const SegramConfig &config = {});
+
+    /**
+     * Binds every chromosome of a pre-processed reference (built fresh
+     * or mmap-loaded from a pack). @p reference must outlive the
+     * mapper.
+     */
+    explicit MultiGraphMapper(const PreprocessedReference &reference,
+                              const SegramConfig &config = {});
 
     /** Maps one read against every chromosome; returns the best hit. */
     MultiMapResult mapRead(std::string_view read,

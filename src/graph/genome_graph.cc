@@ -168,12 +168,13 @@ GraphBuilder::build() &&
     }
 
     GenomeGraph out;
-    out.nodes_.resize(num_nodes);
+    auto &nodes = out.nodes_.vec();
+    nodes.resize(num_nodes);
 
     // Character table + linear offsets.
     uint64_t offset = 0;
     for (NodeId id = 0; id < num_nodes; ++id) {
-        NodeRecord &record = out.nodes_[id];
+        NodeRecord &record = nodes[id];
         record.seqStart = offset;
         record.seqLen = static_cast<uint32_t>(seqs_[id].size());
         record.linearOffset = offset;
@@ -186,13 +187,14 @@ GraphBuilder::build() &&
     // Edge table in CSR form, successors sorted for determinism.
     std::sort(edges_.begin(), edges_.end());
     edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
-    out.edges_.resize(edges_.size());
+    auto &out_edges = out.edges_.vec();
+    out_edges.resize(edges_.size());
     size_t edge_idx = 0;
     for (NodeId id = 0; id < num_nodes; ++id) {
-        NodeRecord &record = out.nodes_[id];
+        NodeRecord &record = nodes[id];
         record.edgeStart = static_cast<uint32_t>(edge_idx);
         while (edge_idx < edges_.size() && edges_[edge_idx].first == id) {
-            out.edges_[edge_idx] = edges_[edge_idx].second;
+            out_edges[edge_idx] = edges_[edge_idx].second;
             ++edge_idx;
         }
         record.edgeCount =

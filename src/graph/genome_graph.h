@@ -22,10 +22,12 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "src/io/gfa.h"
 #include "src/util/packed_seq.h"
+#include "src/util/table_storage.h"
 
 namespace segram::graph
 {
@@ -34,22 +36,32 @@ namespace segram::graph
 using NodeId = uint32_t;
 
 /**
- * One node-table record. The first four fields mirror the paper's 32 B
- * layout; linearOffset is the concatenated-coordinate start of the node
- * (derivable from the table, cached for O(1) seed-region math), and the
- * metadata fields (refPos, isAlt) exist only for evaluation bookkeeping,
- * not in the hardware layout.
+ * One node-table record. seqStart/seqLen/edgeStart/edgeCount mirror the
+ * paper's 32 B layout; linearOffset is the concatenated-coordinate
+ * start of the node (derivable from the table, cached for O(1)
+ * seed-region math), and the metadata fields (refPos, isAlt) exist only
+ * for evaluation bookkeeping, not in the hardware layout.
+ *
+ * The layout is byte-exact on purpose — the `.segram` pack format
+ * stores the node table as these raw records, so every byte (including
+ * the trailing pad) is an explicit, zero-initialized field and the
+ * struct is asserted trivially copyable below.
  */
 struct NodeRecord
 {
     uint64_t seqStart = 0;     ///< first character-table index
+    uint64_t linearOffset = 0; ///< cumulative char offset of this node
     uint32_t seqLen = 0;       ///< node sequence length in bases
     uint32_t edgeStart = 0;    ///< first edge-table index
     uint32_t edgeCount = 0;    ///< number of outgoing edges
-    uint64_t linearOffset = 0; ///< cumulative char offset of this node
     uint32_t refPos = 0;       ///< linear-reference coordinate (metadata)
     bool isAlt = false;        ///< true for alternative-allele nodes
+    uint8_t reserved[7] = {};  ///< explicit padding, always zero
 };
+
+static_assert(sizeof(NodeRecord) == 40 &&
+                  std::is_trivially_copyable_v<NodeRecord>,
+              "NodeRecord is serialized raw into .segram packs");
 
 /**
  * An immutable genome graph. Build one through GraphBuilder (reference +
@@ -132,9 +144,10 @@ class GenomeGraph
 
   private:
     friend class GraphBuilder;
+    friend class segram::io::PackCodec;
 
-    std::vector<NodeRecord> nodes_;
-    std::vector<NodeId> edges_;
+    util::TableStorage<NodeRecord> nodes_;
+    util::TableStorage<NodeId> edges_;
     PackedSeq chars_;
 };
 

@@ -65,42 +65,45 @@ MinimizerIndex::build(const graph::GenomeGraph &graph,
               });
 
     const uint64_t num_buckets = uint64_t{1} << config.bucketBits;
-    out.bucket_offsets_.assign(num_buckets + 1, 0);
-    out.locations_.reserve(hits.size());
+    auto &minimizers = out.minimizers_.vec();
+    auto &locations = out.locations_.vec();
+    auto &bucket_offsets = out.bucket_offsets_.vec();
+    bucket_offsets.assign(num_buckets + 1, 0);
+    locations.reserve(hits.size());
 
     // Single pass: emit level-2 entries at hash boundaries, level-3
     // entries everywhere, and level-1 offsets at bucket boundaries.
     for (size_t i = 0; i < hits.size(); ++i) {
         const bool new_hash = i == 0 || hits[i].hash != hits[i - 1].hash;
         if (new_hash) {
-            out.minimizers_.push_back(
-                {hits[i].hash, static_cast<uint32_t>(out.locations_.size()),
+            minimizers.push_back(
+                {hits[i].hash, static_cast<uint32_t>(locations.size()),
                  0});
         }
-        out.minimizers_.back().locCount++;
-        out.locations_.push_back(hits[i].loc);
+        minimizers.back().locCount++;
+        locations.push_back(hits[i].loc);
     }
     // Bucket CSR offsets over the level-2 array.
     {
         size_t entry = 0;
         for (uint64_t bucket = 0; bucket < num_buckets; ++bucket) {
-            out.bucket_offsets_[bucket] = static_cast<uint32_t>(entry);
-            while (entry < out.minimizers_.size() &&
-                   out.bucketOf(out.minimizers_[entry].hash) == bucket) {
+            bucket_offsets[bucket] = static_cast<uint32_t>(entry);
+            while (entry < minimizers.size() &&
+                   out.bucketOf(minimizers[entry].hash) == bucket) {
                 ++entry;
             }
         }
-        out.bucket_offsets_[num_buckets] =
-            static_cast<uint32_t>(out.minimizers_.size());
-        assert(entry == out.minimizers_.size());
+        bucket_offsets[num_buckets] =
+            static_cast<uint32_t>(minimizers.size());
+        assert(entry == minimizers.size());
     }
 
     // Frequency threshold: smallest count such that at most
     // discardTopFraction of distinct minimizers exceed it.
-    if (!out.minimizers_.empty()) {
+    if (!minimizers.empty()) {
         std::vector<uint32_t> counts;
-        counts.reserve(out.minimizers_.size());
-        for (const auto &entry : out.minimizers_)
+        counts.reserve(minimizers.size());
+        for (const auto &entry : minimizers)
             counts.push_back(entry.locCount);
         std::sort(counts.begin(), counts.end());
         const auto discarded = static_cast<size_t>(
@@ -130,7 +133,7 @@ MinimizerIndex::build(const graph::GenomeGraph &graph,
     return out;
 }
 
-const MinimizerIndex::MinimizerEntry *
+const MinimizerEntry *
 MinimizerIndex::find(uint64_t hash) const
 {
     const uint64_t bucket = bucketOf(hash);

@@ -21,10 +21,12 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "src/graph/genome_graph.h"
 #include "src/seed/minimizer.h"
+#include "src/util/table_storage.h"
 
 namespace segram::index
 {
@@ -41,6 +43,26 @@ struct SeedLocation
     bool operator==(const SeedLocation &) const = default;
     auto operator<=>(const SeedLocation &) const = default;
 };
+
+static_assert(sizeof(SeedLocation) == 8 &&
+                  std::is_trivially_copyable_v<SeedLocation>,
+              "SeedLocation is serialized raw into .segram packs");
+
+/**
+ * One level-2 entry: a distinct minimizer with the CSR span of its
+ * level-3 locations. (The paper models 12 B here; in memory the hash is
+ * padded to a 16 B record. Serialized raw into `.segram` packs.)
+ */
+struct MinimizerEntry
+{
+    uint64_t hash = 0;
+    uint32_t locStart = 0;
+    uint32_t locCount = 0;
+};
+
+static_assert(sizeof(MinimizerEntry) == 16 &&
+                  std::is_trivially_copyable_v<MinimizerEntry>,
+              "MinimizerEntry is serialized raw into .segram packs");
 
 /** Index construction parameters. */
 struct IndexConfig
@@ -122,12 +144,7 @@ class MinimizerIndex
     int bucketBits() const { return bucket_bits_; }
 
   private:
-    struct MinimizerEntry
-    {
-        uint64_t hash;
-        uint32_t locStart;
-        uint32_t locCount;
-    };
+    friend class segram::io::PackCodec;
 
     /** @return Level-2 entry for @p hash, or nullptr. */
     const MinimizerEntry *find(uint64_t hash) const;
@@ -137,9 +154,10 @@ class MinimizerIndex
     seed::SketchConfig sketch_;
     int bucket_bits_ = 0;
     uint32_t freq_threshold_ = 0;
-    std::vector<uint32_t> bucket_offsets_; ///< level 1 (CSR into level 2)
-    std::vector<MinimizerEntry> minimizers_; ///< level 2
-    std::vector<SeedLocation> locations_;    ///< level 3
+    /// level 1 (CSR into level 2)
+    util::TableStorage<uint32_t> bucket_offsets_;
+    util::TableStorage<MinimizerEntry> minimizers_; ///< level 2
+    util::TableStorage<SeedLocation> locations_;    ///< level 3
     IndexStats stats_;
 };
 

@@ -25,11 +25,12 @@ void
 PackedSeq::pushCode(uint8_t code)
 {
     assert(code < kDnaAlphabetSize);
+    auto &words = words_.vec();
     const size_t word = size_ / basesPerWord;
     const int slot = static_cast<int>(size_ % basesPerWord);
-    if (word >= words_.size())
-        words_.push_back(0);
-    words_[word] |= uint64_t{code} << (2 * slot);
+    if (word >= words.size())
+        words.push_back(0);
+    words[word] |= uint64_t{code} << (2 * slot);
     ++size_;
 }
 

@@ -11,17 +11,27 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <vector>
 
 #include "src/util/dna.h"
+#include "src/util/table_storage.h"
 
 namespace segram
 {
+
+namespace io
+{
+class PackCodec;
+}
 
 /**
  * A growable DNA sequence stored at 2 bits per base. Serves both as the
  * backing store of the genome graph's character table and as a compact
  * read representation.
+ *
+ * The word table goes through util::TableStorage, so a PackedSeq can
+ * either own its words or borrow them straight out of a memory-mapped
+ * `.segram` pack (io::PackCodec is the only constructor of borrowed
+ * instances); every query works identically on both.
  */
 class PackedSeq
 {
@@ -57,15 +67,21 @@ class PackedSeq
     /** @return The whole sequence as an ACGT string. */
     std::string toString() const { return substr(0, size_); }
 
-    /** @return Approximate heap footprint in bytes (for Fig. 7 style accounting). */
-    size_t memoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+    /** @return Storage footprint in bytes (owned heap or mapped file). */
+    size_t memoryBytes() const { return words_.bytes(); }
 
-    bool operator==(const PackedSeq &other) const = default;
+    bool
+    operator==(const PackedSeq &other) const
+    {
+        return size_ == other.size_ && words_ == other.words_;
+    }
 
   private:
+    friend class io::PackCodec;
+
     static constexpr int basesPerWord = 32;
 
-    std::vector<uint64_t> words_;
+    util::TableStorage<uint64_t> words_;
     size_t size_ = 0;
 };
 

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * TableStorage<T>: the one storage abstraction behind every flat table
+ * in the repo (graph node/character/edge tables, index bucket/
+ * minimizer/location tables).
+ *
+ * SeGraM's pre-processing artifacts are built **once** and then queried
+ * read-only forever — on the accelerator they sit in HBM, in software
+ * they should be mmap-able straight from a `.segram` pack without a
+ * deserialization pass. TableStorage makes a table either
+ *
+ *  - *owned*: a std::vector<T> filled by the builders, or
+ *  - *borrowed*: a std::span<const T> into memory somebody else keeps
+ *    alive (in practice: an io::PackFile's memory-mapped pack).
+ *
+ * Read access (data/size/operator[]/iteration) is uniform over both, so
+ * query code never knows the difference. Mutation goes through vec(),
+ * which detaches a borrowed table into owned storage (copy-on-write) —
+ * builders always mutate freshly default-constructed (owned, empty)
+ * tables, so the detach copy never happens on any real path; it exists
+ * so mutation is *safe* rather than undefined if it ever does.
+ */
+
+#ifndef SEGRAM_SRC_UTIL_TABLE_STORAGE_H
+#define SEGRAM_SRC_UTIL_TABLE_STORAGE_H
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace segram::util
+{
+
+template <typename T>
+class TableStorage
+{
+  public:
+    /** Default: owned and empty (the builders' starting state). */
+    TableStorage() = default;
+
+    /** Takes ownership of @p values. */
+    TableStorage(std::vector<T> values) : owned_(std::move(values)) {}
+
+    /**
+     * Borrows @p view without copying. The underlying memory must
+     * outlive this table (the pack loader guarantees it by keeping the
+     * mapped file alive alongside every object borrowing from it).
+     */
+    static TableStorage
+    borrow(std::span<const T> view)
+    {
+        TableStorage table;
+        table.view_ = view;
+        table.borrowed_ = true;
+        return table;
+    }
+
+    const T *data() const { return borrowed_ ? view_.data() : owned_.data(); }
+    size_t size() const { return borrowed_ ? view_.size() : owned_.size(); }
+    bool empty() const { return size() == 0; }
+
+    const T &operator[](size_t idx) const { return data()[idx]; }
+
+    const T *begin() const { return data(); }
+    const T *end() const { return data() + size(); }
+
+    /** @return The whole table as a span. */
+    std::span<const T> span() const { return {data(), size()}; }
+
+    /** @return True when this table borrows external memory. */
+    bool borrowed() const { return borrowed_; }
+
+    /** @return Table footprint in bytes (owned heap or mapped file). */
+    size_t bytes() const { return size() * sizeof(T); }
+
+    /**
+     * Mutable access for builders. Detaches a borrowed table into an
+     * owned copy first, so the borrowed source is never written.
+     */
+    std::vector<T> &
+    vec()
+    {
+        if (borrowed_) {
+            owned_.assign(view_.begin(), view_.end());
+            view_ = {};
+            borrowed_ = false;
+        }
+        return owned_;
+    }
+
+    bool
+    operator==(const TableStorage &other) const
+    {
+        return size() == other.size() &&
+               std::equal(begin(), end(), other.begin());
+    }
+
+  private:
+    std::vector<T> owned_;
+    std::span<const T> view_;
+    bool borrowed_ = false;
+};
+
+} // namespace segram::util
+
+#endif // SEGRAM_SRC_UTIL_TABLE_STORAGE_H

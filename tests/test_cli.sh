@@ -1,8 +1,12 @@
 #!/usr/bin/env sh
-# CLI integration test: simulate a dataset, then map the same reads as
-# FASTA (1 thread) and as FASTQ (2 threads) and require byte-identical
-# PAF output — wiring the FASTQ ingestion path and the BatchMapper
-# determinism contract through the real binary.
+# CLI integration test: simulate a dataset, then
+#  1. map the same reads as FASTA (1 thread) and FASTQ (2 threads) and
+#     require byte-identical PAF output — wiring the FASTQ ingestion
+#     path and the BatchMapper determinism contract through the real
+#     binary;
+#  2. build a .segram pack with `segram index` and require that mapping
+#     from the pack produces byte-identical PAF to mapping from
+#     FASTA+VCF — the pack round-trip contract, end to end.
 #
 # usage: test_cli.sh <path-to-segram-binary>
 set -e
@@ -23,3 +27,48 @@ cmp "$tmp/t1.paf" "$tmp/t2.paf" || {
     exit 1
 }
 echo "cli fastq + threads OK ($(wc -l < "$tmp/t1.paf") PAF records)"
+
+# --- pack round trip: simulate -> index -> map-from-pack ---
+"$bin" index --stats "$tmp/d.fa" "$tmp/d.vcf" "$tmp/d.segram" \
+    2> "$tmp/index.log"
+test -s "$tmp/d.segram" || { echo "FAIL: empty pack"; exit 1; }
+grep -q "graph tables" "$tmp/index.log" || {
+    echo "FAIL: index --stats printed no footprint report"
+    exit 1
+}
+for threads in 1 2; do
+    "$bin" map --threads "$threads" "$tmp/d.segram" "$tmp/d.reads.fq" \
+        > "$tmp/pack$threads.paf" 2> /dev/null
+    cmp "$tmp/t1.paf" "$tmp/pack$threads.paf" || {
+        echo "FAIL: pack-mode PAF differs at $threads thread(s)"
+        exit 1
+    }
+done
+echo "cli pack round trip OK"
+
+# --bucket-bits must reach the index build: both sides of the
+# comparison use a non-default bucket count and must still agree.
+"$bin" index --bucket-bits 12 "$tmp/d.fa" "$tmp/d.vcf" \
+    "$tmp/d12.segram" 2> /dev/null
+"$bin" map --bucket-bits 12 "$tmp/d.fa" "$tmp/d.vcf" \
+    "$tmp/d.reads.fq" > "$tmp/bb_fresh.paf" 2> /dev/null
+"$bin" map "$tmp/d12.segram" "$tmp/d.reads.fq" \
+    > "$tmp/bb_pack.paf" 2> /dev/null
+cmp "$tmp/bb_fresh.paf" "$tmp/bb_pack.paf" || {
+    echo "FAIL: --bucket-bits 12 fresh vs pack PAF differ"
+    exit 1
+}
+echo "cli --bucket-bits OK"
+
+# A malformed pack must be rejected with a clean error, not a crash.
+head -c 200 "$tmp/d.segram" > "$tmp/trunc.segram"
+if "$bin" map "$tmp/trunc.segram" "$tmp/d.reads.fq" \
+    > /dev/null 2> "$tmp/err.log"; then
+    echo "FAIL: truncated pack was accepted"
+    exit 1
+fi
+grep -q "invalid pack" "$tmp/err.log" || {
+    echo "FAIL: truncated pack did not report a pack error"
+    exit 1
+}
+echo "cli pack rejection OK"

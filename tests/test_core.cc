@@ -256,7 +256,8 @@ TEST(MultiGraphMapper, PicksTheRightChromosome)
 
 TEST(MultiGraphMapper, RejectsBadConstruction)
 {
-    EXPECT_THROW(MultiGraphMapper({}), InputError);
+    EXPECT_THROW(MultiGraphMapper(std::vector<ChromosomeRef>{}),
+                 InputError);
     const auto dataset = sim::makeDataset(smallConfig(79));
     EXPECT_THROW(MultiGraphMapper({{"x", nullptr, &dataset.index}}),
                  InputError);

@@ -16,6 +16,7 @@
 #include "src/util/hash.h"
 #include "src/util/packed_seq.h"
 #include "src/util/rng.h"
+#include "src/util/table_storage.h"
 #include "src/util/stats.h"
 
 namespace segram
@@ -158,6 +159,39 @@ TEST(PackedSeq, RejectsInvalidBase)
 {
     PackedSeq packed;
     EXPECT_THROW(packed.pushBase('N'), InputError);
+}
+
+TEST(TableStorage, OwnedAndBorrowedReadIdentically)
+{
+    const std::vector<uint32_t> values = {5, 7, 11, 13};
+    util::TableStorage<uint32_t> owned(values);
+    const auto borrowed = util::TableStorage<uint32_t>::borrow(
+        {values.data(), values.size()});
+
+    EXPECT_FALSE(owned.borrowed());
+    EXPECT_TRUE(borrowed.borrowed());
+    EXPECT_TRUE(owned == borrowed);
+    ASSERT_EQ(borrowed.size(), values.size());
+    EXPECT_EQ(borrowed[2], 11u);
+    EXPECT_EQ(borrowed.data(), values.data()); // zero-copy
+    EXPECT_EQ(borrowed.bytes(), values.size() * sizeof(uint32_t));
+    uint64_t sum = 0;
+    for (const uint32_t v : borrowed)
+        sum += v;
+    EXPECT_EQ(sum, 36u);
+}
+
+TEST(TableStorage, MutationDetachesBorrowedCopyOnWrite)
+{
+    const std::vector<uint32_t> values = {1, 2, 3};
+    auto table = util::TableStorage<uint32_t>::borrow(
+        {values.data(), values.size()});
+    table.vec().push_back(4);
+    EXPECT_FALSE(table.borrowed());
+    ASSERT_EQ(table.size(), 4u);
+    EXPECT_EQ(table[3], 4u);
+    EXPECT_EQ(values.size(), 3u); // the borrowed source is untouched
+    EXPECT_NE(table.data(), values.data());
 }
 
 TEST(Hash, IsInvertible)

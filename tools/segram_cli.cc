@@ -7,24 +7,35 @@
  *       Pre-processing step 0.1: build the topologically sorted genome
  *       graph (one per FASTA record / chromosome) and write it as GFA.
  *
- *   segram map [--threads N] [--batch N] <ref.fa> <vars.vcf>
- *              <reads.fa|fq> [E]
- *       Full pipeline: construct + index each chromosome, then stream
- *       the reads (FASTA or FASTQ) in batches through the
- *       multi-threaded BatchMapper (trying both strands) and print PAF
- *       to stdout, with an end-of-run throughput report on stderr.
- *       E is the expected per-base error rate (default 0.10).
+ *   segram index [--bucket-bits N] [--stats] <ref.fa> <vars.vcf>
+ *                <out.segram>
+ *       Full pre-processing (Section 5): graph + minimizer index per
+ *       chromosome, serialized as a `.segram` pack — raw mmap-able
+ *       tables mirroring the paper's Fig. 5/Fig. 6 memory layout.
+ *       --stats prints the per-chromosome table footprints.
+ *
+ *   segram map [--threads N] [--batch N] [--bucket-bits N]
+ *              (<ref.fa> <vars.vcf> | <pack.segram>) <reads.fa|fq> [E]
+ *       Full pipeline: obtain the pre-processed reference — either by
+ *       building it from FASTA+VCF or by memory-mapping a `.segram`
+ *       pack (detected by magic) — then stream the reads (FASTA or
+ *       FASTQ) in batches through the multi-threaded BatchMapper
+ *       (trying both strands) and print PAF to stdout. The stderr
+ *       report splits pre-processing time from mapping time, so the
+ *       build-once/map-forever win of packs is visible. E is the
+ *       expected per-base error rate (default 0.10).
  *
  *   segram simulate <out_prefix> <genome_len> <num_reads> <read_len> <err>
  *       Emit a synthetic dataset (<prefix>.fa, <prefix>.vcf,
  *       <prefix>.reads.fa and an identical <prefix>.reads.fq) for
- *       trying the two commands above.
+ *       trying the commands above.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <string_view>
@@ -32,6 +43,7 @@
 #include <vector>
 
 #include "src/core/engine.h"
+#include "src/core/reference.h"
 #include "src/core/segram.h"
 #include "src/graph/graph_builder.h"
 #include "src/graph/variants.h"
@@ -39,6 +51,7 @@
 #include "src/io/fastq.h"
 #include "src/io/fastx.h"
 #include "src/io/gfa.h"
+#include "src/io/pack.h"
 #include "src/io/paf.h"
 #include "src/io/vcf.h"
 #include "src/sim/dataset.h"
@@ -49,63 +62,66 @@ namespace
 
 using namespace segram;
 
-/** Per-chromosome pre-processed state. */
-struct Chromosome
+double
+secondsSince(std::chrono::steady_clock::time_point start)
 {
-    std::string name;
-    graph::GenomeGraph graph;
-    index::MinimizerIndex index;
-};
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
 
-std::vector<Chromosome>
-preprocess(const std::string &fasta_path, const std::string &vcf_path,
-           bool build_index)
+/** Builds from FASTA+VCF, logging one line per chromosome. */
+core::PreprocessedReference
+buildReference(const std::string &fasta_path, const std::string &vcf_path,
+               int bucket_bits)
 {
-    const auto records = io::readFastaFile(fasta_path);
-    const auto vcf = io::readVcfFile(vcf_path);
-    std::vector<Chromosome> chromosomes;
-    for (const auto &record : records) {
-        uint64_t dropped = 0;
-        const auto variants = graph::canonicalizeSet(
-            vcf, record.name, record.seq.size(), &dropped);
-        Chromosome chromosome;
-        chromosome.name = record.name;
-        chromosome.graph = graph::buildGraph(record.seq, variants);
-        if (build_index) {
-            index::IndexConfig config;
-            config.bucketBits = 16;
-            chromosome.index =
-                index::MinimizerIndex::build(chromosome.graph, config);
-        }
-        std::fprintf(stderr,
-                     "[segram] %s: %zu bp, %zu variants (%llu dropped), "
-                     "%zu nodes, %zu edges\n",
-                     record.name.c_str(), record.seq.size(),
-                     variants.size(),
-                     static_cast<unsigned long long>(dropped),
-                     chromosome.graph.numNodes(),
-                     chromosome.graph.numEdges());
-        chromosomes.push_back(std::move(chromosome));
+    index::IndexConfig config;
+    config.bucketBits = bucket_bits;
+    std::vector<core::ChromosomeBuildInfo> info;
+    auto reference = core::PreprocessedReference::buildFromFiles(
+        fasta_path, vcf_path, config, &info);
+    for (size_t i = 0; i < reference.numChromosomes(); ++i) {
+        std::fprintf(
+            stderr,
+            "[segram] %s: %llu bp, %llu variants (%llu dropped), "
+            "%zu nodes, %zu edges\n",
+            info[i].name.c_str(),
+            static_cast<unsigned long long>(info[i].referenceBases),
+            static_cast<unsigned long long>(info[i].variantsApplied),
+            static_cast<unsigned long long>(info[i].variantsDropped),
+            reference.graph(i).numNodes(), reference.graph(i).numEdges());
     }
-    return chromosomes;
+    return reference;
 }
 
 int
 cmdConstruct(const std::string &fasta_path, const std::string &vcf_path,
              const std::string &gfa_path)
 {
-    const auto chromosomes = preprocess(fasta_path, vcf_path, false);
+    const auto records = io::readFastaFile(fasta_path);
+    const auto vcf = io::readVcfFile(vcf_path);
     // Multiple chromosomes are written as disjoint components with
     // name-prefixed segments.
     io::GfaDocument doc;
-    for (const auto &chromosome : chromosomes) {
-        const auto part = chromosome.graph.toGfa();
+    for (const auto &record : records) {
+        uint64_t dropped = 0;
+        const auto variants = graph::canonicalizeSet(
+            vcf, record.name, record.seq.size(), &dropped);
+        const auto graph = graph::buildGraph(record.seq, variants);
+        std::fprintf(stderr,
+                     "[segram] %s: %zu bp, %zu variants (%llu dropped), "
+                     "%zu nodes, %zu edges\n",
+                     record.name.c_str(), record.seq.size(),
+                     variants.size(),
+                     static_cast<unsigned long long>(dropped),
+                     graph.numNodes(), graph.numEdges());
+        const auto part = graph.toGfa();
         for (const auto &segment : part.segments)
             doc.segments.push_back(
-                {chromosome.name + "." + segment.name, segment.seq});
+                {record.name + "." + segment.name, segment.seq});
         for (const auto &link : part.links)
-            doc.links.push_back({chromosome.name + "." + link.from,
-                                 chromosome.name + "." + link.to});
+            doc.links.push_back({record.name + "." + link.from,
+                                 record.name + "." + link.to});
     }
     io::writeGfaFile(gfa_path, doc);
     std::fprintf(stderr, "[segram] wrote %zu segments, %zu links to %s\n",
@@ -114,22 +130,91 @@ cmdConstruct(const std::string &fasta_path, const std::string &vcf_path,
     return 0;
 }
 
+/**
+ * Prints the Fig. 5 graph-table and Fig. 7 index-level footprints of
+ * one pre-processed chromosome (the `segram index --stats` report).
+ */
+void
+printFootprint(const std::string &name, const graph::GenomeGraph &graph,
+               const index::MinimizerIndex &index)
+{
+    const auto mb = [](uint64_t bytes) {
+        return static_cast<double>(bytes) / (1024.0 * 1024.0);
+    };
+    std::fprintf(stderr,
+                 "[segram] %s graph tables (Fig. 5): node %.2f MiB, "
+                 "char %.2f MiB, edge %.2f MiB, total %.2f MiB\n",
+                 name.c_str(), mb(graph.nodeTableBytes()),
+                 mb(graph.charTableBytes()), mb(graph.edgeTableBytes()),
+                 mb(graph.totalBytes()));
+    const auto &stats = index.stats();
+    std::fprintf(
+        stderr,
+        "[segram] %s index levels (Fig. 7, 2^%d buckets): "
+        "L1 %.2f MiB, L2 %.2f MiB (%llu minimizers), "
+        "L3 %.2f MiB (%llu locations), total %.2f MiB\n",
+        name.c_str(), index.bucketBits(), mb(stats.firstLevelBytes),
+        mb(stats.secondLevelBytes),
+        static_cast<unsigned long long>(stats.numDistinctMinimizers),
+        mb(stats.thirdLevelBytes),
+        static_cast<unsigned long long>(stats.numLocations),
+        mb(stats.totalBytes()));
+}
+
+int
+cmdIndex(const std::string &fasta_path, const std::string &vcf_path,
+         const std::string &pack_path, int bucket_bits, bool print_stats)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const auto reference =
+        buildReference(fasta_path, vcf_path, bucket_bits);
+    const double build_sec = secondsSince(start);
+    reference.save(pack_path);
+    if (print_stats) {
+        for (size_t i = 0; i < reference.numChromosomes(); ++i)
+            printFootprint(reference.name(i), reference.graph(i),
+                           reference.index(i));
+    }
+    std::fprintf(
+        stderr,
+        "[segram] wrote %s: %zu chromosome%s, %.2f MiB "
+        "(pre-processing took %.2f s)\n",
+        pack_path.c_str(), reference.numChromosomes(),
+        reference.numChromosomes() == 1 ? "" : "s",
+        static_cast<double>(std::filesystem::file_size(pack_path)) /
+            (1024.0 * 1024.0),
+        build_sec);
+    return 0;
+}
+
 /** Options of the map command. */
 struct MapOptions
 {
+    /** FASTA+VCF mode: both set. Pack mode: packPath set. */
     std::string fastaPath;
     std::string vcfPath;
+    std::string packPath;
     std::string readsPath;
     double errorRate = 0.10;
     int threads = 1;
     size_t batchSize = 256;
+    int bucketBits = 16;
 };
 
 int
 cmdMap(const MapOptions &options)
 {
-    const auto chromosomes =
-        preprocess(options.fastaPath, options.vcfPath, true);
+    // Phase 1 — pre-processing: mmap the pack, or rebuild from files.
+    // Timed separately from mapping so the build-once/map-forever
+    // split (and the win of packs) is visible in the report.
+    const auto preprocess_start = std::chrono::steady_clock::now();
+    const bool from_pack = !options.packPath.empty();
+    const core::PreprocessedReference reference =
+        from_pack
+            ? core::PreprocessedReference::load(options.packPath)
+            : buildReference(options.fastaPath, options.vcfPath,
+                             options.bucketBits);
+    const double preprocess_sec = secondsSince(preprocess_start);
 
     core::SegramConfig config;
     config.minseed.errorRate = options.errorRate;
@@ -138,14 +223,10 @@ cmdMap(const MapOptions &options)
                                       options.errorRate * 3));
     config.earlyExitFraction = 1.5;
     config.tryReverseComplement = true;
-    std::vector<core::ChromosomeRef> refs;
     std::unordered_map<std::string, uint64_t> target_len;
-    for (const auto &chromosome : chromosomes) {
-        refs.push_back({chromosome.name, &chromosome.graph,
-                        &chromosome.index});
+    for (const auto &chromosome : reference.chromosomes())
         target_len[chromosome.name] = chromosome.graph.totalSeqLen();
-    }
-    const core::MultiGraphMapper mapper(refs, config);
+    const core::MultiGraphMapper mapper(reference, config);
 
     core::BatchConfig batch_config;
     batch_config.threads = options.threads;
@@ -186,10 +267,7 @@ cmdMap(const MapOptions &options)
         total_reads += batch.size();
     }
     paf.flush();
-    const double wall = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() -
-                            start_time)
-                            .count();
+    const double wall = secondsSince(start_time);
 
     std::fprintf(stderr,
                  "[segram] mapped %llu/%llu reads (%llu regions aligned, "
@@ -201,9 +279,12 @@ cmdMap(const MapOptions &options)
                      stats.seeding.seedsFetched));
     std::fprintf(
         stderr,
-        "[segram] %d thread%s, %.2f s wall: %.1f reads/s, %.0f bases/s\n",
+        "[segram] pre-processing %.3f s (%s), mapping %.2f s "
+        "(%d thread%s): %.1f reads/s, %.0f bases/s\n",
+        preprocess_sec,
+        from_pack ? "mmap-loaded pack" : "built from FASTA+VCF", wall,
         batch_mapper.threads(), batch_mapper.threads() == 1 ? "" : "s",
-        wall, static_cast<double>(total_reads) / wall,
+        static_cast<double>(total_reads) / wall,
         static_cast<double>(total_bases) / wall);
     return mapped == 0 && total_reads > 0 ? 1 : 0;
 }
@@ -266,7 +347,11 @@ usage()
         stderr,
         "usage:\n"
         "  segram construct <ref.fa> <vars.vcf> <out.gfa>\n"
-        "  segram map [--threads N] [--batch N] <ref.fa> <vars.vcf> "
+        "  segram index [--bucket-bits N] [--stats] <ref.fa> <vars.vcf> "
+        "<out.segram>\n"
+        "  segram map [--threads N] [--batch N] [--bucket-bits N] "
+        "<ref.fa> <vars.vcf> <reads.fa|fq> [error_rate]\n"
+        "  segram map [--threads N] [--batch N] <pack.segram> "
         "<reads.fa|fq> [error_rate]\n"
         "  segram simulate <prefix> <genome_len> <num_reads> "
         "<read_len> <error_rate>\n");
@@ -278,6 +363,9 @@ struct Args
     std::vector<std::string> positional;
     int threads = 1;
     size_t batchSize = 256;
+    int bucketBits = 16;
+    bool bucketBitsSet = false;
+    bool stats = false;
 };
 
 /** Strict integer flag parsing: rejects "eight", "4x", "". */
@@ -311,6 +399,18 @@ parseArgs(int argc, char **argv)
             const long long value = parseIntFlag("--batch", argv[++i]);
             SEGRAM_CHECK(value >= 1, "--batch must be >= 1");
             args.batchSize = static_cast<size_t>(value);
+        } else if (arg == "--bucket-bits") {
+            SEGRAM_CHECK(i + 1 < argc, "--bucket-bits needs a value");
+            const long long value =
+                parseIntFlag("--bucket-bits", argv[++i]);
+            // Same domain MinimizerIndex::build accepts; the paper
+            // sweeps up to 2^24 (Fig. 7).
+            SEGRAM_CHECK(value >= 1 && value <= 32,
+                         "--bucket-bits must be in [1, 32]");
+            args.bucketBits = static_cast<int>(value);
+            args.bucketBitsSet = true;
+        } else if (arg == "--stats") {
+            args.stats = true;
         } else {
             args.positional.emplace_back(arg);
         }
@@ -328,16 +428,39 @@ main(int argc, char **argv)
         const auto &pos = args.positional;
         if (pos.size() >= 4 && pos[0] == "construct")
             return cmdConstruct(pos[1], pos[2], pos[3]);
-        if (pos.size() >= 4 && pos[0] == "map") {
+        if (pos.size() >= 4 && pos[0] == "index")
+            return cmdIndex(pos[1], pos[2], pos[3], args.bucketBits,
+                            args.stats);
+        if (pos.size() >= 3 && pos[0] == "map") {
             MapOptions options;
-            options.fastaPath = pos[1];
-            options.vcfPath = pos[2];
-            options.readsPath = pos[3];
-            if (pos.size() >= 5)
-                options.errorRate = std::atof(pos[4].c_str());
+            // Two input modes, detected by content (magic), not by
+            // file extension: a `.segram` pack replaces the
+            // FASTA+VCF pair.
+            size_t reads_pos;
+            if (io::isPackFile(pos[1])) {
+                // The bucket count was baked in at index time; a
+                // silently ignored sweep flag would fake Fig. 7 runs.
+                SEGRAM_CHECK(!args.bucketBitsSet,
+                             "--bucket-bits cannot be combined with a "
+                             ".segram pack; pass it to `segram index`");
+                options.packPath = pos[1];
+                reads_pos = 2;
+            } else {
+                SEGRAM_CHECK(pos.size() >= 4,
+                             "map needs <ref.fa> <vars.vcf> <reads> "
+                             "(or <pack.segram> <reads>)");
+                options.fastaPath = pos[1];
+                options.vcfPath = pos[2];
+                reads_pos = 3;
+            }
+            options.readsPath = pos[reads_pos];
+            if (pos.size() >= reads_pos + 2)
+                options.errorRate =
+                    std::atof(pos[reads_pos + 1].c_str());
             // --threads 0 means "all cores" (BatchConfig semantics).
             options.threads = args.threads;
             options.batchSize = args.batchSize;
+            options.bucketBits = args.bucketBits;
             return cmdMap(options);
         }
         if (pos.size() >= 6 && pos[0] == "simulate") {
