@@ -22,6 +22,7 @@
 #define SEGRAM_SRC_CORE_ENGINE_H
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -109,6 +110,73 @@ class MappingEngine
 
     /** Short stable identifier ("segram", "vg-like", ...). */
     virtual std::string_view engineName() const = 0;
+};
+
+/**
+ * Lifts any single-graph MappingEngine to a multi-chromosome
+ * reference: one engine per chromosome, each read mapped against all
+ * of them, best alignment wins (lowest edit distance among mapped;
+ * ties go to the earlier chromosome, so results are deterministic).
+ *
+ * MultiGraphMapper is the hand-fused SeGraM instance of this shape;
+ * this generic wrapper is what lets the CPU baselines (GraphAligner-
+ * and vg-like) ride the same CLI and accuracy harness on the same
+ * multi-chromosome references.
+ */
+class MultiChromosomeEngine : public MappingEngine
+{
+  public:
+    /** One chromosome's engine (owned). */
+    struct Entry
+    {
+        std::string chromosome;
+        std::unique_ptr<MappingEngine> engine;
+    };
+
+    /**
+     * @param entries Per-chromosome engines, in reference order.
+     * @param name    Stable engineName() for reports.
+     * @throws InputError when empty or any engine is null.
+     */
+    MultiChromosomeEngine(std::vector<Entry> entries, std::string name);
+
+    MultiMapResult mapOne(std::string_view read,
+                          PipelineStats *stats = nullptr) const override;
+    std::string_view engineName() const override { return name_; }
+
+    size_t numChromosomes() const { return entries_.size(); }
+
+  private:
+    std::vector<Entry> entries_;
+    std::string name_;
+};
+
+/**
+ * Adds a reverse-complement retry to any MappingEngine: each read is
+ * mapped as-is and as its reverse complement, and the better
+ * alignment wins (lower edit distance; ties keep the forward strand,
+ * so results are deterministic). The winning RC result carries
+ * `reverseComplemented = true` with coordinates already on the
+ * forward strand, exactly like SegramConfig::tryReverseComplement —
+ * this wrapper is how the CPU baselines get the same both-strands
+ * behaviour real GraphAligner/vg have, keeping accuracy comparisons
+ * honest on two-strand read sets.
+ */
+class RcRetryEngine : public MappingEngine
+{
+  public:
+    /** @throws InputError when @p inner is null. */
+    explicit RcRetryEngine(std::unique_ptr<MappingEngine> inner);
+
+    MultiMapResult mapOne(std::string_view read,
+                          PipelineStats *stats = nullptr) const override;
+    std::string_view engineName() const override
+    {
+        return inner_->engineName();
+    }
+
+  private:
+    std::unique_ptr<MappingEngine> inner_;
 };
 
 /** BatchMapper knobs. */

@@ -1,0 +1,230 @@
+#include "src/eval/accuracy.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/util/check.h"
+#include "src/util/tsv.h"
+
+namespace segram::eval
+{
+
+namespace
+{
+
+constexpr char kTruthHeader[] =
+    "#read_name\tchromosome\tdonor_start\ttruth_linear_start\tstrand\t"
+    "read_len\tplanted_errors\tprofile\n";
+
+TruthRecord
+parseTruthLine(std::string_view line)
+{
+    const auto fields = util::splitTabs(line);
+    SEGRAM_CHECK(fields.size() == 8,
+                 "truth row has " + std::to_string(fields.size()) +
+                     " fields, need 8");
+    TruthRecord record;
+    SEGRAM_CHECK(!fields[0].empty(), "truth read name is empty");
+    record.readName = std::string(fields[0]);
+    record.chromosome = std::string(fields[1]);
+    record.donorStart =
+        util::parseU64Field(fields[2], "truth donor start");
+    record.truthLinearStart =
+        util::parseU64Field(fields[3], "truth linear start");
+    SEGRAM_CHECK(fields[4] == "+" || fields[4] == "-",
+                 "truth strand must be '+' or '-', got '" +
+                     std::string(fields[4]) + "'");
+    record.strand = fields[4][0];
+    record.readLen = static_cast<uint32_t>(
+        util::parseU64Field(fields[5], "truth read length"));
+    record.plantedErrors = static_cast<uint32_t>(
+        util::parseU64Field(fields[6], "truth planted errors"));
+    record.profile = std::string(fields[7]);
+    return record;
+}
+
+void
+appendRate(std::string &out, double rate)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4f", rate);
+    out += buf;
+}
+
+} // namespace
+
+void
+writeTruthFile(const std::string &path,
+               std::span<const TruthRecord> records)
+{
+    std::ofstream out(path, std::ios::trunc);
+    SEGRAM_CHECK(out.good(), "cannot write truth file: " + path);
+    std::string buffer = kTruthHeader;
+    for (const auto &record : records) {
+        buffer += record.readName;
+        buffer += '\t';
+        buffer += record.chromosome;
+        buffer += '\t';
+        buffer += std::to_string(record.donorStart);
+        buffer += '\t';
+        buffer += std::to_string(record.truthLinearStart);
+        buffer += '\t';
+        buffer += record.strand;
+        buffer += '\t';
+        buffer += std::to_string(record.readLen);
+        buffer += '\t';
+        buffer += std::to_string(record.plantedErrors);
+        buffer += '\t';
+        buffer += record.profile;
+        buffer += '\n';
+    }
+    out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    SEGRAM_CHECK(out.good(), "write failed: " + path);
+}
+
+std::vector<TruthRecord>
+readTruthFile(const std::string &path)
+{
+    std::vector<TruthRecord> records;
+    util::forEachDataLine(path, [&records](std::string_view line) {
+        records.push_back(parseTruthLine(line));
+    });
+    return records;
+}
+
+AccuracyEvaluator::AccuracyEvaluator(std::vector<TruthRecord> truth,
+                                     const EvalConfig &config)
+    : config_(config), truth_(std::move(truth))
+{
+    byName_.reserve(truth_.size());
+    for (size_t i = 0; i < truth_.size(); ++i) {
+        const auto [it, inserted] =
+            byName_.emplace(truth_[i].readName, i);
+        (void)it;
+        SEGRAM_CHECK(inserted, "duplicate read name in truth set: " +
+                                   truth_[i].readName);
+    }
+}
+
+bool
+AccuracyEvaluator::isCorrect(const TruthRecord &truth,
+                             const io::PafRecord &record) const
+{
+    // The start coordinate is chromosome-local; a hit on another
+    // chromosome at a similar offset is not the planted origin. An
+    // empty truth chromosome (single anonymous reference) skips the
+    // check.
+    if (!truth.chromosome.empty() &&
+        record.targetName != truth.chromosome)
+        return false;
+    if (config_.requireStrandMatch && record.strand != truth.strand)
+        return false;
+    const uint64_t threshold = config_.distanceThreshold;
+    const uint64_t lo = truth.truthLinearStart >= threshold
+                            ? truth.truthLinearStart - threshold
+                            : 0;
+    const uint64_t hi = truth.truthLinearStart + threshold;
+    return record.targetStart >= lo && record.targetStart <= hi;
+}
+
+AccuracyReport
+AccuracyEvaluator::evaluate(std::string mapper_name,
+                            std::span<const io::PafRecord> records) const
+{
+    AccuracyReport report;
+    report.mapper = std::move(mapper_name);
+
+    // Per-truth-read flags: a read is mapped when it has any record
+    // and correct when any record is correct (secondary hits do not
+    // dilute sensitivity; precision judges every record).
+    std::vector<uint8_t> mapped(truth_.size(), 0);
+    std::vector<uint8_t> correct(truth_.size(), 0);
+    std::map<std::string, AccuracyCounts> per_profile;
+    for (const auto &truth : truth_)
+        per_profile[truth.profile].truthReads += 1;
+    report.overall.truthReads = truth_.size();
+
+    for (const auto &record : records) {
+        const auto it = byName_.find(record.queryName);
+        if (it == byName_.end()) {
+            ++report.unknownRecords;
+            ++report.overall.recordsTotal;
+            continue;
+        }
+        const size_t idx = it->second;
+        const TruthRecord &truth = truth_[idx];
+        const bool ok = isCorrect(truth, record);
+        mapped[idx] = 1;
+        correct[idx] |= ok ? 1 : 0;
+        auto &bucket = per_profile[truth.profile];
+        bucket.recordsTotal += 1;
+        bucket.recordsCorrect += ok ? 1 : 0;
+        report.overall.recordsTotal += 1;
+        report.overall.recordsCorrect += ok ? 1 : 0;
+    }
+
+    for (size_t i = 0; i < truth_.size(); ++i) {
+        auto &bucket = per_profile[truth_[i].profile];
+        bucket.mappedReads += mapped[i];
+        bucket.correctReads += correct[i];
+        report.overall.mappedReads += mapped[i];
+        report.overall.correctReads += correct[i];
+    }
+    report.perProfile = std::move(per_profile);
+    return report;
+}
+
+std::string
+formatReport(const AccuracyReport &report)
+{
+    std::string out;
+    const auto row = [&out](const std::string &label,
+                            const AccuracyCounts &counts) {
+        char buf[192];
+        std::snprintf(buf, sizeof buf,
+                      "  %-16s %6llu reads, %6llu mapped, %6llu "
+                      "correct: sensitivity %.4f, precision %.4f\n",
+                      label.c_str(),
+                      static_cast<unsigned long long>(counts.truthReads),
+                      static_cast<unsigned long long>(counts.mappedReads),
+                      static_cast<unsigned long long>(counts.correctReads),
+                      counts.sensitivity(), counts.precision());
+        out += buf;
+    };
+    out += report.mapper + ":\n";
+    row("all", report.overall);
+    for (const auto &[profile, counts] : report.perProfile)
+        row(profile, counts);
+    if (report.unknownRecords > 0) {
+        out += "  (" + std::to_string(report.unknownRecords) +
+               " PAF records named reads absent from the truth set)\n";
+    }
+    return out;
+}
+
+void
+appendReportTsv(std::string &out, const AccuracyReport &report)
+{
+    const auto row = [&out, &report](const std::string &profile,
+                                     const AccuracyCounts &counts) {
+        out += report.mapper;
+        out += '\t';
+        out += profile;
+        out += '\t';
+        out += std::to_string(counts.truthReads);
+        out += '\t';
+        out += std::to_string(counts.mappedReads);
+        out += '\t';
+        out += std::to_string(counts.correctReads);
+        out += '\t';
+        appendRate(out, counts.sensitivity());
+        out += '\t';
+        appendRate(out, counts.precision());
+        out += '\n';
+    };
+    row("all", report.overall);
+    for (const auto &[profile, counts] : report.perProfile)
+        row(profile, counts);
+}
+
+} // namespace segram::eval

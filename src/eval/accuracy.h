@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Ground-truth accuracy evaluation: the missing half of the paper's
+ * claim. SeGraM's argument is not only speed but *accuracy parity* —
+ * BitAlign matches software graph mappers (GraphAligner, vg) on
+ * sensitivity (ISCA 2022 Section 10), and GenASM before it was
+ * validated by differential comparison against exact DP. This module
+ * closes that loop for the repo: the read simulator records where each
+ * read was planted (a `.truth.tsv` sidecar), and AccuracyEvaluator
+ * joins any mapper's PAF output against that truth, reporting
+ * sensitivity and precision at a configurable distance threshold,
+ * broken down per error profile (Illumina 1%, PacBio/ONT 5%/10%) and
+ * per mapper.
+ *
+ * Truth sidecar format (`.truth.tsv`): a header line starting with
+ * '#', then one tab-separated line per read:
+ *
+ *   read_name  chromosome  donor_start  truth_linear_start  strand
+ *   read_len  planted_errors  profile
+ *
+ * `chromosome` is the graph the read was planted in (PAF target-name
+ * must match it; the coordinate alone is ambiguous across
+ * chromosomes), `truth_linear_start` is the concatenated-graph
+ * coordinate of the read's origin (the coordinate `segram map`
+ * reports as the PAF target start), `strand` is '+' or '-' (minus:
+ * the read is the reverse complement of the donor span), and
+ * `profile` is a free-form dataset label such as "pacbio-5%"
+ * (sim::profileLabel).
+ */
+
+#ifndef SEGRAM_SRC_EVAL_ACCURACY_H
+#define SEGRAM_SRC_EVAL_ACCURACY_H
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/io/paf.h"
+
+namespace segram::eval
+{
+
+/** Ground truth of one simulated read. */
+struct TruthRecord
+{
+    std::string readName;
+    std::string chromosome;        ///< graph the read was planted in
+    uint64_t donorStart = 0;       ///< start in the donor haplotype
+    uint64_t truthLinearStart = 0; ///< concatenated graph coordinate
+    char strand = '+';             ///< '-' = reverse-complement read
+    uint32_t readLen = 0;
+    uint32_t plantedErrors = 0;
+    std::string profile; ///< dataset label, e.g. "illumina-1%"
+
+    bool operator==(const TruthRecord &) const = default;
+};
+
+/** Writes a `.truth.tsv` sidecar (header line + one row per read). */
+void writeTruthFile(const std::string &path,
+                    std::span<const TruthRecord> records);
+
+/**
+ * Reads a `.truth.tsv` sidecar.
+ *
+ * @throws InputError when the file is unreadable or any row is
+ *         malformed (reported with its 1-based line number).
+ */
+std::vector<TruthRecord> readTruthFile(const std::string &path);
+
+/** Evaluation parameters. */
+struct EvalConfig
+{
+    /**
+     * A mapping is correct when it names the truth chromosome and its
+     * target start lies within the read's truth interval extended by
+     * this many characters on each side: [truth_start - threshold,
+     * truth_start + threshold]. The paper-style criterion; 100
+     * tolerates the start drift of windowed long-read alignment while
+     * still rejecting hits to the wrong locus.
+     */
+    uint64_t distanceThreshold = 100;
+
+    /**
+     * Require the reported strand to match the truth strand. A read
+     * mapped at the right coordinate on the wrong strand is not the
+     * planted origin; on by default.
+     */
+    bool requireStrandMatch = true;
+};
+
+/** Correct/mapped/total counters with derived rates. */
+struct AccuracyCounts
+{
+    uint64_t truthReads = 0;     ///< reads in the truth set
+    uint64_t mappedReads = 0;    ///< truth reads with >= 1 PAF record
+    uint64_t correctReads = 0;   ///< truth reads with a correct record
+    uint64_t recordsTotal = 0;   ///< PAF records joined to this bucket
+    uint64_t recordsCorrect = 0; ///< PAF records judged correct
+
+    /** Correctly placed truth reads / all truth reads (paper metric). */
+    double
+    sensitivity() const
+    {
+        return truthReads == 0
+                   ? 0.0
+                   : static_cast<double>(correctReads) /
+                         static_cast<double>(truthReads);
+    }
+
+    /** Correct PAF records / all PAF records. */
+    double
+    precision() const
+    {
+        return recordsTotal == 0
+                   ? 0.0
+                   : static_cast<double>(recordsCorrect) /
+                         static_cast<double>(recordsTotal);
+    }
+
+    AccuracyCounts &
+    operator+=(const AccuracyCounts &other)
+    {
+        truthReads += other.truthReads;
+        mappedReads += other.mappedReads;
+        correctReads += other.correctReads;
+        recordsTotal += other.recordsTotal;
+        recordsCorrect += other.recordsCorrect;
+        return *this;
+    }
+
+    bool operator==(const AccuracyCounts &) const = default;
+};
+
+/** One mapper's accuracy report. */
+struct AccuracyReport
+{
+    std::string mapper;
+    AccuracyCounts overall;
+    /** Per-profile breakdown, keyed by the truth profile label. */
+    std::map<std::string, AccuracyCounts> perProfile;
+    /** PAF records whose read name is absent from the truth set. */
+    uint64_t unknownRecords = 0;
+};
+
+/**
+ * Joins PAF output against a truth set. One evaluator (one truth set)
+ * scores any number of mappers; evaluate() is const and thread-safe.
+ */
+class AccuracyEvaluator
+{
+  public:
+    /**
+     * @param truth Ground truth, one record per simulated read.
+     * @throws InputError on duplicate read names (the join key).
+     */
+    explicit AccuracyEvaluator(std::vector<TruthRecord> truth,
+                               const EvalConfig &config = {});
+
+    /**
+     * Scores one mapper's records against the truth. A truth read
+     * counts as correct when *any* of its records is correct
+     * (sensitivity); every record is judged individually for
+     * precision. Records naming unknown reads are tallied in
+     * `unknownRecords` and count against precision.
+     */
+    AccuracyReport evaluate(std::string mapper_name,
+                            std::span<const io::PafRecord> records) const;
+
+    /** The per-record correctness predicate (exposed for tests). */
+    bool isCorrect(const TruthRecord &truth,
+                   const io::PafRecord &record) const;
+
+    const EvalConfig &config() const { return config_; }
+    size_t numTruthReads() const { return truth_.size(); }
+
+    // byName_ holds views into truth_'s strings: a move transfers the
+    // backing buffers (views stay valid), but a copy would leave the
+    // new map pointing into the old object's strings.
+    AccuracyEvaluator(AccuracyEvaluator &&) = default;
+    AccuracyEvaluator &operator=(AccuracyEvaluator &&) = default;
+    AccuracyEvaluator(const AccuracyEvaluator &) = delete;
+    AccuracyEvaluator &operator=(const AccuracyEvaluator &) = delete;
+
+  private:
+    EvalConfig config_;
+    std::vector<TruthRecord> truth_;
+    /** read name -> index into truth_ (views into truth_ strings). */
+    std::unordered_map<std::string_view, size_t> byName_;
+};
+
+/**
+ * Formats one report as aligned human-readable text (overall +
+ * per-profile rows), the `segram eval` stderr summary.
+ */
+std::string formatReport(const AccuracyReport &report);
+
+/**
+ * Appends machine-readable TSV rows for one report to @p out:
+ *
+ *   mapper  profile  truth_reads  mapped  correct  sensitivity
+ *   precision
+ *
+ * with an "all" profile row first; rates printed with 4 decimals.
+ */
+void appendReportTsv(std::string &out, const AccuracyReport &report);
+
+} // namespace segram::eval
+
+#endif // SEGRAM_SRC_EVAL_ACCURACY_H

@@ -8,31 +8,12 @@
 
 #include "src/util/check.h"
 #include "src/util/dna.h"
+#include "src/util/tsv.h"
 
 namespace segram::io
 {
 
-namespace
-{
-
-std::vector<std::string>
-splitTabs(const std::string &line)
-{
-    std::vector<std::string> fields;
-    size_t start = 0;
-    while (true) {
-        const size_t tab = line.find('\t', start);
-        if (tab == std::string::npos) {
-            fields.push_back(line.substr(start));
-            break;
-        }
-        fields.push_back(line.substr(start, tab - start));
-        start = tab + 1;
-    }
-    return fields;
-}
-
-} // namespace
+using util::splitTabs;
 
 GfaDocument
 readGfa(std::istream &in)
@@ -60,9 +41,10 @@ readGfa(std::istream &in)
             SEGRAM_CHECK(!fields[1].empty(), where + ": empty segment name");
             SEGRAM_CHECK(!fields[2].empty() && fields[2] != "*",
                          where + ": segment must carry a sequence");
-            SEGRAM_CHECK(segment_names.insert(fields[1]).second,
-                         where + ": duplicate segment " + fields[1]);
-            doc.segments.push_back({fields[1], normalizeDna(fields[2])});
+            const std::string name(fields[1]);
+            SEGRAM_CHECK(segment_names.insert(name).second,
+                         where + ": duplicate segment " + name);
+            doc.segments.push_back({name, normalizeDna(fields[2])});
             break;
           }
           case 'L': {
@@ -74,7 +56,8 @@ readGfa(std::istream &in)
                 SEGRAM_CHECK(fields[5] == "0M" || fields[5] == "*",
                              where + ": only 0M overlaps are supported");
             }
-            doc.links.push_back({fields[1], fields[3]});
+            doc.links.push_back(
+                {std::string(fields[1]), std::string(fields[3])});
             break;
           }
           default:

@@ -2,8 +2,13 @@
 
 #include <ostream>
 
+#include "src/util/check.h"
+#include "src/util/tsv.h"
+
 namespace segram::io
 {
+
+using util::parseU64Field;
 
 void
 formatPaf(std::string &out, const PafRecord &record)
@@ -102,6 +107,49 @@ makePafRecord(std::string query_name, uint64_t query_len, char strand,
                           cigar.count(EditOp::Deletion);
     record.cigar = cigar;
     return record;
+}
+
+PafRecord
+parsePafLine(std::string_view line)
+{
+    const auto fields = util::splitTabs(line);
+    SEGRAM_CHECK(fields.size() >= 12,
+                 "PAF line has " + std::to_string(fields.size()) +
+                     " fields, need 12");
+    PafRecord record;
+    record.queryName = std::string(fields[0]);
+    record.queryLen = parseU64Field(fields[1], "PAF query length");
+    record.queryStart = parseU64Field(fields[2], "PAF query start");
+    record.queryEnd = parseU64Field(fields[3], "PAF query end");
+    SEGRAM_CHECK(fields[4] == "+" || fields[4] == "-",
+                 "PAF strand must be '+' or '-', got '" +
+                     std::string(fields[4]) + "'");
+    record.strand = fields[4][0];
+    record.targetName = std::string(fields[5]);
+    record.targetLen = parseU64Field(fields[6], "PAF target length");
+    record.targetStart = parseU64Field(fields[7], "PAF target start");
+    record.targetEnd = parseU64Field(fields[8], "PAF target end");
+    record.matches = parseU64Field(fields[9], "PAF match count");
+    record.alignmentLen =
+        parseU64Field(fields[10], "PAF alignment length");
+    record.mapq =
+        static_cast<int>(parseU64Field(fields[11], "PAF mapq"));
+    for (size_t i = 12; i < fields.size(); ++i) {
+        const std::string_view tag = fields[i];
+        if (tag.starts_with("cg:Z:"))
+            record.cigar = Cigar::fromString(tag.substr(5));
+    }
+    return record;
+}
+
+std::vector<PafRecord>
+readPafFile(const std::string &path)
+{
+    std::vector<PafRecord> records;
+    util::forEachDataLine(path, [&records](std::string_view line) {
+        records.push_back(parsePafLine(line));
+    });
+    return records;
 }
 
 } // namespace segram::io

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/util/cigar.h"
 
@@ -83,6 +85,25 @@ PafRecord makePafRecord(std::string query_name, uint64_t query_len,
                         char strand, std::string target_name,
                         uint64_t target_len, uint64_t target_start,
                         const Cigar &cigar);
+
+/**
+ * Parses one PAF line (the 12 mandatory fields plus optional tags; a
+ * `cg:Z` tag, when present, is parsed into the cigar). The accuracy
+ * evaluator consumes mapper output through this, so the writer and
+ * parser round-trip each other.
+ *
+ * @throws InputError on missing fields, non-numeric columns or a bad
+ *         strand character.
+ */
+PafRecord parsePafLine(std::string_view line);
+
+/**
+ * Reads a whole PAF file (blank lines skipped).
+ *
+ * @throws InputError when the file is unreadable or any line is
+ *         malformed (reported with its 1-based line number).
+ */
+std::vector<PafRecord> readPafFile(const std::string &path);
 
 } // namespace segram::io
 

@@ -7,31 +7,12 @@
 
 #include "src/util/check.h"
 #include "src/util/dna.h"
+#include "src/util/tsv.h"
 
 namespace segram::io
 {
 
-namespace
-{
-
-std::vector<std::string>
-splitTabs(const std::string &line)
-{
-    std::vector<std::string> fields;
-    size_t start = 0;
-    while (true) {
-        const size_t tab = line.find('\t', start);
-        if (tab == std::string::npos) {
-            fields.push_back(line.substr(start));
-            break;
-        }
-        fields.push_back(line.substr(start, tab - start));
-        start = tab + 1;
-    }
-    return fields;
-}
-
-} // namespace
+using util::splitTabs;
 
 std::vector<VcfRecord>
 readVcf(std::istream &in)
@@ -50,20 +31,20 @@ readVcf(std::istream &in)
                      "VCF line " + std::to_string(line_no) +
                          " has fewer than 5 columns");
         VcfRecord base;
-        base.chrom = fields[0];
+        base.chrom = std::string(fields[0]);
         try {
-            base.pos = std::stoull(fields[1]);
+            base.pos = std::stoull(std::string(fields[1]));
         } catch (const std::exception &) {
             SEGRAM_CHECK(false, "VCF line " + std::to_string(line_no) +
                                     " has non-numeric POS");
         }
         SEGRAM_CHECK(base.pos >= 1, "VCF POS must be >= 1");
-        base.id = fields[2];
+        base.id = std::string(fields[2]);
         base.ref = normalizeDna(fields[3]);
         SEGRAM_CHECK(!base.ref.empty(), "VCF line " +
                          std::to_string(line_no) + " has empty REF");
         // Expand multi-allelic ALT.
-        std::stringstream alts(fields[4]);
+        std::stringstream alts{std::string(fields[4])};
         std::string alt;
         bool any = false;
         while (std::getline(alts, alt, ',')) {

@@ -2,12 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "src/sim/genome_sim.h"
 #include "src/util/check.h"
+#include "src/util/dna.h"
 
 namespace segram::sim
 {
+
+std::string
+profileLabel(const ErrorProfile &profile)
+{
+    // Rates are sub-percent for Illumina (1%) but the label keeps one
+    // decimal only when needed: 0.05 -> "5%", 0.015 -> "1.5%".
+    const double percent = profile.errorRate * 100.0;
+    const auto rounded = static_cast<long long>(std::llround(percent));
+    char rate[32];
+    if (std::abs(percent - static_cast<double>(rounded)) < 1e-9)
+        std::snprintf(rate, sizeof rate, "%lld%%", rounded);
+    else
+        std::snprintf(rate, sizeof rate, "%.1f%%", percent);
+    return profile.technology + "-" + rate;
+}
 
 DonorGenome::DonorGenome(std::string_view reference,
                          const std::vector<graph::Variant> &variants,
@@ -112,6 +129,10 @@ simulateReads(const DonorGenome &donor, const ReadSimConfig &config,
         // The margin guarantees full-length reads.
         SEGRAM_CHECK(read.seq.size() == config.readLen,
                      "read simulation ran past the donor end");
+        if (rng.nextBool(config.revCompProbability)) {
+            read.seq = reverseComplement(read.seq);
+            read.reverseComplemented = true;
+        }
         reads.push_back(std::move(read));
     }
     return reads;

@@ -28,28 +28,36 @@ struct ErrorProfile
     double subFraction = 1.0;
     double insFraction = 0.0;
     double delFraction = 0.0;
+    /** Technology family ("illumina", "pacbio", "ont", "custom"). */
+    std::string technology = "custom";
 
     /** PacBio-like long-read profile (paper: 10 kbp, 5% or 10%). */
     static ErrorProfile
     pacbio(double rate)
     {
-        return {rate, 0.20, 0.50, 0.30};
+        return {rate, 0.20, 0.50, 0.30, "pacbio"};
     }
 
     /** ONT-like long-read profile. */
     static ErrorProfile
     ont(double rate)
     {
-        return {rate, 0.35, 0.25, 0.40};
+        return {rate, 0.35, 0.25, 0.40, "ont"};
     }
 
     /** Illumina-like short-read profile (paper: 1% error). */
     static ErrorProfile
     illumina(double rate = 0.01)
     {
-        return {rate, 0.95, 0.025, 0.025};
+        return {rate, 0.95, 0.025, 0.025, "illumina"};
     }
 };
+
+/**
+ * @return The dataset label the accuracy reports break down by,
+ *         paper-style: technology + error rate ("pacbio-5%").
+ */
+std::string profileLabel(const ErrorProfile &profile);
 
 /** One simulated read with its ground truth. */
 struct SimRead
@@ -58,6 +66,13 @@ struct SimRead
     uint64_t donorStart = 0;       ///< start in the donor genome
     uint64_t truthLinearStart = 0; ///< graph concatenated coordinate
     uint32_t plantedErrors = 0;    ///< sequencing errors injected
+    /**
+     * True when the emitted sequence is the reverse complement of the
+     * sampled donor span (the read "came from the minus strand").
+     * truthLinearStart still names the forward-strand span start, which
+     * is the coordinate a mapper reports for such a read.
+     */
+    bool reverseComplemented = false;
 };
 
 /**
@@ -103,6 +118,12 @@ struct ReadSimConfig
     uint32_t readLen = 10'000;
     uint32_t numReads = 100;
     ErrorProfile errors;
+    /**
+     * Probability that a read is emitted as the reverse complement of
+     * its donor span (real runs sequence both strands; mappers must
+     * recover the forward coordinate via their RC retry).
+     */
+    double revCompProbability = 0.0;
 };
 
 /**

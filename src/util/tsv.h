@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tiny shared helpers for the tab-separated text formats in this repo
+ * (PAF, GFA, `.truth.tsv`): zero-copy field splitting and strict
+ * unsigned parsing with a caller-supplied error context. One
+ * implementation instead of one hand-rolled copy per parser.
+ */
+
+#ifndef SEGRAM_SRC_UTIL_TSV_H
+#define SEGRAM_SRC_UTIL_TSV_H
+
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace segram::util
+{
+
+/**
+ * Splits @p line on tabs into string_views into @p line (no copies;
+ * the views are valid only while the underlying buffer lives). An
+ * empty line yields one empty field, matching the TSV convention that
+ * every line has at least one column.
+ */
+inline std::vector<std::string_view>
+splitTabs(std::string_view line)
+{
+    std::vector<std::string_view> fields;
+    size_t begin = 0;
+    while (begin <= line.size()) {
+        size_t end = line.find('\t', begin);
+        if (end == std::string_view::npos)
+            end = line.size();
+        fields.push_back(line.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return fields;
+}
+
+/**
+ * Strictly parses @p field as an unsigned decimal integer: the whole
+ * field must be consumed ("", "4x", "-1" all fail).
+ *
+ * @param what Error context, e.g. "PAF target start".
+ * @throws InputError when the field is not a plain number.
+ */
+inline uint64_t
+parseU64Field(std::string_view field, const char *what)
+{
+    uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), value);
+    SEGRAM_CHECK(ec == std::errc() && ptr == field.data() + field.size(),
+                 std::string(what) + " is not a number: '" +
+                     std::string(field) + "'");
+    return value;
+}
+
+/**
+ * Opens @p path and calls @p on_line(line) for every data line: CRLF
+ * endings are stripped, blank lines and lines starting with '#' are
+ * skipped. An InputError thrown by the callback is rethrown as
+ * "path:lineno: <message>" — the shared shape of every line-oriented
+ * text reader in the repo (PAF, truth sidecars).
+ *
+ * @throws InputError when the file is unreadable.
+ */
+template <typename OnLine>
+void
+forEachDataLine(const std::string &path, OnLine &&on_line)
+{
+    std::ifstream in(path);
+    SEGRAM_CHECK(in.good(), "cannot open file: " + path);
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        try {
+            on_line(std::string_view(line));
+        } catch (const InputError &error) {
+            throw InputError(path + ":" + std::to_string(line_no) +
+                             ": " + error.what());
+        }
+    }
+}
+
+} // namespace segram::util
+
+#endif // SEGRAM_SRC_UTIL_TSV_H

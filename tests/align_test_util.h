@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared fuzz-case generators for the aligner test harnesses
+ * (test_align_property.cc and test_differential.cc): random DAGs,
+ * path sampling, and edit-counting mutation. One implementation so
+ * both harnesses generate identical case families.
+ */
+
+#ifndef SEGRAM_TESTS_ALIGN_TEST_UTIL_H
+#define SEGRAM_TESTS_ALIGN_TEST_UTIL_H
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/graph/linearize.h"
+#include "src/util/rng.h"
+
+namespace segram::align
+{
+
+/** Random DAG with chain edges, random extra hops and chain breaks. */
+inline graph::LinearizedGraph
+randomDag(Rng &rng, int size, double hop_prob, double break_prob)
+{
+    graph::LinearizedGraph out;
+    for (int i = 0; i < size; ++i) {
+        std::vector<uint16_t> deltas;
+        if (i + 1 < size && !rng.nextBool(break_prob))
+            deltas.push_back(1);
+        if (i + 2 < size && rng.nextBool(hop_prob)) {
+            const auto max_delta =
+                std::min<uint64_t>(10, size - 1 - i);
+            const auto delta =
+                static_cast<uint16_t>(2 + rng.nextBelow(max_delta - 1));
+            if (delta >= 2)
+                deltas.push_back(delta);
+        }
+        out.pushChar(rng.nextBase(), std::move(deltas));
+    }
+    out.finalize();
+    return out;
+}
+
+/**
+ * Samples a path string through the DAG starting at a random node
+ * (restricted to [0, max_start] when max_start >= 0).
+ */
+inline std::string
+samplePath(const graph::LinearizedGraph &text, Rng &rng, int max_len,
+           int max_start = -1)
+{
+    std::string out;
+    const uint64_t bound = max_start < 0
+                               ? static_cast<uint64_t>(text.size())
+                               : static_cast<uint64_t>(max_start) + 1;
+    int pos = static_cast<int>(rng.nextBelow(bound));
+    while (static_cast<int>(out.size()) < max_len) {
+        out.push_back("ACGT"[text.code(pos)]);
+        const auto deltas = text.successorDeltas(pos);
+        if (deltas.empty())
+            break;
+        pos += deltas[rng.nextBelow(deltas.size())];
+    }
+    return out;
+}
+
+/** Applies random edits to a string, counting them into @p edits. */
+inline std::string
+mutate(const std::string &seq, Rng &rng, double rate, int *edits)
+{
+    std::string out;
+    for (const char base : seq) {
+        if (rng.nextBool(rate)) {
+            ++*edits;
+            const double which = rng.nextDouble();
+            if (which < 0.4) {
+                char alt = rng.nextBase();
+                while (alt == base)
+                    alt = rng.nextBase();
+                out.push_back(alt); // substitution
+            } else if (which < 0.7) {
+                out.push_back(rng.nextBase());
+                out.push_back(base); // insertion
+            } // else deletion: skip the base
+        } else {
+            out.push_back(base);
+        }
+    }
+    if (out.empty())
+        out.push_back('A');
+    return out;
+}
+
+/** The ACGT string of the graph characters at @p positions. */
+inline std::string
+consumedPath(const graph::LinearizedGraph &text,
+             const std::vector<int> &positions)
+{
+    std::string out;
+    for (const int pos : positions)
+        out.push_back("ACGT"[text.code(pos)]);
+    return out;
+}
+
+} // namespace segram::align
+
+#endif // SEGRAM_TESTS_ALIGN_TEST_UTIL_H

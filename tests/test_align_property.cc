@@ -18,7 +18,9 @@
 #include "src/baseline/dp_s2g.h"
 #include "src/baseline/dp_s2s.h"
 #include "src/graph/linearize.h"
+#include "src/util/dna.h"
 #include "src/util/rng.h"
+#include "tests/align_test_util.h"
 
 namespace segram::align
 {
@@ -26,86 +28,6 @@ namespace
 {
 
 using graph::LinearizedGraph;
-
-/** Random DAG with chain edges, random extra hops and chain breaks. */
-LinearizedGraph
-randomDag(Rng &rng, int size, double hop_prob, double break_prob)
-{
-    LinearizedGraph out;
-    for (int i = 0; i < size; ++i) {
-        std::vector<uint16_t> deltas;
-        if (i + 1 < size && !rng.nextBool(break_prob))
-            deltas.push_back(1);
-        if (i + 2 < size && rng.nextBool(hop_prob)) {
-            const auto max_delta =
-                std::min<uint64_t>(10, size - 1 - i);
-            const auto delta =
-                static_cast<uint16_t>(2 + rng.nextBelow(max_delta - 1));
-            if (delta >= 2)
-                deltas.push_back(delta);
-        }
-        out.pushChar(rng.nextBase(), std::move(deltas));
-    }
-    out.finalize();
-    return out;
-}
-
-/** Samples a path string through the DAG starting at a random node. */
-std::string
-samplePath(const LinearizedGraph &text, Rng &rng, int max_len,
-           int max_start = -1)
-{
-    std::string out;
-    const uint64_t bound = max_start < 0
-                               ? static_cast<uint64_t>(text.size())
-                               : static_cast<uint64_t>(max_start) + 1;
-    int pos = static_cast<int>(rng.nextBelow(bound));
-    while (static_cast<int>(out.size()) < max_len) {
-        out.push_back("ACGT"[text.code(pos)]);
-        const auto deltas = text.successorDeltas(pos);
-        if (deltas.empty())
-            break;
-        pos += deltas[rng.nextBelow(deltas.size())];
-    }
-    return out;
-}
-
-/** Applies random edits to a string. */
-std::string
-mutate(const std::string &seq, Rng &rng, double rate, int *edits)
-{
-    std::string out;
-    for (const char base : seq) {
-        if (rng.nextBool(rate)) {
-            ++*edits;
-            const double which = rng.nextDouble();
-            if (which < 0.4) {
-                char alt = rng.nextBase();
-                while (alt == base)
-                    alt = rng.nextBase();
-                out.push_back(alt); // substitution
-            } else if (which < 0.7) {
-                out.push_back(rng.nextBase());
-                out.push_back(base); // insertion
-            } // else deletion: skip the base
-        } else {
-            out.push_back(base);
-        }
-    }
-    if (out.empty())
-        out.push_back('A');
-    return out;
-}
-
-std::string
-consumedPath(const LinearizedGraph &text,
-             const std::vector<int> &positions)
-{
-    std::string out;
-    for (const int pos : positions)
-        out.push_back("ACGT"[text.code(pos)]);
-    return out;
-}
 
 class BitAlignVsOracle : public ::testing::TestWithParam<int>
 {
@@ -252,6 +174,80 @@ TEST_P(BitAlignVsOracle, WindowedIsValidAndNearExact)
         // genome-like inputs are exercised by the integration tests.
         EXPECT_GE(equal * 3, total)
             << equal << " of " << total << " exact";
+    }
+}
+
+TEST_P(BitAlignVsOracle, ChainDistanceInvariantUnderReverseComplement)
+{
+    // Sequence-to-graph property on linear graphs: edit distance is a
+    // palindrome-symmetric metric, so aligning the reverse-complement
+    // read against the reverse-complement text must cost exactly the
+    // same. Catches any directional bias in the bitvector recurrence
+    // (e.g. shift-direction or first/last-window asymmetries).
+    Rng rng(GetParam() + 7000);
+    for (int trial = 0; trial < 8; ++trial) {
+        const int n = 30 + static_cast<int>(rng.nextBelow(90));
+        std::string text;
+        for (int i = 0; i < n; ++i)
+            text.push_back(rng.nextBase());
+        const std::string rc_text = reverseComplement(text);
+
+        int edits = 0;
+        const int start = static_cast<int>(rng.nextBelow(n / 2));
+        const int len =
+            1 + static_cast<int>(rng.nextBelow(std::min(50, n - start)));
+        const std::string read =
+            mutate(text.substr(start, len), rng, 0.12, &edits);
+        const std::string rc_read = reverseComplement(read);
+
+        const auto make_chain = [](const std::string &seq) {
+            LinearizedGraph chain;
+            const int size = static_cast<int>(seq.size());
+            for (int i = 0; i < size; ++i)
+                chain.pushChar(seq[i],
+                               i + 1 < size ? std::vector<uint16_t>{1}
+                                            : std::vector<uint16_t>{});
+            chain.finalize();
+            return chain;
+        };
+        const int k = edits + 4;
+        const auto forward = alignWindow(make_chain(text), read, k);
+        const auto reverse =
+            alignWindow(make_chain(rc_text), rc_read, k);
+        ASSERT_TRUE(forward.found);
+        ASSERT_TRUE(reverse.found);
+        EXPECT_EQ(forward.editDistance, reverse.editDistance)
+            << "text " << text << " read " << read;
+    }
+}
+
+TEST_P(BitAlignVsOracle, DistanceNeverExceedsPlantedErrorCount)
+{
+    // A read derived from a graph path by e edits can always be
+    // aligned back at cost <= e; in particular an error-free window
+    // must align exactly (distance 0). The mutate() edit counter is
+    // the planted-error budget.
+    Rng rng(GetParam() + 8000);
+    for (int trial = 0; trial < 8; ++trial) {
+        const int size = 30 + static_cast<int>(rng.nextBelow(120));
+        const auto text = randomDag(rng, size, 0.15, 0.0);
+        const std::string path =
+            samplePath(text, rng, 12 + rng.nextBelow(40));
+
+        // Error-free: the exact path must come back at distance 0.
+        const auto clean = alignWindow(text, path, 4);
+        ASSERT_TRUE(clean.found);
+        EXPECT_EQ(clean.editDistance, 0) << "path " << path;
+
+        // e planted errors: distance at most e (BitAlign is exact
+        // within one window, so <= holds even when a cheaper
+        // alignment than the planted one exists).
+        int edits = 0;
+        const std::string read = mutate(path, rng, 0.15, &edits);
+        const auto noisy = alignWindow(text, read, edits + 2);
+        ASSERT_TRUE(noisy.found);
+        EXPECT_LE(noisy.editDistance, edits)
+            << "path " << path << " read " << read;
     }
 }
 

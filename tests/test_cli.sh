@@ -6,7 +6,13 @@
 #     binary;
 #  2. build a .segram pack with `segram index` and require that mapping
 #     from the pack produces byte-identical PAF to mapping from
-#     FASTA+VCF — the pack round-trip contract, end to end.
+#     FASTA+VCF — the pack round-trip contract, end to end;
+#  3. reject malformed numeric flags with clean errors (no silent
+#     acceptance, no crashes);
+#  4. run the accuracy loop: simulate -> map with all three engines
+#     (segram, graphaligner, vg) -> `segram eval` against the
+#     .truth.tsv sidecar, gating SeGraM sensitivity at >= either
+#     baseline minus epsilon (the paper's accuracy-parity claim).
 #
 # usage: test_cli.sh <path-to-segram-binary>
 set -e
@@ -72,3 +78,86 @@ grep -q "invalid pack" "$tmp/err.log" || {
     exit 1
 }
 echo "cli pack rejection OK"
+
+# --- numeric flag validation: every bad value must fail loudly ---
+# "--threads 0" used to mean "all cores"; it is now an explicit error.
+for bad_flag in \
+    "--threads 0" "--threads -1" "--threads eight" "--threads 4x" \
+    "--batch 0" "--batch -3" "--batch many" \
+    "--bucket-bits 0" "--bucket-bits 33" "--bucket-bits big" \
+    "--engine turbo" "--threshold -5" "--threshold ten" \
+    "--threshold 50" "--stats"; do
+    # shellcheck disable=SC2086
+    if "$bin" map $bad_flag "$tmp/d.fa" "$tmp/d.vcf" \
+        "$tmp/d.reads.fa" > /dev/null 2> "$tmp/flag.log"; then
+        echo "FAIL: '$bad_flag' was accepted"
+        exit 1
+    fi
+    grep -q "error" "$tmp/flag.log" || {
+        echo "FAIL: '$bad_flag' rejected without a clear error message"
+        cat "$tmp/flag.log"
+        exit 1
+    }
+done
+# Bad positional numbers on simulate must also fail loudly.
+for bad_sim in "0 5 100 0.01" "10000 x 100 0.01" "10000 5 100 1.5"; do
+    # shellcheck disable=SC2086
+    if "$bin" simulate "$tmp/bad" $bad_sim > /dev/null 2> "$tmp/flag.log"
+    then
+        echo "FAIL: simulate '$bad_sim' was accepted"
+        exit 1
+    fi
+    grep -q "error" "$tmp/flag.log" || {
+        echo "FAIL: simulate '$bad_sim' rejected without a clear error"
+        exit 1
+    }
+done
+echo "cli flag validation OK"
+
+# --- accuracy loop: simulate -> map x3 engines -> eval ---
+"$bin" simulate "$tmp/e" 40000 60 150 0.03 2> /dev/null
+test -s "$tmp/e.truth.tsv" || { echo "FAIL: no truth sidecar"; exit 1; }
+# Sidecar rows must match the read count (plus one '#' header).
+truth_rows=$(grep -vc '^#' "$tmp/e.truth.tsv")
+test "$truth_rows" -eq 60 || {
+    echo "FAIL: truth sidecar has $truth_rows rows, want 60"
+    exit 1
+}
+for engine in segram graphaligner vg; do
+    "$bin" map --engine "$engine" --threads 2 "$tmp/e.fa" "$tmp/e.vcf" \
+        "$tmp/e.reads.fq" 0.05 > "$tmp/$engine.paf" 2> /dev/null
+done
+"$bin" eval "$tmp/e.truth.tsv" \
+    segram="$tmp/segram.paf" \
+    graphaligner="$tmp/graphaligner.paf" \
+    vg="$tmp/vg.paf" > "$tmp/eval.tsv" 2> /dev/null
+
+# Gate: SeGraM sensitivity must be >= each baseline - epsilon (0.05),
+# and in absolute terms >= 0.9 on this easy dataset. awk reads the
+# "all" rows of the TSV report.
+awk -F'\t' '
+    $2 == "all" { sens[$1] = $6 }
+    END {
+        eps = 0.05
+        if (!("segram" in sens) || !("graphaligner" in sens) ||
+            !("vg" in sens)) {
+            print "FAIL: eval TSV missing a mapper row"; exit 1
+        }
+        if (sens["segram"] < 0.9) {
+            printf "FAIL: segram sensitivity %s < 0.9\n", sens["segram"]
+            exit 1
+        }
+        if (sens["segram"] + eps < sens["graphaligner"]) {
+            printf "FAIL: segram %s << graphaligner %s\n", \
+                sens["segram"], sens["graphaligner"]
+            exit 1
+        }
+        if (sens["segram"] + eps < sens["vg"]) {
+            printf "FAIL: segram %s << vg %s\n", sens["segram"], \
+                sens["vg"]
+            exit 1
+        }
+        printf "eval sensitivity: segram %s, graphaligner %s, vg %s\n", \
+            sens["segram"], sens["graphaligner"], sens["vg"]
+    }' "$tmp/eval.tsv" || exit 1
+echo "cli eval accuracy gate OK"

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -303,6 +304,53 @@ TEST(BatchMapper, MultiGraphStatsFoldReadExactUnderBatching)
         EXPECT_EQ(results4[i].chromosome, i % 2 == 0 ? "chr1" : "chr2")
             << "read " << i;
     }
+}
+
+TEST(MultiChromosomeEngine, LiftsBaselinesToMultiChromosome)
+{
+    // The generic per-chromosome wrapper must route each read to the
+    // chromosome it came from (best edit distance wins) and fold the
+    // read-level stats exactly like MultiGraphMapper does.
+    const auto chr1 = sim::makeDataset(smallConfig(110));
+    const auto chr2 = sim::makeDataset(smallConfig(111));
+    std::vector<MultiChromosomeEngine::Entry> entries;
+    entries.push_back(
+        {"chr1", std::make_unique<baseline::GraphAlignerLike>(
+                     chr1.graph, chr1.index)});
+    entries.push_back(
+        {"chr2", std::make_unique<baseline::GraphAlignerLike>(
+                     chr2.graph, chr2.index)});
+    const MultiChromosomeEngine engine(std::move(entries),
+                                       "graphaligner-like");
+    EXPECT_EQ(engine.engineName(), "graphaligner-like");
+    EXPECT_EQ(engine.numChromosomes(), 2u);
+
+    Rng rng(112);
+    PipelineStats stats;
+    int mapped = 0;
+    for (int i = 0; i < 10; ++i) {
+        const auto &donor = (i % 2 == 0 ? chr1 : chr2).donor;
+        const uint64_t start = rng.nextBelow(donor.seq().size() - 400);
+        const auto result =
+            engine.mapOne(donor.seq().substr(start, 300), &stats);
+        if (!result.mapped)
+            continue;
+        ++mapped;
+        EXPECT_EQ(result.chromosome, i % 2 == 0 ? "chr1" : "chr2")
+            << "read " << i;
+    }
+    EXPECT_GE(mapped, 8); // error-free reads, near-perfect mapping
+    EXPECT_EQ(stats.readsTotal, 10u); // one per logical read
+    EXPECT_EQ(stats.readsMapped, static_cast<uint64_t>(mapped));
+}
+
+TEST(MultiChromosomeEngine, RejectsEmptyAndNullEntries)
+{
+    EXPECT_THROW(MultiChromosomeEngine({}, "x"), InputError);
+    std::vector<MultiChromosomeEngine::Entry> entries;
+    entries.push_back({"chr1", nullptr});
+    EXPECT_THROW(MultiChromosomeEngine(std::move(entries), "x"),
+                 InputError);
 }
 
 // ------------------------------------------- MappingEngine polymorphism

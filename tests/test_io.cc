@@ -268,6 +268,87 @@ TEST(Fastx, MalformedMidStreamThrowsAfterGoodRecords)
     EXPECT_THROW(reader.next(record), InputError);
 }
 
+TEST(Fastx, CrlfLineEndingsAreStripped)
+{
+    // Windows-written reads files: every line ends "\r\n". The '\r'
+    // must not leak into names, sequences or qualities.
+    std::istringstream fasta(">a desc\r\nACGT\r\nGG\r\n>b\r\nTT\r\n");
+    FastxReader fasta_reader(fasta);
+    FastxRecord record;
+    ASSERT_TRUE(fasta_reader.next(record));
+    EXPECT_EQ(record.name, "a");
+    EXPECT_EQ(record.seq, "ACGTGG");
+    ASSERT_TRUE(fasta_reader.next(record));
+    EXPECT_EQ(record.name, "b");
+    EXPECT_EQ(record.seq, "TT");
+    EXPECT_FALSE(fasta_reader.next(record));
+
+    std::istringstream fastq("@r1\r\nACGT\r\n+\r\nIIII\r\n");
+    FastxReader fastq_reader(fastq);
+    ASSERT_TRUE(fastq_reader.next(record));
+    EXPECT_EQ(record.name, "r1");
+    EXPECT_EQ(record.seq, "ACGT");
+    EXPECT_EQ(record.qual, "IIII");
+}
+
+TEST(Fastx, MultiLineFastaSpanningManyShortLines)
+{
+    // 60-char wrapped FASTA plus degenerate 1-char lines must
+    // concatenate in order.
+    std::istringstream in(">x\nA\nC\nG\nT\nACGTACGT\nA\n");
+    FastxReader reader(in);
+    FastxRecord record;
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.seq, "ACGTACGTACGTA");
+    EXPECT_FALSE(reader.next(record));
+}
+
+TEST(Fastx, EmptySequencesAreRejectedDeliberately)
+{
+    // A header with no sequence lines (mid-file and at end of file)
+    // and an empty FASTQ sequence: all must throw InputError, never
+    // produce an empty record or crash.
+    std::istringstream empty_at_end(">a\nACGT\n>empty\n");
+    FastxReader reader(empty_at_end);
+    FastxRecord record;
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_THROW(reader.next(record), InputError);
+
+    std::istringstream blank_only(">a\n\n\n");
+    FastxReader blank_reader(blank_only);
+    EXPECT_THROW(blank_reader.next(record), InputError);
+
+    std::istringstream empty_fastq("@r\n\n+\n\n");
+    FastxReader fastq_reader(empty_fastq);
+    EXPECT_THROW(fastq_reader.next(record), InputError);
+}
+
+TEST(Fastx, FinalRecordWithoutTrailingNewlineRoundTrips)
+{
+    std::istringstream fasta(">a\nACGT\n>b\nTTGG"); // no final '\n'
+    FastxReader fasta_reader(fasta);
+    FastxRecord record;
+    ASSERT_TRUE(fasta_reader.next(record));
+    ASSERT_TRUE(fasta_reader.next(record));
+    EXPECT_EQ(record.name, "b");
+    EXPECT_EQ(record.seq, "TTGG");
+    EXPECT_FALSE(fasta_reader.next(record));
+
+    std::istringstream fastq("@r\nACGT\n+\nIIII"); // no final '\n'
+    FastxReader fastq_reader(fastq);
+    ASSERT_TRUE(fastq_reader.next(record));
+    EXPECT_EQ(record.seq, "ACGT");
+    EXPECT_EQ(record.qual, "IIII");
+    EXPECT_FALSE(fastq_reader.next(record));
+
+    // CRLF variant of the same: final record ends "\r" with no "\n".
+    std::istringstream crlf(">a\r\nACGT\r");
+    FastxReader crlf_reader(crlf);
+    ASSERT_TRUE(crlf_reader.next(record));
+    EXPECT_EQ(record.seq, "ACGT");
+    EXPECT_FALSE(crlf_reader.next(record));
+}
+
 TEST(Paf, BufferedWriterMatchesWritePaf)
 {
     const Cigar cigar = Cigar::fromString("8=1X4=");

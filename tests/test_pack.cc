@@ -21,7 +21,9 @@
 #include "src/core/engine.h"
 #include "src/core/reference.h"
 #include "src/core/segram.h"
+#include "src/eval/accuracy.h"
 #include "src/io/pack.h"
+#include "src/io/paf.h"
 #include "src/sim/dataset.h"
 #include "src/sim/read_sim.h"
 #include "src/util/check.h"
@@ -216,6 +218,71 @@ TEST_F(PackTest, MappingOutputBitIdenticalFreshVsLoaded)
         EXPECT_EQ(fresh_stats.regionsAligned,
                   loaded_stats.regionsAligned);
     }
+}
+
+TEST_F(PackTest, FreshAndPackLoadedReferenceScoreIdenticalAccuracy)
+{
+    // The pack/eval interop contract: the accuracy harness must be
+    // unable to tell whether the mapper ran over owned tables or over
+    // a mmap-loaded pack — identical sensitivity/precision counters,
+    // not just "both high".
+    std::vector<sim::Dataset> datasets;
+    datasets.push_back(sim::makeDataset(smallConfig(61)));
+    const auto donor = datasets[0].donor;
+    const auto fresh = makeReference(datasets);
+    fresh.save(path("ref.segram"));
+    const auto loaded =
+        core::PreprocessedReference::load(path("ref.segram"));
+
+    Rng rng(62);
+    sim::ReadSimConfig read_config{150, 40,
+                                   sim::ErrorProfile::illumina(0.02)};
+    read_config.revCompProbability = 0.3;
+    const auto reads = sim::simulateReads(donor, read_config, rng);
+
+    std::vector<eval::TruthRecord> truth;
+    const std::string profile = sim::profileLabel(read_config.errors);
+    for (size_t i = 0; i < reads.size(); ++i) {
+        truth.push_back({"read" + std::to_string(i), "chr1",
+                         reads[i].donorStart,
+                         reads[i].truthLinearStart,
+                         reads[i].reverseComplemented ? '-' : '+',
+                         static_cast<uint32_t>(reads[i].seq.size()),
+                         reads[i].plantedErrors, profile});
+    }
+    const eval::AccuracyEvaluator evaluator(std::move(truth));
+
+    core::SegramConfig config;
+    config.tryReverseComplement = true;
+    const auto score = [&](const core::PreprocessedReference &ref,
+                           const char *mapper_name) {
+        const core::MultiGraphMapper mapper(ref, config);
+        std::vector<io::PafRecord> mapped;
+        for (size_t i = 0; i < reads.size(); ++i) {
+            const auto result = mapper.mapRead(reads[i].seq);
+            if (!result.mapped)
+                continue;
+            mapped.push_back(io::makePafRecord(
+                "read" + std::to_string(i), reads[i].seq.size(),
+                result.reverseComplemented ? '-' : '+',
+                result.chromosome, ref.graph(0).totalSeqLen(),
+                result.linearStart, result.cigar));
+        }
+        return evaluator.evaluate(mapper_name, mapped);
+    };
+
+    const auto fresh_report = score(fresh, "fresh");
+    const auto loaded_report = score(loaded, "pack-loaded");
+    // Not just close — identical, counter for counter.
+    EXPECT_EQ(fresh_report.overall, loaded_report.overall);
+    ASSERT_EQ(fresh_report.perProfile.size(),
+              loaded_report.perProfile.size());
+    for (const auto &[name, counts] : fresh_report.perProfile) {
+        ASSERT_TRUE(loaded_report.perProfile.contains(name));
+        EXPECT_EQ(counts, loaded_report.perProfile.at(name));
+    }
+    // And the harness measured something real: most reads placed.
+    EXPECT_GE(fresh_report.overall.sensitivity(), 0.9);
 }
 
 TEST_F(PackTest, LoadedReferenceSurvivesMove)

@@ -15,6 +15,7 @@
  *       --stats prints the per-chromosome table footprints.
  *
  *   segram map [--threads N] [--batch N] [--bucket-bits N]
+ *              [--engine segram|graphaligner|vg]
  *              (<ref.fa> <vars.vcf> | <pack.segram>) <reads.fa|fq> [E]
  *       Full pipeline: obtain the pre-processed reference — either by
  *       building it from FASTA+VCF or by memory-mapping a `.segram`
@@ -23,12 +24,20 @@
  *       (trying both strands) and print PAF to stdout. The stderr
  *       report splits pre-processing time from mapping time, so the
  *       build-once/map-forever win of packs is visible. E is the
- *       expected per-base error rate (default 0.10).
+ *       expected per-base error rate (default 0.10). --engine swaps
+ *       the SeGraM pipeline for one of the CPU baseline mappers
+ *       (Section 10), so all three can be compared with `segram eval`.
  *
  *   segram simulate <out_prefix> <genome_len> <num_reads> <read_len> <err>
  *       Emit a synthetic dataset (<prefix>.fa, <prefix>.vcf,
- *       <prefix>.reads.fa and an identical <prefix>.reads.fq) for
- *       trying the commands above.
+ *       <prefix>.reads.fa, an identical <prefix>.reads.fq, and a
+ *       <prefix>.truth.tsv ground-truth sidecar recording where each
+ *       read was planted) for trying the commands above.
+ *
+ *   segram eval [--threshold N] <truth.tsv> <[name=]out.paf>...
+ *       Accuracy evaluation: join each PAF file against the simulate
+ *       ground truth and report sensitivity/precision, overall and per
+ *       error profile. TSV rows to stdout, human summary to stderr.
  */
 
 #include <chrono>
@@ -37,14 +46,17 @@
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/baseline/mappers.h"
 #include "src/core/engine.h"
 #include "src/core/reference.h"
 #include "src/core/segram.h"
+#include "src/eval/accuracy.h"
 #include "src/graph/graph_builder.h"
 #include "src/graph/variants.h"
 #include "src/io/fasta.h"
@@ -195,11 +207,59 @@ struct MapOptions
     std::string vcfPath;
     std::string packPath;
     std::string readsPath;
+    std::string engine = "segram";
     double errorRate = 0.10;
     int threads = 1;
     size_t batchSize = 256;
     int bucketBits = 16;
 };
+
+/**
+ * Builds the selected mapping engine over a pre-processed reference.
+ * "segram" is the paper pipeline (MultiGraphMapper); "graphaligner"
+ * and "vg" are the CPU baseline mappers lifted to multi-chromosome
+ * references via MultiChromosomeEngine, so the accuracy harness can
+ * compare all three on identical inputs.
+ */
+std::unique_ptr<core::MappingEngine>
+makeEngine(const core::PreprocessedReference &reference,
+           const std::string &engine_name, double error_rate)
+{
+    if (engine_name == "segram") {
+        core::SegramConfig config;
+        config.minseed.errorRate = error_rate;
+        config.bitalign.windowEditCap =
+            std::max(32, static_cast<int>(config.bitalign.windowLen *
+                                          error_rate * 3));
+        config.earlyExitFraction = 1.5;
+        config.tryReverseComplement = true;
+        return std::make_unique<core::MultiGraphMapper>(reference,
+                                                        config);
+    }
+    SEGRAM_CHECK(engine_name == "graphaligner" || engine_name == "vg",
+                 "--engine must be segram, graphaligner or vg, got '" +
+                     engine_name + "'");
+    baseline::BaselineConfig config;
+    config.errorRate = error_rate;
+    std::vector<core::MultiChromosomeEngine::Entry> entries;
+    for (const auto &chromosome : reference.chromosomes()) {
+        std::unique_ptr<core::MappingEngine> engine;
+        if (engine_name == "graphaligner")
+            engine = std::make_unique<baseline::GraphAlignerLike>(
+                chromosome.graph, chromosome.index, config);
+        else
+            engine = std::make_unique<baseline::VgLike>(
+                chromosome.graph, chromosome.index, config);
+        entries.push_back({chromosome.name, std::move(engine)});
+    }
+    // Real GraphAligner/vg map both strands; the RC retry keeps the
+    // accuracy comparison honest on two-strand read sets.
+    return std::make_unique<core::RcRetryEngine>(
+        std::make_unique<core::MultiChromosomeEngine>(
+            std::move(entries), engine_name == "graphaligner"
+                                    ? "graphaligner-like"
+                                    : "vg-like"));
+}
 
 int
 cmdMap(const MapOptions &options)
@@ -216,21 +276,15 @@ cmdMap(const MapOptions &options)
                              options.bucketBits);
     const double preprocess_sec = secondsSince(preprocess_start);
 
-    core::SegramConfig config;
-    config.minseed.errorRate = options.errorRate;
-    config.bitalign.windowEditCap =
-        std::max(32, static_cast<int>(config.bitalign.windowLen *
-                                      options.errorRate * 3));
-    config.earlyExitFraction = 1.5;
-    config.tryReverseComplement = true;
     std::unordered_map<std::string, uint64_t> target_len;
     for (const auto &chromosome : reference.chromosomes())
         target_len[chromosome.name] = chromosome.graph.totalSeqLen();
-    const core::MultiGraphMapper mapper(reference, config);
+    const std::unique_ptr<core::MappingEngine> mapper =
+        makeEngine(reference, options.engine, options.errorRate);
 
     core::BatchConfig batch_config;
     batch_config.threads = options.threads;
-    const core::BatchMapper batch_mapper(mapper, batch_config);
+    const core::BatchMapper batch_mapper(*mapper, batch_config);
 
     // Stream reads -> batches -> worker pool -> buffered PAF, never
     // holding more than one batch in memory.
@@ -270,8 +324,10 @@ cmdMap(const MapOptions &options)
     const double wall = secondsSince(start_time);
 
     std::fprintf(stderr,
-                 "[segram] mapped %llu/%llu reads (%llu regions aligned, "
-                 "%llu seeds fetched)\n",
+                 "[segram] %.*s: mapped %llu/%llu reads (%llu regions "
+                 "aligned, %llu seeds fetched)\n",
+                 static_cast<int>(mapper->engineName().size()),
+                 mapper->engineName().data(),
                  static_cast<unsigned long long>(mapped),
                  static_cast<unsigned long long>(total_reads),
                  static_cast<unsigned long long>(stats.regionsAligned),
@@ -314,10 +370,16 @@ cmdSimulate(const std::string &prefix, uint64_t genome_len,
         read_len, num_reads,
         read_len >= 1000 ? sim::ErrorProfile::pacbio(error_rate)
                          : sim::ErrorProfile::illumina(error_rate)};
+    // A quarter of the reads come from the minus strand, so mapping
+    // them end to end exercises every engine's RC path and the truth
+    // sidecar's strand column.
+    read_config.revCompProbability = 0.25;
+    const std::string profile = sim::profileLabel(read_config.errors);
     const auto reads =
         sim::simulateReads(dataset.donor, read_config, rng);
     std::vector<io::FastaRecord> read_records;
     std::vector<io::FastqRecord> read_records_fq;
+    std::vector<eval::TruthRecord> truth;
     for (size_t i = 0; i < reads.size(); ++i) {
         const std::string name =
             "read" + std::to_string(i) + "_truth" +
@@ -328,16 +390,74 @@ cmdSimulate(const std::string &prefix, uint64_t genome_len,
         read_records_fq.push_back(
             {name, reads[i].seq,
              std::string(reads[i].seq.size(), 'I')});
+        truth.push_back({name, "chr1", reads[i].donorStart,
+                         reads[i].truthLinearStart,
+                         reads[i].reverseComplemented ? '-' : '+',
+                         static_cast<uint32_t>(reads[i].seq.size()),
+                         reads[i].plantedErrors, profile});
     }
     io::writeFastaFile(prefix + ".reads.fa", read_records);
     io::writeFastqFile(prefix + ".reads.fq", read_records_fq);
+    eval::writeTruthFile(prefix + ".truth.tsv", truth);
     std::fprintf(stderr,
                  "[segram] wrote %s.fa (%llu bp), %s.vcf (%zu records), "
-                 "%s.reads.{fa,fq} (%u reads)\n",
+                 "%s.reads.{fa,fq} + %s.truth.tsv (%u %s reads)\n",
                  prefix.c_str(),
                  static_cast<unsigned long long>(genome_len),
-                 prefix.c_str(), vcf.size(), prefix.c_str(), num_reads);
+                 prefix.c_str(), vcf.size(), prefix.c_str(),
+                 prefix.c_str(), num_reads, profile.c_str());
     return 0;
+}
+
+/**
+ * `segram eval`: joins each PAF file against the simulate truth
+ * sidecar. Machine-readable TSV rows go to stdout; the human summary
+ * goes to stderr. Exit 1 when any mapper placed zero reads correctly
+ * (an eval of all-wrong mappings is almost certainly a mixed-up file
+ * pair).
+ */
+int
+cmdEval(const std::string &truth_path,
+        const std::vector<std::string> &paf_args, uint64_t threshold)
+{
+    eval::EvalConfig config;
+    config.distanceThreshold = threshold;
+    const eval::AccuracyEvaluator evaluator(
+        eval::readTruthFile(truth_path), config);
+    SEGRAM_CHECK(evaluator.numTruthReads() > 0,
+                 "truth file has no reads: " + truth_path);
+
+    std::string tsv =
+        "#mapper\tprofile\ttruth_reads\tmapped\tcorrect\t"
+        "sensitivity\tprecision\n";
+    bool every_mapper_placed_some = true;
+    for (const auto &arg : paf_args) {
+        // "name=path" labels the mapper; a bare path is its own
+        // label. A '=' after a '/' belongs to the path (e.g.
+        // /data/run=3/out.paf), not to a label.
+        std::string name = arg;
+        std::string path = arg;
+        const size_t eq = arg.find('=');
+        if (eq != std::string::npos && eq > 0 &&
+            arg.find('/') > eq) {
+            name = arg.substr(0, eq);
+            path = arg.substr(eq + 1);
+        }
+        const auto records = io::readPafFile(path);
+        const auto report = evaluator.evaluate(name, records);
+        eval::appendReportTsv(tsv, report);
+        const std::string text = eval::formatReport(report);
+        std::fprintf(stderr, "%s", text.c_str());
+        if (report.overall.correctReads == 0) {
+            std::fprintf(stderr,
+                         "[segram] warning: %s placed zero reads "
+                         "correctly (mixed-up truth/PAF pair?)\n",
+                         name.c_str());
+            every_mapper_placed_some = false;
+        }
+    }
+    std::fwrite(tsv.data(), 1, tsv.size(), stdout);
+    return every_mapper_placed_some ? 0 : 1;
 }
 
 void
@@ -350,11 +470,14 @@ usage()
         "  segram index [--bucket-bits N] [--stats] <ref.fa> <vars.vcf> "
         "<out.segram>\n"
         "  segram map [--threads N] [--batch N] [--bucket-bits N] "
+        "[--engine segram|graphaligner|vg] "
         "<ref.fa> <vars.vcf> <reads.fa|fq> [error_rate]\n"
-        "  segram map [--threads N] [--batch N] <pack.segram> "
-        "<reads.fa|fq> [error_rate]\n"
+        "  segram map [--threads N] [--batch N] [--engine E] "
+        "<pack.segram> <reads.fa|fq> [error_rate]\n"
         "  segram simulate <prefix> <genome_len> <num_reads> "
-        "<read_len> <error_rate>\n");
+        "<read_len> <error_rate>\n"
+        "  segram eval [--threshold N] <truth.tsv> "
+        "<[name=]out.paf>...\n");
 }
 
 /** Parsed command line: flags extracted, positionals in order. */
@@ -366,6 +489,37 @@ struct Args
     int bucketBits = 16;
     bool bucketBitsSet = false;
     bool stats = false;
+    std::string engine = "segram";
+    uint64_t threshold = 100;
+    bool threadsSet = false;
+    bool batchSet = false;
+    bool statsSet = false;
+    bool engineSet = false;
+    bool thresholdSet = false;
+
+    /**
+     * Rejects flags that the dispatched subcommand does not consume —
+     * a silently ignored flag fakes behaviour the run never had.
+     */
+    void
+    requireFlagsApplyTo(const char *command, bool allow_threads,
+                        bool allow_batch, bool allow_bucket_bits,
+                        bool allow_stats, bool allow_engine,
+                        bool allow_threshold) const
+    {
+        const auto reject = [command](bool set, bool allowed,
+                                      const char *flag) {
+            SEGRAM_CHECK(!set || allowed,
+                         std::string(flag) + " does not apply to `" +
+                             command + "`");
+        };
+        reject(threadsSet, allow_threads, "--threads");
+        reject(batchSet, allow_batch, "--batch");
+        reject(bucketBitsSet, allow_bucket_bits, "--bucket-bits");
+        reject(statsSet, allow_stats, "--stats");
+        reject(engineSet, allow_engine, "--engine");
+        reject(thresholdSet, allow_threshold, "--threshold");
+    }
 };
 
 /** Strict integer flag parsing: rejects "eight", "4x", "". */
@@ -380,6 +534,18 @@ parseIntFlag(const char *flag, const char *text)
     return value;
 }
 
+/** Strict double parsing for positional arguments. */
+double
+parseDoubleArg(const char *what, const std::string &text)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    SEGRAM_CHECK(end != text.c_str() && *end == '\0',
+                 std::string(what) + " needs a number, got '" + text +
+                     "'");
+    return value;
+}
+
 Args
 parseArgs(int argc, char **argv)
 {
@@ -390,15 +556,18 @@ parseArgs(int argc, char **argv)
             SEGRAM_CHECK(i + 1 < argc, "--threads needs a value");
             const long long value =
                 parseIntFlag("--threads", argv[++i]);
-            SEGRAM_CHECK(value >= 0 && value <= 4096,
-                         "--threads must be in [0, 4096] (0 = all "
-                         "cores)");
+            // 0 used to mean "all cores" and was silently surprising
+            // on shared machines; an explicit count is now required.
+            SEGRAM_CHECK(value >= 1 && value <= 4096,
+                         "--threads must be in [1, 4096]");
             args.threads = static_cast<int>(value);
+            args.threadsSet = true;
         } else if (arg == "--batch") {
             SEGRAM_CHECK(i + 1 < argc, "--batch needs a value");
             const long long value = parseIntFlag("--batch", argv[++i]);
             SEGRAM_CHECK(value >= 1, "--batch must be >= 1");
             args.batchSize = static_cast<size_t>(value);
+            args.batchSet = true;
         } else if (arg == "--bucket-bits") {
             SEGRAM_CHECK(i + 1 < argc, "--bucket-bits needs a value");
             const long long value =
@@ -409,8 +578,27 @@ parseArgs(int argc, char **argv)
                          "--bucket-bits must be in [1, 32]");
             args.bucketBits = static_cast<int>(value);
             args.bucketBitsSet = true;
+        } else if (arg == "--engine") {
+            SEGRAM_CHECK(i + 1 < argc, "--engine needs a value");
+            args.engine = argv[++i];
+            args.engineSet = true;
+            SEGRAM_CHECK(args.engine == "segram" ||
+                             args.engine == "graphaligner" ||
+                             args.engine == "vg",
+                         "--engine must be segram, graphaligner or "
+                         "vg, got '" +
+                             args.engine + "'");
+        } else if (arg == "--threshold") {
+            SEGRAM_CHECK(i + 1 < argc, "--threshold needs a value");
+            const long long value =
+                parseIntFlag("--threshold", argv[++i]);
+            SEGRAM_CHECK(value >= 0,
+                         "--threshold must be >= 0 characters");
+            args.threshold = static_cast<uint64_t>(value);
+            args.thresholdSet = true;
         } else if (arg == "--stats") {
             args.stats = true;
+            args.statsSet = true;
         } else {
             args.positional.emplace_back(arg);
         }
@@ -426,12 +614,20 @@ main(int argc, char **argv)
     try {
         const Args args = parseArgs(argc, argv);
         const auto &pos = args.positional;
-        if (pos.size() >= 4 && pos[0] == "construct")
+        if (pos.size() >= 4 && pos[0] == "construct") {
+            args.requireFlagsApplyTo("construct", false, false, false,
+                                     false, false, false);
             return cmdConstruct(pos[1], pos[2], pos[3]);
-        if (pos.size() >= 4 && pos[0] == "index")
+        }
+        if (pos.size() >= 4 && pos[0] == "index") {
+            args.requireFlagsApplyTo("index", false, false, true, true,
+                                     false, false);
             return cmdIndex(pos[1], pos[2], pos[3], args.bucketBits,
                             args.stats);
+        }
         if (pos.size() >= 3 && pos[0] == "map") {
+            args.requireFlagsApplyTo("map", true, true, true, false,
+                                     true, false);
             MapOptions options;
             // Two input modes, detected by content (magic), not by
             // file extension: a `.segram` pack replaces the
@@ -454,21 +650,51 @@ main(int argc, char **argv)
                 reads_pos = 3;
             }
             options.readsPath = pos[reads_pos];
-            if (pos.size() >= reads_pos + 2)
-                options.errorRate =
-                    std::atof(pos[reads_pos + 1].c_str());
-            // --threads 0 means "all cores" (BatchConfig semantics).
+            if (pos.size() >= reads_pos + 2) {
+                options.errorRate = parseDoubleArg(
+                    "error_rate", pos[reads_pos + 1]);
+                SEGRAM_CHECK(options.errorRate >= 0.0 &&
+                                 options.errorRate < 1.0,
+                             "error_rate must be in [0, 1)");
+            }
+            options.engine = args.engine;
             options.threads = args.threads;
             options.batchSize = args.batchSize;
             options.bucketBits = args.bucketBits;
             return cmdMap(options);
         }
         if (pos.size() >= 6 && pos[0] == "simulate") {
+            args.requireFlagsApplyTo("simulate", false, false, false,
+                                     false, false, false);
+            const long long genome_len =
+                parseIntFlag("genome_len", pos[2].c_str());
+            const long long num_reads =
+                parseIntFlag("num_reads", pos[3].c_str());
+            const long long read_len =
+                parseIntFlag("read_len", pos[4].c_str());
+            SEGRAM_CHECK(genome_len >= 1, "genome_len must be >= 1");
+            // Upper bounds guard the uint32_t narrowing below — a
+            // silently truncated count would be the old atoi bug in
+            // new clothes.
+            SEGRAM_CHECK(num_reads >= 1 && num_reads <= 0xFFFFFFFFll,
+                         "num_reads must be in [1, 2^32)");
+            SEGRAM_CHECK(read_len >= 1 && read_len <= 0xFFFFFFFFll,
+                         "read_len must be in [1, 2^32)");
+            const double error_rate =
+                parseDoubleArg("error_rate", pos[5]);
+            SEGRAM_CHECK(error_rate >= 0.0 && error_rate < 1.0,
+                         "error_rate must be in [0, 1)");
             return cmdSimulate(
-                pos[1], std::strtoull(pos[2].c_str(), nullptr, 10),
-                static_cast<uint32_t>(std::atoi(pos[3].c_str())),
-                static_cast<uint32_t>(std::atoi(pos[4].c_str())),
-                std::atof(pos[5].c_str()));
+                pos[1], static_cast<uint64_t>(genome_len),
+                static_cast<uint32_t>(num_reads),
+                static_cast<uint32_t>(read_len), error_rate);
+        }
+        if (pos.size() >= 3 && pos[0] == "eval") {
+            args.requireFlagsApplyTo("eval", false, false, false,
+                                     false, false, true);
+            const std::vector<std::string> pafs(pos.begin() + 2,
+                                                pos.end());
+            return cmdEval(pos[1], pafs, args.threshold);
         }
         usage();
         return 2;
