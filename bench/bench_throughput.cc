@@ -11,10 +11,29 @@
  * contract — every thread count must produce bit-identical results —
  * so the measured speedup is a speedup of the *same* computation.
  *
+ * Two gates ride along:
+ *  - Allocation gate: a counting global operator new measures
+ *    steady-state heap allocations per read on the workspace-driven
+ *    hot path. Pre-workspace (PR 3) the pipeline performed ~11,080
+ *    allocations per read; the gate requires at least the 10x drop
+ *    the zero-allocation refactor promised (measured: ~1 per read,
+ *    the returned result's owned CIGAR).
+ *  - Throughput gate: the workspace loop must not be slower than 80%
+ *    of the per-call-allocating loop (in practice it is >1.3x faster;
+ *    the slack absorbs CI noise).
+ *
+ * Flags: --quick shrinks the dataset for CI smoke runs; --json PATH
+ * writes the measurements as a JSON object so CI can archive the perf
+ * trajectory (BENCH_*.json artifacts).
+ *
  * Like every bench, fully deterministic inputs (fixed seeds).
  */
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,7 +46,65 @@
 namespace
 {
 
+/**
+ * Counting allocator: every successful global operator new bumps the
+ * counter. Linked into this bench only — the library never overrides
+ * the global allocator.
+ */
+std::atomic<unsigned long long> g_allocations{0};
+
+} // namespace
+
+void *
+operator new(size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
 using namespace segram;
+
+/** Steady-state allocations/read of the pre-workspace pipeline (PR 3),
+ *  measured with this same counting allocator before the refactor. */
+constexpr double kPreWorkspaceAllocsPerRead = 11080.0;
 
 /** Compact equality over everything a mapping run produces. */
 bool
@@ -52,18 +129,35 @@ sameResults(const std::vector<core::MultiMapResult> &lhs,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool quick = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_throughput [--quick] "
+                         "[--json out.json]\n");
+            return 2;
+        }
+    }
+
     bench::printHeader("Batched mapping throughput (BatchMapper)");
 
-    const auto dataset = sim::makeDataset(bench::datasetConfig(400'000));
+    const uint64_t genome_len = quick ? 150'000 : 400'000;
+    const uint32_t num_reads = quick ? 60 : 200;
+    const auto dataset = sim::makeDataset(bench::datasetConfig(genome_len));
     core::SegramConfig config;
     config.minseed.errorRate = 0.05;
     config.earlyExitFraction = 1.5;
     const core::SegramMapper mapper(dataset.graph, dataset.index, config);
 
     Rng rng(47);
-    sim::ReadSimConfig read_config{1'000, 200,
+    sim::ReadSimConfig read_config{1'000, num_reads,
                                    sim::ErrorProfile::pacbio(0.05)};
     const auto sim_reads =
         sim::simulateReads(dataset.donor, read_config, rng);
@@ -79,10 +173,11 @@ main()
                 static_cast<unsigned long long>(
                     dataset.graph.totalSeqLen()));
 
-    // Reference: the plain single-thread mapRead loop (no engine, no
-    // pool) — what the CLI did before the batch driver existed.
+    // Reference: the per-call-allocating mapRead loop (fresh workspace
+    // every read) — what the pipeline did before the workspace
+    // refactor. Also the determinism baseline for the batch runs.
     std::vector<core::MultiMapResult> reference;
-    const double single_sec = bench::timeSec([&] {
+    const double fresh_sec = bench::timeSec([&] {
         reference.reserve(reads.size());
         for (const auto read : reads) {
             core::MultiMapResult result;
@@ -90,16 +185,57 @@ main()
             reference.push_back(std::move(result));
         }
     });
-    const double single_rps =
-        static_cast<double>(reads.size()) / single_sec;
-    std::printf("%-12s %12s %14s %12s %10s\n", "config", "reads/s",
-                "bases/s", "speedup", "identical");
-    std::printf("%-12s %12.1f %14.0f %12s %10s\n", "loop(1T)",
-                single_rps,
-                static_cast<double>(total_bases) / single_sec, "1.00x",
-                "ref");
+    const double fresh_rps =
+        static_cast<double>(reads.size()) / fresh_sec;
 
-    for (const int threads : {1, 2, 4, 8}) {
+    // Workspace loop: same computation out of one warm workspace. The
+    // allocation window starts after a warm-up pass so buffer growth
+    // does not count — the gate measures the steady state.
+    core::MapWorkspace workspace;
+    for (const auto read : reads)
+        mapper.mapRead(read, nullptr, workspace);
+    std::vector<core::MultiMapResult> ws_results;
+    ws_results.reserve(reads.size());
+    const unsigned long long allocs_before = g_allocations.load();
+    const double ws_sec = bench::timeSec([&] {
+        for (const auto read : reads) {
+            core::MultiMapResult result;
+            static_cast<core::MapResult &>(result) =
+                mapper.mapRead(read, nullptr, workspace);
+            ws_results.push_back(std::move(result));
+        }
+    });
+    const unsigned long long allocs_after = g_allocations.load();
+    const double ws_rps = static_cast<double>(reads.size()) / ws_sec;
+    const double allocs_per_read =
+        static_cast<double>(allocs_after - allocs_before) /
+        static_cast<double>(reads.size());
+
+    std::printf("%-14s %12s %14s %12s %10s\n", "config", "reads/s",
+                "bases/s", "speedup", "identical");
+    std::printf("%-14s %12.1f %14.0f %12s %10s\n", "fresh-ws(1T)",
+                fresh_rps,
+                static_cast<double>(total_bases) / fresh_sec, "1.00x",
+                "ref");
+    std::printf("%-14s %12.1f %14.0f %11.2fx %10s\n", "warm-ws(1T)",
+                ws_rps, static_cast<double>(total_bases) / ws_sec,
+                ws_rps / fresh_rps,
+                sameResults(reference, ws_results) ? "yes" : "NO");
+    // Determinism failures are recorded but deferred past the JSON
+    // write, so even a diverging run archives its measurements.
+    bool diverged = false;
+    if (!sameResults(reference, ws_results)) {
+        std::fprintf(stderr,
+                     "FAIL: workspace loop results diverge from the "
+                     "fresh-workspace reference\n");
+        diverged = true;
+    }
+
+    std::vector<int> thread_counts{1, 2, 4, 8};
+    if (quick)
+        thread_counts = {1, 2};
+    std::vector<double> batch_rps;
+    for (const int threads : thread_counts) {
         core::BatchConfig batch_config;
         batch_config.threads = threads;
         const core::BatchMapper batch_mapper(mapper, batch_config);
@@ -109,19 +245,82 @@ main()
                 std::span<const std::string_view>(reads));
         });
         const double rps = static_cast<double>(reads.size()) / sec;
+        batch_rps.push_back(rps);
         char label[32];
         std::snprintf(label, sizeof label, "batch(%dT)", threads);
-        std::printf("%-12s %12.1f %14.0f %11.2fx %10s\n", label, rps,
+        std::printf("%-14s %12.1f %14.0f %11.2fx %10s\n", label, rps,
                     static_cast<double>(total_bases) / sec,
-                    rps / single_rps,
+                    rps / fresh_rps,
                     sameResults(reference, results) ? "yes" : "NO");
         if (!sameResults(reference, results)) {
             std::fprintf(stderr,
                          "FAIL: %d-thread batch results diverge from "
                          "the single-thread reference\n",
                          threads);
+            diverged = true;
+        }
+    }
+
+    std::printf("\nsteady-state heap allocations per read: %.2f "
+                "(pre-workspace: %.0f)\n",
+                allocs_per_read, kPreWorkspaceAllocsPerRead);
+
+    // Write the measurements before any gate verdict, so a failing
+    // run still archives the numbers that explain the failure.
+    if (!json_path.empty()) {
+        FILE *json = std::fopen(json_path.c_str(), "w");
+        if (json == nullptr) {
+            std::fprintf(stderr, "FAIL: cannot write %s\n",
+                         json_path.c_str());
             return 1;
         }
+        std::fprintf(json,
+                     "{\n"
+                     "  \"bench\": \"throughput\",\n"
+                     "  \"quick\": %s,\n"
+                     "  \"reads\": %zu,\n"
+                     "  \"read_len\": %u,\n"
+                     "  \"genome_len\": %llu,\n"
+                     "  \"fresh_workspace_reads_per_sec\": %.2f,\n"
+                     "  \"warm_workspace_reads_per_sec\": %.2f,\n"
+                     "  \"allocs_per_read\": %.3f,\n"
+                     "  \"pre_workspace_allocs_per_read\": %.0f,\n",
+                     quick ? "true" : "false", reads.size(),
+                     read_config.readLen,
+                     static_cast<unsigned long long>(
+                         dataset.graph.totalSeqLen()),
+                     fresh_rps, ws_rps, allocs_per_read,
+                     kPreWorkspaceAllocsPerRead);
+        std::fprintf(json, "  \"batch_reads_per_sec\": {");
+        for (size_t i = 0; i < thread_counts.size(); ++i)
+            std::fprintf(json, "%s\"%d\": %.2f", i == 0 ? "" : ", ",
+                         thread_counts[i], batch_rps[i]);
+        std::fprintf(json, "}\n}\n");
+        std::fclose(json);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (diverged)
+        return 1;
+
+    // --- allocation gate: the refactor's >= 10x drop must hold ---
+    const double alloc_cap = kPreWorkspaceAllocsPerRead / 10.0;
+    if (allocs_per_read > alloc_cap) {
+        std::fprintf(stderr,
+                     "FAIL: %.2f allocations/read exceeds the gate of "
+                     "%.0f (pre-workspace baseline %.0f / 10)\n",
+                     allocs_per_read, alloc_cap,
+                     kPreWorkspaceAllocsPerRead);
+        return 1;
+    }
+    // --- throughput gate: buffer reuse must not cost throughput ---
+    if (ws_rps < 0.8 * fresh_rps) {
+        std::fprintf(stderr,
+                     "FAIL: warm-workspace loop (%.1f reads/s) is "
+                     "slower than 80%% of the fresh-workspace loop "
+                     "(%.1f reads/s)\n",
+                     ws_rps, fresh_rps);
+        return 1;
     }
 
     std::printf(

@@ -36,8 +36,8 @@ numWindows(int read_len, const BitAlignConfig &config)
 }
 
 GraphAlignment
-alignExact(const graph::LinearizedGraph &text, std::string_view read, int k,
-           AlignMode mode)
+alignExact(const graph::LinearizedGraphView &text, std::string_view read,
+           int k, AlignMode mode)
 {
     const WindowResult window = alignWindow(text, read, k, mode);
     GraphAlignment out;
@@ -52,20 +52,41 @@ alignExact(const graph::LinearizedGraph &text, std::string_view read, int k,
 }
 
 GraphAlignment
-alignWindowed(const graph::LinearizedGraph &text, std::string_view read,
+alignWindowed(const graph::LinearizedGraphView &text, std::string_view read,
               const BitAlignConfig &config)
+{
+    AlignScratch scratch;
+    GraphAlignment out;
+    alignWindowed(text, read, config, scratch, out);
+    return out;
+}
+
+void
+alignWindowed(const graph::LinearizedGraphView &text, std::string_view read,
+              const BitAlignConfig &config, AlignScratch &scratch,
+              GraphAlignment &out)
 {
     validateConfig(config);
     const int m = static_cast<int>(read.size());
     const int n = text.size();
     SEGRAM_CHECK(m > 0, "read must be non-empty");
 
+    out.clear(); // in-place reset, capacity retained across calls
+
+    WindowResult &result = scratch.window;
     if (m <= config.windowLen) {
-        return alignExact(text, read, config.windowEditCap,
-                          AlignMode::SemiGlobal);
+        alignWindow(text, read, config.windowEditCap,
+                    AlignMode::SemiGlobal, scratch, result);
+        if (!result.found)
+            return;
+        out.found = true;
+        out.editDistance = result.editDistance;
+        out.textStart = result.startPos;
+        out.linearStart = text.linearStart() + result.startPos;
+        out.cigar = result.cigar;
+        return;
     }
 
-    GraphAlignment out;
     int pat_pos = 0;  // first read char not yet committed
     int text_pos = 0; // window start within the linearized input
     bool first = true;
@@ -77,17 +98,21 @@ alignWindowed(const graph::LinearizedGraph &text, std::string_view read,
             config.textSlack +
             (first ? config.firstWindowExtraText : 0);
         const int text_len = std::min(n - text_pos, chunk + slack);
-        if (text_len <= 0)
-            return {}; // reference exhausted before the read
-        const graph::LinearizedGraph window =
+        if (text_len <= 0) {
+            out.clear(); // reference exhausted before the read
+            return;
+        }
+        const graph::LinearizedGraphView window =
             text.window(text_pos, text_len);
         const std::string_view pattern = read.substr(pat_pos, chunk);
         const AlignMode mode =
             first ? AlignMode::SemiGlobal : AlignMode::Anchored;
-        const WindowResult result =
-            alignWindow(window, pattern, config.windowEditCap, mode);
-        if (!result.found)
-            return {}; // window exceeded the per-window edit cap
+        alignWindow(window, pattern, config.windowEditCap, mode, scratch,
+                    result);
+        if (!result.found) {
+            out.clear(); // window exceeded the per-window edit cap
+            return;
+        }
 
         if (first) {
             out.textStart = text_pos + result.startPos;
@@ -135,13 +160,14 @@ alignWindowed(const graph::LinearizedGraph &text, std::string_view read,
             anchor_rel = result.startPos; // nothing consumed at all
         }
         text_pos += anchor_rel;
-        if (text_pos >= n)
-            return {};
+        if (text_pos >= n) {
+            out.clear();
+            return;
+        }
     }
 
     out.found = true;
     out.editDistance = static_cast<int>(out.cigar.editDistance());
-    return out;
 }
 
 } // namespace segram::align

@@ -70,27 +70,50 @@ struct GraphAlignment
     /** Concatenated-genome coordinate of the first consumed char. */
     uint64_t linearStart = 0;
     Cigar cigar;
+
+    /** Resets to the not-found state, keeping buffer capacity. */
+    void
+    clear()
+    {
+        found = false;
+        editDistance = 0;
+        textStart = 0;
+        linearStart = 0;
+        cigar.clear();
+    }
 };
 
 /**
  * Aligns @p read against @p text exactly (one window over everything).
  * Intended for short reads and for oracle comparisons; cost grows with
- * text length x read length x k.
+ * text length x read length x k. @p text is a zero-copy view (a
+ * LinearizedGraph converts implicitly).
  *
  * @param k Edit distance threshold.
  */
-GraphAlignment alignExact(const graph::LinearizedGraph &text,
+GraphAlignment alignExact(const graph::LinearizedGraphView &text,
                           std::string_view read, int k,
                           AlignMode mode = AlignMode::SemiGlobal);
 
 /**
  * Aligns @p read against @p text with the divide-and-conquer windowing
  * scheme. Falls back to a single exact window when the read fits in
- * one window.
+ * one window. Per-window slicing is zero-copy (views over the parent
+ * linearization); this convenience overload still allocates a private
+ * scratch per call.
  */
-GraphAlignment alignWindowed(const graph::LinearizedGraph &text,
+GraphAlignment alignWindowed(const graph::LinearizedGraphView &text,
                              std::string_view read,
                              const BitAlignConfig &config = {});
+
+/**
+ * Allocation-free variant: every window computes out of @p scratch and
+ * the result lands in @p out (cleared first, storage reused). This is
+ * the hot-path entry the mapper drives with its per-thread workspace.
+ */
+void alignWindowed(const graph::LinearizedGraphView &text,
+                   std::string_view read, const BitAlignConfig &config,
+                   AlignScratch &scratch, GraphAlignment &out);
 
 /**
  * @return Number of windows the divide-and-conquer scheme uses for a

@@ -16,21 +16,27 @@ using bitops::testBit;
 PatternBitmasks
 PatternBitmasks::build(std::string_view pattern)
 {
-    SEGRAM_CHECK(!pattern.empty(), "pattern must be non-empty");
     PatternBitmasks out;
-    out.m = static_cast<int>(pattern.size());
-    out.nwords = bitops::wordsForWidth(out.m);
-    for (auto &mask : out.masks) {
-        mask.assign(out.nwords, ~uint64_t{0});
+    out.assign(pattern);
+    return out;
+}
+
+void
+PatternBitmasks::assign(std::string_view pattern)
+{
+    SEGRAM_CHECK(!pattern.empty(), "pattern must be non-empty");
+    m = static_cast<int>(pattern.size());
+    nwords = bitops::wordsForWidth(m);
+    for (auto &mask : masks) {
+        mask.assign(nwords, ~uint64_t{0});
     }
-    for (int b = 0; b < out.m; ++b) {
-        const char base = pattern[out.m - 1 - b];
+    for (int b = 0; b < m; ++b) {
+        const char base = pattern[m - 1 - b];
         const uint8_t code = baseToCode(base);
         SEGRAM_CHECK(code != kInvalidBaseCode,
                      "pattern contains a non-ACGT character");
-        clearBit(out.masks[code].data(), b);
+        clearBit(masks[code].data(), b);
     }
-    return out;
 }
 
 namespace
@@ -38,29 +44,36 @@ namespace
 
 /**
  * Shared state of one window computation: the flat allR store plus the
- * scratch vectors of the recurrence.
+ * scratch vectors of the recurrence, all carved from the caller's
+ * reusable word slab (zero heap traffic once the slab is warm).
  */
 class WindowComputation
 {
   public:
-    WindowComputation(const graph::LinearizedGraph &text,
-                      std::string_view pattern, int k)
-        : text_(text), pattern_(pattern), k_(k),
-          pm_(PatternBitmasks::build(pattern)), n_(text.size()),
-          nwords_(pm_.nwords),
-          all_r_(static_cast<size_t>(n_) * (k + 1) * nwords_),
-          virtual_r_(static_cast<size_t>(k + 1) * nwords_),
-          scratch_(nwords_)
+    WindowComputation(const graph::LinearizedGraphView &text,
+                      std::string_view pattern, int k,
+                      AlignScratch &scratch)
+        : text_(text), k_(k), n_(text.size())
     {
+        scratch.pm.assign(pattern);
+        pm_ = &scratch.pm;
+        nwords_ = pm_->nwords;
         SEGRAM_CHECK(n_ > 0, "window text must be non-empty");
         SEGRAM_CHECK(k >= 0, "edit distance threshold must be >= 0");
+        const size_t levels = static_cast<size_t>(k) + 1;
+        scratch.slab.reset((static_cast<size_t>(n_) * levels + levels + 1) *
+                           nwords_);
+        all_r_ = scratch.slab.take(static_cast<size_t>(n_) * levels *
+                                   nwords_);
+        virtual_r_ = scratch.slab.take(levels * nwords_);
+        scratch_ = scratch.slab.take(nwords_);
         // The virtual successor of sink nodes: at edit level d, a
         // pattern suffix of length <= d can still be consumed past the
         // text end using insertions only, so bits [0, d) are clear.
         for (int d = 0; d <= k; ++d) {
             uint64_t *vec = virtualR(d);
             bitops::fillOnes(vec, nwords_);
-            for (int b = 0; b < std::min(d, pm_.m); ++b)
+            for (int b = 0; b < std::min(d, pm_->m); ++b)
                 bitops::clearBit(vec, b);
         }
     }
@@ -69,28 +82,26 @@ class WindowComputation
     uint64_t *
     r(int i, int d)
     {
-        return all_r_.data() +
-               (static_cast<size_t>(i) * (k_ + 1) + d) * nwords_;
+        return all_r_ + (static_cast<size_t>(i) * (k_ + 1) + d) * nwords_;
     }
 
     const uint64_t *
     r(int i, int d) const
     {
-        return all_r_.data() +
-               (static_cast<size_t>(i) * (k_ + 1) + d) * nwords_;
+        return all_r_ + (static_cast<size_t>(i) * (k_ + 1) + d) * nwords_;
     }
 
     /** @return The virtual sink-successor vector at level @p d. */
     uint64_t *
     virtualR(int d)
     {
-        return virtual_r_.data() + static_cast<size_t>(d) * nwords_;
+        return virtual_r_ + static_cast<size_t>(d) * nwords_;
     }
 
     const uint64_t *
     virtualR(int d) const
     {
-        return virtual_r_.data() + static_cast<size_t>(d) * nwords_;
+        return virtual_r_ + static_cast<size_t>(d) * nwords_;
     }
 
     /** Fills allR for the whole window (Algorithm 1 lines 7-24). */
@@ -98,7 +109,7 @@ class WindowComputation
     computeBitvectors()
     {
         for (int i = n_ - 1; i >= 0; --i) {
-            const uint64_t *pm = pm_.masks[text_.code(i)].data();
+            const uint64_t *pm = pm_->masks[text_.code(i)].data();
             const auto succs = text_.successorDeltas(i);
 
             // R[i][0]: exact-match vector (lines 11-14).
@@ -108,9 +119,9 @@ class WindowComputation
             } else {
                 bitops::fillOnes(r0, nwords_);
                 for (const uint16_t delta : succs) {
-                    bitops::shiftLeftOneOr(scratch_.data(),
+                    bitops::shiftLeftOneOr(scratch_,
                                            r(i + delta, 0), pm, nwords_);
-                    bitops::andInPlace(r0, scratch_.data(), nwords_);
+                    bitops::andInPlace(r0, scratch_, nwords_);
                 }
             }
 
@@ -124,13 +135,13 @@ class WindowComputation
                     // D: deletion, no shift.
                     bitops::andInPlace(rd, succ_prev, nwords_);
                     // S: substitution.
-                    bitops::shiftLeftOne(scratch_.data(), succ_prev,
+                    bitops::shiftLeftOne(scratch_, succ_prev,
                                          nwords_);
-                    bitops::andInPlace(rd, scratch_.data(), nwords_);
+                    bitops::andInPlace(rd, scratch_, nwords_);
                     // M: match through this successor.
-                    bitops::shiftLeftOneOr(scratch_.data(),
+                    bitops::shiftLeftOneOr(scratch_,
                                            r(i + delta, d), pm, nwords_);
-                    bitops::andInPlace(rd, scratch_.data(), nwords_);
+                    bitops::andInPlace(rd, scratch_, nwords_);
                 }
                 if (succs.empty()) {
                     // Sink node: apply the D/S/M terms against the
@@ -138,12 +149,12 @@ class WindowComputation
                     // text end (trailing read chars become insertions).
                     const uint64_t *virt_prev = virtualR(d - 1);
                     bitops::andInPlace(rd, virt_prev, nwords_);
-                    bitops::shiftLeftOne(scratch_.data(), virt_prev,
+                    bitops::shiftLeftOne(scratch_, virt_prev,
                                          nwords_);
-                    bitops::andInPlace(rd, scratch_.data(), nwords_);
-                    bitops::shiftLeftOneOr(scratch_.data(), virtualR(d),
+                    bitops::andInPlace(rd, scratch_, nwords_);
+                    bitops::shiftLeftOneOr(scratch_, virtualR(d),
                                            pm, nwords_);
-                    bitops::andInPlace(rd, scratch_.data(), nwords_);
+                    bitops::andInPlace(rd, scratch_, nwords_);
                 }
             }
         }
@@ -159,7 +170,7 @@ class WindowComputation
     int
     findBest(AlignMode mode, int *best_start) const
     {
-        const int msb = pm_.m - 1;
+        const int msb = pm_->m - 1;
         for (int d = 0; d <= k_; ++d) {
             if (mode == AlignMode::Anchored) {
                 if (!testBit(r(0, d), msb)) {
@@ -186,14 +197,14 @@ class WindowComputation
     void
     traceback(int start, int d, WindowResult *result) const
     {
-        int b = pm_.m - 1; // current read char is m-1-b
+        int b = pm_->m - 1; // current read char is m-1-b
         int pos = start;
         Cigar &cigar = result->cigar;
         // Each step consumes a read char and/or one unit of edit budget.
-        const int max_steps = pm_.m + k_ + 2;
+        const int max_steps = pm_->m + k_ + 2;
         for (int step = 0; step < max_steps; ++step) {
             assert(!testBit(r(pos, d), b));
-            const uint64_t *pm = pm_.masks[text_.code(pos)].data();
+            const uint64_t *pm = pm_->masks[text_.code(pos)].data();
             const auto succs = text_.successorDeltas(pos);
             const bool is_sink = succs.empty();
             const bool char_match = !testBit(pm, b);
@@ -303,29 +314,30 @@ class WindowComputation
     }
 
   private:
-    const graph::LinearizedGraph &text_;
-    std::string_view pattern_;
+    const graph::LinearizedGraphView text_;
     const int k_;
-    const PatternBitmasks pm_;
+    const PatternBitmasks *pm_ = nullptr; ///< scratch-owned masks
     const int n_;
-    const int nwords_;
-    std::vector<uint64_t> all_r_;
-    std::vector<uint64_t> virtual_r_;
-    std::vector<uint64_t> scratch_;
+    int nwords_ = 0;
+    // Raw sub-arrays of the caller's slab; valid until its next reset.
+    uint64_t *all_r_ = nullptr;
+    uint64_t *virtual_r_ = nullptr;
+    uint64_t *scratch_ = nullptr;
 };
 
-WindowResult
-run(const graph::LinearizedGraph &text, std::string_view pattern, int k,
-    AlignMode mode, bool want_traceback)
+void
+run(const graph::LinearizedGraphView &text, std::string_view pattern,
+    int k, AlignMode mode, bool want_traceback, AlignScratch &scratch,
+    WindowResult &result)
 {
-    WindowComputation computation(text, pattern, k);
+    result.clear();
+    WindowComputation computation(text, pattern, k, scratch);
     computation.computeBitvectors();
 
-    WindowResult result;
     int start = 0;
     const int dist = computation.findBest(mode, &start);
     if (dist < 0)
-        return result;
+        return;
     result.found = true;
     result.startPos = start;
     result.editDistance = dist;
@@ -336,23 +348,44 @@ run(const graph::LinearizedGraph &text, std::string_view pattern, int k,
         result.editDistance =
             static_cast<int>(result.cigar.editDistance());
     }
-    return result;
 }
 
 } // namespace
 
 WindowResult
-alignWindow(const graph::LinearizedGraph &text, std::string_view pattern,
-            int k, AlignMode mode)
+alignWindow(const graph::LinearizedGraphView &text,
+            std::string_view pattern, int k, AlignMode mode)
 {
-    return run(text, pattern, k, mode, true);
+    AlignScratch scratch;
+    WindowResult result;
+    run(text, pattern, k, mode, true, scratch, result);
+    return result;
+}
+
+void
+alignWindow(const graph::LinearizedGraphView &text,
+            std::string_view pattern, int k, AlignMode mode,
+            AlignScratch &scratch, WindowResult &out)
+{
+    run(text, pattern, k, mode, true, scratch, out);
 }
 
 WindowResult
-alignWindowDistanceOnly(const graph::LinearizedGraph &text,
+alignWindowDistanceOnly(const graph::LinearizedGraphView &text,
                         std::string_view pattern, int k, AlignMode mode)
 {
-    return run(text, pattern, k, mode, false);
+    AlignScratch scratch;
+    WindowResult result;
+    run(text, pattern, k, mode, false, scratch, result);
+    return result;
+}
+
+void
+alignWindowDistanceOnly(const graph::LinearizedGraphView &text,
+                        std::string_view pattern, int k, AlignMode mode,
+                        AlignScratch &scratch, WindowResult &out)
+{
+    run(text, pattern, k, mode, false, scratch, out);
 }
 
 } // namespace segram::align

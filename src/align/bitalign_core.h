@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/graph/linearize.h"
+#include "src/util/bitvector.h"
 #include "src/util/cigar.h"
 
 namespace segram::align
@@ -67,6 +68,13 @@ struct PatternBitmasks
 
     /** Builds the bitmasks of @p pattern (ACGT, non-empty). */
     static PatternBitmasks build(std::string_view pattern);
+
+    /**
+     * Rebuilds in place for a new pattern, reusing the mask storage —
+     * zero heap allocations once warm (the hardware keeps the pattern
+     * bitmask registers resident across windows the same way).
+     */
+    void assign(std::string_view pattern);
 };
 
 /** Result of one window alignment. */
@@ -78,30 +86,74 @@ struct WindowResult
     Cigar cigar;           ///< read-order edit script
     /** Window positions of the graph characters consumed ('='/'X'/'D'). */
     std::vector<int> textPositions;
+
+    /** Resets to the not-found state, keeping buffer capacity. */
+    void
+    clear()
+    {
+        found = false;
+        editDistance = 0;
+        startPos = 0;
+        cigar.clear();
+        textPositions.clear();
+    }
+};
+
+/**
+ * Reusable scratch storage for the aligners: pattern bitmasks, the flat
+ * word slab every status bitvector (R[i][d], the virtual sink vectors,
+ * the recurrence temporary) is carved from, and a per-window result.
+ * One AlignScratch is the software image of one BitAlign module's
+ * on-chip scratchpad: allocate it once per thread, reuse it for every
+ * window of every read. All aligner entry points have overloads that
+ * borrow one; the scratch-free overloads remain for convenience and
+ * allocate a fresh scratch per call.
+ */
+struct AlignScratch
+{
+    PatternBitmasks pm;    ///< rebuilt per window, storage reused
+    bitops::WordSlab slab; ///< backing store for all status bitvectors
+    WindowResult window;   ///< per-window result (alignWindowed's loop)
 };
 
 /**
  * Aligns a read (pattern) against a linearized subgraph with edit
  * distance threshold k, returning the optimal alignment and traceback.
  *
- * @param text    Linearized, topologically sorted subgraph window.
+ * @param text    Linearized, topologically sorted subgraph window
+ *                (a LinearizedGraph converts implicitly).
  * @param pattern The read chunk (ACGT, non-empty, any length).
  * @param k       Edit distance threshold (>= 0).
  * @param mode    Start-freedom policy.
  * @throws InputError on empty inputs or negative k.
  */
-WindowResult alignWindow(const graph::LinearizedGraph &text,
+WindowResult alignWindow(const graph::LinearizedGraphView &text,
                          std::string_view pattern, int k,
                          AlignMode mode = AlignMode::SemiGlobal);
+
+/**
+ * Allocation-free variant: all working storage comes from @p scratch
+ * and the result is written into @p out (cleared first), so a warm
+ * scratch makes the whole window computation heap-silent.
+ */
+void alignWindow(const graph::LinearizedGraphView &text,
+                 std::string_view pattern, int k, AlignMode mode,
+                 AlignScratch &scratch, WindowResult &out);
 
 /**
  * Distance-only variant of alignWindow: skips the traceback walk (and
  * its memory traffic), returning only (found, editDistance, startPos).
  * This mirrors the hardware's ability to defer traceback.
  */
-WindowResult alignWindowDistanceOnly(const graph::LinearizedGraph &text,
+WindowResult alignWindowDistanceOnly(const graph::LinearizedGraphView &text,
                                      std::string_view pattern, int k,
                                      AlignMode mode = AlignMode::SemiGlobal);
+
+/** Allocation-free variant of alignWindowDistanceOnly. */
+void alignWindowDistanceOnly(const graph::LinearizedGraphView &text,
+                             std::string_view pattern, int k,
+                             AlignMode mode, AlignScratch &scratch,
+                             WindowResult &out);
 
 } // namespace segram::align
 

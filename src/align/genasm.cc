@@ -14,26 +14,38 @@ namespace segram::align
 GenAsmResult
 genAsmAlign(std::string_view text, std::string_view pattern, int k)
 {
+    AlignScratch scratch;
+    return genAsmAlign(text, pattern, k, scratch);
+}
+
+GenAsmResult
+genAsmAlign(std::string_view text, std::string_view pattern, int k,
+            AlignScratch &scratch)
+{
     SEGRAM_CHECK(!text.empty(), "text must be non-empty");
     SEGRAM_CHECK(k >= 0, "edit distance threshold must be >= 0");
-    const PatternBitmasks pm = PatternBitmasks::build(pattern);
+    scratch.pm.assign(pattern);
+    const PatternBitmasks &pm = scratch.pm;
     const int n = static_cast<int>(text.size());
     const int nwords = pm.nwords;
     const int msb = pm.m - 1;
 
-    // Rolling columns: old = column i+1, cur = column i. The virtual
-    // column n encodes "past the text end": at edit level d, a pattern
-    // suffix of length <= d can still be consumed by insertions only,
-    // so bits [0, d) start clear; everything else is 1.
-    std::vector<uint64_t> old_r(
-        static_cast<size_t>(k + 1) * nwords, ~uint64_t{0});
+    // Rolling columns: old = column i+1, cur = column i, both carved
+    // from the shared word slab. The virtual column n encodes "past
+    // the text end": at edit level d, a pattern suffix of length <= d
+    // can still be consumed by insertions only, so bits [0, d) start
+    // clear; everything else is 1.
+    const size_t levels = static_cast<size_t>(k) + 1;
+    scratch.slab.reset((2 * levels + 1) * nwords);
+    uint64_t *old_r = scratch.slab.take(levels * nwords);
+    uint64_t *cur_r = scratch.slab.take(levels * nwords);
+    uint64_t *tmp = scratch.slab.take(nwords);
+    bitops::fillOnes(old_r, static_cast<int>(levels) * nwords);
     for (int d = 1; d <= k; ++d) {
-        uint64_t *vec = old_r.data() + static_cast<size_t>(d) * nwords;
+        uint64_t *vec = old_r + static_cast<size_t>(d) * nwords;
         for (int b = 0; b < std::min(d, pm.m); ++b)
             bitops::clearBit(vec, b);
     }
-    std::vector<uint64_t> cur_r(static_cast<size_t>(k + 1) * nwords);
-    std::vector<uint64_t> scratch(nwords);
 
     GenAsmResult best;
     for (int i = n - 1; i >= 0; --i) {
@@ -43,25 +55,25 @@ genAsmAlign(std::string_view text, std::string_view pattern, int k)
         const uint64_t *mask = pm.masks[code].data();
 
         // R[0] = (oldR[0] << 1) | PM.
-        bitops::shiftLeftOneOr(cur_r.data(), old_r.data(), mask, nwords);
+        bitops::shiftLeftOneOr(cur_r, old_r, mask, nwords);
         for (int d = 1; d <= k; ++d) {
-            uint64_t *rd = cur_r.data() + static_cast<size_t>(d) * nwords;
+            uint64_t *rd = cur_r + static_cast<size_t>(d) * nwords;
             const uint64_t *cur_prev =
-                cur_r.data() + static_cast<size_t>(d - 1) * nwords;
+                cur_r + static_cast<size_t>(d - 1) * nwords;
             const uint64_t *old_prev =
-                old_r.data() + static_cast<size_t>(d - 1) * nwords;
+                old_r + static_cast<size_t>(d - 1) * nwords;
             const uint64_t *old_same =
-                old_r.data() + static_cast<size_t>(d) * nwords;
+                old_r + static_cast<size_t>(d) * nwords;
             // I = curR[d-1] << 1.
             bitops::shiftLeftOne(rd, cur_prev, nwords);
             // D = oldR[d-1].
             bitops::andInPlace(rd, old_prev, nwords);
             // S = oldR[d-1] << 1.
-            bitops::shiftLeftOne(scratch.data(), old_prev, nwords);
-            bitops::andInPlace(rd, scratch.data(), nwords);
+            bitops::shiftLeftOne(tmp, old_prev, nwords);
+            bitops::andInPlace(rd, tmp, nwords);
             // M = (oldR[d] << 1) | PM.
-            bitops::shiftLeftOneOr(scratch.data(), old_same, mask, nwords);
-            bitops::andInPlace(rd, scratch.data(), nwords);
+            bitops::shiftLeftOneOr(tmp, old_same, mask, nwords);
+            bitops::andInPlace(rd, tmp, nwords);
         }
 
         // A clear bit m-1 at level d means "pattern aligns starting at
@@ -71,7 +83,7 @@ genAsmAlign(std::string_view text, std::string_view pattern, int k)
             if (best.found && d > best.editDistance)
                 break;
             const uint64_t *rd =
-                cur_r.data() + static_cast<size_t>(d) * nwords;
+                cur_r + static_cast<size_t>(d) * nwords;
             if (!bitops::testBit(rd, msb)) {
                 if (!best.found || d < best.editDistance ||
                     (d == best.editDistance && i < best.textStart)) {

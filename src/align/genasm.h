@@ -20,6 +20,8 @@
 namespace segram::align
 {
 
+struct AlignScratch; // src/align/bitalign_core.h
+
 /** Result of a GenASM semi-global alignment (distance only). */
 struct GenAsmResult
 {
@@ -37,6 +39,14 @@ struct GenAsmResult
  */
 GenAsmResult genAsmAlign(std::string_view text, std::string_view pattern,
                          int k);
+
+/**
+ * Allocation-free variant: the rolling status columns and pattern
+ * bitmasks live in @p scratch (shared with BitAlign — one per-thread
+ * scratch serves both aligners), so a warm call is heap-silent.
+ */
+GenAsmResult genAsmAlign(std::string_view text, std::string_view pattern,
+                         int k, AlignScratch &scratch);
 
 } // namespace segram::align
 

@@ -98,6 +98,7 @@ class GraphAlignerLike : public core::MappingEngine
                           BaselineStats *stats = nullptr) const;
 
     /** MappingEngine interface. */
+    using core::MappingEngine::mapOne; // keep the workspace overload
     core::MultiMapResult
     mapOne(std::string_view read,
            core::PipelineStats *stats = nullptr) const override;
@@ -124,6 +125,7 @@ class VgLike : public core::MappingEngine
                           BaselineStats *stats = nullptr) const;
 
     /** MappingEngine interface. */
+    using core::MappingEngine::mapOne; // keep the workspace overload
     core::MultiMapResult
     mapOne(std::string_view read,
            core::PipelineStats *stats = nullptr) const override;

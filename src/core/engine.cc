@@ -12,8 +12,9 @@ MappingEngine::mapBatch(std::span<const std::string_view> reads,
 {
     std::vector<MultiMapResult> results;
     results.reserve(reads.size());
+    MapWorkspace workspace; // warm across the whole batch
     for (const auto read : reads)
-        results.push_back(mapOne(read, stats));
+        results.push_back(mapOne(read, stats, workspace));
     return results;
 }
 
@@ -32,11 +33,19 @@ MultiMapResult
 MultiChromosomeEngine::mapOne(std::string_view read,
                               PipelineStats *stats) const
 {
+    MapWorkspace workspace;
+    return mapOne(read, stats, workspace);
+}
+
+MultiMapResult
+MultiChromosomeEngine::mapOne(std::string_view read, PipelineStats *stats,
+                              MapWorkspace &workspace) const
+{
     MultiMapResult best;
     PipelineStats local;
     for (const auto &entry : entries_) {
         const MultiMapResult result =
-            entry.engine->mapOne(read, &local);
+            entry.engine->mapOne(read, &local, workspace);
         if (result.mapped &&
             (!best.mapped || result.editDistance < best.editDistance)) {
             best = result;
@@ -62,14 +71,23 @@ RcRetryEngine::RcRetryEngine(std::unique_ptr<MappingEngine> inner)
 MultiMapResult
 RcRetryEngine::mapOne(std::string_view read, PipelineStats *stats) const
 {
+    MapWorkspace workspace;
+    return mapOne(read, stats, workspace);
+}
+
+MultiMapResult
+RcRetryEngine::mapOne(std::string_view read, PipelineStats *stats,
+                      MapWorkspace &workspace) const
+{
     PipelineStats local;
-    MultiMapResult forward = inner_->mapOne(read, &local);
+    MultiMapResult forward = inner_->mapOne(read, &local, workspace);
     MultiMapResult reverse;
     // A perfect forward alignment cannot be beaten (ties keep the
     // forward strand), so skip the RC pass for it.
     if (!forward.mapped || forward.editDistance > 0) {
-        const std::string rc = reverseComplement(read);
-        reverse = inner_->mapOne(rc, &local);
+        reverseComplement(read, workspace.rcRetryBuffer);
+        reverse =
+            inner_->mapOne(workspace.rcRetryBuffer, &local, workspace);
         reverse.reverseComplemented = true;
     }
     const bool take_reverse =
@@ -90,7 +108,8 @@ BatchMapper::BatchMapper(const MappingEngine &engine,
                          const BatchConfig &config)
     : engine_(engine), config_(config),
       pool_(config.threads > 0 ? config.threads
-                               : util::ThreadPool::defaultThreads())
+                               : util::ThreadPool::defaultThreads()),
+      workspaces_(static_cast<size_t>(pool_.size()))
 {
     SEGRAM_CHECK(config.chunkSize >= 1, "chunkSize must be >= 1");
 }
@@ -115,8 +134,12 @@ BatchMapper::mapBatch(std::span<const std::string_view> reads,
                 stats != nullptr
                     ? &worker_stats[static_cast<size_t>(worker)]
                     : nullptr;
+            // Each worker computes out of its private workspace — the
+            // per-channel scratchpad; buffers stay warm across chunks.
+            MapWorkspace &workspace =
+                workspaces_[static_cast<size_t>(worker)];
             for (size_t i = begin; i < end; ++i)
-                results[i] = engine_.mapOne(reads[i], local);
+                results[i] = engine_.mapOne(reads[i], local, workspace);
         });
     if (stats != nullptr) {
         for (const auto &partial : worker_stats)

@@ -28,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/core/workspace.h"
 #include "src/seed/minseed.h"
 #include "src/util/cigar.h"
 #include "src/util/thread_pool.h"
@@ -54,6 +55,29 @@ struct MultiMapResult : MapResult
     std::string chromosome;
 };
 
+/**
+ * Per-stage wall time of the pipeline, in seconds. Summed across
+ * threads (so on a multi-threaded run the total exceeds wall time —
+ * it is aggregate stage *work*, the quantity the paper's per-accelerator
+ * breakdown reports). Unlike the integer counters these are not
+ * bit-reproducible across runs; they are reporting-only.
+ */
+struct StageTimings
+{
+    double seedingSec = 0.0;     ///< MinSeed (minimizers -> regions)
+    double linearizeSec = 0.0;   ///< candidate subgraph linearization
+    double alignSec = 0.0;       ///< BitAlign over all windows
+
+    StageTimings &
+    operator+=(const StageTimings &other)
+    {
+        seedingSec += other.seedingSec;
+        linearizeSec += other.linearizeSec;
+        alignSec += other.alignSec;
+        return *this;
+    }
+};
+
 /** Aggregated pipeline counters. */
 struct PipelineStats
 {
@@ -62,6 +86,7 @@ struct PipelineStats
     uint64_t alignmentsFound = 0;
     uint64_t readsMapped = 0;
     uint64_t readsTotal = 0;
+    StageTimings timings; ///< reporting-only (not bit-reproducible)
 
     PipelineStats &
     operator+=(const PipelineStats &other)
@@ -71,6 +96,7 @@ struct PipelineStats
         alignmentsFound += other.alignmentsFound;
         readsMapped += other.readsMapped;
         readsTotal += other.readsTotal;
+        timings += other.timings;
         return *this;
     }
 };
@@ -98,6 +124,22 @@ class MappingEngine
      */
     virtual MultiMapResult mapOne(std::string_view read,
                                   PipelineStats *stats = nullptr) const = 0;
+
+    /**
+     * Workspace-borrowing variant of mapOne: engines whose hot path
+     * supports buffer reuse (SegramMapper and its wrappers) override
+     * this to compute out of @p workspace and stay allocation-free in
+     * steady state. The default forwards to the plain mapOne, so every
+     * engine accepts a workspace even if it cannot exploit it.
+     * @p workspace must not be shared between concurrent calls.
+     */
+    virtual MultiMapResult
+    mapOne(std::string_view read, PipelineStats *stats,
+           MapWorkspace &workspace) const
+    {
+        (void)workspace;
+        return mapOne(read, stats);
+    }
 
     /**
      * Maps a batch of reads sequentially, in order. Results are
@@ -142,6 +184,9 @@ class MultiChromosomeEngine : public MappingEngine
 
     MultiMapResult mapOne(std::string_view read,
                           PipelineStats *stats = nullptr) const override;
+    /** Lends @p workspace to every per-chromosome engine in turn. */
+    MultiMapResult mapOne(std::string_view read, PipelineStats *stats,
+                          MapWorkspace &workspace) const override;
     std::string_view engineName() const override { return name_; }
 
     size_t numChromosomes() const { return entries_.size(); }
@@ -170,6 +215,9 @@ class RcRetryEngine : public MappingEngine
 
     MultiMapResult mapOne(std::string_view read,
                           PipelineStats *stats = nullptr) const override;
+    /** Uses the workspace's RC buffer and lends the rest to @p inner. */
+    MultiMapResult mapOne(std::string_view read, PipelineStats *stats,
+                          MapWorkspace &workspace) const override;
     std::string_view engineName() const override
     {
         return inner_->engineName();
@@ -239,6 +287,13 @@ class BatchMapper
     BatchConfig config_;
     /** Internally synchronized; mapBatch is logically const. */
     mutable util::ThreadPool pool_;
+    /**
+     * One workspace per pool worker — the software image of each HBM
+     * channel module's private scratchpad. workspaces_[w] is only ever
+     * touched by worker w, so no synchronization is needed; `mutable`
+     * because scratch reuse does not change observable mapper state.
+     */
+    mutable std::vector<MapWorkspace> workspaces_;
 };
 
 } // namespace segram::core

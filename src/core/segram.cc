@@ -1,7 +1,9 @@
 #include "src/core/segram.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <utility>
 
 #include "src/core/reference.h"
 #include "src/util/check.h"
@@ -9,6 +11,20 @@
 
 namespace segram::core
 {
+
+namespace
+{
+
+/** Seconds since @p start (stage-timing probe; reporting only). */
+inline double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
 
 SegramMapper::SegramMapper(const graph::GenomeGraph &graph,
                            const index::MinimizerIndex &index,
@@ -30,16 +46,18 @@ SegramMapper::SegramMapper(const PreprocessedReference &reference,
 {
 }
 
-std::vector<seed::CandidateRegion>
-SegramMapper::filterRegions(std::vector<seed::CandidateRegion> regions,
+const std::vector<seed::CandidateRegion> &
+SegramMapper::filterRegions(MapWorkspace &workspace,
                             size_t read_len) const
 {
+    const std::vector<seed::CandidateRegion> &regions = workspace.regions;
     if (!config_.enableChainFilter || regions.empty())
         return regions;
 
     // Group candidate seeds by diagonal (step 2 of Fig. 2) and keep the
     // regions of the best chains only.
-    std::vector<seed::SeedHit> hits;
+    std::vector<seed::SeedHit> &hits = workspace.chainHits;
+    hits.clear();
     hits.reserve(regions.size());
     for (const auto &region : regions) {
         const uint64_t seed_pos =
@@ -47,14 +65,19 @@ SegramMapper::filterRegions(std::vector<seed::CandidateRegion> regions,
             region.seed.offset;
         hits.push_back({seed_pos, region.minimizerPos});
     }
-    const auto chains = seed::chainSeeds(std::move(hits), config_.chain);
+    // chainSeeds takes ownership of its input (it sorts in place), so
+    // the chain-filter path copies the hit buffer; chains themselves
+    // still allocate. This path is opt-in — the default hot path never
+    // reaches it.
+    seed::ChainConfig chain_config = config_.chain;
+    if (chain_config.maxChains == 0)
+        chain_config.maxChains = config_.maxChains;
+    const auto chains = seed::chainSeeds(hits, chain_config);
 
     const double extend = 1.0 + config_.minseed.errorRate;
-    std::vector<seed::CandidateRegion> filtered;
-    const int take = std::min<int>(config_.maxChains,
-                                   static_cast<int>(chains.size()));
-    for (int c = 0; c < take; ++c) {
-        const auto &chain = chains[c];
+    std::vector<seed::CandidateRegion> &filtered = workspace.filtered;
+    filtered.clear();
+    for (const auto &chain : chains) {
         const seed::SeedHit &first = chain.hits.front();
         const seed::SeedHit &last = chain.hits.back();
         seed::CandidateRegion region;
@@ -76,16 +99,28 @@ SegramMapper::filterRegions(std::vector<seed::CandidateRegion> regions,
 }
 
 MapResult
-SegramMapper::mapOneStrand(std::string_view read,
-                           PipelineStats *stats) const
+SegramMapper::mapOneStrand(std::string_view read, PipelineStats *stats,
+                           MapWorkspace &workspace) const
 {
     PipelineStats local;
     local.readsTotal = 1;
 
-    auto regions = filterRegions(minseed_.seedRead(read, &local.seeding),
-                                 read.size());
-    if (config_.maxRegions != 0 && regions.size() > config_.maxRegions)
-        regions.resize(config_.maxRegions);
+    // Stage timing is reporting-only; skip the clock entirely when the
+    // caller keeps no stats.
+    const bool timed = stats != nullptr;
+    using clock = std::chrono::steady_clock;
+
+    const auto seed_start = timed ? clock::now() : clock::time_point{};
+    minseed_.seedRead(read, workspace.regions, workspace.seed,
+                      &local.seeding);
+    const std::vector<seed::CandidateRegion> &all_regions =
+        filterRegions(workspace, read.size());
+    if (timed)
+        local.timings.seedingSec += secondsSince(seed_start);
+
+    size_t num_regions = all_regions.size();
+    if (config_.maxRegions != 0 && num_regions > config_.maxRegions)
+        num_regions = config_.maxRegions;
 
     const int early_exit_edits =
         config_.earlyExitFraction > 0.0
@@ -95,11 +130,17 @@ SegramMapper::mapOneStrand(std::string_view read,
             : -1;
 
     MapResult best;
-    for (const auto &region : regions) {
+    for (size_t r = 0; r < num_regions; ++r) {
+        const seed::CandidateRegion &region = all_regions[r];
         ++best.regionsTried;
         ++local.regionsAligned;
-        const auto subgraph = graph::linearizeRange(
-            graph_, region.start, region.end, config_.hopLimit);
+        auto stage_start = timed ? clock::now() : clock::time_point{};
+        graph::linearizeRange(graph_, region.start, region.end,
+                              config_.hopLimit, workspace.linearization);
+        if (timed) {
+            local.timings.linearizeSec += secondsSince(stage_start);
+            stage_start = clock::now();
+        }
         // The alignment start is uncertain by up to 2*E*a within the
         // region (Fig. 9); widen the first free-start window to cover
         // the whole span.
@@ -108,8 +149,11 @@ SegramMapper::mapOneStrand(std::string_view read,
             static_cast<int>(std::ceil(2.0 * config_.minseed.errorRate *
                                        region.minimizerPos)) +
             32;
-        const auto alignment =
-            align::alignWindowed(subgraph, read, bitalign);
+        align::GraphAlignment &alignment = workspace.alignment;
+        align::alignWindowed(workspace.linearization, read, bitalign,
+                             workspace.align, alignment);
+        if (timed)
+            local.timings.alignSec += secondsSince(stage_start);
         if (!alignment.found)
             continue;
         ++local.alignmentsFound;
@@ -135,13 +179,22 @@ SegramMapper::mapOneStrand(std::string_view read,
 MapResult
 SegramMapper::mapRead(std::string_view read, PipelineStats *stats) const
 {
+    MapWorkspace workspace;
+    return mapRead(read, stats, workspace);
+}
+
+MapResult
+SegramMapper::mapRead(std::string_view read, PipelineStats *stats,
+                      MapWorkspace &workspace) const
+{
     SEGRAM_CHECK(!read.empty(), "cannot map an empty read");
-    MapResult forward = mapOneStrand(read, stats);
+    MapResult forward = mapOneStrand(read, stats, workspace);
     if (!config_.tryReverseComplement)
         return forward;
 
-    const std::string rc = reverseComplement(read);
-    MapResult reverse = mapOneStrand(rc, stats);
+    reverseComplement(read, workspace.rcBuffer);
+    MapResult reverse =
+        mapOneStrand(workspace.rcBuffer, stats, workspace);
     reverse.reverseComplemented = true;
     if (stats != nullptr) {
         // Both strands were one logical read.
@@ -154,12 +207,12 @@ SegramMapper::mapRead(std::string_view read, PipelineStats *stats) const
         forward.regionsTried + reverse.regionsTried;
     MapResult best;
     if (!reverse.mapped)
-        best = forward;
+        best = std::move(forward);
     else if (!forward.mapped ||
              reverse.editDistance < forward.editDistance)
-        best = reverse;
+        best = std::move(reverse);
     else
-        best = forward;
+        best = std::move(forward);
     best.regionsTried = total_tried;
     return best;
 }
@@ -169,6 +222,15 @@ SegramMapper::mapOne(std::string_view read, PipelineStats *stats) const
 {
     MultiMapResult result;
     static_cast<MapResult &>(result) = mapRead(read, stats);
+    return result;
+}
+
+MultiMapResult
+SegramMapper::mapOne(std::string_view read, PipelineStats *stats,
+                     MapWorkspace &workspace) const
+{
+    MultiMapResult result;
+    static_cast<MapResult &>(result) = mapRead(read, stats, workspace);
     return result;
 }
 
@@ -199,10 +261,19 @@ MultiMapResult
 MultiGraphMapper::mapRead(std::string_view read,
                           PipelineStats *stats) const
 {
+    MapWorkspace workspace;
+    return mapRead(read, stats, workspace);
+}
+
+MultiMapResult
+MultiGraphMapper::mapRead(std::string_view read, PipelineStats *stats,
+                          MapWorkspace &workspace) const
+{
     MultiMapResult best;
     PipelineStats local;
     for (size_t c = 0; c < mappers_.size(); ++c) {
-        const MapResult result = mappers_[c].mapRead(read, &local);
+        const MapResult result =
+            mappers_[c].mapRead(read, &local, workspace);
         if (result.mapped &&
             (!best.mapped || result.editDistance < best.editDistance)) {
             static_cast<MapResult &>(best) = result;

@@ -20,6 +20,7 @@
 
 #include "src/align/bitalign.h"
 #include "src/core/engine.h"
+#include "src/core/workspace.h"
 #include "src/graph/genome_graph.h"
 #include "src/graph/linearize.h"
 #include "src/index/minimizer_index.h"
@@ -72,7 +73,11 @@ struct SegramConfig
      */
     bool enableChainFilter = false;
 
-    /** Chains kept when the chain filter is enabled. */
+    /**
+     * Chains kept when the chain filter is enabled. Applies when
+     * chain.maxChains is 0 (its default); an explicit chain.maxChains
+     * takes precedence.
+     */
     int maxChains = 4;
 
     /** Chaining parameters (used when enableChainFilter is set). */
@@ -108,6 +113,8 @@ class SegramMapper : public MappingEngine
     /**
      * Maps one read end to end. Safe to call concurrently: the graph
      * and index are shared read-only and all per-read state is local.
+     * This convenience overload allocates a fresh workspace per call;
+     * hot loops should hold a MapWorkspace and use the overload below.
      *
      * @param read       Query read (ACGT, non-empty).
      * @param[out] stats Optional counter accumulator.
@@ -115,9 +122,22 @@ class SegramMapper : public MappingEngine
     MapResult mapRead(std::string_view read,
                       PipelineStats *stats = nullptr) const;
 
+    /**
+     * Workspace-borrowing variant: every scratch buffer of the
+     * pipeline (candidate regions, RC buffer, linearization, bitvector
+     * slab, CIGAR scratch) lives in @p workspace, so a warm workspace
+     * makes the whole per-read flow allocation-free. Results are
+     * bit-identical to the convenience overload. @p workspace must not
+     * be shared between concurrent calls.
+     */
+    MapResult mapRead(std::string_view read, PipelineStats *stats,
+                      MapWorkspace &workspace) const;
+
     /** MappingEngine interface (chromosome is left empty). */
     MultiMapResult mapOne(std::string_view read,
                           PipelineStats *stats = nullptr) const override;
+    MultiMapResult mapOne(std::string_view read, PipelineStats *stats,
+                          MapWorkspace &workspace) const override;
     std::string_view engineName() const override { return "segram"; }
 
     const SegramConfig &config() const { return config_; }
@@ -125,13 +145,16 @@ class SegramMapper : public MappingEngine
 
   private:
     /** Maps one orientation of a read (no reverse-complement retry). */
-    MapResult mapOneStrand(std::string_view read,
-                           PipelineStats *stats) const;
+    MapResult mapOneStrand(std::string_view read, PipelineStats *stats,
+                           MapWorkspace &workspace) const;
 
-    /** Applies the optional chaining filter to candidate regions. */
-    std::vector<seed::CandidateRegion>
-    filterRegions(std::vector<seed::CandidateRegion> regions,
-                  size_t read_len) const;
+    /**
+     * Applies the optional chaining filter to workspace.regions.
+     * @return The regions to align: workspace.regions itself when the
+     *         filter is off, workspace.filtered otherwise.
+     */
+    const std::vector<seed::CandidateRegion> &
+    filterRegions(MapWorkspace &workspace, size_t read_len) const;
 
     const graph::GenomeGraph &graph_;
     const index::MinimizerIndex &index_;
@@ -176,12 +199,22 @@ class MultiGraphMapper : public MappingEngine
     MultiMapResult mapRead(std::string_view read,
                            PipelineStats *stats = nullptr) const;
 
+    /** Workspace-borrowing variant (lent to each chromosome in turn). */
+    MultiMapResult mapRead(std::string_view read, PipelineStats *stats,
+                           MapWorkspace &workspace) const;
+
     /** MappingEngine interface. */
     MultiMapResult
     mapOne(std::string_view read,
            PipelineStats *stats = nullptr) const override
     {
         return mapRead(read, stats);
+    }
+    MultiMapResult
+    mapOne(std::string_view read, PipelineStats *stats,
+           MapWorkspace &workspace) const override
+    {
+        return mapRead(read, stats, workspace);
     }
     std::string_view engineName() const override
     {

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * MapWorkspace: the per-thread scratch bundle of the mapping hot path.
+ *
+ * SeGraM's hardware streams every read through MinSeed -> BitAlign with
+ * fixed on-chip scratchpads and zero dynamic allocation. This is the
+ * software equivalent: one MapWorkspace bundles every reusable buffer
+ * the per-read pipeline needs — the candidate-region vector MinSeed
+ * fills, the reverse-complement buffer, the region linearization, the
+ * flat bitvector slab + pattern masks BitAlign computes out of, and the
+ * CIGAR/traceback scratch — so a warm worker maps read after read
+ * without touching the heap.
+ *
+ * Ownership model: BatchMapper owns one workspace per pool thread and
+ * lends it to the engine via MappingEngine::mapOne(read, stats, ws);
+ * standalone callers can hold their own. A workspace must never be
+ * shared between concurrent calls (it is the thread's scratchpad, not
+ * shared state), and it pins no results — everything returned to the
+ * caller is copied out of it.
+ */
+
+#ifndef SEGRAM_SRC_CORE_WORKSPACE_H
+#define SEGRAM_SRC_CORE_WORKSPACE_H
+
+#include <string>
+#include <vector>
+
+#include "src/align/bitalign.h"
+#include "src/graph/linearize.h"
+#include "src/seed/chaining.h"
+#include "src/seed/minseed.h"
+
+namespace segram::core
+{
+
+/** Per-thread reusable scratch for the whole mapping pipeline. */
+struct MapWorkspace
+{
+    // --- seeding ---
+    seed::SeedScratch seed;                       ///< minimizer buffers
+    std::vector<seed::CandidateRegion> regions;   ///< MinSeed output
+    std::vector<seed::CandidateRegion> filtered;  ///< chain-filter output
+    std::vector<seed::SeedHit> chainHits;         ///< chain-filter input
+
+    // --- read preparation ---
+    std::string rcBuffer; ///< SegramMapper's reverse-complement buffer
+    /**
+     * RcRetryEngine's reverse-complement buffer. Distinct from
+     * rcBuffer on purpose: the wrapper passes its buffer as the *read*
+     * into the inner engine, which may fill rcBuffer for its own RC
+     * pass — one shared buffer would alias input and scratch.
+     */
+    std::string rcRetryBuffer;
+
+    // --- alignment ---
+    graph::LinearizedGraph linearization; ///< candidate-region subgraph
+    align::AlignScratch align;            ///< bitvector slab + PM masks
+    align::GraphAlignment alignment;      ///< per-region result (reused)
+};
+
+} // namespace segram::core
+
+#endif // SEGRAM_SRC_CORE_WORKSPACE_H

@@ -46,11 +46,22 @@ LinearizedGraph::pushChar(char base, std::vector<uint16_t> deltas,
     const uint8_t code = baseToCode(base);
     SEGRAM_CHECK(code != kInvalidBaseCode,
                  "linearized graph characters must be ACGT");
-    codes_.push_back(code);
-    origins_.push_back(origin);
-    std::sort(deltas.begin(), deltas.end());
-    succ_deltas_.insert(succ_deltas_.end(), deltas.begin(), deltas.end());
-    succ_offsets_.push_back(static_cast<uint32_t>(succ_deltas_.size()));
+    appendChar(code, origin);
+    for (const uint16_t delta : deltas)
+        addDeltaToLast(delta);
+}
+
+void
+LinearizedGraph::clear()
+{
+    codes_.clear();
+    origins_.clear();
+    succ_deltas_.clear();
+    succ_offsets_.clear();
+    succ_offsets_.push_back(0);
+    linear_start_ = 0;
+    dropped_hops_ = 0;
+    max_delta_ = 0;
 }
 
 void
@@ -67,9 +78,9 @@ LinearizedGraph::finalize()
     }
 }
 
-LinearizedGraph
+void
 linearizeRange(const GenomeGraph &graph, uint64_t start, uint64_t end,
-               int hop_limit)
+               int hop_limit, LinearizedGraph &out)
 {
     SEGRAM_CHECK(graph.isTopologicallySorted(),
                  "linearization requires a topologically sorted graph");
@@ -80,7 +91,7 @@ linearizeRange(const GenomeGraph &graph, uint64_t start, uint64_t end,
     const NodeId first = graph.nodeAtLinear(start);
     const NodeId last = graph.nodeAtLinear(end);
 
-    LinearizedGraph out;
+    out.clear();
     out.linear_start_ = start;
 
     // Concatenated coordinates [start, end] map 1:1 onto window
@@ -94,9 +105,11 @@ linearizeRange(const GenomeGraph &graph, uint64_t start, uint64_t end,
             node_last < node.linearOffset + node.seqLen - 1;
 
         for (uint64_t coord = node_first; coord <= node_last; ++coord) {
-            std::vector<uint16_t> deltas;
+            out.appendChar(
+                graph.charAtLinear(coord),
+                {id, static_cast<uint32_t>(coord - node.linearOffset)});
             if (coord < node_last) {
-                deltas.push_back(1); // intra-node chain edge
+                out.addDeltaToLast(1); // intra-node chain edge
             } else if (!clipped_right) {
                 // True last character of the node: emit hops.
                 for (const NodeId succ : graph.successors(id)) {
@@ -111,18 +124,23 @@ linearizeRange(const GenomeGraph &graph, uint64_t start, uint64_t end,
                         (hop_limit == kUnlimitedHops ||
                          delta <= static_cast<uint64_t>(hop_limit));
                     if (representable) {
-                        deltas.push_back(static_cast<uint16_t>(delta));
+                        out.addDeltaToLast(static_cast<uint16_t>(delta));
                     } else {
                         ++out.dropped_hops_;
                     }
                 }
             }
-            out.pushChar(
-                codeToBase(graph.charAtLinear(coord)), std::move(deltas),
-                {id, static_cast<uint32_t>(coord - node.linearOffset)});
         }
     }
     out.finalize();
+}
+
+LinearizedGraph
+linearizeRange(const GenomeGraph &graph, uint64_t start, uint64_t end,
+               int hop_limit)
+{
+    LinearizedGraph out;
+    linearizeRange(graph, start, end, hop_limit, out);
     return out;
 }
 

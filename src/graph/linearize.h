@@ -17,8 +17,11 @@
 #ifndef SEGRAM_SRC_GRAPH_LINEARIZE_H
 #define SEGRAM_SRC_GRAPH_LINEARIZE_H
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/graph/genome_graph.h"
@@ -100,9 +103,48 @@ class LinearizedGraph
     /** Validates deltas and computes summary fields after pushChar use. */
     void finalize();
 
+    /** Resets to an empty graph, keeping capacity (buffer reuse). */
+    void clear();
+
+    /**
+     * Zero-allocation append API (the hot path of linearizeRange):
+     * appends one character with no successors. Successor deltas are
+     * attached afterwards with addDeltaToLast(). @p code must be a
+     * 2-bit base code.
+     */
+    void
+    appendChar(uint8_t code, CharOrigin origin)
+    {
+        assert(code < 4);
+        codes_.push_back(code);
+        origins_.push_back(origin);
+        succ_offsets_.push_back(succ_offsets_.back());
+    }
+
+    /**
+     * Attaches one successor delta to the most recently appended
+     * character, keeping its delta list sorted ascending.
+     */
+    void
+    addDeltaToLast(uint16_t delta)
+    {
+        assert(!codes_.empty());
+        succ_deltas_.push_back(delta);
+        succ_offsets_.back() = static_cast<uint32_t>(succ_deltas_.size());
+        // Keep the current character's run sorted (runs are tiny, and
+        // emission order is already ascending for sorted graphs).
+        size_t i = succ_deltas_.size() - 1;
+        const size_t begin = succ_offsets_[codes_.size() - 1];
+        while (i > begin && succ_deltas_[i - 1] > succ_deltas_[i]) {
+            std::swap(succ_deltas_[i - 1], succ_deltas_[i]);
+            --i;
+        }
+        max_delta_ = std::max<int>(max_delta_, delta);
+    }
+
   private:
-    friend LinearizedGraph linearizeRange(const GenomeGraph &, uint64_t,
-                                          uint64_t, int);
+    friend void linearizeRange(const GenomeGraph &, uint64_t, uint64_t,
+                               int, LinearizedGraph &);
 
     std::vector<uint8_t> codes_;
     std::vector<uint32_t> succ_offsets_ = {0};
@@ -111,6 +153,87 @@ class LinearizedGraph
     uint64_t linear_start_ = 0;
     uint64_t dropped_hops_ = 0;
     int max_delta_ = 0;
+};
+
+/**
+ * A zero-copy window over a LinearizedGraph: the view BitAlign's
+ * divide-and-conquer scheme slices per window. Where
+ * LinearizedGraph::window() copies the sub-range into fresh vectors,
+ * a view is three words (parent, offset, length) and clips hops that
+ * leave the window on the fly — successor deltas are stored sorted, so
+ * the in-window deltas of a position are a prefix of the parent's run.
+ *
+ * A LinearizedGraph converts implicitly to its whole-graph view, so
+ * every aligner entry point takes a view and existing callers compile
+ * unchanged. The parent must outlive the view.
+ */
+class LinearizedGraphView
+{
+  public:
+    LinearizedGraphView() = default;
+
+    /** Whole-graph view (implicit by design, like string -> string_view). */
+    LinearizedGraphView(const LinearizedGraph &parent)
+        : parent_(&parent), pos_(0), len_(parent.size())
+    {
+    }
+
+    /** View of [pos, pos+len) of @p parent. */
+    LinearizedGraphView(const LinearizedGraph &parent, int pos, int len)
+        : parent_(&parent), pos_(pos), len_(len)
+    {
+        assert(pos >= 0 && len >= 0 && pos + len <= parent.size());
+    }
+
+    /** @return Number of characters in the view. */
+    int size() const { return len_; }
+
+    /** @return 2-bit character code at view position @p pos. */
+    uint8_t code(int pos) const { return parent_->code(pos_ + pos); }
+
+    /**
+     * @return Successor deltas of view position @p pos, clipped to the
+     *         view: hops that leave the window are dropped, exactly as
+     *         LinearizedGraph::window() drops them when copying.
+     */
+    std::span<const uint16_t>
+    successorDeltas(int pos) const
+    {
+        const auto full = parent_->successorDeltas(pos_ + pos);
+        const int limit = len_ - 1 - pos;
+        size_t count = full.size();
+        // Deltas are sorted ascending: out-of-window hops are a suffix.
+        while (count > 0 && full[count - 1] > limit)
+            --count;
+        return full.first(count);
+    }
+
+    /** @return Origin (node, offset) of view position @p pos. */
+    const CharOrigin &
+    origin(int pos) const
+    {
+        return parent_->origin(pos_ + pos);
+    }
+
+    /** @return Concatenated-coordinate of the view's first character. */
+    uint64_t
+    linearStart() const
+    {
+        return parent_->linearStart() + static_cast<uint64_t>(pos_);
+    }
+
+    /** @return The sub-view [pos, pos+len) (composes like window()). */
+    LinearizedGraphView
+    window(int pos, int len) const
+    {
+        assert(pos >= 0 && len >= 0 && pos + len <= len_);
+        return {*parent_, pos_ + pos, len};
+    }
+
+  private:
+    const LinearizedGraph *parent_ = nullptr;
+    int pos_ = 0;
+    int len_ = 0;
 };
 
 /**
@@ -129,6 +252,15 @@ class LinearizedGraph
 LinearizedGraph linearizeRange(const GenomeGraph &graph, uint64_t start,
                                uint64_t end,
                                int hop_limit = kUnlimitedHops);
+
+/**
+ * Buffer-reuse variant: clears @p out and fills it in place, appending
+ * into its existing storage. The hot path calls this with a
+ * workspace-owned LinearizedGraph, so steady-state linearization costs
+ * zero heap allocations.
+ */
+void linearizeRange(const GenomeGraph &graph, uint64_t start, uint64_t end,
+                    int hop_limit, LinearizedGraph &out);
 
 /** Linearizes an entire graph (convenience for small graphs/baselines). */
 LinearizedGraph linearizeWhole(const GenomeGraph &graph,

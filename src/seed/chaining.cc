@@ -54,6 +54,9 @@ chainSeeds(std::vector<SeedHit> hits, const ChainConfig &config)
                       return a.score > b.score;
                   return a.refStart() < b.refStart();
               });
+    if (config.maxChains > 0 &&
+        chains.size() > static_cast<size_t>(config.maxChains))
+        chains.resize(static_cast<size_t>(config.maxChains));
     return chains;
 }
 

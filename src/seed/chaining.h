@@ -41,11 +41,14 @@ struct ChainConfig
 {
     uint64_t diagonalBand = 64; ///< max diagonal drift within a chain
     uint64_t maxGap = 2000;     ///< max reference gap between neighbors
+    /** Chains returned after sorting; 0 keeps them all. */
+    int maxChains = 0;
 };
 
 /**
  * Groups seed hits into chains and returns them sorted by descending
- * score (then ascending reference start). O(h log h).
+ * score (then ascending reference start), truncated to
+ * config.maxChains when set. O(h log h).
  */
 std::vector<Chain> chainSeeds(std::vector<SeedHit> hits,
                               const ChainConfig &config = {});

@@ -1,6 +1,6 @@
 #include "src/seed/minimizer.h"
 
-#include <deque>
+#include <vector>
 
 #include "src/util/check.h"
 #include "src/util/dna.h"
@@ -38,20 +38,34 @@ kmerHash(std::string_view seq, size_t pos, const SketchConfig &config)
 std::vector<Minimizer>
 computeMinimizers(std::string_view seq, const SketchConfig &config)
 {
-    validateConfig(config);
     std::vector<Minimizer> out;
+    MinimizerScratch scratch;
+    computeMinimizers(seq, config, out, scratch);
+    return out;
+}
+
+void
+computeMinimizers(std::string_view seq, const SketchConfig &config,
+                  std::vector<Minimizer> &out, MinimizerScratch &scratch)
+{
+    validateConfig(config);
+    out.clear();
     const int64_t m = static_cast<int64_t>(seq.size());
     const int64_t num_kmers = m - config.k + 1;
     if (num_kmers < config.w)
-        return out;
+        return;
 
     const uint64_t mask = config.hashMask();
 
     // Monotone wedge of candidate (hash, pos) pairs: front is the current
     // window minimum. This is the single-loop formulation of Section 6 —
     // "we can eliminate the inner loop by caching the previous minimum
-    // k-mers within the current window".
-    std::deque<Minimizer> wedge;
+    // k-mers within the current window". The wedge is a reused vector
+    // with an advancing head index instead of a deque, so a warm call
+    // never touches the heap.
+    std::vector<Minimizer> &wedge = scratch.wedge;
+    wedge.clear();
+    size_t head = 0;
     uint64_t packed = 0;
     for (int64_t i = 0; i < m; ++i) {
         const uint8_t code = baseToCode(seq[i]);
@@ -64,19 +78,27 @@ computeMinimizers(std::string_view seq, const SketchConfig &config)
         const Minimizer candidate{hash64(packed, mask),
                                   static_cast<uint32_t>(kmer_pos)};
         // Strictly-greater pops keep the leftmost occurrence on ties.
-        while (!wedge.empty() && wedge.back().hash > candidate.hash)
+        while (wedge.size() > head && wedge.back().hash > candidate.hash)
             wedge.pop_back();
         wedge.push_back(candidate);
         // Expire candidates that left the window.
         const int64_t window_start = kmer_pos - config.w + 1;
-        while (wedge.front().pos < window_start)
-            wedge.pop_front();
+        while (wedge[head].pos < window_start)
+            ++head;
+        // Compact the expired prefix once it dominates (amortized
+        // O(1) per push). Without this, whole-chromosome sketching
+        // would retain every emitted minimum as dead memory — the
+        // deque this replaced held only O(w) live entries.
+        if (head > 32 && head * 2 > wedge.size()) {
+            wedge.erase(wedge.begin(),
+                        wedge.begin() + static_cast<int64_t>(head));
+            head = 0;
+        }
         if (window_start >= 0) {
-            if (out.empty() || out.back() != wedge.front())
-                out.push_back(wedge.front());
+            if (out.empty() || out.back() != wedge[head])
+                out.push_back(wedge[head]);
         }
     }
-    return out;
 }
 
 std::vector<Minimizer>

@@ -48,6 +48,13 @@ struct SketchConfig
     }
 };
 
+/** Reusable working storage for computeMinimizers (buffer reuse). */
+struct MinimizerScratch
+{
+    /** Monotone-wedge backing store (head index advances in place). */
+    std::vector<Minimizer> wedge;
+};
+
 /**
  * Computes the minimizers of @p seq in one O(m) pass.
  *
@@ -59,6 +66,15 @@ struct SketchConfig
  */
 std::vector<Minimizer> computeMinimizers(std::string_view seq,
                                          const SketchConfig &config);
+
+/**
+ * Buffer-reuse variant: clears @p out and fills it in place; the wedge
+ * lives in @p scratch. Zero heap allocations once the buffers are warm;
+ * identical output to the returning overload.
+ */
+void computeMinimizers(std::string_view seq, const SketchConfig &config,
+                       std::vector<Minimizer> &out,
+                       MinimizerScratch &scratch);
 
 /** Quadratic reference implementation (tests only; same contract). */
 std::vector<Minimizer> computeMinimizersNaive(std::string_view seq,

@@ -27,6 +27,16 @@ MinSeed::effectiveThreshold() const
 std::vector<CandidateRegion>
 MinSeed::seedRead(std::string_view read, MinSeedStats *stats) const
 {
+    std::vector<CandidateRegion> regions;
+    SeedScratch scratch;
+    seedRead(read, regions, scratch, stats);
+    return regions;
+}
+
+void
+MinSeed::seedRead(std::string_view read, std::vector<CandidateRegion> &regions,
+                  SeedScratch &scratch, MinSeedStats *stats) const
+{
     const auto &sketch = index_.sketch();
     const double extend = 1.0 + config_.errorRate;
     const uint64_t total_len = graph_.totalSeqLen();
@@ -34,9 +44,10 @@ MinSeed::seedRead(std::string_view read, MinSeedStats *stats) const
     const auto m = static_cast<int64_t>(read.size());
 
     MinSeedStats local;
-    std::vector<CandidateRegion> regions;
+    regions.clear();
 
-    const auto minimizers = computeMinimizers(read, sketch);
+    computeMinimizers(read, sketch, scratch.minimizers, scratch.sketch);
+    const std::vector<Minimizer> &minimizers = scratch.minimizers;
     local.minimizersComputed = minimizers.size();
 
     for (const auto &minimizer : minimizers) {
@@ -90,7 +101,6 @@ MinSeed::seedRead(std::string_view read, MinSeedStats *stats) const
     local.regionsEmitted = regions.size();
     if (stats != nullptr)
         *stats += local;
-    return regions;
 }
 
 } // namespace segram::seed

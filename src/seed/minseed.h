@@ -84,6 +84,13 @@ struct MinSeedStats
     }
 };
 
+/** Reusable working storage for MinSeed::seedRead (buffer reuse). */
+struct SeedScratch
+{
+    std::vector<Minimizer> minimizers; ///< per-read minimizer list
+    MinimizerScratch sketch;           ///< wedge storage of the sketcher
+};
+
 /** The MinSeed stage bound to one graph + index pair. */
 class MinSeed
 {
@@ -105,6 +112,16 @@ class MinSeed
      */
     std::vector<CandidateRegion> seedRead(std::string_view read,
                                           MinSeedStats *stats = nullptr) const;
+
+    /**
+     * Buffer-reuse variant: clears @p out and fills it in place, with
+     * all intermediate storage in @p scratch, so caller-owned
+     * (workspace) buffers serve every read without heap traffic once
+     * warm. Identical output to the returning overload.
+     */
+    void seedRead(std::string_view read,
+                  std::vector<CandidateRegion> &out, SeedScratch &scratch,
+                  MinSeedStats *stats = nullptr) const;
 
     const MinSeedConfig &config() const { return config_; }
 

@@ -14,6 +14,7 @@
 #ifndef SEGRAM_SRC_UTIL_BITVECTOR_H
 #define SEGRAM_SRC_UTIL_BITVECTOR_H
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -152,6 +153,51 @@ bool testBit(const uint64_t *words, int pos);
 
 /** Clears bit @p pos of the array. */
 void clearBit(uint64_t *words, int pos);
+
+/**
+ * A flat, reusable arena of 64-bit words: the software analogue of the
+ * fixed on-chip bitvector scratchpad the BitAlign hardware reuses for
+ * every window. Callers reset() it to the total word count they need,
+ * then carve disjoint sub-arrays with take(). The backing store only
+ * ever grows, so a warm slab serves every subsequent window of the
+ * same (or smaller) size without touching the heap.
+ */
+class WordSlab
+{
+  public:
+    /**
+     * Ensures capacity for @p nwords words and rewinds the carve
+     * point. Previously taken pointers are invalidated.
+     */
+    void
+    reset(size_t nwords)
+    {
+        if (words_.size() < nwords)
+            words_.resize(nwords);
+        next_ = 0;
+    }
+
+    /**
+     * Carves the next @p nwords words (uninitialized — callers fill
+     * them, exactly like freshly selected scratchpad banks). Must not
+     * exceed the reset() capacity.
+     */
+    uint64_t *
+    take(size_t nwords)
+    {
+        assert(next_ + nwords <= words_.size());
+        uint64_t *out = words_.data() + next_;
+        next_ += nwords;
+        return out;
+    }
+
+    /** @return Words currently backing the slab (capacity telemetry). */
+    size_t capacityWords() const { return words_.size(); }
+
+  private:
+    std::vector<uint64_t> words_;
+    size_t next_ = 0;
+};
 
 } // namespace bitops
 

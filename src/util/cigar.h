@@ -58,6 +58,9 @@ class Cigar
     /** Appends @p len repetitions of @p op, coalescing with the tail run. */
     void push(EditOp op, uint32_t len = 1);
 
+    /** Removes every run, keeping the allocated capacity (buffer reuse). */
+    void clear() { runs_.clear(); }
+
     /** Appends another cigar, coalescing at the junction. */
     void append(const Cigar &other);
 

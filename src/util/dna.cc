@@ -52,10 +52,17 @@ std::string
 reverseComplement(std::string_view seq)
 {
     std::string out;
+    reverseComplement(seq, out);
+    return out;
+}
+
+void
+reverseComplement(std::string_view seq, std::string &out)
+{
+    out.clear();
     out.reserve(seq.size());
     for (auto it = seq.rbegin(); it != seq.rend(); ++it)
         out.push_back(complementBase(*it));
-    return out;
 }
 
 bool

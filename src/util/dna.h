@@ -52,6 +52,12 @@ char complementBase(char base);
 /** @return The reverse complement of @p seq (ACGT only). */
 std::string reverseComplement(std::string_view seq);
 
+/**
+ * Buffer-reuse variant: writes the reverse complement of @p seq into
+ * @p out (cleared first, capacity retained across calls).
+ */
+void reverseComplement(std::string_view seq, std::string &out);
+
 /** @return True iff every character of @p seq is A, C, G or T. */
 bool isValidDna(std::string_view seq);
 

@@ -359,6 +359,100 @@ TEST(BitAlignWindowed, RejectsBadConfig)
     EXPECT_THROW(alignWindowed(text, "ACGT", config), InputError);
 }
 
+TEST(BitAlign, ScratchReuseMatchesFreshCalls)
+{
+    // One warm AlignScratch shared across many differently-sized
+    // windows, patterns and thresholds must reproduce the fresh-call
+    // results exactly — the buffer-reuse contract of the hot path.
+    Rng rng(59);
+    AlignScratch scratch;
+    WindowResult reused;
+    for (int trial = 0; trial < 40; ++trial) {
+        std::string text;
+        const auto text_len = 4 + rng.nextBelow(120);
+        for (uint64_t i = 0; i < text_len; ++i)
+            text.push_back(rng.nextBase());
+        const LinearizedGraph graph_text = chain(text);
+        std::string pattern;
+        const auto pat_len = 1 + rng.nextBelow(60);
+        for (uint64_t i = 0; i < pat_len; ++i)
+            pattern.push_back(rng.nextBase());
+        const int k = static_cast<int>(rng.nextBelow(12));
+        const AlignMode mode = trial % 2 == 0 ? AlignMode::SemiGlobal
+                                              : AlignMode::Anchored;
+        const WindowResult fresh =
+            alignWindow(graph_text, pattern, k, mode);
+        alignWindow(graph_text, pattern, k, mode, scratch, reused);
+        ASSERT_EQ(fresh.found, reused.found) << "trial " << trial;
+        if (!fresh.found)
+            continue;
+        EXPECT_EQ(fresh.editDistance, reused.editDistance);
+        EXPECT_EQ(fresh.startPos, reused.startPos);
+        EXPECT_EQ(fresh.cigar.toString(), reused.cigar.toString());
+        EXPECT_EQ(fresh.textPositions, reused.textPositions);
+    }
+}
+
+TEST(BitAlign, WindowedScratchReuseMatchesFreshCalls)
+{
+    Rng rng(61);
+    AlignScratch scratch;
+    GraphAlignment reused;
+    BitAlignConfig config;
+    config.windowLen = 32;
+    config.overlap = 12;
+    config.windowEditCap = 8;
+    for (int trial = 0; trial < 20; ++trial) {
+        std::string text;
+        for (int i = 0; i < 300; ++i)
+            text.push_back(rng.nextBase());
+        // Reads are noisy copies of a slice, so most trials align.
+        const auto start = rng.nextBelow(100);
+        std::string read = text.substr(start, 120);
+        for (int e = 0; e < 4; ++e)
+            read[rng.nextBelow(read.size())] = rng.nextBase();
+        const LinearizedGraph graph_text = chain(text);
+        const GraphAlignment fresh =
+            alignWindowed(graph_text, read, config);
+        alignWindowed(graph_text, read, config, scratch, reused);
+        ASSERT_EQ(fresh.found, reused.found) << "trial " << trial;
+        if (!fresh.found)
+            continue;
+        EXPECT_EQ(fresh.editDistance, reused.editDistance);
+        EXPECT_EQ(fresh.textStart, reused.textStart);
+        EXPECT_EQ(fresh.linearStart, reused.linearStart);
+        EXPECT_EQ(fresh.cigar.toString(), reused.cigar.toString());
+    }
+}
+
+TEST(BitAlign, ViewAlignsLikeWindowCopy)
+{
+    // Aligning against a zero-copy view of a sub-range must equal
+    // aligning against the copying window() of the same range.
+    Rng rng(67);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::string text;
+        for (int i = 0; i < 160; ++i)
+            text.push_back(rng.nextBase());
+        const LinearizedGraph whole = chain(text);
+        const int a = static_cast<int>(rng.nextBelow(80));
+        const int len =
+            static_cast<int>(8 + rng.nextBelow(whole.size() - a - 8));
+        std::string pattern = text.substr(a + 2, 12);
+        const LinearizedGraph copy = whole.window(a, len);
+        const graph::LinearizedGraphView view(whole, a, len);
+        const WindowResult from_copy = alignWindow(copy, pattern, 4);
+        const WindowResult from_view = alignWindow(view, pattern, 4);
+        ASSERT_EQ(from_copy.found, from_view.found) << "trial " << trial;
+        if (!from_copy.found)
+            continue;
+        EXPECT_EQ(from_copy.editDistance, from_view.editDistance);
+        EXPECT_EQ(from_copy.startPos, from_view.startPos);
+        EXPECT_EQ(from_copy.cigar.toString(),
+                  from_view.cigar.toString());
+    }
+}
+
 TEST(GenAsm, MatchesDpSemiGlobal)
 {
     const std::string text = "ACGTACGTACGTTTGGCA";
@@ -392,6 +486,29 @@ TEST(GenAsm, AgreesWithBitAlignOnChain)
                 << pattern;
             EXPECT_EQ(genasm.textStart, bitalign.startPos) << pattern;
         }
+    }
+}
+
+TEST(GenAsm, ScratchReuseMatchesFreshCalls)
+{
+    Rng rng(71);
+    AlignScratch scratch;
+    for (int trial = 0; trial < 30; ++trial) {
+        std::string text;
+        const auto text_len = 4 + rng.nextBelow(150);
+        for (uint64_t i = 0; i < text_len; ++i)
+            text.push_back(rng.nextBase());
+        std::string pattern;
+        const auto pat_len = 1 + rng.nextBelow(70);
+        for (uint64_t i = 0; i < pat_len; ++i)
+            pattern.push_back(rng.nextBase());
+        const int k = static_cast<int>(rng.nextBelow(10));
+        const GenAsmResult fresh = genAsmAlign(text, pattern, k);
+        const GenAsmResult reused =
+            genAsmAlign(text, pattern, k, scratch);
+        ASSERT_EQ(fresh.found, reused.found) << "trial " << trial;
+        EXPECT_EQ(fresh.editDistance, reused.editDistance);
+        EXPECT_EQ(fresh.textStart, reused.textStart);
     }
 }
 

@@ -4,12 +4,18 @@
 #     require byte-identical PAF output — wiring the FASTQ ingestion
 #     path and the BatchMapper determinism contract through the real
 #     binary;
-#  2. build a .segram pack with `segram index` and require that mapping
+#  2. compare the PAF at 1/2/4/8 threads against the committed golden
+#     output (tests/golden/map_smoke.paf, captured before the
+#     zero-allocation workspace refactor) — any drift in mapping
+#     results across the refactor or thread counts fails here;
+#  3. build a .segram pack with `segram index` and require that mapping
 #     from the pack produces byte-identical PAF to mapping from
 #     FASTA+VCF — the pack round-trip contract, end to end;
-#  3. reject malformed numeric flags with clean errors (no silent
-#     acceptance, no crashes);
-#  4. run the accuracy loop: simulate -> map with all three engines
+#  4. reject malformed numeric flags with clean errors (no silent
+#     acceptance, no crashes), including the pipeline knobs
+#     (--max-regions/--early-exit/--chain-filter/--max-chains/
+#     --hop-limit), which must also be rejected under baseline engines;
+#  5. run the accuracy loop: simulate -> map with all three engines
 #     (segram, graphaligner, vg) -> `segram eval` against the
 #     .truth.tsv sidecar, gating SeGraM sensitivity at >= either
 #     baseline minus epsilon (the paper's accuracy-parity claim).
@@ -18,6 +24,7 @@
 set -e
 bin="$1"
 test -x "$bin" || { echo "usage: test_cli.sh <segram-binary>"; exit 2; }
+golden="$(dirname "$0")/golden/map_smoke.paf"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -33,6 +40,35 @@ cmp "$tmp/t1.paf" "$tmp/t2.paf" || {
     exit 1
 }
 echo "cli fastq + threads OK ($(wc -l < "$tmp/t1.paf") PAF records)"
+
+# --- golden output: bit-identical to the pre-refactor pipeline ---
+test -s "$golden" || { echo "FAIL: missing golden $golden"; exit 1; }
+for threads in 1 2 4 8; do
+    "$bin" map --threads "$threads" "$tmp/d.fa" "$tmp/d.vcf" \
+        "$tmp/d.reads.fa" > "$tmp/g$threads.paf" 2> /dev/null
+    cmp "$golden" "$tmp/g$threads.paf" || {
+        echo "FAIL: PAF at $threads thread(s) differs from golden"
+        exit 1
+    }
+done
+echo "cli golden output OK (bit-identical at 1/2/4/8 threads)"
+
+# --stats must print the per-stage wall-time breakdown.
+"$bin" map --threads 2 --stats "$tmp/d.fa" "$tmp/d.vcf" \
+    "$tmp/d.reads.fa" > /dev/null 2> "$tmp/stats.log"
+grep -q "stage breakdown" "$tmp/stats.log" || {
+    echo "FAIL: map --stats printed no stage breakdown"
+    exit 1
+}
+echo "cli --stats breakdown OK"
+
+# The pipeline knobs must be accepted (and still map) on the segram
+# engine; hop-limit 0 selects the software-exact unlimited mode.
+"$bin" map --max-regions 8 --early-exit 0 --chain-filter \
+    --max-chains 2 --hop-limit 0 "$tmp/d.fa" "$tmp/d.vcf" \
+    "$tmp/d.reads.fa" > "$tmp/knobs.paf" 2> /dev/null
+test -s "$tmp/knobs.paf" || { echo "FAIL: knobs run mapped nothing"; exit 1; }
+echo "cli pipeline knobs OK"
 
 # --- pack round trip: simulate -> index -> map-from-pack ---
 "$bin" index --stats "$tmp/d.fa" "$tmp/d.vcf" "$tmp/d.segram" \
@@ -86,7 +122,15 @@ for bad_flag in \
     "--batch 0" "--batch -3" "--batch many" \
     "--bucket-bits 0" "--bucket-bits 33" "--bucket-bits big" \
     "--engine turbo" "--threshold -5" "--threshold ten" \
-    "--threshold 50" "--stats"; do
+    "--threshold 50" \
+    "--max-regions -1" "--max-regions lots" \
+    "--early-exit -0.5" "--early-exit fast" "--early-exit 101" \
+    "--max-chains 0" "--max-chains -2" "--max-chains few" \
+    "--hop-limit -1" "--hop-limit 65536" "--hop-limit tall" \
+    "--engine vg --max-regions 4" "--engine vg --early-exit 1.0" \
+    "--engine graphaligner --chain-filter" \
+    "--engine graphaligner --max-chains 2" \
+    "--engine vg --hop-limit 12" "--engine vg --stats"; do
     # shellcheck disable=SC2086
     if "$bin" map $bad_flag "$tmp/d.fa" "$tmp/d.vcf" \
         "$tmp/d.reads.fa" > /dev/null 2> "$tmp/flag.log"; then

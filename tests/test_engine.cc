@@ -191,6 +191,80 @@ expectSameStats(const PipelineStats &lhs, const PipelineStats &rhs)
     EXPECT_EQ(lhs.seeding.regionsEmitted, rhs.seeding.regionsEmitted);
 }
 
+// ---------------------------------------------------------- MapWorkspace
+
+TEST(MapWorkspace, WarmWorkspaceMatchesFreshCalls)
+{
+    // One workspace reused across a mixed workload (forward, RC and
+    // junk reads) must produce exactly what per-call workspaces
+    // produce — counters included. This is the reuse contract every
+    // BatchMapper worker relies on.
+    const auto dataset = sim::makeDataset(smallConfig(301));
+    SegramConfig config;
+    config.tryReverseComplement = true;
+    const SegramMapper mapper(dataset.graph, dataset.index, config);
+    const auto reads = makeReads(dataset, 40, 302);
+
+    MapWorkspace workspace;
+    PipelineStats fresh_stats;
+    PipelineStats warm_stats;
+    std::vector<MultiMapResult> fresh;
+    std::vector<MultiMapResult> warm;
+    for (const auto &read : reads) {
+        MultiMapResult a;
+        static_cast<MapResult &>(a) = mapper.mapRead(read, &fresh_stats);
+        fresh.push_back(std::move(a));
+        MultiMapResult b;
+        static_cast<MapResult &>(b) =
+            mapper.mapRead(read, &warm_stats, workspace);
+        warm.push_back(std::move(b));
+    }
+    expectSameResults(fresh, warm);
+    expectSameStats(fresh_stats, warm_stats);
+}
+
+TEST(MapWorkspace, ChainFilterPathReusesBuffers)
+{
+    // The opt-in chain-filter path flows through workspace.filtered;
+    // warm reuse must stay bit-identical there too.
+    const auto dataset = sim::makeDataset(smallConfig(303));
+    SegramConfig config;
+    config.enableChainFilter = true;
+    config.maxChains = 3;
+    const SegramMapper mapper(dataset.graph, dataset.index, config);
+    const auto reads = makeReads(dataset, 25, 304);
+
+    MapWorkspace workspace;
+    std::vector<MultiMapResult> fresh;
+    std::vector<MultiMapResult> warm;
+    for (const auto &read : reads) {
+        MultiMapResult a;
+        static_cast<MapResult &>(a) = mapper.mapRead(read, nullptr);
+        fresh.push_back(std::move(a));
+        MultiMapResult b;
+        static_cast<MapResult &>(b) =
+            mapper.mapRead(read, nullptr, workspace);
+        warm.push_back(std::move(b));
+    }
+    expectSameResults(fresh, warm);
+}
+
+TEST(MapWorkspace, StageTimingsAccumulateWhenStatsRequested)
+{
+    const auto dataset = sim::makeDataset(smallConfig(305));
+    const SegramMapper mapper(dataset.graph, dataset.index, {});
+    const auto reads = makeReads(dataset, 10, 306);
+    PipelineStats stats;
+    MapWorkspace workspace;
+    for (const auto &read : reads)
+        mapper.mapRead(read, &stats, workspace);
+    // Reads were seeded, so the seeding stage must have taken >= 0 time
+    // and regions were aligned, so alignment time must be positive.
+    EXPECT_GE(stats.timings.seedingSec, 0.0);
+    EXPECT_GT(stats.timings.alignSec, 0.0);
+    EXPECT_GT(stats.timings.linearizeSec, 0.0);
+}
+
 // ----------------------------------------------------------- BatchMapper
 
 TEST(BatchMapper, FourThreadsMatchOneThreadExactly)

@@ -363,6 +363,84 @@ TEST(Linearize, WindowOfWindowComposes)
     }
 }
 
+TEST(Linearize, ViewMatchesWindowCopy)
+{
+    // Property: LinearizedGraphView(whole, a, n) agrees with the
+    // copying window(a, n) on every observable — the zero-copy slicing
+    // alignWindowed relies on.
+    Rng rng(47);
+    std::string ref;
+    for (int i = 0; i < 400; ++i)
+        ref.push_back(rng.nextBase());
+    std::vector<Variant> variants;
+    for (uint64_t pos = 15; pos + 20 < ref.size(); pos += 45) {
+        char alt = rng.nextBase();
+        while (alt == ref[pos])
+            alt = rng.nextBase();
+        variants.push_back(
+            {pos, std::string(1, ref[pos]), std::string(1, alt)});
+    }
+    const GenomeGraph g = buildGraph(ref, variants);
+    const LinearizedGraph whole = linearizeWhole(g);
+    for (int trial = 0; trial < 30; ++trial) {
+        const int a = static_cast<int>(rng.nextBelow(whole.size() - 1));
+        const int len =
+            static_cast<int>(1 + rng.nextBelow(whole.size() - a));
+        const LinearizedGraph copy = whole.window(a, len);
+        const LinearizedGraphView view(whole, a, len);
+        ASSERT_EQ(view.size(), copy.size());
+        EXPECT_EQ(view.linearStart(), copy.linearStart());
+        for (int pos = 0; pos < copy.size(); ++pos) {
+            EXPECT_EQ(view.code(pos), copy.code(pos));
+            EXPECT_EQ(view.origin(pos), copy.origin(pos));
+            const auto vd = view.successorDeltas(pos);
+            const auto cd = copy.successorDeltas(pos);
+            ASSERT_EQ(std::vector<uint16_t>(vd.begin(), vd.end()),
+                      std::vector<uint16_t>(cd.begin(), cd.end()))
+                << "a=" << a << " len=" << len << " pos=" << pos;
+        }
+        // Sub-views compose like window-of-window.
+        const int b = static_cast<int>(rng.nextBelow(len));
+        const int inner = static_cast<int>(1 + rng.nextBelow(len - b));
+        const LinearizedGraphView nested = view.window(b, inner);
+        const LinearizedGraph nested_copy = copy.window(b, inner);
+        ASSERT_EQ(nested.size(), nested_copy.size());
+        EXPECT_EQ(nested.linearStart(), nested_copy.linearStart());
+        for (int pos = 0; pos < nested.size(); ++pos) {
+            const auto vd = nested.successorDeltas(pos);
+            const auto cd = nested_copy.successorDeltas(pos);
+            ASSERT_EQ(std::vector<uint16_t>(vd.begin(), vd.end()),
+                      std::vector<uint16_t>(cd.begin(), cd.end()));
+        }
+    }
+}
+
+TEST(Linearize, BufferReuseMatchesReturningOverload)
+{
+    // linearizeRange into a reused LinearizedGraph must equal a fresh
+    // one, for every range and after arbitrary previous contents.
+    const GenomeGraph g =
+        buildGraph("ACGTACGTACGTACGT", {{3, "T", "G"}, {9, "GT", ""}});
+    LinearizedGraph reused;
+    for (uint64_t a = 0; a < g.totalSeqLen(); a += 2) {
+        const uint64_t b = std::min(a + 9, g.totalSeqLen() - 1);
+        const LinearizedGraph fresh = linearizeRange(g, a, b, 6);
+        linearizeRange(g, a, b, 6, reused);
+        ASSERT_EQ(reused.size(), fresh.size());
+        EXPECT_EQ(reused.toString(), fresh.toString());
+        EXPECT_EQ(reused.linearStart(), fresh.linearStart());
+        EXPECT_EQ(reused.droppedHops(), fresh.droppedHops());
+        EXPECT_EQ(reused.maxDelta(), fresh.maxDelta());
+        for (int pos = 0; pos < fresh.size(); ++pos) {
+            EXPECT_EQ(reused.origin(pos), fresh.origin(pos));
+            const auto d1 = reused.successorDeltas(pos);
+            const auto d2 = fresh.successorDeltas(pos);
+            ASSERT_EQ(std::vector<uint16_t>(d1.begin(), d1.end()),
+                      std::vector<uint16_t>(d2.begin(), d2.end()));
+        }
+    }
+}
+
 TEST(GenomeGraph, NodeAtLinearRandomProperty)
 {
     Rng rng(43);

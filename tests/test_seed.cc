@@ -12,6 +12,7 @@
 
 #include "src/graph/graph_builder.h"
 #include "src/index/minimizer_index.h"
+#include "src/seed/chaining.h"
 #include "src/seed/minimizer.h"
 #include "src/seed/minseed.h"
 #include "src/sim/genome_sim.h"
@@ -214,12 +215,150 @@ TEST_F(MinSeedTest, DuplicateRegionsMergedWhenEnabled)
     EXPECT_LE(merged.seedRead(read).size(), raw.seedRead(read).size());
 }
 
+TEST_F(MinSeedTest, BufferReuseMatchesReturningOverload)
+{
+    // One warm scratch + region vector across many reads must produce
+    // exactly what the allocating overload produces, stats included.
+    const MinSeed minseed(graph_, index_);
+    Rng rng(31);
+    SeedScratch scratch;
+    std::vector<CandidateRegion> reused;
+    for (int trial = 0; trial < 25; ++trial) {
+        const uint64_t start = rng.nextBelow(reference_.size() - 400);
+        const std::string read = reference_.substr(start, 350);
+        MinSeedStats fresh_stats;
+        MinSeedStats reused_stats;
+        const auto fresh = minseed.seedRead(read, &fresh_stats);
+        minseed.seedRead(read, reused, scratch, &reused_stats);
+        EXPECT_EQ(fresh, reused) << "trial " << trial;
+        EXPECT_EQ(fresh_stats.minimizersComputed,
+                  reused_stats.minimizersComputed);
+        EXPECT_EQ(fresh_stats.seedsFetched, reused_stats.seedsFetched);
+        EXPECT_EQ(fresh_stats.regionsEmitted,
+                  reused_stats.regionsEmitted);
+    }
+}
+
+TEST(Minimizer, BufferReuseMatchesReturningOverload)
+{
+    Rng rng(37);
+    const SketchConfig config{11, 8};
+    MinimizerScratch scratch;
+    std::vector<Minimizer> reused;
+    for (int trial = 0; trial < 25; ++trial) {
+        const std::string seq =
+            sim::randomSequence(20 + rng.nextBelow(400), rng);
+        computeMinimizers(seq, config, reused, scratch);
+        EXPECT_EQ(computeMinimizers(seq, config), reused)
+            << "trial " << trial;
+    }
+}
+
 TEST_F(MinSeedTest, ShortReadYieldsNoRegions)
 {
     const MinSeed minseed(graph_, index_);
     // Shorter than w+k-1: no minimizers, hence no regions.
     const auto regions = minseed.seedRead("ACGTACGTACGT");
     EXPECT_TRUE(regions.empty());
+}
+
+// ------------------------------------------------------------ chaining
+
+TEST(ChainSeeds, EmptyInputYieldsNoChains)
+{
+    EXPECT_TRUE(chainSeeds({}, {}).empty());
+    ChainConfig config;
+    config.maxChains = 3;
+    EXPECT_TRUE(chainSeeds({}, config).empty());
+}
+
+TEST(ChainSeeds, CoDiagonalSeedsFormOneChain)
+{
+    // Three seeds on the exact same diagonal (refPos - readPos = 1000)
+    // within the gap limit must group into a single chain, ordered by
+    // reference position.
+    const std::vector<SeedHit> hits = {
+        {1200, 200}, {1000, 0}, {1100, 100}};
+    const auto chains = chainSeeds(hits, {});
+    ASSERT_EQ(chains.size(), 1u);
+    EXPECT_EQ(chains[0].score, 3);
+    ASSERT_EQ(chains[0].hits.size(), 3u);
+    EXPECT_EQ(chains[0].hits[0].refPos, 1000u);
+    EXPECT_EQ(chains[0].hits[1].refPos, 1100u);
+    EXPECT_EQ(chains[0].hits[2].refPos, 1200u);
+    EXPECT_EQ(chains[0].refStart(), 1000u);
+    EXPECT_EQ(chains[0].refEnd(), 1200u);
+}
+
+TEST(ChainSeeds, DistantDiagonalsSplitIntoChains)
+{
+    // Two co-diagonal groups far outside the diagonal band: the bigger
+    // group must win (sorted by descending score).
+    const std::vector<SeedHit> hits = {
+        {5000, 10}, {9000, 0},    {5100, 110},
+        {9100, 100}, {5200, 210},
+    };
+    ChainConfig config;
+    config.diagonalBand = 64;
+    const auto chains = chainSeeds(hits, config);
+    ASSERT_EQ(chains.size(), 2u);
+    EXPECT_EQ(chains[0].score, 3);
+    EXPECT_EQ(chains[0].refStart(), 5000u);
+    EXPECT_EQ(chains[1].score, 2);
+    EXPECT_EQ(chains[1].refStart(), 9000u);
+}
+
+TEST(ChainSeeds, DiagonalDriftWithinBandStaysChained)
+{
+    // Drift of 10 (insertion-like) is inside the default band of 64;
+    // drift of 1000 is not.
+    const std::vector<SeedHit> within = {{1000, 0}, {1110, 100}};
+    EXPECT_EQ(chainSeeds(within, {}).size(), 1u);
+    const std::vector<SeedHit> outside = {{1000, 0}, {2100, 100}};
+    EXPECT_EQ(chainSeeds(outside, {}).size(), 2u);
+}
+
+TEST(ChainSeeds, ReferenceGapSplitsChain)
+{
+    // Same diagonal but a reference gap beyond maxGap must split.
+    ChainConfig config;
+    config.maxGap = 500;
+    const std::vector<SeedHit> hits = {{1000, 0}, {2000, 1000}};
+    EXPECT_EQ(chainSeeds(hits, config).size(), 2u);
+    config.maxGap = 2000;
+    EXPECT_EQ(chainSeeds(hits, config).size(), 1u);
+}
+
+TEST(ChainSeeds, EqualScoresOrderByReferenceStart)
+{
+    const std::vector<SeedHit> hits = {{9000, 0}, {1000, 0}, {5000, 0}};
+    const auto chains = chainSeeds(hits, {});
+    ASSERT_EQ(chains.size(), 3u);
+    EXPECT_EQ(chains[0].refStart(), 1000u);
+    EXPECT_EQ(chains[1].refStart(), 5000u);
+    EXPECT_EQ(chains[2].refStart(), 9000u);
+}
+
+TEST(ChainSeeds, MaxChainsTruncatesAfterSorting)
+{
+    // Four single-seed chains plus one double-seed chain; maxChains 2
+    // must keep the double (best score) and the earliest single.
+    const std::vector<SeedHit> hits = {
+        {9000, 0}, {1000, 0}, {5000, 0},
+        {20000, 0}, {20100, 100},
+    };
+    ChainConfig config;
+    config.maxChains = 2;
+    const auto chains = chainSeeds(hits, config);
+    ASSERT_EQ(chains.size(), 2u);
+    EXPECT_EQ(chains[0].score, 2);
+    EXPECT_EQ(chains[0].refStart(), 20000u);
+    EXPECT_EQ(chains[1].score, 1);
+    EXPECT_EQ(chains[1].refStart(), 1000u);
+
+    // maxChains = 0 keeps everything.
+    config.maxChains = 0;
+    EXPECT_EQ(chainSeeds(hits, config).size(), 4u);
 }
 
 TEST(MinSeedConfigTest, RejectsBadErrorRate)

@@ -212,6 +212,15 @@ struct MapOptions
     int threads = 1;
     size_t batchSize = 256;
     int bucketBits = 16;
+    bool printStats = false;
+
+    // SeGraM pipeline knobs (rejected for the baseline engines, which
+    // do not consume them — a silently ignored flag fakes behaviour).
+    uint32_t maxRegions = 0;     ///< 0 aligns every candidate region
+    double earlyExit = 1.5;      ///< early-exit fraction; 0 disables
+    bool chainFilter = false;    ///< enable seed chaining (Fig. 2 step 2)
+    int maxChains = 4;           ///< chains kept when chaining is on
+    int hopLimit = graph::kDefaultHopLimit; ///< HopBits height; 0 = no limit
 };
 
 /**
@@ -223,16 +232,22 @@ struct MapOptions
  */
 std::unique_ptr<core::MappingEngine>
 makeEngine(const core::PreprocessedReference &reference,
-           const std::string &engine_name, double error_rate)
+           const MapOptions &options)
 {
+    const std::string &engine_name = options.engine;
+    const double error_rate = options.errorRate;
     if (engine_name == "segram") {
         core::SegramConfig config;
         config.minseed.errorRate = error_rate;
         config.bitalign.windowEditCap =
             std::max(32, static_cast<int>(config.bitalign.windowLen *
                                           error_rate * 3));
-        config.earlyExitFraction = 1.5;
+        config.earlyExitFraction = options.earlyExit;
         config.tryReverseComplement = true;
+        config.maxRegions = options.maxRegions;
+        config.enableChainFilter = options.chainFilter;
+        config.maxChains = options.maxChains;
+        config.hopLimit = options.hopLimit;
         return std::make_unique<core::MultiGraphMapper>(reference,
                                                         config);
     }
@@ -280,7 +295,7 @@ cmdMap(const MapOptions &options)
     for (const auto &chromosome : reference.chromosomes())
         target_len[chromosome.name] = chromosome.graph.totalSeqLen();
     const std::unique_ptr<core::MappingEngine> mapper =
-        makeEngine(reference, options.engine, options.errorRate);
+        makeEngine(reference, options);
 
     core::BatchConfig batch_config;
     batch_config.threads = options.threads;
@@ -342,6 +357,27 @@ cmdMap(const MapOptions &options)
         batch_mapper.threads(), batch_mapper.threads() == 1 ? "" : "s",
         static_cast<double>(total_reads) / wall,
         static_cast<double>(total_bases) / wall);
+    if (options.printStats) {
+        // Stage seconds are summed across worker threads (aggregate
+        // stage work), so their total can exceed the wall time above.
+        const core::StageTimings &timings = stats.timings;
+        const double stage_total = timings.seedingSec +
+                                   timings.linearizeSec +
+                                   timings.alignSec;
+        const auto pct = [stage_total](double sec) {
+            return stage_total > 0.0 ? 100.0 * sec / stage_total : 0.0;
+        };
+        std::fprintf(
+            stderr,
+            "[segram] stage breakdown (summed over %d thread%s): "
+            "seeding %.3f s (%.1f%%), linearization %.3f s (%.1f%%), "
+            "alignment %.3f s (%.1f%%)\n",
+            batch_mapper.threads(),
+            batch_mapper.threads() == 1 ? "" : "s", timings.seedingSec,
+            pct(timings.seedingSec), timings.linearizeSec,
+            pct(timings.linearizeSec), timings.alignSec,
+            pct(timings.alignSec));
+    }
     return mapped == 0 && total_reads > 0 ? 1 : 0;
 }
 
@@ -470,9 +506,11 @@ usage()
         "  segram index [--bucket-bits N] [--stats] <ref.fa> <vars.vcf> "
         "<out.segram>\n"
         "  segram map [--threads N] [--batch N] [--bucket-bits N] "
-        "[--engine segram|graphaligner|vg] "
-        "<ref.fa> <vars.vcf> <reads.fa|fq> [error_rate]\n"
-        "  segram map [--threads N] [--batch N] [--engine E] "
+        "[--engine segram|graphaligner|vg] [--stats]\n"
+        "             [--max-regions N] [--early-exit F] "
+        "[--chain-filter] [--max-chains N] [--hop-limit N]\n"
+        "             <ref.fa> <vars.vcf> <reads.fa|fq> [error_rate]\n"
+        "  segram map [--threads N] [--batch N] [--engine E] [...] "
         "<pack.segram> <reads.fa|fq> [error_rate]\n"
         "  segram simulate <prefix> <genome_len> <num_reads> "
         "<read_len> <error_rate>\n"
@@ -487,38 +525,45 @@ struct Args
     int threads = 1;
     size_t batchSize = 256;
     int bucketBits = 16;
-    bool bucketBitsSet = false;
     bool stats = false;
     std::string engine = "segram";
     uint64_t threshold = 100;
-    bool threadsSet = false;
-    bool batchSet = false;
-    bool statsSet = false;
-    bool engineSet = false;
-    bool thresholdSet = false;
+    // SeGraM pipeline knobs (map only, --engine segram only).
+    uint64_t maxRegions = 0;
+    double earlyExit = 1.5;
+    bool chainFilter = false;
+    int maxChains = 4;
+    int hopLimit = graph::kDefaultHopLimit;
+
+    /** Names of the flags that appeared on the command line. */
+    std::vector<std::string> seenFlags;
+
+    bool
+    seen(std::string_view flag) const
+    {
+        for (const auto &name : seenFlags)
+            if (name == flag)
+                return true;
+        return false;
+    }
 
     /**
      * Rejects flags that the dispatched subcommand does not consume —
      * a silently ignored flag fakes behaviour the run never had.
+     * @p allowed lists the flags this subcommand understands.
      */
     void
-    requireFlagsApplyTo(const char *command, bool allow_threads,
-                        bool allow_batch, bool allow_bucket_bits,
-                        bool allow_stats, bool allow_engine,
-                        bool allow_threshold) const
+    requireFlagsApplyTo(
+        const char *command,
+        std::initializer_list<std::string_view> allowed) const
     {
-        const auto reject = [command](bool set, bool allowed,
-                                      const char *flag) {
-            SEGRAM_CHECK(!set || allowed,
-                         std::string(flag) + " does not apply to `" +
-                             command + "`");
-        };
-        reject(threadsSet, allow_threads, "--threads");
-        reject(batchSet, allow_batch, "--batch");
-        reject(bucketBitsSet, allow_bucket_bits, "--bucket-bits");
-        reject(statsSet, allow_stats, "--stats");
-        reject(engineSet, allow_engine, "--engine");
-        reject(thresholdSet, allow_threshold, "--threshold");
+        for (const auto &name : seenFlags) {
+            bool ok = false;
+            for (const auto allow : allowed)
+                ok = ok || name == allow;
+            SEGRAM_CHECK(ok, name + " does not apply to `" + command +
+                                 "`");
+        }
     }
 };
 
@@ -546,59 +591,108 @@ parseDoubleArg(const char *what, const std::string &text)
     return value;
 }
 
+/** Strict double flag parsing: rejects "fast", "1.5x", "". */
+double
+parseDoubleFlag(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    SEGRAM_CHECK(end != text && *end == '\0',
+                 std::string(flag) + " needs a number, got '" + text +
+                     "'");
+    return value;
+}
+
 Args
 parseArgs(int argc, char **argv)
 {
     Args args;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
+        const auto next_value = [&](const char *flag) {
+            SEGRAM_CHECK(i + 1 < argc,
+                         std::string(flag) + " needs a value");
+            return argv[++i];
+        };
         if (arg == "--threads" || arg == "-t") {
-            SEGRAM_CHECK(i + 1 < argc, "--threads needs a value");
             const long long value =
-                parseIntFlag("--threads", argv[++i]);
+                parseIntFlag("--threads", next_value("--threads"));
             // 0 used to mean "all cores" and was silently surprising
             // on shared machines; an explicit count is now required.
             SEGRAM_CHECK(value >= 1 && value <= 4096,
                          "--threads must be in [1, 4096]");
             args.threads = static_cast<int>(value);
-            args.threadsSet = true;
+            args.seenFlags.push_back("--threads");
         } else if (arg == "--batch") {
-            SEGRAM_CHECK(i + 1 < argc, "--batch needs a value");
-            const long long value = parseIntFlag("--batch", argv[++i]);
+            const long long value =
+                parseIntFlag("--batch", next_value("--batch"));
             SEGRAM_CHECK(value >= 1, "--batch must be >= 1");
             args.batchSize = static_cast<size_t>(value);
-            args.batchSet = true;
+            args.seenFlags.push_back("--batch");
         } else if (arg == "--bucket-bits") {
-            SEGRAM_CHECK(i + 1 < argc, "--bucket-bits needs a value");
-            const long long value =
-                parseIntFlag("--bucket-bits", argv[++i]);
+            const long long value = parseIntFlag(
+                "--bucket-bits", next_value("--bucket-bits"));
             // Same domain MinimizerIndex::build accepts; the paper
             // sweeps up to 2^24 (Fig. 7).
             SEGRAM_CHECK(value >= 1 && value <= 32,
                          "--bucket-bits must be in [1, 32]");
             args.bucketBits = static_cast<int>(value);
-            args.bucketBitsSet = true;
+            args.seenFlags.push_back("--bucket-bits");
         } else if (arg == "--engine") {
-            SEGRAM_CHECK(i + 1 < argc, "--engine needs a value");
-            args.engine = argv[++i];
-            args.engineSet = true;
+            args.engine = next_value("--engine");
             SEGRAM_CHECK(args.engine == "segram" ||
                              args.engine == "graphaligner" ||
                              args.engine == "vg",
                          "--engine must be segram, graphaligner or "
                          "vg, got '" +
                              args.engine + "'");
+            args.seenFlags.push_back("--engine");
         } else if (arg == "--threshold") {
-            SEGRAM_CHECK(i + 1 < argc, "--threshold needs a value");
             const long long value =
-                parseIntFlag("--threshold", argv[++i]);
+                parseIntFlag("--threshold", next_value("--threshold"));
             SEGRAM_CHECK(value >= 0,
                          "--threshold must be >= 0 characters");
             args.threshold = static_cast<uint64_t>(value);
-            args.thresholdSet = true;
+            args.seenFlags.push_back("--threshold");
+        } else if (arg == "--max-regions") {
+            const long long value = parseIntFlag(
+                "--max-regions", next_value("--max-regions"));
+            // 0 aligns every candidate (the hardware behaviour).
+            SEGRAM_CHECK(value >= 0 && value <= 0xFFFFFFFFll,
+                         "--max-regions must be in [0, 2^32)");
+            args.maxRegions = static_cast<uint64_t>(value);
+            args.seenFlags.push_back("--max-regions");
+        } else if (arg == "--early-exit") {
+            const double value = parseDoubleFlag(
+                "--early-exit", next_value("--early-exit"));
+            SEGRAM_CHECK(value >= 0.0 && value <= 100.0,
+                         "--early-exit must be in [0, 100] "
+                         "(0 disables early exit)");
+            args.earlyExit = value;
+            args.seenFlags.push_back("--early-exit");
+        } else if (arg == "--chain-filter") {
+            args.chainFilter = true;
+            args.seenFlags.push_back("--chain-filter");
+        } else if (arg == "--max-chains") {
+            const long long value = parseIntFlag(
+                "--max-chains", next_value("--max-chains"));
+            SEGRAM_CHECK(value >= 1 && value <= 1'000'000,
+                         "--max-chains must be in [1, 1000000]");
+            args.maxChains = static_cast<int>(value);
+            args.seenFlags.push_back("--max-chains");
+        } else if (arg == "--hop-limit") {
+            const long long value = parseIntFlag(
+                "--hop-limit", next_value("--hop-limit"));
+            // The HopBits height; 0 selects the software-exact
+            // unlimited mode (graph::kUnlimitedHops).
+            SEGRAM_CHECK(value >= 0 && value <= 0xFFFF,
+                         "--hop-limit must be in [0, 65535] "
+                         "(0 = unlimited)");
+            args.hopLimit = static_cast<int>(value);
+            args.seenFlags.push_back("--hop-limit");
         } else if (arg == "--stats") {
             args.stats = true;
-            args.statsSet = true;
+            args.seenFlags.push_back("--stats");
         } else {
             args.positional.emplace_back(arg);
         }
@@ -615,19 +709,34 @@ main(int argc, char **argv)
         const Args args = parseArgs(argc, argv);
         const auto &pos = args.positional;
         if (pos.size() >= 4 && pos[0] == "construct") {
-            args.requireFlagsApplyTo("construct", false, false, false,
-                                     false, false, false);
+            args.requireFlagsApplyTo("construct", {});
             return cmdConstruct(pos[1], pos[2], pos[3]);
         }
         if (pos.size() >= 4 && pos[0] == "index") {
-            args.requireFlagsApplyTo("index", false, false, true, true,
-                                     false, false);
+            args.requireFlagsApplyTo("index",
+                                     {"--bucket-bits", "--stats"});
             return cmdIndex(pos[1], pos[2], pos[3], args.bucketBits,
                             args.stats);
         }
         if (pos.size() >= 3 && pos[0] == "map") {
-            args.requireFlagsApplyTo("map", true, true, true, false,
-                                     true, false);
+            args.requireFlagsApplyTo(
+                "map", {"--threads", "--batch", "--bucket-bits",
+                        "--engine", "--stats", "--max-regions",
+                        "--early-exit", "--chain-filter", "--max-chains",
+                        "--hop-limit"});
+            // The pipeline knobs configure the SeGraM pipeline only,
+            // and --stats reports timings only SegramMapper collects;
+            // silently ignoring them under a baseline engine would
+            // fake tuned (or measured) runs.
+            if (args.engine != "segram") {
+                for (const char *knob :
+                     {"--max-regions", "--early-exit", "--chain-filter",
+                      "--max-chains", "--hop-limit", "--stats"}) {
+                    SEGRAM_CHECK(!args.seen(knob),
+                                 std::string(knob) +
+                                     " only applies to --engine segram");
+                }
+            }
             MapOptions options;
             // Two input modes, detected by content (magic), not by
             // file extension: a `.segram` pack replaces the
@@ -636,7 +745,7 @@ main(int argc, char **argv)
             if (io::isPackFile(pos[1])) {
                 // The bucket count was baked in at index time; a
                 // silently ignored sweep flag would fake Fig. 7 runs.
-                SEGRAM_CHECK(!args.bucketBitsSet,
+                SEGRAM_CHECK(!args.seen("--bucket-bits"),
                              "--bucket-bits cannot be combined with a "
                              ".segram pack; pass it to `segram index`");
                 options.packPath = pos[1];
@@ -661,11 +770,17 @@ main(int argc, char **argv)
             options.threads = args.threads;
             options.batchSize = args.batchSize;
             options.bucketBits = args.bucketBits;
+            options.printStats = args.stats;
+            options.maxRegions =
+                static_cast<uint32_t>(args.maxRegions);
+            options.earlyExit = args.earlyExit;
+            options.chainFilter = args.chainFilter;
+            options.maxChains = args.maxChains;
+            options.hopLimit = args.hopLimit;
             return cmdMap(options);
         }
         if (pos.size() >= 6 && pos[0] == "simulate") {
-            args.requireFlagsApplyTo("simulate", false, false, false,
-                                     false, false, false);
+            args.requireFlagsApplyTo("simulate", {});
             const long long genome_len =
                 parseIntFlag("genome_len", pos[2].c_str());
             const long long num_reads =
@@ -690,8 +805,7 @@ main(int argc, char **argv)
                 static_cast<uint32_t>(read_len), error_rate);
         }
         if (pos.size() >= 3 && pos[0] == "eval") {
-            args.requireFlagsApplyTo("eval", false, false, false,
-                                     false, false, true);
+            args.requireFlagsApplyTo("eval", {"--threshold"});
             const std::vector<std::string> pafs(pos.begin() + 2,
                                                 pos.end());
             return cmdEval(pos[1], pafs, args.threshold);
