@@ -1,0 +1,165 @@
+/**
+ * @file
+ * GFA import bench: the cost of obtaining a queryable pre-processed
+ * reference from a GFA pangenome graph (parse + canonical topological
+ * sort + index build) versus building it from raw FASTA+VCF inputs,
+ * plus the correctness gates behind `segram map <graph.gfa>`:
+ *
+ *  - the imported reference must map a read sample bit-identically to
+ *    the FASTA+VCF-built one (same alignments, coordinates, CIGARs);
+ *  - a segment-shuffled copy of the document must import to the exact
+ *    same graph (the canonical fromGfa sort is order-invariant);
+ *  - graph import itself (excluding the index build both routes
+ *    share) must stay within 5x of in-process graph construction —
+ *    parsing text and sorting should not dominate pre-processing.
+ *
+ * `--quick` shrinks the sweep for sanitizer CI runs.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/reference.h"
+#include "src/graph/genome_graph.h"
+#include "src/graph/gfa_import.h"
+#include "src/graph/graph_builder.h"
+#include "src/index/minimizer_index.h"
+#include "src/io/gfa.h"
+#include "src/sim/dataset.h"
+#include "src/util/rng.h"
+
+namespace
+{
+
+using namespace segram;
+
+bool
+sameGraph(const graph::GenomeGraph &a, const graph::GenomeGraph &b)
+{
+    if (a.numNodes() != b.numNodes() || a.numEdges() != b.numEdges() ||
+        a.totalSeqLen() != b.totalSeqLen())
+        return false;
+    for (graph::NodeId id = 0; id < a.numNodes(); ++id) {
+        if (a.nodeSeq(id) != b.nodeSeq(id) ||
+            a.node(id).refPos != b.node(id).refPos ||
+            a.node(id).isAlt != b.node(id).isAlt)
+            return false;
+        const auto sa = a.successors(id);
+        const auto sb = b.successors(id);
+        if (!std::equal(sa.begin(), sa.end(), sb.begin(), sb.end()))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick =
+        argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    std::printf("GFA import: parse + canonical sort vs in-process "
+                "build\n\n");
+
+    const std::vector<uint64_t> genome_lens =
+        quick ? std::vector<uint64_t>{250'000}
+              : std::vector<uint64_t>{500'000, 1'000'000, 2'000'000};
+
+    std::printf("%-10s %12s %12s %12s %10s %10s\n", "genome",
+                "build(s)", "import(s)", "ratio", "identical",
+                "shuffleOK");
+
+    bool all_ok = true;
+    double worst_ratio = 0.0;
+    for (const uint64_t genome_len : genome_lens) {
+        const auto config = bench::datasetConfig(genome_len);
+        const auto dataset = sim::makeDataset(config);
+
+        // (a) In-process graph construction (the FASTA+VCF route's
+        // graph step; the index build is shared by both routes).
+        graph::GenomeGraph built;
+        const double build_sec = bench::timeSec([&] {
+            built = graph::buildGraph(dataset.reference,
+                                      dataset.variants);
+        });
+
+        // (b) GFA import: the exported document (with its reference
+        // path) back through the canonical sort.
+        const io::GfaDocument doc = built.toGfa("chr1");
+        graph::GenomeGraph imported;
+        const double import_sec = bench::timeSec([&] {
+            imported = graph::GenomeGraph::fromGfa(doc);
+        });
+        const bool identical = sameGraph(built, imported);
+
+        // Shuffle invariance: reversed segment order, same graph.
+        io::GfaDocument shuffled = doc;
+        std::reverse(shuffled.segments.begin(),
+                     shuffled.segments.end());
+        const bool shuffle_ok =
+            sameGraph(imported, graph::GenomeGraph::fromGfa(shuffled));
+
+        // Mapping equivalence through the full engine on a read
+        // sample (the index is rebuilt on the imported graph exactly
+        // as `segram map <graph.gfa>` does).
+        bool maps_same = identical;
+        if (identical) {
+            const auto imported_index =
+                index::MinimizerIndex::build(imported, config.index);
+            core::SegramConfig segram_config;
+            segram_config.tryReverseComplement = true;
+            const core::SegramMapper expect(dataset.graph,
+                                            dataset.index,
+                                            segram_config);
+            const core::SegramMapper got(imported, imported_index,
+                                         segram_config);
+            Rng rng(7);
+            const uint32_t samples = quick ? 20 : 50;
+            for (uint32_t i = 0; i < samples && maps_same; ++i) {
+                const uint64_t start = rng.nextBelow(
+                    dataset.donor.seq().size() - 1200);
+                const std::string read =
+                    dataset.donor.seq().substr(start, 1000);
+                const auto a = expect.mapRead(read);
+                const auto b = got.mapRead(read);
+                maps_same = a.mapped == b.mapped &&
+                            a.linearStart == b.linearStart &&
+                            a.editDistance == b.editDistance &&
+                            a.cigar.toString() == b.cigar.toString();
+            }
+        }
+
+        const double ratio = import_sec / build_sec;
+        worst_ratio = std::max(worst_ratio, ratio);
+        all_ok = all_ok && identical && shuffle_ok && maps_same;
+        std::printf("%7.2fMbp %12.3f %12.3f %11.1fx %10s %10s\n",
+                    static_cast<double>(genome_len) / 1e6, build_sec,
+                    import_sec, ratio,
+                    identical && maps_same ? "yes" : "NO",
+                    shuffle_ok ? "yes" : "NO");
+    }
+
+    if (!all_ok) {
+        std::fprintf(stderr,
+                     "FAIL: GFA import is not equivalent to the "
+                     "in-process build\n");
+        return 1;
+    }
+    if (worst_ratio > 5.0) {
+        std::fprintf(stderr,
+                     "FAIL: GFA import %.1fx slower than in-process "
+                     "graph construction (need <= 5x)\n",
+                     worst_ratio);
+        return 1;
+    }
+    std::printf("\nGFA import stays within %.1fx of in-process graph "
+                "construction\nand reproduces its mapping results "
+                "bit-for-bit.\n",
+                worst_ratio);
+    return 0;
+}

@@ -2,9 +2,11 @@
 
 #include <utility>
 
+#include "src/graph/gfa_import.h"
 #include "src/graph/graph_builder.h"
 #include "src/graph/variants.h"
 #include "src/io/fasta.h"
+#include "src/io/gfa.h"
 #include "src/io/vcf.h"
 #include "src/util/check.h"
 
@@ -43,6 +45,30 @@ PreprocessedReference::buildFromFiles(
                                    variants.size(), dropped});
         }
         out.chromosomes_.push_back(std::move(chromosome));
+    }
+    return out;
+}
+
+PreprocessedReference
+PreprocessedReference::buildFromGfa(
+    const std::string &gfa_path, const index::IndexConfig &index_config,
+    std::vector<ChromosomeBuildInfo> *build_info)
+{
+    auto imported = graph::importGfa(io::readGfaFile(gfa_path));
+
+    PreprocessedReference out;
+    out.chromosomes_.reserve(imported.size());
+    for (auto &chromosome : imported) {
+        PreprocessedChromosome entry;
+        entry.name = std::move(chromosome.name);
+        entry.graph = std::move(chromosome.graph);
+        entry.index =
+            index::MinimizerIndex::build(entry.graph, index_config);
+        if (build_info != nullptr) {
+            build_info->push_back(
+                {entry.name, entry.graph.pathLength(), 0, 0});
+        }
+        out.chromosomes_.push_back(std::move(entry));
     }
     return out;
 }

@@ -79,6 +79,28 @@ class PreprocessedReference
                    std::vector<ChromosomeBuildInfo> *build_info = nullptr);
 
     /**
+     * Full pre-processing from an imported GFA graph: reads the GFA,
+     * splits it into per-chromosome connected components, canonically
+     * topologically sorts each (graph::importGfa), and builds one
+     * minimizer index per chromosome — the exact counterpart of
+     * buildFromFiles for externally constructed pangenome graphs. A
+     * GFA exported by `segram construct` rebuilds the same reference
+     * (same graphs, names and indexes) the FASTA+VCF route produces.
+     *
+     * @param gfa_path     Graph in GFA v1 (S/L and optional P/W lines).
+     * @param index_config Index parameters (bucketBits, sketch, ...).
+     * @param[out] build_info Optional per-chromosome report
+     *                        (referenceBases = reference-path length;
+     *                        the variant counters stay zero — a GFA
+     *                        carries its variants pre-applied).
+     * @throws InputError on unreadable/malformed/cyclic inputs.
+     */
+    static PreprocessedReference
+    buildFromGfa(const std::string &gfa_path,
+                 const index::IndexConfig &index_config = {},
+                 std::vector<ChromosomeBuildInfo> *build_info = nullptr);
+
+    /**
      * Loads a `.segram` pack by memory-mapping it; every table borrows
      * from the mapping (no rebuild, no copy).
      *

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <queue>
 #include <unordered_map>
 
 #include "src/util/check.h"
+#include "src/util/disjoint_set.h"
 
 namespace segram::graph
 {
@@ -113,7 +115,7 @@ GenomeGraph::topologicallySorted() const
 }
 
 io::GfaDocument
-GenomeGraph::toGfa() const
+GenomeGraph::toGfa(std::string_view ref_path_name) const
 {
     io::GfaDocument doc;
     doc.segments.reserve(numNodes());
@@ -126,20 +128,222 @@ GenomeGraph::toGfa() const
                 {std::to_string(id + 1), std::to_string(succ + 1)});
         }
     }
+    if (!ref_path_name.empty()) {
+        io::GfaPath path;
+        path.name = std::string(ref_path_name);
+        for (NodeId id = 0; id < numNodes(); ++id) {
+            if (!nodes_[id].isAlt)
+                path.steps.push_back(std::to_string(id + 1));
+        }
+        if (!path.steps.empty())
+            doc.paths.push_back(std::move(path));
+    }
     return doc;
 }
+
+namespace
+{
+
+/**
+ * The canonical segment-name order used to break topological-sort
+ * ties: shorter names first, then lexicographic. On numeric names
+ * without leading zeros this is exactly numeric order, so a document
+ * exported in node-ID order re-imports in the same order.
+ */
+bool
+canonicalNameLess(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return a.size() < b.size();
+    return a < b;
+}
+
+} // namespace
 
 GenomeGraph
 GenomeGraph::fromGfa(const io::GfaDocument &doc)
 {
     SEGRAM_CHECK(!doc.segments.empty(), "GFA document has no segments");
-    std::unordered_map<std::string, NodeId> ids;
+    const size_t n = doc.segments.size();
+    const auto doc_index = io::segmentIndexByName(doc);
+    const auto lookup = [&doc_index](const std::string &name) {
+        return io::lookupSegment(doc_index, name);
+    };
+
+    // Adjacency in document-index space.
+    std::vector<std::vector<uint32_t>> succs(n);
+    std::vector<uint32_t> in_degree(n, 0);
+    for (const auto &link : doc.links) {
+        const uint32_t from = lookup(link.from);
+        const uint32_t to = lookup(link.to);
+        SEGRAM_CHECK(from != to, "GFA self-loop on segment " + link.from);
+        succs[from].push_back(to);
+        ++in_degree[to];
+    }
+
+    // Canonical topological sort (the `vg ids -s` step the paper's
+    // pre-processing performs): Kahn's algorithm with ties broken by
+    // canonical segment name, so the node order depends only on the
+    // graph and its names — never on the order of S lines in the file.
+    const auto ready_order = [&doc](uint32_t a, uint32_t b) {
+        // std::priority_queue is a max-heap; invert for a min-heap.
+        return canonicalNameLess(doc.segments[b].name,
+                                 doc.segments[a].name);
+    };
+    std::priority_queue<uint32_t, std::vector<uint32_t>,
+                        decltype(ready_order)>
+        ready(ready_order);
+    std::vector<uint32_t> degree = in_degree;
+    for (uint32_t i = 0; i < n; ++i) {
+        if (degree[i] == 0)
+            ready.push(i);
+    }
+    std::vector<uint32_t> order; // order[rank] = doc index
+    order.reserve(n);
+    while (!ready.empty()) {
+        const uint32_t i = ready.top();
+        ready.pop();
+        order.push_back(i);
+        for (const uint32_t succ : succs[i]) {
+            if (--degree[succ] == 0)
+                ready.push(succ);
+        }
+    }
+    if (order.size() != n) {
+        // Every unprocessed segment sits on (or downstream of) a
+        // cycle; name one so the error is actionable.
+        std::string cyclic;
+        for (uint32_t i = 0; i < n && cyclic.empty(); ++i) {
+            if (degree[i] != 0)
+                cyclic = doc.segments[i].name;
+        }
+        SEGRAM_CHECK(false, "GFA link structure is cyclic (segment " +
+                                cyclic + " is on a cycle); genome "
+                                "graphs must be acyclic");
+    }
+
+    std::vector<NodeId> rank(n);
+    for (uint32_t r = 0; r < n; ++r)
+        rank[order[r]] = static_cast<NodeId>(r);
+
+    // Path metadata. Only *reference* paths define path-space
+    // coordinates: the first path through each connected component is
+    // its reference walk; every later path touching that component is
+    // an alternate haplotype walk and must not override reference
+    // coordinates (a bubble branch covered only by a haplotype walk
+    // stays ALT and projects to its divergence point below).
+    // Components come from a union-find over the undirected links.
+    util::DisjointSet components(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        for (const uint32_t succ : succs[i])
+            components.unite(i, succ);
+    }
+
+    std::vector<bool> on_path(n, false);
+    std::vector<bool> component_has_reference(n, false);
+    std::vector<uint64_t> path_pos(n, 0);
+    std::vector<uint32_t> steps;
+    for (const auto &path : doc.paths) {
+        steps.clear();
+        uint32_t prev = 0;
+        bool first = true;
+        for (const auto &step : path.steps) {
+            const uint32_t i = lookup(step);
+            if (!first) {
+                bool linked = false;
+                for (const uint32_t succ : succs[prev])
+                    linked = linked || succ == i;
+                SEGRAM_CHECK(linked, "GFA path " + path.name +
+                                         " steps from " +
+                                         doc.segments[prev].name +
+                                         " to " + step +
+                                         " without a link");
+            }
+            steps.push_back(i);
+            prev = i;
+            first = false;
+        }
+        const uint32_t root = components.find(steps.front());
+        if (component_has_reference[root])
+            continue; // haplotype walk: sets no coordinates
+        component_has_reference[root] = true;
+        uint64_t offset = 0;
+        for (const uint32_t i : steps) {
+            on_path[i] = true;
+            path_pos[i] = offset;
+            offset += doc.segments[i].seq.size();
+        }
+    }
+    // Off-path (ALT) nodes project to the path position where their
+    // bubble diverges: the furthest projected end of any predecessor,
+    // computed in topological order. On-path predecessors contribute
+    // refPos + length (they consume reference); off-path predecessors
+    // contribute their own projection (an ALT chain consumes none).
+    const bool has_paths = !doc.paths.empty();
+    if (has_paths) {
+        for (uint32_t r = 0; r < n; ++r) {
+            const uint32_t i = order[r];
+            for (const uint32_t succ : succs[i]) {
+                if (on_path[succ])
+                    continue;
+                const uint64_t proj =
+                    on_path[i] ? path_pos[i] + doc.segments[i].seq.size()
+                               : path_pos[i];
+                path_pos[succ] = std::max(path_pos[succ], proj);
+            }
+        }
+    } else {
+        // No path metadata: path space degenerates to the
+        // concatenated coordinate system (refPos = linearOffset), so
+        // pathProject() is the identity instead of resetting at every
+        // segment boundary.
+        uint64_t offset = 0;
+        for (uint32_t r = 0; r < n; ++r) {
+            path_pos[order[r]] = offset;
+            offset += doc.segments[order[r]].seq.size();
+        }
+    }
+
     GraphBuilder builder;
-    for (const auto &segment : doc.segments)
-        ids[segment.name] = builder.addNode(segment.seq);
-    for (const auto &link : doc.links)
-        builder.addEdge(ids.at(link.from), ids.at(link.to));
+    for (uint32_t r = 0; r < n; ++r) {
+        const uint32_t i = order[r];
+        // NodeRecord::refPos is 32-bit; a silent wrap would corrupt
+        // every --path-coords report past 4 Gbp.
+        SEGRAM_CHECK(path_pos[i] <=
+                         std::numeric_limits<uint32_t>::max(),
+                     "GFA reference path exceeds the 4 Gbp "
+                     "path-coordinate limit at segment " +
+                         doc.segments[i].name);
+        builder.addNode(doc.segments[i].seq,
+                        static_cast<uint32_t>(path_pos[i]),
+                        has_paths && !on_path[i]);
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+        for (const uint32_t succ : succs[i])
+            builder.addEdge(rank[i], rank[succ]);
+    }
     return std::move(builder).build();
+}
+
+uint64_t
+GenomeGraph::pathLength() const
+{
+    uint64_t length = 0;
+    for (NodeId id = 0; id < numNodes(); ++id) {
+        if (!nodes_[id].isAlt)
+            length += nodes_[id].seqLen;
+    }
+    return length;
+}
+
+uint64_t
+GenomeGraph::pathProject(uint64_t linear_pos) const
+{
+    const NodeId id = nodeAtLinear(linear_pos);
+    const NodeRecord &record = nodes_[id];
+    if (record.isAlt)
+        return record.refPos;
+    return record.refPos + (linear_pos - record.linearOffset);
 }
 
 NodeId

@@ -132,15 +132,67 @@ class GenomeGraph
         return nodeTableBytes() + charTableBytes() + edgeTableBytes();
     }
 
-    /** @return This graph as a GFA document with 1-based numeric names. */
-    io::GfaDocument toGfa() const;
+    /**
+     * @return This graph as a GFA document with 1-based numeric names.
+     *         When @p ref_path_name is non-empty, a P line of that name
+     *         walks the non-ALT (reference backbone) nodes in ID order,
+     *         preserving the path-space coordinate system (refPos/isAlt
+     *         metadata) across a GFA round trip. Graphs built by
+     *         buildGraph() always have a connected backbone, which is
+     *         what makes that walk a valid path.
+     */
+    io::GfaDocument toGfa(std::string_view ref_path_name = {}) const;
 
     /**
-     * Builds a graph from a GFA document; segment order defines node IDs.
-     * @throws InputError on duplicate/undeclared segments (via io) or
-     *         empty documents.
+     * Builds a graph from a GFA document.
+     *
+     * Node IDs are assigned by a canonical topological sort (Kahn's
+     * algorithm, ties broken by shortest-then-lexicographic segment
+     * name), so the result is independent of the segment order in the
+     * document and always satisfies the node-ID-equals-topological-rank
+     * invariant that MinSeed's consecutive-ID subgraph fetch and
+     * LinearizedGraph rely on. For numerically named segments
+     * (vg-style "1", "2", ... without leading zeros) the tie-break
+     * coincides with numeric order, so importing a GFA that was
+     * exported with toGfa() reproduces the original node order
+     * exactly.
+     *
+     * When the document carries paths, its *reference* paths define
+     * path-space coordinates: the first path through each connected
+     * component (by document order) is that component's reference
+     * walk; every later path touching the same component is an
+     * alternate haplotype walk and sets no coordinates. Nodes on a
+     * reference path get refPos = cumulative offset along it and
+     * isAlt = false; all other nodes get isAlt = true and refPos
+     * projected from their predecessors (the path position where
+     * their bubble diverges). Consecutive path steps must be
+     * connected by links. Documents without any path get
+     * refPos = linearOffset (path space degenerates to concatenated
+     * coordinates) and no ALT marks.
+     *
+     * @throws InputError on empty documents, undeclared or duplicate
+     *         segments, cyclic link structure (named in the message),
+     *         or a path whose consecutive steps are not linked.
      */
     static GenomeGraph fromGfa(const io::GfaDocument &doc);
+
+    /**
+     * @return Length of the reference path: the total sequence length
+     *         of the non-ALT nodes. For a graph built from FASTA+VCF
+     *         this is the chromosome length; for an imported GFA it is
+     *         the length of the reference path (or totalSeqLen() when
+     *         the graph had no path metadata, since then no node is
+     *         marked ALT). O(numNodes).
+     */
+    uint64_t pathLength() const;
+
+    /**
+     * Projects a concatenated-coordinate position onto the reference
+     * path: positions inside on-path nodes map exactly
+     * (refPos + in-node offset); positions inside ALT nodes map to the
+     * path position where their bubble diverges (the node's refPos).
+     */
+    uint64_t pathProject(uint64_t linear_pos) const;
 
   private:
     friend class GraphBuilder;

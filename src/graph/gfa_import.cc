@@ -1,0 +1,116 @@
+#include "src/graph/gfa_import.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/disjoint_set.h"
+
+namespace segram::graph
+{
+
+std::vector<ImportedChromosome>
+importGfa(io::GfaDocument doc)
+{
+    SEGRAM_CHECK(!doc.segments.empty(), "GFA document has no segments");
+    const size_t n = doc.segments.size();
+    const auto doc_index = io::segmentIndexByName(doc);
+    const auto lookup = [&doc_index](const std::string &name) {
+        return io::lookupSegment(doc_index, name);
+    };
+
+    // Undirected connectivity over links partitions the document into
+    // chromosomes (the reverse of `segram construct`, which writes one
+    // disjoint component per FASTA record).
+    util::DisjointSet components(n);
+    for (const auto &link : doc.links)
+        components.unite(lookup(link.from), lookup(link.to));
+    // A path's consecutive steps must be linked (fromGfa enforces it),
+    // but a one-step path can still name an otherwise isolated
+    // segment; folding path steps in keeps path and component
+    // consistent either way.
+    for (const auto &path : doc.paths) {
+        for (size_t i = 1; i < path.steps.size(); ++i) {
+            components.unite(lookup(path.steps[i - 1]),
+                             lookup(path.steps[i]));
+        }
+    }
+
+    // One sub-document per component root, ordered by reference-path
+    // appearance first (construct emits P lines in FASTA record
+    // order), then by first segment in the document.
+    struct Component
+    {
+        uint32_t pathRank = std::numeric_limits<uint32_t>::max();
+        uint32_t firstSegment = 0;
+        std::string name;
+        io::GfaDocument doc;
+    };
+    std::unordered_map<uint32_t, size_t> root_to_component;
+    std::vector<Component> parts;
+    for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t root = components.find(i);
+        const auto [it, inserted] =
+            root_to_component.emplace(root, parts.size());
+        if (inserted) {
+            parts.push_back({});
+            parts.back().firstSegment = i;
+            parts.back().name = doc.segments[i].name;
+        }
+        // The part name was copied above; the segment itself (and the
+        // links/paths below) can be moved out of the by-value document,
+        // so splitting never duplicates the sequence text.
+        parts[it->second].doc.segments.push_back(
+            std::move(doc.segments[i]));
+    }
+    for (auto &link : doc.links) {
+        const uint32_t root = components.find(lookup(link.from));
+        parts[root_to_component.at(root)].doc.links.push_back(
+            std::move(link));
+    }
+    for (uint32_t p = 0; p < doc.paths.size(); ++p) {
+        const auto &path = doc.paths[p];
+        const uint32_t root = components.find(lookup(path.steps.front()));
+        Component &part = parts[root_to_component.at(root)];
+        if (part.doc.paths.empty()) {
+            // The component's first path is its reference path and
+            // names the chromosome.
+            part.pathRank = p;
+            part.name = path.name;
+        }
+        part.doc.paths.push_back(std::move(doc.paths[p]));
+    }
+
+    std::vector<size_t> order(parts.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&parts](size_t a, size_t b) {
+        if (parts[a].pathRank != parts[b].pathRank)
+            return parts[a].pathRank < parts[b].pathRank;
+        return parts[a].firstSegment < parts[b].firstSegment;
+    });
+
+    std::vector<ImportedChromosome> out;
+    out.reserve(parts.size());
+    std::unordered_set<std::string> names;
+    for (const size_t p : order) {
+        SEGRAM_CHECK(names.insert(parts[p].name).second,
+                     "GFA components resolve to duplicate chromosome "
+                     "name " +
+                         parts[p].name);
+        out.push_back(
+            {parts[p].name, GenomeGraph::fromGfa(parts[p].doc)});
+        // Release each sub-document as soon as its graph exists, so
+        // the text copies and the built graphs never all coexist —
+        // the sub-documents drain as the (packed, much smaller)
+        // graphs accumulate.
+        parts[p].doc = {};
+    }
+    return out;
+}
+
+} // namespace segram::graph

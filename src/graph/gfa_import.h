@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Whole-document GFA import: turns one GFA file into the set of
+ * per-chromosome genome graphs the mapping engines run against.
+ *
+ * The paper builds "one graph for each chromosome" and `segram
+ * construct` exports a multi-chromosome reference as disjoint GFA
+ * components (one per FASTA record, each with a P line naming its
+ * reference path). Importing reverses that: connected components are
+ * split apart, each is canonically topologically sorted
+ * (GenomeGraph::fromGfa), and each gets a stable chromosome name — its
+ * reference path's name when the component carries one, otherwise the
+ * name of its first segment in the document. This is what lets
+ * externally constructed pangenome graphs (vg / minigraph style) feed
+ * the same pipeline as FASTA+VCF-built references.
+ */
+
+#ifndef SEGRAM_SRC_GRAPH_GFA_IMPORT_H
+#define SEGRAM_SRC_GRAPH_GFA_IMPORT_H
+
+#include <string>
+#include <vector>
+
+#include "src/graph/genome_graph.h"
+#include "src/io/gfa.h"
+
+namespace segram::graph
+{
+
+/** One chromosome recovered from a GFA document. */
+struct ImportedChromosome
+{
+    std::string name;
+    GenomeGraph graph;
+};
+
+/**
+ * Splits @p doc into connected components and builds one canonical
+ * genome graph per component (see GenomeGraph::fromGfa for the
+ * sorting and path-metadata rules).
+ *
+ * Component order is deterministic and segment-shuffle-invariant for
+ * single-component documents: components whose reference path appears
+ * earlier in the document come first, path-less components follow in
+ * order of their first segment in the document.
+ *
+ * Takes the document by value: segment/link/path records are moved
+ * into the per-component splits, so callers that pass an rvalue
+ * (e.g. `importGfa(readGfaFile(path))`) never duplicate the sequence
+ * text.
+ *
+ * @throws InputError on empty documents, cyclic components, path
+ *         steps without links, or duplicate chromosome names.
+ */
+std::vector<ImportedChromosome> importGfa(io::GfaDocument doc);
+
+} // namespace segram::graph
+
+#endif // SEGRAM_SRC_GRAPH_GFA_IMPORT_H

@@ -1,9 +1,11 @@
 #include "src/io/gfa.h"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 #include <unordered_set>
 
 #include "src/util/check.h"
@@ -15,11 +17,65 @@ namespace segram::io
 
 using util::splitTabs;
 
+namespace
+{
+
+/**
+ * Parses one P-line step list ("s1+,s2+,...") or one W-line walk
+ * (">s1>s2..."), rejecting reverse-oriented steps — the genome graphs
+ * here are forward-strand DAGs, exactly like the links.
+ */
+std::vector<std::string>
+parsePathSteps(std::string_view text, const std::string &where)
+{
+    SEGRAM_CHECK(!text.empty(), where + ": path has no steps");
+    std::vector<std::string> steps;
+    if (text.front() == '>' || text.front() == '<') {
+        // W-line walk syntax: ([><]segment)+
+        size_t i = 0;
+        while (i < text.size()) {
+            SEGRAM_CHECK(text[i] == '>',
+                         where + ": only forward ('>') walk steps are "
+                                 "supported");
+            size_t j = i + 1;
+            while (j < text.size() && text[j] != '>' && text[j] != '<')
+                ++j;
+            SEGRAM_CHECK(j > i + 1, where + ": empty walk step");
+            steps.emplace_back(text.substr(i + 1, j - i - 1));
+            i = j;
+        }
+    } else {
+        // P-line step syntax: segment[+-](,segment[+-])*
+        size_t start = 0;
+        while (start <= text.size()) {
+            size_t end = text.find(',', start);
+            if (end == std::string_view::npos)
+                end = text.size();
+            const std::string_view step = text.substr(start, end - start);
+            SEGRAM_CHECK(step.size() >= 2,
+                         where + ": malformed path step '" +
+                             std::string(step) + "'");
+            SEGRAM_CHECK(step.back() == '+',
+                         where + ": only forward ('+') path steps are "
+                                 "supported");
+            steps.emplace_back(step.substr(0, step.size() - 1));
+            if (end == text.size())
+                break;
+            start = end + 1;
+        }
+    }
+    SEGRAM_CHECK(!steps.empty(), where + ": path has no steps");
+    return steps;
+}
+
+} // namespace
+
 GfaDocument
 readGfa(std::istream &in)
 {
     GfaDocument doc;
     std::unordered_set<std::string> segment_names;
+    std::unordered_set<std::string> path_names;
     std::string line;
     size_t line_no = 0;
     while (std::getline(in, line)) {
@@ -31,10 +87,8 @@ readGfa(std::istream &in)
         const std::string where = "GFA line " + std::to_string(line_no);
         switch (line[0]) {
           case 'H':
-          case 'P':
-          case 'W':
           case '#':
-            break; // headers / paths / comments: ignored
+            break; // headers / comments: ignored
           case 'S': {
             const auto fields = splitTabs(line);
             SEGRAM_CHECK(fields.size() >= 3, where + ": S needs 3 fields");
@@ -60,6 +114,55 @@ readGfa(std::istream &in)
                 {std::string(fields[1]), std::string(fields[3])});
             break;
           }
+          case 'P': {
+            const auto fields = splitTabs(line);
+            SEGRAM_CHECK(fields.size() >= 3, where + ": P needs 3 fields");
+            SEGRAM_CHECK(!fields[1].empty(), where + ": empty path name");
+            if (fields.size() >= 4 && fields[3] != "*") {
+                // Overlap CIGARs between steps: only trivial ones, to
+                // match the 0M-only link policy. The GFA1 spec form is
+                // a comma-separated list ("0M,0M,..."), one per step
+                // pair; '*' elements are also trivially fine.
+                std::string_view overlaps = fields[3];
+                while (!overlaps.empty()) {
+                    size_t comma = overlaps.find(',');
+                    if (comma == std::string_view::npos)
+                        comma = overlaps.size();
+                    const std::string_view one =
+                        overlaps.substr(0, comma);
+                    SEGRAM_CHECK(one == "0M" || one == "*",
+                                 where + ": only trivial (0M) path "
+                                         "overlaps are supported");
+                    overlaps.remove_prefix(
+                        std::min(comma + 1, overlaps.size()));
+                }
+            }
+            const std::string name(fields[1]);
+            SEGRAM_CHECK(path_names.insert(name).second,
+                         where + ": duplicate path " + name);
+            doc.paths.push_back(
+                {name, parsePathSteps(fields[2], where)});
+            break;
+          }
+          case 'W': {
+            // W <sample> <hap> <seqid> <start> <end> <walk>
+            const auto fields = splitTabs(line);
+            SEGRAM_CHECK(fields.size() >= 7, where + ": W needs 7 fields");
+            SEGRAM_CHECK(!fields[3].empty(), where + ": empty walk seqid");
+            std::string name;
+            if (fields[1].empty() || fields[1] == "*") {
+                name = std::string(fields[3]);
+            } else {
+                name = std::string(fields[1]) + "#" +
+                       std::string(fields[2]) + "#" +
+                       std::string(fields[3]);
+            }
+            SEGRAM_CHECK(path_names.insert(name).second,
+                         where + ": duplicate path " + name);
+            doc.paths.push_back(
+                {name, parsePathSteps(fields[6], where)});
+            break;
+          }
           default:
             SEGRAM_CHECK(false, where + ": unknown record type '" +
                                     std::string(1, line[0]) + "'");
@@ -70,6 +173,13 @@ readGfa(std::istream &in)
                      "GFA link from undeclared segment " + link.from);
         SEGRAM_CHECK(segment_names.count(link.to),
                      "GFA link to undeclared segment " + link.to);
+    }
+    for (const auto &path : doc.paths) {
+        for (const auto &step : path.steps) {
+            SEGRAM_CHECK(segment_names.count(step),
+                         "GFA path " + path.name +
+                             " steps through undeclared segment " + step);
+        }
     }
     return doc;
 }
@@ -90,6 +200,15 @@ writeGfa(std::ostream &out, const GfaDocument &doc)
         out << "S\t" << segment.name << '\t' << segment.seq << '\n';
     for (const auto &link : doc.links)
         out << "L\t" << link.from << "\t+\t" << link.to << "\t+\t0M\n";
+    for (const auto &path : doc.paths) {
+        out << "P\t" << path.name << '\t';
+        for (size_t i = 0; i < path.steps.size(); ++i) {
+            if (i > 0)
+                out << ',';
+            out << path.steps[i] << '+';
+        }
+        out << "\t*\n";
+    }
 }
 
 void
@@ -98,6 +217,53 @@ writeGfaFile(const std::string &path, const GfaDocument &doc)
     std::ofstream out(path);
     SEGRAM_CHECK(out.good(), "cannot open GFA file for write: " + path);
     writeGfa(out, doc);
+}
+
+std::unordered_map<std::string, uint32_t>
+segmentIndexByName(const GfaDocument &doc)
+{
+    std::unordered_map<std::string, uint32_t> index;
+    index.reserve(doc.segments.size());
+    for (uint32_t i = 0; i < doc.segments.size(); ++i) {
+        SEGRAM_CHECK(index.emplace(doc.segments[i].name, i).second,
+                     "GFA duplicate segment " + doc.segments[i].name);
+    }
+    return index;
+}
+
+uint32_t
+lookupSegment(const std::unordered_map<std::string, uint32_t> &index,
+              const std::string &name)
+{
+    const auto it = index.find(name);
+    SEGRAM_CHECK(it != index.end(),
+                 "GFA references undeclared segment " + name);
+    return it->second;
+}
+
+bool
+isGfaFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        return false;
+    std::string line;
+    // The first non-blank, non-comment line decides. The line budget
+    // only bounds the work spent on arbitrarily large non-GFA files;
+    // it is far larger than any realistic '#' preamble, so a comment
+    // block cannot defeat the sniff.
+    for (int scanned = 0; scanned < 4096 && std::getline(in, line);
+         ++scanned) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        const char tag = line[0];
+        const bool record_tag = tag == 'H' || tag == 'S' || tag == 'L' ||
+                                tag == 'P' || tag == 'W';
+        return record_tag && (line.size() == 1 || line[1] == '\t');
+    }
+    return false;
 }
 
 } // namespace segram::io

@@ -2,9 +2,13 @@
  * @file
  * GFA v1 reading/writing. The paper converts VG-formatted graphs to GFA
  * ("GFA is easier to work with for the later steps of the pre-processing");
- * this module is that interchange format. Only S (segment) and L (link)
- * lines are modeled; links must be + / + oriented with 0M overlap, which
- * is what acyclic genome variation graphs use.
+ * this module is that interchange format. S (segment), L (link) and
+ * P/W (path/walk) lines are modeled; links and path steps must be + / +
+ * oriented with 0M overlap, which is what acyclic genome variation
+ * graphs use. Paths carry the reference coordinate system: a path's
+ * steps concatenate into the linear reference (or haplotype walk) the
+ * graph was built around, which is what lets an imported graph report
+ * path-space mapping positions.
  */
 
 #ifndef SEGRAM_SRC_IO_GFA_H
@@ -13,6 +17,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace segram::io
@@ -36,32 +41,77 @@ struct GfaLink
     bool operator==(const GfaLink &) const = default;
 };
 
+/**
+ * A P or W line: a named walk through forward-oriented segments. W
+ * (walk) lines are folded into the same shape with the name
+ * `sample#haplotype#seqid` (the PanSN convention), or just `seqid`
+ * when the sample is `*`.
+ */
+struct GfaPath
+{
+    std::string name;
+    std::vector<std::string> steps; ///< segment names, in walk order
+
+    bool operator==(const GfaPath &) const = default;
+};
+
 /** An in-memory GFA document. */
 struct GfaDocument
 {
     std::vector<GfaSegment> segments;
     std::vector<GfaLink> links;
+    std::vector<GfaPath> paths;
 
     bool operator==(const GfaDocument &) const = default;
 };
 
 /**
- * Parses GFA v1 from a stream. H lines are ignored; P/W lines are
- * ignored (paths are not needed by the pipeline).
+ * Parses GFA v1 from a stream. H lines and comments are ignored; S, L,
+ * P and W lines are modeled.
  *
- * @throws InputError on malformed S/L lines, non-(+,+) orientations,
- *         overlaps other than 0M or '*', or links to undeclared segments.
+ * @throws InputError on malformed S/L/P/W lines, non-(+,+)
+ *         orientations (links or path steps), overlaps other than 0M
+ *         or '*', duplicate segment or path names, or links/path steps
+ *         naming undeclared segments (a dangling path step).
  */
 GfaDocument readGfa(std::istream &in);
 
 /** Parses GFA from a file path. @throws InputError if unreadable. */
 GfaDocument readGfaFile(const std::string &path);
 
-/** Writes a GFA v1 document (H, S and L lines). */
+/** Writes a GFA v1 document (H, S, L and P lines). */
 void writeGfa(std::ostream &out, const GfaDocument &doc);
 
 /** Writes a document to a file. @throws InputError if not writable. */
 void writeGfaFile(const std::string &path, const GfaDocument &doc);
+
+/**
+ * Builds the name -> document-index map of @p doc's segments — the
+ * shared first step of every consumer that resolves links or path
+ * steps (GenomeGraph::fromGfa, graph::importGfa).
+ *
+ * @throws InputError on duplicate segment names.
+ */
+std::unordered_map<std::string, uint32_t>
+segmentIndexByName(const GfaDocument &doc);
+
+/**
+ * Resolves @p name in a segmentIndexByName() map.
+ *
+ * @throws InputError when the segment was never declared.
+ */
+uint32_t
+lookupSegment(const std::unordered_map<std::string, uint32_t> &index,
+              const std::string &name);
+
+/**
+ * Content sniff (the GFA analogue of isPackFile): true when the first
+ * non-blank, non-comment line looks like a GFA record (H/S/L/P/W tag
+ * followed by a tab or end of line). FASTA (`>`), FASTQ (`@`) and VCF
+ * (`##`) all fail this test, so the CLI can route a positional
+ * argument by content instead of extension.
+ */
+bool isGfaFile(const std::string &path);
 
 } // namespace segram::io
 

@@ -139,6 +139,29 @@ parsePafLine(std::string_view line)
         if (tag.starts_with("cg:Z:"))
             record.cigar = Cigar::fromString(tag.substr(5));
     }
+    // Internal consistency: a record whose intervals are inverted or
+    // run past their sequence, or that claims more matches than
+    // aligned columns, would silently skew `segram eval` (e.g. a
+    // swapped start/end pair can land inside the correctness window
+    // by accident). Reject instead.
+    SEGRAM_CHECK(record.queryStart <= record.queryEnd,
+                 "PAF query start " + std::to_string(record.queryStart) +
+                     " > query end " + std::to_string(record.queryEnd));
+    SEGRAM_CHECK(record.queryEnd <= record.queryLen,
+                 "PAF query end " + std::to_string(record.queryEnd) +
+                     " > query length " + std::to_string(record.queryLen));
+    SEGRAM_CHECK(record.targetStart <= record.targetEnd,
+                 "PAF target start " +
+                     std::to_string(record.targetStart) + " > target end " +
+                     std::to_string(record.targetEnd));
+    SEGRAM_CHECK(record.targetEnd <= record.targetLen,
+                 "PAF target end " + std::to_string(record.targetEnd) +
+                     " > target length " +
+                     std::to_string(record.targetLen));
+    SEGRAM_CHECK(record.matches <= record.alignmentLen,
+                 "PAF match count " + std::to_string(record.matches) +
+                     " > alignment length " +
+                     std::to_string(record.alignmentLen));
     return record;
 }
 

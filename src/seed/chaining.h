@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/check.h"
+
 namespace segram::seed
 {
 
@@ -25,15 +27,33 @@ struct SeedHit
     bool operator==(const SeedHit &) const = default;
 };
 
-/** A chain: a group of co-diagonal seeds. */
+/** A chain: a group of co-diagonal seeds. Never empty: chainSeeds()
+ *  only emits chains with at least one member hit. */
 struct Chain
 {
     std::vector<SeedHit> hits; ///< members, sorted by refPos
     int score = 0;             ///< number of member seeds
 
-    /** @return The diagonal-anchored reference start of the chain. */
-    uint64_t refStart() const { return hits.front().refPos; }
-    uint64_t refEnd() const { return hits.back().refPos; }
+    /**
+     * @return The diagonal-anchored reference start of the chain.
+     * @throws InputError on an empty chain (front()/back() on an empty
+     *         vector would be undefined behaviour, not a crash).
+     */
+    uint64_t
+    refStart() const
+    {
+        SEGRAM_CHECK(!hits.empty(), "refStart() on an empty chain");
+        return hits.front().refPos;
+    }
+
+    /** @return The last member's reference position. @throws InputError
+     *          on an empty chain. */
+    uint64_t
+    refEnd() const
+    {
+        SEGRAM_CHECK(!hits.empty(), "refEnd() on an empty chain");
+        return hits.back().refPos;
+    }
 };
 
 /** Chaining parameters. */

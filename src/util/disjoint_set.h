@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal union-find over dense uint32 indices, with path halving and
+ * min-root union. The min-root convention is load-bearing for the GFA
+ * importers: the representative of a component is its smallest member
+ * index, which keeps component discovery deterministic and
+ * document-order-friendly.
+ */
+
+#ifndef SEGRAM_SRC_UTIL_DISJOINT_SET_H
+#define SEGRAM_SRC_UTIL_DISJOINT_SET_H
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace segram::util
+{
+
+/** Union-find (disjoint-set forest) over indices [0, n). */
+class DisjointSet
+{
+  public:
+    explicit DisjointSet(size_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    /** @return The representative (smallest member) of @p x's set. */
+    uint32_t
+    find(uint32_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]]; // path halving
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    /** Merges the sets of @p a and @p b (smaller root wins). */
+    void
+    unite(uint32_t a, uint32_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent_[std::max(a, b)] = std::min(a, b);
+    }
+
+  private:
+    std::vector<uint32_t> parent_;
+};
+
+} // namespace segram::util
+
+#endif // SEGRAM_SRC_UTIL_DISJOINT_SET_H

@@ -15,16 +15,25 @@
 #     acceptance, no crashes), including the pipeline knobs
 #     (--max-regions/--early-exit/--chain-filter/--max-chains/
 #     --hop-limit), which must also be rejected under baseline engines;
-#  5. run the accuracy loop: simulate -> map with all three engines
-#     (segram, graphaligner, vg) -> `segram eval` against the
-#     .truth.tsv sidecar, gating SeGraM sensitivity at >= either
-#     baseline minus epsilon (the paper's accuracy-parity claim).
+#  5. wire the GFA route end to end: `segram construct` -> map straight
+#     from the .gfa at 1/2/4 threads, requiring byte-identical PAF to
+#     the FASTA+VCF route; a segment-shuffled copy of the GFA must map
+#     identically too (the canonical fromGfa sort); `segram index`
+#     accepts the GFA and the resulting pack maps identically; the
+#     committed tests/data fixture exercises an external-style
+#     pangenome with --path-coords reporting path-space positions;
+#  6. run the accuracy loop: simulate -> map with all three engines
+#     (segram, graphaligner, vg) plus the GFA route -> `segram eval`
+#     against the .truth.tsv sidecar, gating SeGraM sensitivity at >=
+#     either baseline minus epsilon (the paper's accuracy-parity
+#     claim) and the GFA route at exactly the direct route's score.
 #
 # usage: test_cli.sh <path-to-segram-binary>
 set -e
 bin="$1"
 test -x "$bin" || { echo "usage: test_cli.sh <segram-binary>"; exit 2; }
 golden="$(dirname "$0")/golden/map_smoke.paf"
+fixture="$(dirname "$0")/data/tiny_pangenome.gfa"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -115,6 +124,87 @@ grep -q "invalid pack" "$tmp/err.log" || {
 }
 echo "cli pack rejection OK"
 
+# --- GFA route: construct -> map-from-gfa, byte-identical PAF ---
+"$bin" construct "$tmp/d.fa" "$tmp/d.vcf" "$tmp/d.gfa" 2> "$tmp/gfa.log"
+grep -q "paths" "$tmp/gfa.log" || {
+    echo "FAIL: construct reported no P lines"
+    exit 1
+}
+grep -q "^P" "$tmp/d.gfa" || { echo "FAIL: GFA has no P line"; exit 1; }
+for threads in 1 2 4; do
+    "$bin" map --threads "$threads" "$tmp/d.gfa" "$tmp/d.reads.fa" \
+        > "$tmp/gfa$threads.paf" 2> /dev/null
+    cmp "$tmp/t1.paf" "$tmp/gfa$threads.paf" || {
+        echo "FAIL: GFA-route PAF differs from FASTA+VCF at" \
+             "$threads thread(s)"
+        exit 1
+    }
+done
+echo "cli map-from-gfa OK (bit-identical at 1/2/4 threads)"
+
+# A segment-shuffled copy of the same GFA must map identically: the
+# canonical topological sort in fromGfa makes node IDs independent of
+# S-line order. (Reversing the S/L lines is a worst-case shuffle.)
+{
+    grep "^H" "$tmp/d.gfa"
+    grep "^S" "$tmp/d.gfa" | sed -n '1!G;h;$p'
+    grep "^L" "$tmp/d.gfa" | sed -n '1!G;h;$p'
+    grep "^P" "$tmp/d.gfa"
+} > "$tmp/d_shuffled.gfa"
+"$bin" map --threads 2 "$tmp/d_shuffled.gfa" "$tmp/d.reads.fa" \
+    > "$tmp/gfa_shuf.paf" 2> /dev/null
+cmp "$tmp/t1.paf" "$tmp/gfa_shuf.paf" || {
+    echo "FAIL: shuffled-segment GFA maps differently"
+    exit 1
+}
+echo "cli shuffled-gfa invariance OK"
+
+# `segram index` must accept the GFA (content-sniffed, two
+# positionals) and the pack must map identically.
+"$bin" index "$tmp/d.gfa" "$tmp/dgfa.segram" 2> /dev/null
+"$bin" map "$tmp/dgfa.segram" "$tmp/d.reads.fq" \
+    > "$tmp/gfa_pack.paf" 2> /dev/null
+cmp "$tmp/t1.paf" "$tmp/gfa_pack.paf" || {
+    echo "FAIL: GFA-built pack maps differently"
+    exit 1
+}
+echo "cli index-from-gfa OK"
+
+# The committed external-style fixture: out-of-order segments, a SNP
+# bubble and an insertion allele, with a P line naming chrT. The read
+# is an exact 100 bp cut of the reference path at position 100, so
+# --path-coords must report chrT:100 with the 342 bp path length.
+test -s "$fixture" || { echo "FAIL: missing fixture $fixture"; exit 1; }
+cat > "$tmp/fix.fa" <<'EOF'
+>fixread_pathpos100
+CTGTGTCCACCCCATCGGACACTGGCATTTTTATTACACTCAGAAACAGAACTCGGGTAATTTTGACAGGTCACGCAGAGGCGCGCCCTCCTGAAGTGCG
+EOF
+"$bin" map --path-coords --bucket-bits 10 "$fixture" "$tmp/fix.fa" \
+    > "$tmp/fix.paf" 2> /dev/null
+test -s "$tmp/fix.paf" || { echo "FAIL: fixture read unmapped"; exit 1; }
+awk -F'\t' '{
+    if ($6 != "chrT" || $7 != 342 || $8 != 100) {
+        printf "FAIL: fixture PAF target %s:%s/%s, want chrT:100/342\n", \
+            $6, $8, $7
+        exit 1
+    }
+}' "$tmp/fix.paf" || exit 1
+echo "cli fixture + --path-coords OK"
+
+# A malformed (cyclic) GFA must be rejected with a clean error.
+printf 'S\ta\tACGT\nS\tb\tTTTT\nL\ta\t+\tb\t+\t0M\nL\tb\t+\ta\t+\t0M\n' \
+    > "$tmp/cyclic.gfa"
+if "$bin" map "$tmp/cyclic.gfa" "$tmp/d.reads.fa" \
+    > /dev/null 2> "$tmp/err.log"; then
+    echo "FAIL: cyclic GFA was accepted"
+    exit 1
+fi
+grep -q "cyclic" "$tmp/err.log" || {
+    echo "FAIL: cyclic GFA did not report a cycle error"
+    exit 1
+}
+echo "cli gfa rejection OK"
+
 # --- numeric flag validation: every bad value must fail loudly ---
 # "--threads 0" used to mean "all cores"; it is now an explicit error.
 for bad_flag in \
@@ -156,6 +246,24 @@ for bad_sim in "0 5 100 0.01" "10000 x 100 0.01" "10000 5 100 1.5"; do
         exit 1
     }
 done
+# Flags must only be accepted by subcommands that consume them, and
+# GFA-mode index must reject a stray third positional (otherwise the
+# middle file would silently be overwritten with the pack).
+for bad_cmd in \
+    "index --path-coords $tmp/d.fa $tmp/d.vcf $tmp/x.segram" \
+    "index $tmp/d.gfa $tmp/d.vcf $tmp/x.segram" \
+    "construct --path-coords $tmp/d.fa $tmp/d.vcf $tmp/x.gfa" \
+    "eval --path-coords $tmp/e.truth.tsv $tmp/segram.paf"; do
+    # shellcheck disable=SC2086
+    if "$bin" $bad_cmd > /dev/null 2> "$tmp/flag.log"; then
+        echo "FAIL: '$bad_cmd' was accepted"
+        exit 1
+    fi
+    grep -q "error" "$tmp/flag.log" || {
+        echo "FAIL: '$bad_cmd' rejected without a clear error message"
+        exit 1
+    }
+done
 echo "cli flag validation OK"
 
 # --- accuracy loop: simulate -> map x3 engines -> eval ---
@@ -171,8 +279,18 @@ for engine in segram graphaligner vg; do
     "$bin" map --engine "$engine" --threads 2 "$tmp/e.fa" "$tmp/e.vcf" \
         "$tmp/e.reads.fq" 0.05 > "$tmp/$engine.paf" 2> /dev/null
 done
+# The construct -> map-from-gfa route must score exactly like the
+# direct FASTA+VCF route (it is the same graph, rebuilt from GFA).
+"$bin" construct "$tmp/e.fa" "$tmp/e.vcf" "$tmp/e.gfa" 2> /dev/null
+"$bin" map --threads 2 "$tmp/e.gfa" "$tmp/e.reads.fq" 0.05 \
+    > "$tmp/gfa.paf" 2> /dev/null
+cmp "$tmp/segram.paf" "$tmp/gfa.paf" || {
+    echo "FAIL: eval-dataset GFA-route PAF differs from direct route"
+    exit 1
+}
 "$bin" eval "$tmp/e.truth.tsv" \
     segram="$tmp/segram.paf" \
+    gfa="$tmp/gfa.paf" \
     graphaligner="$tmp/graphaligner.paf" \
     vg="$tmp/vg.paf" > "$tmp/eval.tsv" 2> /dev/null
 
@@ -184,8 +302,13 @@ awk -F'\t' '
     END {
         eps = 0.05
         if (!("segram" in sens) || !("graphaligner" in sens) ||
-            !("vg" in sens)) {
+            !("vg" in sens) || !("gfa" in sens)) {
             print "FAIL: eval TSV missing a mapper row"; exit 1
+        }
+        if (sens["gfa"] != sens["segram"]) {
+            printf "FAIL: gfa route sensitivity %s != segram %s\n", \
+                sens["gfa"], sens["segram"]
+            exit 1
         }
         if (sens["segram"] < 0.9) {
             printf "FAIL: segram sensitivity %s < 0.9\n", sens["segram"]

@@ -155,6 +155,34 @@ TEST_F(EvalFileTest, PafParserRejectsGarbage)
     EXPECT_THROW(io::readPafFile(path("absent.paf")), InputError);
 }
 
+TEST(PafParser, RejectsInternallyInconsistentRecords)
+{
+    // The anchor: this exact record is consistent and parses.
+    EXPECT_NO_THROW(
+        io::parsePafLine("q\t10\t0\t10\t+\tt\t50\t5\t15\t8\t10\t60"));
+    // queryStart > queryEnd — a swapped pair could still land inside
+    // the eval correctness window and silently skew the report.
+    EXPECT_THROW(
+        io::parsePafLine("q\t10\t10\t0\t+\tt\t50\t5\t15\t8\t10\t60"),
+        InputError);
+    // queryEnd > queryLen.
+    EXPECT_THROW(
+        io::parsePafLine("q\t10\t0\t11\t+\tt\t50\t5\t15\t8\t10\t60"),
+        InputError);
+    // targetStart > targetEnd.
+    EXPECT_THROW(
+        io::parsePafLine("q\t10\t0\t10\t+\tt\t50\t15\t5\t8\t10\t60"),
+        InputError);
+    // targetEnd > targetLen.
+    EXPECT_THROW(
+        io::parsePafLine("q\t10\t0\t10\t+\tt\t50\t5\t51\t8\t10\t60"),
+        InputError);
+    // matches > alignmentLen.
+    EXPECT_THROW(
+        io::parsePafLine("q\t10\t0\t10\t+\tt\t50\t5\t15\t11\t10\t60"),
+        InputError);
+}
+
 TEST(AccuracyEvaluator, ThresholdBoundsTheCorrectnessWindow)
 {
     EvalConfig config;

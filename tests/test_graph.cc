@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
+#include <sstream>
 
 #include "src/graph/genome_graph.h"
 #include "src/graph/graph_builder.h"
@@ -217,19 +220,230 @@ TEST(GenomeGraph, TopologicalSortRejectsCycles)
     EXPECT_THROW(g.topologicallySorted(), InputError);
 }
 
+/** Structural equality: sequences and edge lists, node by node. */
+void
+expectSameStructure(const GenomeGraph &a, const GenomeGraph &b)
+{
+    ASSERT_EQ(a.numNodes(), b.numNodes());
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    for (NodeId id = 0; id < a.numNodes(); ++id) {
+        EXPECT_EQ(a.nodeSeq(id), b.nodeSeq(id));
+        const auto s1 = a.successors(id);
+        const auto s2 = b.successors(id);
+        EXPECT_EQ(std::vector<NodeId>(s1.begin(), s1.end()),
+                  std::vector<NodeId>(s2.begin(), s2.end()));
+    }
+}
+
+/** Full equality: structure plus the path-space metadata. */
+void
+expectSameGraph(const GenomeGraph &a, const GenomeGraph &b)
+{
+    expectSameStructure(a, b);
+    for (NodeId id = 0; id < a.numNodes(); ++id) {
+        EXPECT_EQ(a.node(id).refPos, b.node(id).refPos) << "node " << id;
+        EXPECT_EQ(a.node(id).isAlt, b.node(id).isAlt) << "node " << id;
+    }
+}
+
 TEST(GenomeGraph, GfaRoundTrip)
 {
     const GenomeGraph g =
         buildGraph("ACGTACGT", {{3, "T", "G"}, {6, "", "AA"}});
     const GenomeGraph back = GenomeGraph::fromGfa(g.toGfa());
-    ASSERT_EQ(back.numNodes(), g.numNodes());
-    ASSERT_EQ(back.numEdges(), g.numEdges());
+    expectSameStructure(g, back);
+}
+
+TEST(GenomeGraph, GfaRoundTripWithPathPreservesMetadata)
+{
+    // The full round-trip property: toGfa -> writeGfa -> readGfa ->
+    // fromGfa reproduces the original graph including refPos/isAlt,
+    // because the P line carries the reference-path coordinates.
+    // Substitution, insertion and deletion all participate.
+    const GenomeGraph g = buildGraph(
+        "ACGTACGTACGTACGT",
+        {{3, "T", "G"}, {6, "", "AA"}, {10, "GT", ""}});
+    std::ostringstream out;
+    io::writeGfa(out, g.toGfa("chr1"));
+    std::istringstream in(out.str());
+    const GenomeGraph back = GenomeGraph::fromGfa(io::readGfa(in));
+    expectSameGraph(g, back);
+}
+
+TEST(GenomeGraph, GfaRoundTripLinearChain)
+{
+    // The sequence-to-sequence special case: a chain graph with no ALT
+    // nodes round-trips with every node on the path.
+    const GenomeGraph g = buildGraph("ACGTACGTACGTACGT", {}, {4});
+    const GenomeGraph back = GenomeGraph::fromGfa(g.toGfa("seq"));
+    expectSameGraph(g, back);
+    EXPECT_EQ(back.pathLength(), 16u);
+}
+
+TEST(GenomeGraph, FromGfaSortsShuffledSegments)
+{
+    // The regression the unsorted-fromGfa bug caused: building the
+    // document in shuffled segment order used to assign node IDs in
+    // file order, yielding a graph that violates the node-ID-equals-
+    // topological-rank invariant MinSeed and LinearizedGraph rely on.
+    const GenomeGraph g =
+        buildGraph("ACGTACGTACGT", {{3, "T", "G"}, {7, "", "AA"}});
+    io::GfaDocument doc = g.toGfa("chr1");
+    io::GfaDocument shuffled = doc;
+    std::reverse(shuffled.segments.begin(), shuffled.segments.end());
+    std::reverse(shuffled.links.begin(), shuffled.links.end());
+
+    // Pre-fix behaviour, reproduced via the builder: file order is
+    // not a topological order, so the invariant would be violated.
+    {
+        GraphBuilder builder;
+        std::map<std::string, NodeId> ids;
+        for (const auto &segment : shuffled.segments)
+            ids[segment.name] = builder.addNode(segment.seq);
+        for (const auto &link : shuffled.links)
+            builder.addEdge(ids.at(link.from), ids.at(link.to));
+        const GenomeGraph unsorted = std::move(builder).build();
+        EXPECT_FALSE(unsorted.isTopologicallySorted());
+    }
+
+    // Post-fix: fromGfa canonically sorts, so the shuffled document
+    // produces the exact same graph as the in-order one — and both
+    // reproduce the FASTA+VCF-built original.
+    const GenomeGraph from_sorted = GenomeGraph::fromGfa(doc);
+    const GenomeGraph from_shuffled = GenomeGraph::fromGfa(shuffled);
+    EXPECT_TRUE(from_shuffled.isTopologicallySorted());
+    expectSameGraph(from_sorted, from_shuffled);
+    expectSameGraph(g, from_shuffled);
+}
+
+TEST(GenomeGraph, FromGfaRejectsCyclicLinks)
+{
+    io::GfaDocument doc;
+    doc.segments = {{"a", "AC"}, {"b", "GG"}, {"c", "TT"}};
+    doc.links = {{"a", "b"}, {"b", "c"}, {"c", "a"}};
+    try {
+        GenomeGraph::fromGfa(doc);
+        FAIL() << "cyclic GFA was accepted";
+    } catch (const InputError &error) {
+        EXPECT_NE(std::string(error.what()).find("cyclic"),
+                  std::string::npos);
+    }
+}
+
+TEST(GenomeGraph, FromGfaRejectsUnlinkedPathSteps)
+{
+    io::GfaDocument doc;
+    doc.segments = {{"a", "AC"}, {"b", "GG"}, {"c", "TT"}};
+    doc.links = {{"a", "b"}, {"b", "c"}};
+    doc.paths = {{"chr", {"a", "c"}}}; // a -> c has no link
+    EXPECT_THROW(GenomeGraph::fromGfa(doc), InputError);
+}
+
+TEST(GenomeGraph, FromGfaPathDefinesCoordinates)
+{
+    // Diamond: ref = AAA -> CC -> TTTT, alt GG parallel to CC.
+    io::GfaDocument doc;
+    doc.segments = {{"s1", "AAA"}, {"s2", "CC"}, {"alt", "GG"},
+                    {"s3", "TTTT"}};
+    doc.links = {{"s1", "s2"}, {"s1", "alt"}, {"alt", "s3"},
+                 {"s2", "s3"}};
+    doc.paths = {{"chr9", {"s1", "s2", "s3"}}};
+    const GenomeGraph g = GenomeGraph::fromGfa(doc);
+    ASSERT_EQ(g.numNodes(), 4u);
+    // Canonical order: s1 first, s3 last; s2/alt tie-break in between.
+    EXPECT_EQ(g.nodeSeq(0), "AAA");
+    EXPECT_EQ(g.node(0).refPos, 0u);
+    EXPECT_FALSE(g.node(0).isAlt);
+    // The off-path alt projects to the divergence point (position 3).
+    for (NodeId id = 1; id <= 2; ++id) {
+        if (g.node(id).isAlt) {
+            EXPECT_EQ(g.nodeSeq(id), "GG");
+            EXPECT_EQ(g.node(id).refPos, 3u);
+        } else {
+            EXPECT_EQ(g.nodeSeq(id), "CC");
+            EXPECT_EQ(g.node(id).refPos, 3u);
+        }
+    }
+    EXPECT_EQ(g.nodeSeq(3), "TTTT");
+    EXPECT_EQ(g.node(3).refPos, 5u);
+    EXPECT_FALSE(g.node(3).isAlt);
+    // Path space: 9 reference bases vs 11 concatenated.
+    EXPECT_EQ(g.pathLength(), 9u);
+    EXPECT_EQ(g.totalSeqLen(), 11u);
+}
+
+TEST(GenomeGraph, HaplotypeWalksDoNotDefineReferenceCoordinates)
+{
+    // Diamond with a reference path AND a haplotype walk through the
+    // alt branch (the vg/minigraph export shape: P for the reference,
+    // W per sample). The walk revisits covered segments, so it must
+    // not mark the alt node on-path or shift any refPos.
+    io::GfaDocument doc;
+    doc.segments = {{"s1", "AAA"}, {"s2", "CC"}, {"alt", "GGGGG"},
+                    {"s3", "TTTT"}};
+    doc.links = {{"s1", "s2"}, {"s1", "alt"}, {"alt", "s3"},
+                 {"s2", "s3"}};
+    doc.paths = {{"chr9", {"s1", "s2", "s3"}},
+                 {"sample1#1#chr9", {"s1", "alt", "s3"}}};
+    const GenomeGraph g = GenomeGraph::fromGfa(doc);
+    ASSERT_EQ(g.numNodes(), 4u);
+    int alts = 0;
     for (NodeId id = 0; id < g.numNodes(); ++id) {
-        EXPECT_EQ(back.nodeSeq(id), g.nodeSeq(id));
-        const auto s1 = g.successors(id);
-        const auto s2 = back.successors(id);
-        EXPECT_EQ(std::vector<NodeId>(s1.begin(), s1.end()),
-                  std::vector<NodeId>(s2.begin(), s2.end()));
+        if (g.nodeSeq(id) == "GGGGG") {
+            ++alts;
+            EXPECT_TRUE(g.node(id).isAlt);
+            // Projected to the divergence point, not to the walk's
+            // own cumulative offset.
+            EXPECT_EQ(g.node(id).refPos, 3u);
+        }
+        if (g.nodeSeq(id) == "TTTT") {
+            EXPECT_FALSE(g.node(id).isAlt);
+            EXPECT_EQ(g.node(id).refPos, 5u);
+        }
+    }
+    EXPECT_EQ(alts, 1);
+    // pathLength counts only the reference path (9), never the
+    // haplotype branch (which would make it 14).
+    EXPECT_EQ(g.pathLength(), 9u);
+
+    // Even a walk covering ONLY the alt branch (no shared backbone
+    // segment) is a haplotype walk of the same component, not a
+    // second reference path.
+    doc.paths = {{"chr9", {"s1", "s2", "s3"}}, {"altwalk", {"alt"}}};
+    const GenomeGraph g2 = GenomeGraph::fromGfa(doc);
+    EXPECT_EQ(g2.pathLength(), 9u);
+    for (NodeId id = 0; id < g2.numNodes(); ++id) {
+        if (g2.nodeSeq(id) == "GGGGG") {
+            EXPECT_TRUE(g2.node(id).isAlt);
+            EXPECT_EQ(g2.node(id).refPos, 3u);
+        }
+    }
+}
+
+TEST(GenomeGraph, PathProjection)
+{
+    const GenomeGraph g =
+        buildGraph("ACGTACGT", {{3, "T", "G"}, {6, "", "AA"}});
+    EXPECT_EQ(g.pathLength(), 8u);
+    // Every on-path position maps to its reference coordinate; alt
+    // positions map to their divergence point.
+    for (uint64_t pos = 0; pos < g.totalSeqLen(); ++pos) {
+        const NodeId id = g.nodeAtLinear(pos);
+        const auto &node = g.node(id);
+        if (node.isAlt) {
+            EXPECT_EQ(g.pathProject(pos), node.refPos);
+        } else {
+            EXPECT_EQ(g.pathProject(pos),
+                      node.refPos + (pos - node.linearOffset));
+        }
+    }
+    // The projection is monotone non-decreasing along the
+    // concatenated coordinate (alt bubbles plateau).
+    uint64_t prev = 0;
+    for (uint64_t pos = 0; pos < g.totalSeqLen(); ++pos) {
+        const uint64_t proj = g.pathProject(pos);
+        EXPECT_GE(proj, prev);
+        prev = proj;
     }
 }
 

@@ -151,6 +151,97 @@ TEST(Gfa, RejectsMalformed)
     EXPECT_THROW(readGfa(unknown), InputError);
 }
 
+TEST(Gfa, ParsesPathLines)
+{
+    std::istringstream in(
+        "S\t1\tACGT\n"
+        "S\t2\tTT\n"
+        "S\t3\tGG\n"
+        "L\t1\t+\t2\t+\t0M\n"
+        "L\t2\t+\t3\t+\t0M\n"
+        "P\tchr1\t1+,2+,3+\t*\n");
+    const auto doc = readGfa(in);
+    ASSERT_EQ(doc.paths.size(), 1u);
+    EXPECT_EQ(doc.paths[0].name, "chr1");
+    EXPECT_EQ(doc.paths[0].steps,
+              (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(Gfa, AcceptsTrivialOverlapLists)
+{
+    // The GFA1 spec writes one overlap per step pair ("0M,0M") —
+    // vg view and other exporters emit exactly that.
+    std::istringstream in(
+        "S\t1\tACGT\nS\t2\tTT\nS\t3\tGG\n"
+        "L\t1\t+\t2\t+\t0M\nL\t2\t+\t3\t+\t0M\n"
+        "P\tchr1\t1+,2+,3+\t0M,0M\n");
+    const auto doc = readGfa(in);
+    ASSERT_EQ(doc.paths.size(), 1u);
+    EXPECT_EQ(doc.paths[0].steps.size(), 3u);
+    // A non-trivial overlap anywhere in the list is still rejected.
+    std::istringstream bad(
+        "S\t1\tACGT\nS\t2\tTT\nS\t3\tGG\n"
+        "P\tchr1\t1+,2+,3+\t0M,3M\n");
+    EXPECT_THROW(readGfa(bad), InputError);
+}
+
+TEST(Gfa, ParsesWalkLines)
+{
+    std::istringstream in(
+        "S\ts1\tACGT\n"
+        "S\ts2\tTT\n"
+        "L\ts1\t+\ts2\t+\t0M\n"
+        "W\tsampleA\t1\tchr2\t0\t6\t>s1>s2\n"
+        "W\t*\t0\tchrX\t0\t6\t>s1>s2\n");
+    const auto doc = readGfa(in);
+    ASSERT_EQ(doc.paths.size(), 2u);
+    EXPECT_EQ(doc.paths[0].name, "sampleA#1#chr2");
+    EXPECT_EQ(doc.paths[0].steps,
+              (std::vector<std::string>{"s1", "s2"}));
+    EXPECT_EQ(doc.paths[1].name, "chrX");
+}
+
+TEST(Gfa, PathRoundTrip)
+{
+    GfaDocument doc;
+    doc.segments = {{"1", "ACGT"}, {"2", "GG"}, {"3", "T"}};
+    doc.links = {{"1", "2"}, {"2", "3"}, {"1", "3"}};
+    doc.paths = {{"chr1", {"1", "2", "3"}}, {"alt1", {"1", "3"}}};
+    std::ostringstream out;
+    writeGfa(out, doc);
+    std::istringstream in(out.str());
+    EXPECT_EQ(readGfa(in), doc);
+}
+
+TEST(Gfa, RejectsMalformedPaths)
+{
+    // Dangling path step: names a segment that was never declared.
+    std::istringstream dangling_step("S\t1\tAC\nP\tchr\t1+,9+\t*\n");
+    EXPECT_THROW(readGfa(dangling_step), InputError);
+    // Reverse-oriented path step.
+    std::istringstream reverse_step(
+        "S\t1\tAC\nS\t2\tGG\nL\t1\t+\t2\t+\t0M\nP\tchr\t1+,2-\t*\n");
+    EXPECT_THROW(readGfa(reverse_step), InputError);
+    // Duplicate path names (P/P and P/W).
+    std::istringstream dup_path(
+        "S\t1\tAC\nP\tchr\t1+\t*\nP\tchr\t1+\t*\n");
+    EXPECT_THROW(readGfa(dup_path), InputError);
+    std::istringstream dup_walk(
+        "S\t1\tAC\nP\tchr\t1+\t*\nW\t*\t0\tchr\t0\t2\t>1\n");
+    EXPECT_THROW(readGfa(dup_walk), InputError);
+    // Empty step list and short records.
+    std::istringstream no_steps("S\t1\tAC\nP\tchr\t\t*\n");
+    EXPECT_THROW(readGfa(no_steps), InputError);
+    std::istringstream short_p("P\tchr\n");
+    EXPECT_THROW(readGfa(short_p), InputError);
+    std::istringstream short_w("W\ta\t0\tchr\n");
+    EXPECT_THROW(readGfa(short_w), InputError);
+    // Reverse-oriented walk step.
+    std::istringstream reverse_walk(
+        "S\t1\tAC\nS\t2\tGG\nW\t*\t0\tchr\t0\t4\t>1<2\n");
+    EXPECT_THROW(readGfa(reverse_walk), InputError);
+}
+
 TEST(Fastq, ParsesRecords)
 {
     std::istringstream in(
@@ -447,8 +538,42 @@ TEST_F(FileRoundTrip, Gfa)
     GfaDocument doc;
     doc.segments = {{"a", "ACGT"}, {"b", "GG"}};
     doc.links = {{"a", "b"}};
+    doc.paths = {{"chr1", {"a", "b"}}};
     writeGfaFile(path("x.gfa"), doc);
     EXPECT_EQ(readGfaFile(path("x.gfa")), doc);
+}
+
+TEST_F(FileRoundTrip, IsGfaFileSniffsContent)
+{
+    GfaDocument doc;
+    doc.segments = {{"a", "ACGT"}};
+    writeGfaFile(path("x.gfa"), doc);
+    EXPECT_TRUE(isGfaFile(path("x.gfa")));
+    // A leading comment block must not defeat the sniff, no matter
+    // how long (comments and blanks do not consume the scan budget).
+    {
+        std::ofstream out(path("c.gfa"));
+        for (int i = 0; i < 40; ++i)
+            out << "# preamble line " << i << "\n\n";
+        out << "S\ta\tACGT\n";
+    }
+    EXPECT_TRUE(isGfaFile(path("c.gfa")));
+    // FASTA, FASTQ, VCF and junk are not GFA.
+    writeFastaFile(path("x.fa"), {{"chr1", "ACGT"}});
+    EXPECT_FALSE(isGfaFile(path("x.fa")));
+    writeFastqFile(path("x.fq"), {{"r", "ACGT", "IIII"}});
+    EXPECT_FALSE(isGfaFile(path("x.fq")));
+    {
+        std::ofstream out(path("x.vcf"));
+        out << "##fileformat=VCFv4.2\n";
+    }
+    EXPECT_FALSE(isGfaFile(path("x.vcf")));
+    {
+        std::ofstream out(path("x.txt"));
+        out << "Hello world\n"; // 'H' tag but no tab separator
+    }
+    EXPECT_FALSE(isGfaFile(path("x.txt")));
+    EXPECT_FALSE(isGfaFile(path("absent.gfa")));
 }
 
 TEST_F(FileRoundTrip, ReadsFileSniffsFormat)

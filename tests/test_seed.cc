@@ -272,6 +272,18 @@ TEST(ChainSeeds, EmptyInputYieldsNoChains)
     EXPECT_TRUE(chainSeeds({}, config).empty());
 }
 
+TEST(Chain, EmptyChainEndpointsThrowInsteadOfUb)
+{
+    // front()/back() on an empty hits vector is undefined behaviour;
+    // the accessors must fail loudly instead.
+    const Chain empty;
+    EXPECT_THROW(empty.refStart(), InputError);
+    EXPECT_THROW(empty.refEnd(), InputError);
+    const Chain one{{{42, 7}}, 1};
+    EXPECT_EQ(one.refStart(), 42u);
+    EXPECT_EQ(one.refEnd(), 42u);
+}
+
 TEST(ChainSeeds, CoDiagonalSeedsFormOneChain)
 {
     // Three seeds on the exact same diagonal (refPos - readPos = 1000)

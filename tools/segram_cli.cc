@@ -5,28 +5,39 @@
  *
  *   segram construct <ref.fa> <vars.vcf> <out.gfa>
  *       Pre-processing step 0.1: build the topologically sorted genome
- *       graph (one per FASTA record / chromosome) and write it as GFA.
+ *       graph (one per FASTA record / chromosome) and write it as GFA
+ *       — disjoint components with name-prefixed segments, plus one P
+ *       line per chromosome walking its reference backbone, so the
+ *       chromosome names and path coordinates survive a round trip
+ *       through the interchange format.
  *
- *   segram index [--bucket-bits N] [--stats] <ref.fa> <vars.vcf>
- *                <out.segram>
+ *   segram index [--bucket-bits N] [--stats]
+ *                (<ref.fa> <vars.vcf> | <graph.gfa>) <out.segram>
  *       Full pre-processing (Section 5): graph + minimizer index per
  *       chromosome, serialized as a `.segram` pack — raw mmap-able
  *       tables mirroring the paper's Fig. 5/Fig. 6 memory layout.
- *       --stats prints the per-chromosome table footprints.
+ *       The graph source is either FASTA+VCF or an imported GFA
+ *       (detected by content), e.g. a vg/minigraph-style pangenome or
+ *       the output of `segram construct`. --stats prints the
+ *       per-chromosome table footprints.
  *
  *   segram map [--threads N] [--batch N] [--bucket-bits N]
- *              [--engine segram|graphaligner|vg]
- *              (<ref.fa> <vars.vcf> | <pack.segram>) <reads.fa|fq> [E]
- *       Full pipeline: obtain the pre-processed reference — either by
- *       building it from FASTA+VCF or by memory-mapping a `.segram`
- *       pack (detected by magic) — then stream the reads (FASTA or
- *       FASTQ) in batches through the multi-threaded BatchMapper
- *       (trying both strands) and print PAF to stdout. The stderr
- *       report splits pre-processing time from mapping time, so the
- *       build-once/map-forever win of packs is visible. E is the
- *       expected per-base error rate (default 0.10). --engine swaps
- *       the SeGraM pipeline for one of the CPU baseline mappers
- *       (Section 10), so all three can be compared with `segram eval`.
+ *              [--engine segram|graphaligner|vg] [--path-coords]
+ *              (<ref.fa> <vars.vcf> | <graph.gfa> | <pack.segram>)
+ *              <reads.fa|fq> [E]
+ *       Full pipeline: obtain the pre-processed reference — by
+ *       building it from FASTA+VCF, by importing a GFA graph, or by
+ *       memory-mapping a `.segram` pack (all detected by content) —
+ *       then stream the reads (FASTA or FASTQ) in batches through the
+ *       multi-threaded BatchMapper (trying both strands) and print
+ *       PAF to stdout. The stderr report splits pre-processing time
+ *       from mapping time, so the build-once/map-forever win of packs
+ *       is visible. E is the expected per-base error rate (default
+ *       0.10). --engine swaps the SeGraM pipeline for one of the CPU
+ *       baseline mappers (Section 10), so all three can be compared
+ *       with `segram eval`. --path-coords reports PAF target
+ *       coordinates projected onto the reference path (chromosome
+ *       coordinates) instead of the graph's concatenated offsets.
  *
  *   segram simulate <out_prefix> <genome_len> <num_reads> <read_len> <err>
  *       Emit a synthetic dataset (<prefix>.fa, <prefix>.vcf,
@@ -40,6 +51,7 @@
  *       error profile. TSV rows to stdout, human summary to stderr.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -106,6 +118,27 @@ buildReference(const std::string &fasta_path, const std::string &vcf_path,
     return reference;
 }
 
+/** Imports a GFA graph, logging one line per recovered chromosome. */
+core::PreprocessedReference
+buildReferenceGfa(const std::string &gfa_path, int bucket_bits)
+{
+    index::IndexConfig config;
+    config.bucketBits = bucket_bits;
+    std::vector<core::ChromosomeBuildInfo> info;
+    auto reference = core::PreprocessedReference::buildFromGfa(
+        gfa_path, config, &info);
+    for (size_t i = 0; i < reference.numChromosomes(); ++i) {
+        std::fprintf(
+            stderr,
+            "[segram] %s (imported GFA): %llu path bp, %zu nodes, "
+            "%zu edges\n",
+            info[i].name.c_str(),
+            static_cast<unsigned long long>(info[i].referenceBases),
+            reference.graph(i).numNodes(), reference.graph(i).numEdges());
+    }
+    return reference;
+}
+
 int
 cmdConstruct(const std::string &fasta_path, const std::string &vcf_path,
              const std::string &gfa_path)
@@ -127,17 +160,30 @@ cmdConstruct(const std::string &fasta_path, const std::string &vcf_path,
                      variants.size(),
                      static_cast<unsigned long long>(dropped),
                      graph.numNodes(), graph.numEdges());
-        const auto part = graph.toGfa();
+        // The per-chromosome P line keeps the chromosome name and its
+        // reference-path coordinates importable; segment names are
+        // prefixed so multi-chromosome documents stay collision-free.
+        const auto part = graph.toGfa(record.name);
         for (const auto &segment : part.segments)
             doc.segments.push_back(
                 {record.name + "." + segment.name, segment.seq});
         for (const auto &link : part.links)
             doc.links.push_back({record.name + "." + link.from,
                                  record.name + "." + link.to});
+        for (const auto &path : part.paths) {
+            io::GfaPath prefixed;
+            prefixed.name = path.name;
+            prefixed.steps.reserve(path.steps.size());
+            for (const auto &step : path.steps)
+                prefixed.steps.push_back(record.name + "." + step);
+            doc.paths.push_back(std::move(prefixed));
+        }
     }
     io::writeGfaFile(gfa_path, doc);
-    std::fprintf(stderr, "[segram] wrote %zu segments, %zu links to %s\n",
-                 doc.segments.size(), doc.links.size(),
+    std::fprintf(stderr,
+                 "[segram] wrote %zu segments, %zu links, %zu paths "
+                 "to %s\n",
+                 doc.segments.size(), doc.links.size(), doc.paths.size(),
                  gfa_path.c_str());
     return 0;
 }
@@ -174,12 +220,16 @@ printFootprint(const std::string &name, const graph::GenomeGraph &graph,
 }
 
 int
-cmdIndex(const std::string &fasta_path, const std::string &vcf_path,
+cmdIndex(const std::string &graph_source, const std::string &vcf_path,
          const std::string &pack_path, int bucket_bits, bool print_stats)
 {
     const auto start = std::chrono::steady_clock::now();
+    // An empty vcf_path selects the GFA import route (the caller
+    // dispatched on content).
     const auto reference =
-        buildReference(fasta_path, vcf_path, bucket_bits);
+        vcf_path.empty()
+            ? buildReferenceGfa(graph_source, bucket_bits)
+            : buildReference(graph_source, vcf_path, bucket_bits);
     const double build_sec = secondsSince(start);
     reference.save(pack_path);
     if (print_stats) {
@@ -202,10 +252,12 @@ cmdIndex(const std::string &fasta_path, const std::string &vcf_path,
 /** Options of the map command. */
 struct MapOptions
 {
-    /** FASTA+VCF mode: both set. Pack mode: packPath set. */
+    /** FASTA+VCF mode: both set. Pack mode: packPath set. GFA mode:
+     *  gfaPath set. */
     std::string fastaPath;
     std::string vcfPath;
     std::string packPath;
+    std::string gfaPath;
     std::string readsPath;
     std::string engine = "segram";
     double errorRate = 0.10;
@@ -213,6 +265,8 @@ struct MapOptions
     size_t batchSize = 256;
     int bucketBits = 16;
     bool printStats = false;
+    /** Report PAF target coordinates in reference-path space. */
+    bool pathCoords = false;
 
     // SeGraM pipeline knobs (rejected for the baseline engines, which
     // do not consume them — a silently ignored flag fakes behaviour).
@@ -284,16 +338,32 @@ cmdMap(const MapOptions &options)
     // split (and the win of packs) is visible in the report.
     const auto preprocess_start = std::chrono::steady_clock::now();
     const bool from_pack = !options.packPath.empty();
+    const bool from_gfa = !options.gfaPath.empty();
     const core::PreprocessedReference reference =
         from_pack
             ? core::PreprocessedReference::load(options.packPath)
-            : buildReference(options.fastaPath, options.vcfPath,
-                             options.bucketBits);
+            : (from_gfa
+                   ? buildReferenceGfa(options.gfaPath,
+                                       options.bucketBits)
+                   : buildReference(options.fastaPath, options.vcfPath,
+                                    options.bucketBits));
     const double preprocess_sec = secondsSince(preprocess_start);
 
-    std::unordered_map<std::string, uint64_t> target_len;
-    for (const auto &chromosome : reference.chromosomes())
-        target_len[chromosome.name] = chromosome.graph.totalSeqLen();
+    // Per-chromosome PAF target metadata: concatenated-graph
+    // coordinates by default, reference-path coordinates under
+    // --path-coords (projected via the refPos/isAlt node metadata).
+    struct TargetInfo
+    {
+        uint64_t len = 0;
+        const graph::GenomeGraph *graph = nullptr;
+    };
+    std::unordered_map<std::string, TargetInfo> targets;
+    for (const auto &chromosome : reference.chromosomes()) {
+        targets[chromosome.name] = {options.pathCoords
+                                        ? chromosome.graph.pathLength()
+                                        : chromosome.graph.totalSeqLen(),
+                                    &chromosome.graph};
+    }
     const std::unique_ptr<core::MappingEngine> mapper =
         makeEngine(reference, options);
 
@@ -327,11 +397,34 @@ cmdMap(const MapOptions &options)
             if (!result.mapped)
                 continue;
             ++mapped;
-            paf.write(io::makePafRecord(
+            const TargetInfo &target = targets[result.chromosome];
+            io::PafRecord record = io::makePafRecord(
                 batch[i].name, batch[i].seq.size(),
                 result.reverseComplemented ? '-' : '+',
-                result.chromosome, target_len[result.chromosome],
-                result.linearStart, result.cigar));
+                result.chromosome, target.len, result.linearStart,
+                result.cigar);
+            if (options.pathCoords) {
+                // Project both alignment endpoints onto the reference
+                // path (ALT bases consume graph but no path, so the
+                // end must be projected too, not added). The end is
+                // clamped into [targetStart, pathLength]: start +
+                // refLength can land inside an ALT node the alignment
+                // hopped over, whose divergence point sits behind the
+                // start — an unclamped projection would emit an
+                // inverted interval our own PAF parser rejects.
+                const uint64_t ref_span = result.cigar.refLength();
+                record.targetStart =
+                    target.graph->pathProject(result.linearStart);
+                record.targetEnd =
+                    ref_span == 0
+                        ? record.targetStart
+                        : std::clamp(target.graph->pathProject(
+                                         result.linearStart + ref_span -
+                                         1) +
+                                         1,
+                                     record.targetStart, target.len);
+            }
+            paf.write(record);
         }
         total_reads += batch.size();
     }
@@ -353,7 +446,10 @@ cmdMap(const MapOptions &options)
         "[segram] pre-processing %.3f s (%s), mapping %.2f s "
         "(%d thread%s): %.1f reads/s, %.0f bases/s\n",
         preprocess_sec,
-        from_pack ? "mmap-loaded pack" : "built from FASTA+VCF", wall,
+        from_pack ? "mmap-loaded pack"
+                  : (from_gfa ? "imported from GFA"
+                              : "built from FASTA+VCF"),
+        wall,
         batch_mapper.threads(), batch_mapper.threads() == 1 ? "" : "s",
         static_cast<double>(total_reads) / wall,
         static_cast<double>(total_bases) / wall);
@@ -505,13 +601,16 @@ usage()
         "  segram construct <ref.fa> <vars.vcf> <out.gfa>\n"
         "  segram index [--bucket-bits N] [--stats] <ref.fa> <vars.vcf> "
         "<out.segram>\n"
+        "  segram index [--bucket-bits N] [--stats] <graph.gfa> "
+        "<out.segram>\n"
         "  segram map [--threads N] [--batch N] [--bucket-bits N] "
         "[--engine segram|graphaligner|vg] [--stats]\n"
         "             [--max-regions N] [--early-exit F] "
-        "[--chain-filter] [--max-chains N] [--hop-limit N]\n"
+        "[--chain-filter] [--max-chains N] [--hop-limit N] "
+        "[--path-coords]\n"
         "             <ref.fa> <vars.vcf> <reads.fa|fq> [error_rate]\n"
         "  segram map [--threads N] [--batch N] [--engine E] [...] "
-        "<pack.segram> <reads.fa|fq> [error_rate]\n"
+        "(<graph.gfa> | <pack.segram>) <reads.fa|fq> [error_rate]\n"
         "  segram simulate <prefix> <genome_len> <num_reads> "
         "<read_len> <error_rate>\n"
         "  segram eval [--threshold N] <truth.tsv> "
@@ -528,6 +627,7 @@ struct Args
     bool stats = false;
     std::string engine = "segram";
     uint64_t threshold = 100;
+    bool pathCoords = false;
     // SeGraM pipeline knobs (map only, --engine segram only).
     uint64_t maxRegions = 0;
     double earlyExit = 1.5;
@@ -690,6 +790,9 @@ parseArgs(int argc, char **argv)
                          "(0 = unlimited)");
             args.hopLimit = static_cast<int>(value);
             args.seenFlags.push_back("--hop-limit");
+        } else if (arg == "--path-coords") {
+            args.pathCoords = true;
+            args.seenFlags.push_back("--path-coords");
         } else if (arg == "--stats") {
             args.stats = true;
             args.seenFlags.push_back("--stats");
@@ -712,9 +815,24 @@ main(int argc, char **argv)
             args.requireFlagsApplyTo("construct", {});
             return cmdConstruct(pos[1], pos[2], pos[3]);
         }
-        if (pos.size() >= 4 && pos[0] == "index") {
+        if (pos.size() >= 3 && pos[0] == "index") {
             args.requireFlagsApplyTo("index",
                                      {"--bucket-bits", "--stats"});
+            // Graph source by content: an imported GFA replaces the
+            // FASTA+VCF pair (and needs no VCF positional). Exactly
+            // two positionals then — with a stray third one, pos[2]
+            // would silently become the pack output and overwrite
+            // whatever file the user actually passed there.
+            if (io::isGfaFile(pos[1])) {
+                SEGRAM_CHECK(pos.size() == 3,
+                             "index from a GFA takes exactly "
+                             "<graph.gfa> <out.segram>");
+                return cmdIndex(pos[1], "", pos[2], args.bucketBits,
+                                args.stats);
+            }
+            SEGRAM_CHECK(pos.size() >= 4,
+                         "index needs <ref.fa> <vars.vcf> <out.segram> "
+                         "(or <graph.gfa> <out.segram>)");
             return cmdIndex(pos[1], pos[2], pos[3], args.bucketBits,
                             args.stats);
         }
@@ -723,7 +841,7 @@ main(int argc, char **argv)
                 "map", {"--threads", "--batch", "--bucket-bits",
                         "--engine", "--stats", "--max-regions",
                         "--early-exit", "--chain-filter", "--max-chains",
-                        "--hop-limit"});
+                        "--hop-limit", "--path-coords"});
             // The pipeline knobs configure the SeGraM pipeline only,
             // and --stats reports timings only SegramMapper collects;
             // silently ignoring them under a baseline engine would
@@ -738,9 +856,9 @@ main(int argc, char **argv)
                 }
             }
             MapOptions options;
-            // Two input modes, detected by content (magic), not by
-            // file extension: a `.segram` pack replaces the
-            // FASTA+VCF pair.
+            // Three input modes, detected by content (magic/sniff),
+            // not by file extension: a `.segram` pack or an imported
+            // GFA graph replaces the FASTA+VCF pair.
             size_t reads_pos;
             if (io::isPackFile(pos[1])) {
                 // The bucket count was baked in at index time; a
@@ -750,10 +868,13 @@ main(int argc, char **argv)
                              ".segram pack; pass it to `segram index`");
                 options.packPath = pos[1];
                 reads_pos = 2;
+            } else if (io::isGfaFile(pos[1])) {
+                options.gfaPath = pos[1];
+                reads_pos = 2;
             } else {
                 SEGRAM_CHECK(pos.size() >= 4,
                              "map needs <ref.fa> <vars.vcf> <reads> "
-                             "(or <pack.segram> <reads>)");
+                             "(or <graph.gfa>/<pack.segram> <reads>)");
                 options.fastaPath = pos[1];
                 options.vcfPath = pos[2];
                 reads_pos = 3;
@@ -771,6 +892,7 @@ main(int argc, char **argv)
             options.batchSize = args.batchSize;
             options.bucketBits = args.bucketBits;
             options.printStats = args.stats;
+            options.pathCoords = args.pathCoords;
             options.maxRegions =
                 static_cast<uint32_t>(args.maxRegions);
             options.earlyExit = args.earlyExit;
