@@ -1,15 +1,24 @@
 /**
  * @file
  * Google-benchmark microbenchmarks of the computational kernels: the
+ * bitops word primitives (scalar vs the dispatched SIMD backend), the
  * minimizer sketch, index queries, BitAlign window execution (graph
  * and chain), GenASM, Myers, and the DP oracle. These are the
  * building-block costs behind every end-to-end number in the other
  * benches.
+ *
+ * Usage: bench_kernels [--json OUT.json] [google-benchmark flags]
+ * --json is shorthand for --benchmark_out=OUT.json
+ * --benchmark_out_format=json. The active kernel backend is printed on
+ * startup so recorded numbers are attributable to a backend.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/align/bitalign_core.h"
 #include "src/align/genasm.h"
@@ -17,13 +26,138 @@
 #include "src/baseline/dp_s2g.h"
 #include "src/graph/linearize.h"
 #include "src/index/minimizer_index.h"
+#include "src/seed/chaining.h"
 #include "src/seed/minimizer.h"
 #include "src/sim/dataset.h"
+#include "src/util/bitops_simd.h"
+#include "src/util/rng.h"
 
 namespace
 {
 
 using namespace segram;
+
+// ------------------------------------------------- bitops primitives
+// Each primitive is measured per backend over word counts covering the
+// mapping hot path (2 words = 128-bit windows), mid-size patterns
+// (8 words) and the wide GenASM regime (64 words), so the dispatch
+// crossover is visible in one run.
+
+std::vector<uint64_t>
+benchWords(int nwords, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint64_t> words(static_cast<size_t>(nwords));
+    for (auto &word : words)
+        word = rng.nextU64();
+    return words;
+}
+
+const bitops::KernelOps *
+backendOps(int which)
+{
+    if (which == 0)
+        return &bitops::scalarKernels();
+    return bitops::simdKernels(); // nullptr when unavailable
+}
+
+void
+BM_BitopsShiftLeftOneOr(benchmark::State &state)
+{
+    const bitops::KernelOps *ops = backendOps(state.range(0));
+    if (ops == nullptr) {
+        state.SkipWithError("SIMD backend unavailable");
+        return;
+    }
+    const int nwords = static_cast<int>(state.range(1));
+    const auto src = benchWords(nwords, 1);
+    const auto mask = benchWords(nwords, 2);
+    std::vector<uint64_t> dst(static_cast<size_t>(nwords));
+    for (auto _ : state) {
+        ops->shiftLeftOneOr(dst.data(), src.data(), mask.data(), nwords);
+        benchmark::DoNotOptimize(dst.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(state.iterations() * nwords *
+                            sizeof(uint64_t));
+}
+
+void
+BM_BitopsAndShiftAnd(benchmark::State &state)
+{
+    const bitops::KernelOps *ops = backendOps(state.range(0));
+    if (ops == nullptr) {
+        state.SkipWithError("SIMD backend unavailable");
+        return;
+    }
+    const int nwords = static_cast<int>(state.range(1));
+    const auto src = benchWords(nwords, 3);
+    std::vector<uint64_t> dst = benchWords(nwords, 4);
+    for (auto _ : state) {
+        ops->andShiftAnd(dst.data(), src.data(), nwords);
+        benchmark::DoNotOptimize(dst.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(state.iterations() * nwords *
+                            sizeof(uint64_t));
+}
+
+void
+BM_BitopsFusedCell(benchmark::State &state)
+{
+    const bitops::KernelOps *ops = backendOps(state.range(0));
+    if (ops == nullptr) {
+        state.SkipWithError("SIMD backend unavailable");
+        return;
+    }
+    const int nwords = static_cast<int>(state.range(1));
+    const auto ins = benchWords(nwords, 5);
+    const auto ds = benchWords(nwords, 6);
+    const auto match = benchWords(nwords, 7);
+    const auto pm = benchWords(nwords, 8);
+    std::vector<uint64_t> dst(static_cast<size_t>(nwords));
+    for (auto _ : state) {
+        ops->fusedCell(dst.data(), ins.data(), ds.data(), match.data(),
+                       pm.data(), nwords);
+        benchmark::DoNotOptimize(dst.data());
+        benchmark::ClobberMemory();
+    }
+    // 4 streams in, 1 out.
+    state.SetBytesProcessed(state.iterations() * nwords * 5 *
+                            sizeof(uint64_t));
+}
+
+void
+bitopsArgs(benchmark::internal::Benchmark *bench)
+{
+    for (int backend = 0; backend <= 1; ++backend)
+        for (const int nwords : {2, 8, 64})
+            bench->Args({backend, nwords});
+    bench->ArgNames({"backend", "nwords"}); // backend 0=scalar 1=simd
+}
+
+BENCHMARK(BM_BitopsShiftLeftOneOr)->Apply(bitopsArgs);
+BENCHMARK(BM_BitopsAndShiftAnd)->Apply(bitopsArgs);
+BENCHMARK(BM_BitopsFusedCell)->Apply(bitopsArgs);
+
+void
+BM_ChainSeedsScratch(benchmark::State &state)
+{
+    Rng rng(99);
+    const size_t count = static_cast<size_t>(state.range(0));
+    std::vector<seed::SeedHit> hits;
+    hits.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        hits.push_back({rng.nextBelow(1'000'000),
+                        static_cast<uint32_t>(rng.nextBelow(1'000))});
+    seed::ChainScratch scratch;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(seed::chainSeeds(
+            std::span<const seed::SeedHit>(hits), {}, scratch));
+    }
+    state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_ChainSeedsScratch)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 const sim::Dataset &
 dataset()
@@ -158,4 +292,31 @@ BENCHMARK(BM_LinearizeRegion);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Translate the repo-conventional --json flag into the native
+    // google-benchmark output flags before initialization.
+    std::vector<char *> args(argv, argv + argc);
+    std::string out_flag;
+    std::string format_flag = "--benchmark_out_format=json";
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (std::strcmp(args[i], "--json") == 0 && i + 1 < args.size()) {
+            out_flag = std::string("--benchmark_out=") + args[i + 1];
+            args.erase(args.begin() + static_cast<long>(i),
+                       args.begin() + static_cast<long>(i) + 2);
+            args.push_back(out_flag.data());
+            args.push_back(format_flag.data());
+            break;
+        }
+    }
+    std::fprintf(stderr, "[bench_kernels] kernel backend: %s\n",
+                 segram::bitops::activeBackendName());
+    int out_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&out_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(out_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -42,6 +42,7 @@
 #include "src/core/engine.h"
 #include "src/core/segram.h"
 #include "src/sim/read_sim.h"
+#include "src/util/bitops_simd.h"
 
 namespace
 {
@@ -265,6 +266,24 @@ main(int argc, char **argv)
                 "(pre-workspace: %.0f)\n",
                 allocs_per_read, kPreWorkspaceAllocsPerRead);
 
+    // Stage breakdown of the warm-workspace loop: where the per-read
+    // time goes (alignment dominates), attributed to the kernel
+    // backend that produced it. Timed separately because collecting
+    // PipelineStats adds clock reads to the hot path.
+    core::PipelineStats stage_stats;
+    for (const auto read : reads)
+        mapper.mapRead(read, &stage_stats, workspace);
+    const core::StageTimings &timings = stage_stats.timings;
+    const double stage_total =
+        timings.seedingSec + timings.linearizeSec + timings.alignSec;
+    std::printf("\nstage breakdown (1T, backend %s): seeding %.3f s, "
+                "linearization %.3f s, alignment %.3f s (%.1f%% of "
+                "stage time)\n",
+                bitops::activeBackendName(), timings.seedingSec,
+                timings.linearizeSec, timings.alignSec,
+                stage_total > 0.0 ? 100.0 * timings.alignSec / stage_total
+                                  : 0.0);
+
     // Write the measurements before any gate verdict, so a failing
     // run still archives the numbers that explain the failure.
     if (!json_path.empty()) {
@@ -281,16 +300,21 @@ main(int argc, char **argv)
                      "  \"reads\": %zu,\n"
                      "  \"read_len\": %u,\n"
                      "  \"genome_len\": %llu,\n"
+                     "  \"kernel_backend\": \"%s\",\n"
                      "  \"fresh_workspace_reads_per_sec\": %.2f,\n"
                      "  \"warm_workspace_reads_per_sec\": %.2f,\n"
                      "  \"allocs_per_read\": %.3f,\n"
-                     "  \"pre_workspace_allocs_per_read\": %.0f,\n",
+                     "  \"pre_workspace_allocs_per_read\": %.0f,\n"
+                     "  \"stage_seconds\": {\"seeding\": %.4f, "
+                     "\"linearization\": %.4f, \"alignment\": %.4f},\n",
                      quick ? "true" : "false", reads.size(),
                      read_config.readLen,
                      static_cast<unsigned long long>(
                          dataset.graph.totalSeqLen()),
-                     fresh_rps, ws_rps, allocs_per_read,
-                     kPreWorkspaceAllocsPerRead);
+                     bitops::activeBackendName(), fresh_rps, ws_rps,
+                     allocs_per_read, kPreWorkspaceAllocsPerRead,
+                     timings.seedingSec, timings.linearizeSec,
+                     timings.alignSec);
         std::fprintf(json, "  \"batch_reads_per_sec\": {");
         for (size_t i = 0; i < thread_counts.size(); ++i)
             std::fprintf(json, "%s\"%d\": %.2f", i == 0 ? "" : ", ",

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/util/bitops_simd.h"
 #include "src/util/bitvector.h"
 #include "src/util/check.h"
 #include "src/util/dna.h"
@@ -43,9 +44,78 @@ namespace
 {
 
 /**
+ * Kernel policy adapters for computeBitvectors. The recurrence is
+ * written once against this tiny interface; the width decides the
+ * binding per window. FixedOps<NW> inlines the compile-time-width
+ * primitives (the windowed mapping path: windowLen 128 -> NW == 2),
+ * where straight-line register code beats any dispatch; TableOps
+ * routes through the runtime-selected kernel table (scalar or
+ * AVX2/NEON), which wins for wide patterns. All bindings are
+ * bit-identical — the ops are pure integer bit manipulation.
+ */
+struct TableOps
+{
+    const bitops::KernelOps &k;
+    int nw;
+
+    void
+    shiftLeftOneOr(uint64_t *dst, const uint64_t *src,
+                   const uint64_t *pm) const
+    {
+        k.shiftLeftOneOr(dst, src, pm, nw);
+    }
+    void
+    shiftLeftOneOrAnd(uint64_t *dst, const uint64_t *src,
+                      const uint64_t *pm) const
+    {
+        k.shiftLeftOneOrAnd(dst, src, pm, nw);
+    }
+    void
+    andShiftAnd(uint64_t *dst, const uint64_t *src) const
+    {
+        k.andShiftAnd(dst, src, nw);
+    }
+    void
+    fusedCell(uint64_t *dst, const uint64_t *ins, const uint64_t *ds,
+              const uint64_t *match, const uint64_t *pm) const
+    {
+        k.fusedCell(dst, ins, ds, match, pm, nw);
+    }
+};
+
+template <int NW>
+struct FixedOps
+{
+    void
+    shiftLeftOneOr(uint64_t *dst, const uint64_t *src,
+                   const uint64_t *pm) const
+    {
+        bitops::fixed::shiftLeftOneOr<NW>(dst, src, pm);
+    }
+    void
+    shiftLeftOneOrAnd(uint64_t *dst, const uint64_t *src,
+                      const uint64_t *pm) const
+    {
+        bitops::fixed::shiftLeftOneOrAnd<NW>(dst, src, pm);
+    }
+    void
+    andShiftAnd(uint64_t *dst, const uint64_t *src) const
+    {
+        bitops::fixed::andShiftAnd<NW>(dst, src);
+    }
+    void
+    fusedCell(uint64_t *dst, const uint64_t *ins, const uint64_t *ds,
+              const uint64_t *match, const uint64_t *pm) const
+    {
+        bitops::fixed::fusedCell<NW>(dst, ins, ds, match, pm);
+    }
+};
+
+/**
  * Shared state of one window computation: the flat allR store plus the
- * scratch vectors of the recurrence, all carved from the caller's
- * reusable word slab (zero heap traffic once the slab is warm).
+ * virtual sink vectors of the recurrence, all carved 64-byte-aligned
+ * from the caller's reusable word slab (zero heap traffic once the
+ * slab is warm).
  */
 class WindowComputation
 {
@@ -61,12 +131,14 @@ class WindowComputation
         SEGRAM_CHECK(n_ > 0, "window text must be non-empty");
         SEGRAM_CHECK(k >= 0, "edit distance threshold must be >= 0");
         const size_t levels = static_cast<size_t>(k) + 1;
-        scratch.slab.reset((static_cast<size_t>(n_) * levels + levels + 1) *
-                           nwords_);
+        using bitops::WordSlab;
+        const size_t r_words =
+            WordSlab::padded(static_cast<size_t>(n_) * levels * nwords_);
+        const size_t v_words = WordSlab::padded(levels * nwords_);
+        scratch.slab.reset(r_words + v_words);
         all_r_ = scratch.slab.take(static_cast<size_t>(n_) * levels *
                                    nwords_);
         virtual_r_ = scratch.slab.take(levels * nwords_);
-        scratch_ = scratch.slab.take(nwords_);
         // The virtual successor of sink nodes: at edit level d, a
         // pattern suffix of length <= d can still be consumed past the
         // text end using insertions only, so bits [0, d) are clear.
@@ -104,57 +176,83 @@ class WindowComputation
         return virtual_r_ + static_cast<size_t>(d) * nwords_;
     }
 
-    /** Fills allR for the whole window (Algorithm 1 lines 7-24). */
+    /**
+     * Fills allR for the whole window (Algorithm 1 lines 7-24),
+     * binding the recurrence to the width-matched kernel set: fully
+     * unrolled register code for the 1- and 2-word windows of the
+     * mapping path, the dispatched (scalar/AVX2/NEON) table otherwise.
+     */
     void
     computeBitvectors()
+    {
+        switch (nwords_) {
+        case 1:
+            computeBitvectorsWith(FixedOps<1>{});
+            break;
+        case 2:
+            computeBitvectorsWith(FixedOps<2>{});
+            break;
+        default:
+            computeBitvectorsWith(TableOps{bitops::kernels(), nwords_});
+            break;
+        }
+    }
+
+    /**
+     * The recurrence proper. Per cell, the I/D/S/M term sequence is
+     * collapsed into fused single-sweep ops (each term re-read and
+     * re-wrote the destination before); the common single-successor
+     * case — every position inside a linear run — takes a hoisted,
+     * branch-free path whose d-levels are one fusedCell each, so the
+     * word loop is the innermost loop and all lanes stay hot.
+     */
+    template <class Ops>
+    void
+    computeBitvectorsWith(const Ops ops)
     {
         for (int i = n_ - 1; i >= 0; --i) {
             const uint64_t *pm = pm_->masks[text_.code(i)].data();
             const auto succs = text_.successorDeltas(i);
-
-            // R[i][0]: exact-match vector (lines 11-14).
             uint64_t *r0 = r(i, 0);
-            if (succs.empty()) {
-                bitops::shiftLeftOneOr(r0, virtualR(0), pm, nwords_);
-            } else {
-                bitops::fillOnes(r0, nwords_);
-                for (const uint16_t delta : succs) {
-                    bitops::shiftLeftOneOr(scratch_,
-                                           r(i + delta, 0), pm, nwords_);
-                    bitops::andInPlace(r0, scratch_, nwords_);
-                }
-            }
 
-            // R[i][d] for d in 1..k (lines 16-24).
-            for (int d = 1; d <= k_; ++d) {
-                uint64_t *rd = r(i, d);
-                // I: insertion consumes a read char in place.
-                bitops::shiftLeftOne(rd, r(i, d - 1), nwords_);
-                for (const uint16_t delta : succs) {
-                    const uint64_t *succ_prev = r(i + delta, d - 1);
-                    // D: deletion, no shift.
-                    bitops::andInPlace(rd, succ_prev, nwords_);
-                    // S: substitution.
-                    bitops::shiftLeftOne(scratch_, succ_prev,
-                                         nwords_);
-                    bitops::andInPlace(rd, scratch_, nwords_);
-                    // M: match through this successor.
-                    bitops::shiftLeftOneOr(scratch_,
-                                           r(i + delta, d), pm, nwords_);
-                    bitops::andInPlace(rd, scratch_, nwords_);
+            if (succs.size() == 1) {
+                // Single successor (linear run): the whole column is
+                // one fused op per level, no merging.
+                const uint64_t *succ_r = r(i + succs[0], 0);
+                ops.shiftLeftOneOr(r0, succ_r, pm);
+                for (int d = 1; d <= k_; ++d) {
+                    // succ_r walks the successor's level rows
+                    // (contiguous, stride nwords_).
+                    ops.fusedCell(r(i, d), r(i, d - 1), succ_r,
+                                  succ_r + nwords_, pm);
+                    succ_r += nwords_;
                 }
-                if (succs.empty()) {
-                    // Sink node: apply the D/S/M terms against the
-                    // virtual successor so alignments may run off the
-                    // text end (trailing read chars become insertions).
-                    const uint64_t *virt_prev = virtualR(d - 1);
-                    bitops::andInPlace(rd, virt_prev, nwords_);
-                    bitops::shiftLeftOne(scratch_, virt_prev,
-                                         nwords_);
-                    bitops::andInPlace(rd, scratch_, nwords_);
-                    bitops::shiftLeftOneOr(scratch_, virtualR(d),
-                                           pm, nwords_);
-                    bitops::andInPlace(rd, scratch_, nwords_);
+            } else if (succs.empty()) {
+                // Sink node: run the recurrence against the virtual
+                // successor so alignments may run off the text end
+                // (trailing read chars become insertions).
+                ops.shiftLeftOneOr(r0, virtualR(0), pm);
+                for (int d = 1; d <= k_; ++d) {
+                    ops.fusedCell(r(i, d), r(i, d - 1), virtualR(d - 1),
+                                  virtualR(d), pm);
+                }
+            } else {
+                // Hop fan-out: fold every successor into the column.
+                // The first initializes it (no fillOnes pass), the
+                // rest AND in via the fused combo ops.
+                ops.shiftLeftOneOr(r0, r(i + succs[0], 0), pm);
+                for (size_t s = 1; s < succs.size(); ++s)
+                    ops.shiftLeftOneOrAnd(r0, r(i + succs[s], 0), pm);
+                for (int d = 1; d <= k_; ++d) {
+                    uint64_t *rd = r(i, d);
+                    const int j0 = i + succs[0];
+                    ops.fusedCell(rd, r(i, d - 1), r(j0, d - 1),
+                                  r(j0, d), pm);
+                    for (size_t s = 1; s < succs.size(); ++s) {
+                        const int j = i + succs[s];
+                        ops.andShiftAnd(rd, r(j, d - 1)); // D & S
+                        ops.shiftLeftOneOrAnd(rd, r(j, d), pm); // M
+                    }
                 }
             }
         }
@@ -170,19 +268,32 @@ class WindowComputation
     int
     findBest(AlignMode mode, int *best_start) const
     {
+        // The whole-read bit m-1 lives in one word of each vector;
+        // resolve that word index and mask once and scan at word
+        // level — one strided load per position instead of a full
+        // testBit address computation per probe.
         const int msb = pm_->m - 1;
-        for (int d = 0; d <= k_; ++d) {
-            if (mode == AlignMode::Anchored) {
-                if (!testBit(r(0, d), msb)) {
+        const int msb_word = msb >> 6;
+        const uint64_t msb_mask = uint64_t{1} << (msb & 63);
+        if (mode == AlignMode::Anchored) {
+            const uint64_t *p = r(0, 0) + msb_word;
+            for (int d = 0; d <= k_; ++d, p += nwords_) {
+                if (!(*p & msb_mask)) {
                     *best_start = 0;
                     return d;
                 }
-            } else {
-                for (int i = 0; i < n_; ++i) {
-                    if (!testBit(r(i, d), msb)) {
-                        *best_start = i;
-                        return d;
-                    }
+            }
+            return -1;
+        }
+        const size_t stride =
+            static_cast<size_t>(k_ + 1) * nwords_; // r(i,d) -> r(i+1,d)
+        for (int d = 0; d <= k_; ++d) {
+            const uint64_t *p =
+                all_r_ + static_cast<size_t>(d) * nwords_ + msb_word;
+            for (int i = 0; i < n_; ++i, p += stride) {
+                if (!(*p & msb_mask)) {
+                    *best_start = i;
+                    return d;
                 }
             }
         }
@@ -322,7 +433,6 @@ class WindowComputation
     // Raw sub-arrays of the caller's slab; valid until its next reset.
     uint64_t *all_r_ = nullptr;
     uint64_t *virtual_r_ = nullptr;
-    uint64_t *scratch_ = nullptr;
 };
 
 void

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/align/bitalign_core.h"
+#include "src/util/bitops_simd.h"
 #include "src/util/bitvector.h"
 #include "src/util/check.h"
 #include "src/util/dna.h"
@@ -36,10 +37,11 @@ genAsmAlign(std::string_view text, std::string_view pattern, int k,
     // can still be consumed by insertions only, so bits [0, d) start
     // clear; everything else is 1.
     const size_t levels = static_cast<size_t>(k) + 1;
-    scratch.slab.reset((2 * levels + 1) * nwords);
+    const size_t column_words =
+        bitops::WordSlab::padded(levels * nwords);
+    scratch.slab.reset(2 * column_words);
     uint64_t *old_r = scratch.slab.take(levels * nwords);
     uint64_t *cur_r = scratch.slab.take(levels * nwords);
-    uint64_t *tmp = scratch.slab.take(nwords);
     bitops::fillOnes(old_r, static_cast<int>(levels) * nwords);
     for (int d = 1; d <= k; ++d) {
         uint64_t *vec = old_r + static_cast<size_t>(d) * nwords;
@@ -47,6 +49,7 @@ genAsmAlign(std::string_view text, std::string_view pattern, int k,
             bitops::clearBit(vec, b);
     }
 
+    const bitops::KernelOps &ops = bitops::kernels();
     GenAsmResult best;
     for (int i = n - 1; i >= 0; --i) {
         const uint8_t code = baseToCode(text[i]);
@@ -55,7 +58,7 @@ genAsmAlign(std::string_view text, std::string_view pattern, int k,
         const uint64_t *mask = pm.masks[code].data();
 
         // R[0] = (oldR[0] << 1) | PM.
-        bitops::shiftLeftOneOr(cur_r, old_r, mask, nwords);
+        ops.shiftLeftOneOr(cur_r, old_r, mask, nwords);
         for (int d = 1; d <= k; ++d) {
             uint64_t *rd = cur_r + static_cast<size_t>(d) * nwords;
             const uint64_t *cur_prev =
@@ -64,16 +67,11 @@ genAsmAlign(std::string_view text, std::string_view pattern, int k,
                 old_r + static_cast<size_t>(d - 1) * nwords;
             const uint64_t *old_same =
                 old_r + static_cast<size_t>(d) * nwords;
-            // I = curR[d-1] << 1.
-            bitops::shiftLeftOne(rd, cur_prev, nwords);
-            // D = oldR[d-1].
-            bitops::andInPlace(rd, old_prev, nwords);
-            // S = oldR[d-1] << 1.
-            bitops::shiftLeftOne(tmp, old_prev, nwords);
-            bitops::andInPlace(rd, tmp, nwords);
-            // M = (oldR[d] << 1) | PM.
-            bitops::shiftLeftOneOr(tmp, old_same, mask, nwords);
-            bitops::andInPlace(rd, tmp, nwords);
+            // I & D & S & M in one fused sweep (I = curR[d-1] << 1,
+            // D = oldR[d-1], S = oldR[d-1] << 1,
+            // M = (oldR[d] << 1) | PM).
+            ops.fusedCell(rd, cur_prev, old_prev, old_same, mask,
+                          nwords);
         }
 
         // A clear bit m-1 at level d means "pattern aligns starting at

@@ -65,14 +65,15 @@ SegramMapper::filterRegions(MapWorkspace &workspace,
             region.seed.offset;
         hits.push_back({seed_pos, region.minimizerPos});
     }
-    // chainSeeds takes ownership of its input (it sorts in place), so
-    // the chain-filter path copies the hit buffer; chains themselves
-    // still allocate. This path is opt-in — the default hot path never
-    // reaches it.
+    // The scratch overload sorts into workspace-owned buffers and
+    // returns chains that live in the workspace pool, so a warm
+    // chain-filter pass is allocation-free like the rest of the
+    // pipeline.
     seed::ChainConfig chain_config = config_.chain;
     if (chain_config.maxChains == 0)
         chain_config.maxChains = config_.maxChains;
-    const auto chains = seed::chainSeeds(hits, chain_config);
+    const auto chains =
+        seed::chainSeeds(hits, chain_config, workspace.chainScratch);
 
     const double extend = 1.0 + config_.minseed.errorRate;
     std::vector<seed::CandidateRegion> &filtered = workspace.filtered;

@@ -41,6 +41,7 @@ struct MapWorkspace
     std::vector<seed::CandidateRegion> regions;   ///< MinSeed output
     std::vector<seed::CandidateRegion> filtered;  ///< chain-filter output
     std::vector<seed::SeedHit> chainHits;         ///< chain-filter input
+    seed::ChainScratch chainScratch;              ///< chainSeeds buffers
 
     // --- read preparation ---
     std::string rcBuffer; ///< SegramMapper's reverse-complement buffer

@@ -11,6 +11,7 @@
 #define SEGRAM_SRC_SEED_CHAINING_H
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/util/check.h"
@@ -66,9 +67,55 @@ struct ChainConfig
 };
 
 /**
+ * Reusable scratch + output storage for chainSeeds: the keyed-hit sort
+ * buffers and a pool of Chain objects whose per-chain hit vectors keep
+ * their capacity across calls. One ChainScratch lives in each
+ * per-thread MapWorkspace, so steady-state chaining touches the heap
+ * zero times. Results returned by the scratch overload point into the
+ * pool and stay valid until the next chainSeeds call on the same
+ * scratch.
+ */
+class ChainScratch
+{
+  public:
+    ChainScratch() = default;
+
+  private:
+    friend std::span<Chain> chainSeeds(std::span<const SeedHit> hits,
+                                       const ChainConfig &config,
+                                       ChainScratch &scratch);
+
+    /** One sortable hit: the banded-diagonal key plus the payload. */
+    struct KeyedHit
+    {
+        uint64_t key = 0;
+        SeedHit hit;
+    };
+
+    std::vector<KeyedHit> keyed_;    ///< sort working array
+    std::vector<KeyedHit> keyedTmp_; ///< radix ping-pong buffer
+    std::vector<Chain> pool_;        ///< chain pool, capacity retained
+};
+
+/**
  * Groups seed hits into chains and returns them sorted by descending
- * score (then ascending reference start), truncated to
- * config.maxChains when set. O(h log h).
+ * score (then ascending reference start, then ascending first-hit
+ * read position — a total order, so results never depend on sort
+ * internals), truncated to config.maxChains when set.
+ *
+ * All working storage and the chains themselves live in @p scratch
+ * (allocation-free once warm); the returned span is valid until the
+ * next call with the same scratch. Hits are sorted with a bucketed
+ * LSD radix over the significant key bytes (insertion sort below a
+ * small-N threshold), replacing the old per-call std::sort.
+ */
+std::span<Chain> chainSeeds(std::span<const SeedHit> hits,
+                            const ChainConfig &config,
+                            ChainScratch &scratch);
+
+/**
+ * Convenience overload: forwards to the scratch-based implementation
+ * with a private scratch and copies the chains out. Same ordering.
  */
 std::vector<Chain> chainSeeds(std::vector<SeedHit> hits,
                               const ChainConfig &config = {});

@@ -161,33 +161,57 @@ void clearBit(uint64_t *words, int pos);
  * then carve disjoint sub-arrays with take(). The backing store only
  * ever grows, so a warm slab serves every subsequent window of the
  * same (or smaller) size without touching the heap.
+ *
+ * Every carve starts on a 64-byte (cache-line / AVX2-friendly)
+ * boundary: take() rounds its argument up to kAlignWords, so callers
+ * sizing a reset() must sum padded() carve sizes, not raw ones.
  */
 class WordSlab
 {
   public:
+    /** Alignment of every carve, in bytes (one cache line). */
+    static constexpr size_t kAlignBytes = 64;
+
+    /** Alignment of every carve, in words. */
+    static constexpr size_t kAlignWords = kAlignBytes / sizeof(uint64_t);
+
+    /** @return @p nwords rounded up to a whole number of carve units
+     *          (what one take(nwords) actually consumes). */
+    static constexpr size_t
+    padded(size_t nwords)
+    {
+        return (nwords + kAlignWords - 1) & ~(kAlignWords - 1);
+    }
+
     /**
-     * Ensures capacity for @p nwords words and rewinds the carve
+     * Ensures capacity for @p nwords words of carves (the sum of
+     * padded() sizes over the intended takes) and rewinds the carve
      * point. Previously taken pointers are invalidated.
      */
     void
     reset(size_t nwords)
     {
-        if (words_.size() < nwords)
-            words_.resize(nwords);
+        // One extra alignment unit pays for aligning the vector's base.
+        const size_t need = padded(nwords) + kAlignWords;
+        if (words_.size() < need)
+            words_.resize(need);
+        const auto addr = reinterpret_cast<uintptr_t>(words_.data());
+        base_ = (kAlignBytes - addr % kAlignBytes) % kAlignBytes /
+                sizeof(uint64_t);
         next_ = 0;
     }
 
     /**
      * Carves the next @p nwords words (uninitialized — callers fill
-     * them, exactly like freshly selected scratchpad banks). Must not
-     * exceed the reset() capacity.
+     * them, exactly like freshly selected scratchpad banks), starting
+     * on a 64-byte boundary. Must not exceed the reset() capacity.
      */
     uint64_t *
     take(size_t nwords)
     {
-        assert(next_ + nwords <= words_.size());
-        uint64_t *out = words_.data() + next_;
-        next_ += nwords;
+        assert(base_ + next_ + nwords <= words_.size());
+        uint64_t *out = words_.data() + base_ + next_;
+        next_ += padded(nwords);
         return out;
     }
 
@@ -196,7 +220,8 @@ class WordSlab
 
   private:
     std::vector<uint64_t> words_;
-    size_t next_ = 0;
+    size_t base_ = 0; ///< words skipped to 64-byte-align the first carve
+    size_t next_ = 0; ///< aligned carve offset relative to base_
 };
 
 } // namespace bitops

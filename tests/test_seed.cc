@@ -373,6 +373,62 @@ TEST(ChainSeeds, MaxChainsTruncatesAfterSorting)
     EXPECT_EQ(chainSeeds(hits, config).size(), 4u);
 }
 
+TEST(ChainSeeds, ScratchOverloadMatchesConvenienceOverload)
+{
+    // The workspace overload (span input, scratch-owned storage, radix
+    // sort) must produce chain-for-chain identical results to the
+    // vector overload across random inputs spanning both the
+    // insertion-sort and radix paths.
+    Rng rng(77);
+    ChainScratch scratch;
+    for (int trial = 0; trial < 50; ++trial) {
+        const size_t count = 1 + rng.nextBelow(200);
+        std::vector<SeedHit> hits;
+        hits.reserve(count);
+        for (size_t i = 0; i < count; ++i) {
+            const uint64_t ref = rng.nextBelow(1'000'000);
+            const auto read =
+                static_cast<uint32_t>(rng.nextBelow(1'000));
+            hits.push_back({ref, read});
+        }
+        ChainConfig config;
+        config.diagonalBand = 1 + rng.nextBelow(128);
+        config.maxGap = 1 + rng.nextBelow(4'000);
+        config.maxChains = static_cast<int>(rng.nextBelow(8));
+
+        const auto expect = chainSeeds(hits, config);
+        // Reuse one scratch across all trials: stale pool contents
+        // from bigger earlier trials must never leak into results.
+        const auto got = chainSeeds(std::span<const SeedHit>(hits),
+                                    config, scratch);
+        ASSERT_EQ(expect.size(), got.size()) << "trial " << trial;
+        for (size_t c = 0; c < expect.size(); ++c) {
+            EXPECT_EQ(expect[c].score, got[c].score)
+                << "trial " << trial << ", chain " << c;
+            EXPECT_EQ(expect[c].hits, got[c].hits)
+                << "trial " << trial << ", chain " << c;
+        }
+    }
+}
+
+TEST(ChainSeeds, ScratchResultsValidUntilNextCall)
+{
+    ChainScratch scratch;
+    const std::vector<SeedHit> first = {{1000, 0}, {1100, 100}};
+    const auto chains = chainSeeds(std::span<const SeedHit>(first), {},
+                                   scratch);
+    ASSERT_EQ(chains.size(), 1u);
+    EXPECT_EQ(chains[0].score, 2);
+
+    // A later call on the same scratch recycles the pool...
+    const std::vector<SeedHit> second = {{5000, 0}};
+    const auto next = chainSeeds(std::span<const SeedHit>(second), {},
+                                 scratch);
+    ASSERT_EQ(next.size(), 1u);
+    EXPECT_EQ(next[0].refStart(), 5000u);
+    EXPECT_EQ(next[0].hits.size(), 1u);
+}
+
 TEST(MinSeedConfigTest, RejectsBadErrorRate)
 {
     Rng rng(1);

@@ -72,6 +72,7 @@
 #include "src/graph/graph_builder.h"
 #include "src/graph/variants.h"
 #include "src/io/fasta.h"
+#include "src/util/bitops_simd.h"
 #include "src/io/fastq.h"
 #include "src/io/fastx.h"
 #include "src/io/gfa.h"
@@ -473,6 +474,8 @@ cmdMap(const MapOptions &options)
             pct(timings.seedingSec), timings.linearizeSec,
             pct(timings.linearizeSec), timings.alignSec,
             pct(timings.alignSec));
+        std::fprintf(stderr, "[segram] kernel backend: %s\n",
+                     bitops::activeBackendName());
     }
     return mapped == 0 && total_reads > 0 ? 1 : 0;
 }
