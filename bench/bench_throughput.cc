@@ -266,6 +266,10 @@ main(int argc, char **argv)
                 "(pre-workspace: %.0f)\n",
                 allocs_per_read, kPreWorkspaceAllocsPerRead);
 
+    const uint64_t peak_rss = bench::peakRssBytes();
+    std::printf("peak RSS: %.1f MiB\n",
+                static_cast<double>(peak_rss) / (1024.0 * 1024.0));
+
     // Stage breakdown of the warm-workspace loop: where the per-read
     // time goes (alignment dominates), attributed to the kernel
     // backend that produced it. Timed separately because collecting
@@ -305,6 +309,7 @@ main(int argc, char **argv)
                      "  \"warm_workspace_reads_per_sec\": %.2f,\n"
                      "  \"allocs_per_read\": %.3f,\n"
                      "  \"pre_workspace_allocs_per_read\": %.0f,\n"
+                     "  \"peak_rss_bytes\": %llu,\n"
                      "  \"stage_seconds\": {\"seeding\": %.4f, "
                      "\"linearization\": %.4f, \"alignment\": %.4f},\n",
                      quick ? "true" : "false", reads.size(),
@@ -313,6 +318,7 @@ main(int argc, char **argv)
                          dataset.graph.totalSeqLen()),
                      bitops::activeBackendName(), fresh_rps, ws_rps,
                      allocs_per_read, kPreWorkspaceAllocsPerRead,
+                     static_cast<unsigned long long>(peak_rss),
                      timings.seedingSec, timings.linearizeSec,
                      timings.alignSec);
         std::fprintf(json, "  \"batch_reads_per_sec\": {");

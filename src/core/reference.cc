@@ -1,5 +1,6 @@
 #include "src/core/reference.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/graph/gfa_import.h"
@@ -102,6 +103,100 @@ PreprocessedReference::save(const std::string &pack_path) const
             {chromosome.name, &chromosome.graph, &chromosome.index});
     }
     io::writePack(pack_path, entries);
+}
+
+uint64_t
+PreprocessedReference::shardBytes(size_t i) const
+{
+    if (pack_ != nullptr)
+        return pack_->shard(i).byteBytes;
+    const auto &chromosome = chromosomes_[i];
+    const auto &stats = chromosome.index.stats();
+    // In-memory estimate mirroring what the shard would weigh in a
+    // pack: 2-bit character words + node/edge records + the three
+    // index levels.
+    const uint64_t graph_bytes =
+        chromosome.graph.numNodes() * sizeof(graph::NodeRecord) +
+        chromosome.graph.numEdges() * sizeof(graph::NodeId) +
+        (chromosome.graph.totalSeqLen() + 31) / 32 * sizeof(uint64_t);
+    return graph_bytes + stats.totalBytes();
+}
+
+void
+PreprocessedReference::adviseShard(size_t i, bool resident) const
+{
+    if (pack_ != nullptr)
+        pack_->adviseShard(i, resident);
+}
+
+ShardResidency::ShardResidency(const PreprocessedReference &reference,
+                               uint64_t budget_bytes)
+    : reference_(reference), budget_(budget_bytes),
+      shards_(reference.numChromosomes())
+{
+    for (size_t i = 0; i < shards_.size(); ++i)
+        shards_[i].bytes = reference.shardBytes(i);
+}
+
+ShardResidency::Lease
+ShardResidency::acquire(size_t shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Shard &entry = shards_[shard];
+    ++entry.pins;
+    entry.lastUse = ++clock_;
+    ++stats_.acquisitions;
+    if (!entry.resident) {
+        ++stats_.faults;
+        entry.resident = true;
+        residentBytes_ += entry.bytes;
+        reference_.adviseShard(shard, true);
+        evictOverBudget();
+    }
+    stats_.peakResidentBytes =
+        std::max(stats_.peakResidentBytes, residentBytes_);
+    return Lease(this, shard);
+}
+
+void
+ShardResidency::release(size_t shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    --shards_[shard].pins;
+    evictOverBudget();
+}
+
+void
+ShardResidency::evictOverBudget()
+{
+    if (budget_ == 0)
+        return;
+    while (residentBytes_ > budget_) {
+        size_t victim = shards_.size();
+        uint64_t oldest = UINT64_MAX;
+        for (size_t i = 0; i < shards_.size(); ++i) {
+            const Shard &entry = shards_[i];
+            if (entry.resident && entry.pins == 0 &&
+                entry.lastUse < oldest) {
+                oldest = entry.lastUse;
+                victim = i;
+            }
+        }
+        if (victim == shards_.size())
+            return; // every resident shard is pinned: allowed overage
+        Shard &entry = shards_[victim];
+        entry.resident = false;
+        residentBytes_ -= entry.bytes;
+        ++stats_.evictions;
+        reference_.adviseShard(victim, false);
+    }
+}
+
+ShardResidency::Stats
+ShardResidency::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
 }
 
 std::vector<ChromosomeRef>

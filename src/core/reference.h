@@ -19,7 +19,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/segram.h"
@@ -141,6 +143,21 @@ class PreprocessedReference
     /** @return True when the tables are backed by a mapped pack. */
     bool fromPack() const { return pack_ != nullptr; }
 
+    /**
+     * On-disk/resident footprint of chromosome @p i's shard: the pack
+     * byte extent when loaded from a pack, the table byte totals
+     * (graph + index levels) when built in memory — either way, the
+     * weight ShardResidency charges against a memory budget.
+     */
+    uint64_t shardBytes(size_t i) const;
+
+    /**
+     * Forwards a residency hint to the mapped pack (see
+     * io::PackFile::adviseShard); no-op for in-memory references,
+     * whose tables cannot be dropped.
+     */
+    void adviseShard(size_t i, bool resident) const;
+
     PreprocessedReference(PreprocessedReference &&) = default;
     PreprocessedReference &operator=(PreprocessedReference &&) = default;
     PreprocessedReference(const PreprocessedReference &) = delete;
@@ -150,6 +167,111 @@ class PreprocessedReference
     std::vector<PreprocessedChromosome> chromosomes_;
     /** Keeps mapped tables alive; null when chromosomes own their data. */
     std::unique_ptr<io::PackFile> pack_;
+};
+
+/**
+ * LRU residency control over the shards of a pack-backed reference —
+ * the `segram map --mem-budget` mechanism. Workers acquire() a shard
+ * before touching its tables; the acquisition pins it resident
+ * (madvise(MADV_WILLNEED)) and, when the resident total exceeds the
+ * budget, evicts least-recently-used *unpinned* shards
+ * (madvise(MADV_DONTNEED) — their clean read-only pages refault from
+ * the pack file on the next access, so eviction is always safe, never
+ * wrong). A working set of pinned shards larger than the budget is
+ * allowed to exceed it — correctness over the cap — and reported in
+ * peakResidentBytes.
+ *
+ * Thread-safe; one instance is shared by all workers of a batch run.
+ */
+class ShardResidency
+{
+  public:
+    struct Stats
+    {
+        uint64_t acquisitions = 0; ///< total acquire() calls
+        uint64_t faults = 0;       ///< acquires of a non-resident shard
+        uint64_t evictions = 0;    ///< shards advised out
+        uint64_t peakResidentBytes = 0;
+    };
+
+    /** Pin on one shard; releases (unpins) on destruction. */
+    class Lease
+    {
+      public:
+        Lease() = default;
+        Lease(ShardResidency *owner, size_t shard)
+            : owner_(owner), shard_(shard)
+        {
+        }
+        Lease(Lease &&other) noexcept
+            : owner_(std::exchange(other.owner_, nullptr)),
+              shard_(other.shard_)
+        {
+        }
+        Lease &
+        operator=(Lease &&other) noexcept
+        {
+            if (this != &other) {
+                reset();
+                owner_ = std::exchange(other.owner_, nullptr);
+                shard_ = other.shard_;
+            }
+            return *this;
+        }
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+        ~Lease() { reset(); }
+
+      private:
+        void
+        reset()
+        {
+            if (owner_ != nullptr)
+                std::exchange(owner_, nullptr)->release(shard_);
+        }
+
+        ShardResidency *owner_ = nullptr;
+        size_t shard_ = 0;
+    };
+
+    /**
+     * @param reference    The (pack-backed) reference to control.
+     *                     Must outlive this object.
+     * @param budget_bytes Target resident ceiling across shards; 0
+     *                     disables eviction (everything stays warm).
+     */
+    ShardResidency(const PreprocessedReference &reference,
+                   uint64_t budget_bytes);
+
+    /** Pins shard @p shard resident until the lease dies. */
+    Lease acquire(size_t shard);
+
+    Stats stats() const;
+
+    uint64_t budgetBytes() const { return budget_; }
+
+  private:
+    friend class Lease;
+
+    struct Shard
+    {
+        uint64_t bytes = 0;
+        uint64_t lastUse = 0;
+        int pins = 0;
+        bool resident = false;
+    };
+
+    void release(size_t shard);
+    /** Evicts LRU unpinned shards while over budget. Holds mutex_. */
+    void evictOverBudget();
+
+    const PreprocessedReference &reference_;
+    const uint64_t budget_;
+    mutable std::mutex mutex_;
+    std::vector<Shard> shards_;
+    uint64_t clock_ = 0;
+    uint64_t residentBytes_ = 0;
+    Stats stats_;
 };
 
 } // namespace segram::core

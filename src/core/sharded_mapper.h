@@ -1,0 +1,108 @@
+/**
+ * @file
+ * ShardedBatchMapper: the (read-chunk x shard) batch driver for
+ * multi-chromosome references.
+ *
+ * BatchMapper parallelizes over reads only: each worker maps its reads
+ * against *every* chromosome back to back (MultiGraphMapper), so with
+ * a handful of workers and a skewed chromosome size distribution the
+ * per-read latency is dominated by the largest chromosome and every
+ * worker walks the whole reference working set. This driver schedules
+ * the full (read-chunk x shard) grid instead, shard-major, through the
+ * thread pool's work-stealing mode: workers start on different shards
+ * (locality: one shard's tables stay hot in cache while its items
+ * drain), skew is absorbed by stealing, and a memory budget can keep
+ * only the shards in flight resident (ShardResidency).
+ *
+ * Output is bit-identical to BatchMapper over MultiGraphMapper for
+ * every thread count: per-(read, shard) results are pure functions of
+ * their inputs, and the merge — lowest edit distance wins, ties to the
+ * earlier chromosome — is exactly MultiGraphMapper's rule, applied
+ * over a deterministic shard order after the grid completes.
+ */
+
+#ifndef SEGRAM_SRC_CORE_SHARDED_MAPPER_H
+#define SEGRAM_SRC_CORE_SHARDED_MAPPER_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/reference.h"
+#include "src/core/segram.h"
+#include "src/core/workspace.h"
+#include "src/util/thread_pool.h"
+
+namespace segram::core
+{
+
+/** ShardedBatchMapper knobs. */
+struct ShardedBatchConfig
+{
+    /** Worker threads; <= 0 picks the host's hardware concurrency. */
+    int threads = 1;
+
+    /** Reads per work item (one item = one chunk against one shard). */
+    size_t chunkSize = 8;
+
+    /**
+     * Resident-shard budget in bytes; 0 maps without residency
+     * control. Only effective for pack-backed references (in-memory
+     * tables cannot be dropped); pair with PackLoadOptions::coldLoad
+     * so the mapping starts cold.
+     */
+    uint64_t memBudgetBytes = 0;
+};
+
+/**
+ * Work-stealing (read-chunk x shard) batch driver over the SeGraM
+ * pipeline. One instance owns one thread pool and per-worker
+ * workspaces; mapBatch calls must be serialized by the caller, and
+ * the reference must outlive the mapper.
+ */
+class ShardedBatchMapper
+{
+  public:
+    ShardedBatchMapper(const PreprocessedReference &reference,
+                       const SegramConfig &config = {},
+                       const ShardedBatchConfig &batch = {});
+
+    /**
+     * Maps reads[i] -> result[i] across the (chunk x shard) grid.
+     * Results and @p stats totals are bit-identical to
+     * BatchMapper(MultiGraphMapper) for every thread count.
+     */
+    std::vector<MultiMapResult>
+    mapBatch(std::span<const std::string_view> reads,
+             PipelineStats *stats = nullptr) const;
+
+    /** Convenience overload for owned-string batches. */
+    std::vector<MultiMapResult>
+    mapBatch(std::span<const std::string> reads,
+             PipelineStats *stats = nullptr) const;
+
+    int threads() const { return pool_.size(); }
+    size_t numShards() const { return mappers_.size(); }
+    std::string_view engineName() const { return "segram-sharded"; }
+
+    /** All-zeros when no memory budget is active. */
+    ShardResidency::Stats residencyStats() const;
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<SegramMapper> mappers_;
+    ShardedBatchConfig config_;
+    /** Internally synchronized; mapBatch is logically const. */
+    mutable util::ThreadPool pool_;
+    /** One private workspace per pool worker (see BatchMapper). */
+    mutable std::vector<MapWorkspace> workspaces_;
+    /** LRU residency control; null when memBudgetBytes == 0. */
+    mutable std::unique_ptr<ShardResidency> residency_;
+};
+
+} // namespace segram::core
+
+#endif // SEGRAM_SRC_CORE_SHARDED_MAPPER_H

@@ -51,6 +51,7 @@ MinimizerIndex::build(const graph::GenomeGraph &graph,
     MinimizerIndex out;
     out.sketch_ = config.sketch;
     out.bucket_bits_ = config.bucketBits;
+    out.discard_top_fraction_ = config.discardTopFraction;
 
     std::vector<RawHit> hits = collectHits(graph, config.sketch);
     std::sort(hits.begin(), hits.end(),
@@ -163,6 +164,54 @@ MinimizerIndex::locations(uint64_t hash) const
     if (entry == nullptr)
         return {};
     return {locations_.data() + entry->locStart, entry->locCount};
+}
+
+OccurrenceReport
+MinimizerIndex::occurrenceReport(size_t top_n) const
+{
+    OccurrenceReport report;
+    report.freqThreshold = freq_threshold_;
+    report.distinctMinimizers = minimizers_.size();
+    report.totalLocations = locations_.size();
+    if (minimizers_.empty())
+        return report;
+
+    std::vector<uint32_t> counts;
+    counts.reserve(minimizers_.size());
+    for (const auto &entry : minimizers_)
+        counts.push_back(entry.locCount);
+    std::sort(counts.begin(), counts.end());
+
+    const size_t n = counts.size();
+    report.deciles.resize(10);
+    for (size_t d = 0; d < 10; ++d) {
+        const size_t begin = d * n / 10;
+        const size_t end = (d + 1) * n / 10;
+        auto &decile = report.deciles[d];
+        decile.minimizers = end - begin;
+        for (size_t i = begin; i < end; ++i) {
+            decile.locations += counts[i];
+            decile.maxFrequency = std::max(decile.maxFrequency, counts[i]);
+        }
+    }
+
+    // Hottest seeds: partial sort of the level-2 entries by count
+    // (descending), hash as the deterministic tiebreak.
+    std::vector<OccurrenceReport::HotSeed> hot;
+    hot.reserve(minimizers_.size());
+    for (const auto &entry : minimizers_)
+        hot.push_back({entry.hash, entry.locCount});
+    const size_t keep = std::min(top_n, hot.size());
+    std::partial_sort(hot.begin(), hot.begin() + keep, hot.end(),
+                      [](const OccurrenceReport::HotSeed &a,
+                         const OccurrenceReport::HotSeed &b) {
+                          if (a.frequency != b.frequency)
+                              return a.frequency > b.frequency;
+                          return a.hash < b.hash;
+                      });
+    hot.resize(keep);
+    report.topSeeds = std::move(hot);
+    return report;
 }
 
 IndexStats

@@ -97,6 +97,38 @@ struct IndexStats
 };
 
 /**
+ * Occurrence-frequency distribution of the distinct minimizers, for
+ * data-driven cap tuning (`segram index --stats`). Built by
+ * MinimizerIndex::occurrenceReport.
+ */
+struct OccurrenceReport
+{
+    /** One decile of distinct minimizers, ordered by frequency. */
+    struct Decile
+    {
+        uint64_t minimizers = 0; ///< distinct minimizers in the decile
+        uint32_t maxFrequency = 0; ///< largest occurrence count inside
+        uint64_t locations = 0;  ///< total occurrences in the decile
+    };
+
+    /** One of the hottest (most frequent) minimizers. */
+    struct HotSeed
+    {
+        uint64_t hash = 0;
+        uint32_t frequency = 0;
+    };
+
+    /** Ten deciles, coldest first; empty when the index is empty. */
+    std::vector<Decile> deciles;
+    /** The hottest minimizers, most frequent first (at most `topN`). */
+    std::vector<HotSeed> topSeeds;
+    /** The build-time threshold (`frequencyThreshold()`). */
+    uint32_t freqThreshold = 0;
+    uint64_t distinctMinimizers = 0;
+    uint64_t totalLocations = 0;
+};
+
+/**
  * The queryable index. Construction scans every node of the graph (the
  * paper indexes "the nodes of the graph"); k-mers crossing node
  * boundaries are not indexed, which mirrors the paper's structure.
@@ -135,8 +167,18 @@ class MinimizerIndex
      */
     uint32_t frequencyThreshold() const { return freq_threshold_; }
 
+    /** The `IndexConfig::discardTopFraction` the index was built with. */
+    double discardTopFraction() const { return discard_top_fraction_; }
+
     /** @return Footprint/occupancy statistics of this index. */
     const IndexStats &stats() const { return stats_; }
+
+    /**
+     * Computes the occurrence histogram of the distinct minimizers:
+     * ten frequency deciles (coldest first) plus the @p top_n hottest
+     * seeds, the data behind `segram index --stats` cap tuning.
+     */
+    OccurrenceReport occurrenceReport(size_t top_n = 10) const;
 
     /** @return The sketch parameters the index was built with. */
     const seed::SketchConfig &sketch() const { return sketch_; }
@@ -154,6 +196,7 @@ class MinimizerIndex
     seed::SketchConfig sketch_;
     int bucket_bits_ = 0;
     uint32_t freq_threshold_ = 0;
+    double discard_top_fraction_ = 0.0;
     /// level 1 (CSR into level 2)
     util::TableStorage<uint32_t> bucket_offsets_;
     util::TableStorage<MinimizerEntry> minimizers_; ///< level 2

@@ -125,6 +125,7 @@ PackCodec::makeIndex(const PackChromMeta &meta,
     out.sketch_.w = static_cast<int>(meta.sketchW);
     out.bucket_bits_ = static_cast<int>(meta.bucketBits);
     out.freq_threshold_ = meta.freqThreshold;
+    out.discard_top_fraction_ = meta.discardTopFraction;
     out.bucket_offsets_ = util::TableStorage<uint32_t>::borrow(buckets);
     out.minimizers_ =
         util::TableStorage<index::MinimizerEntry>::borrow(minimizers);
@@ -148,8 +149,11 @@ PackCodec::makeIndex(const PackChromMeta &meta,
 // -------------------------------------------------------------- writer
 
 void
-writePack(const std::string &path, std::span<const PackWriteEntry> entries)
+writePack(const std::string &path, std::span<const PackWriteEntry> entries,
+          uint32_t version)
 {
+    SEGRAM_CHECK(version >= kPackMinVersion && version <= kPackVersion,
+                 "unsupported pack version " + std::to_string(version));
     SEGRAM_CHECK(!entries.empty(), "cannot write a pack with no chromosomes");
     for (const auto &entry : entries) {
         SEGRAM_CHECK(entry.graph != nullptr && entry.index != nullptr,
@@ -180,7 +184,7 @@ writePack(const std::string &path, std::span<const PackWriteEntry> entries)
         meta.freqThreshold = entry.index->frequencyThreshold();
         meta.maxMinimizersPerBucket = stats.maxMinimizersPerBucket;
         meta.maxLocationsPerMinimizer = stats.maxLocationsPerMinimizer;
-        meta.discardTopFraction = 0.0; // informational; threshold is kept
+        meta.discardTopFraction = entry.index->discardTopFraction();
     }
 
     // Plan every section in file order.
@@ -196,6 +200,16 @@ writePack(const std::string &path, std::span<const PackWriteEntry> entries)
     plans.push_back(
         {PackSectionKind::Names, kPackGlobalSection,
          {reinterpret_cast<const std::byte *>(names.data()), names.size()}});
+    // The shard table's *contents* (byte extents) depend on the layout
+    // computed below, so plan it with a placeholder payload now and
+    // fill the records in before checksumming.
+    std::vector<PackShardInfo> shard_infos(entries.size());
+    if (version >= 2) {
+        plans.push_back(
+            {PackSectionKind::ShardTable, kPackGlobalSection,
+             asBytes(std::span<const PackShardInfo>(shard_infos))});
+    }
+    const size_t global_sections = plans.size();
     for (size_t i = 0; i < entries.size(); ++i) {
         const auto chrom = static_cast<uint32_t>(i);
         const auto &entry = entries[i];
@@ -213,7 +227,8 @@ writePack(const std::string &path, std::span<const PackWriteEntry> entries)
                          asBytes(PackCodec::locationTable(*entry.index))});
     }
 
-    // Lay out offsets and build the directory.
+    // Lay out offsets first (checksums wait until the shard table is
+    // filled in, since its payload derives from this very layout).
     std::vector<PackSectionEntry> directory(plans.size());
     uint64_t cursor = alignUp(sizeof(PackHeader) +
                               plans.size() * sizeof(PackSectionEntry));
@@ -222,13 +237,31 @@ writePack(const std::string &path, std::span<const PackWriteEntry> entries)
         directory[i].chromosome = plans[i].chromosome;
         directory[i].offset = cursor;
         directory[i].bytes = plans[i].payload.size();
-        directory[i].checksum = packChecksum(plans[i].payload);
         cursor = alignUp(cursor + plans[i].payload.size());
     }
 
+    // A chromosome's six sections are contiguous in file order; its
+    // shard extent runs from its first section to the start of the
+    // next chromosome's (or end of file).
+    for (size_t c = 0; c < entries.size(); ++c) {
+        const size_t first = global_sections + c * kSectionsPerChromosome;
+        PackShardInfo &info = shard_infos[c];
+        info.byteStart = directory[first].offset;
+        const auto &last = directory[first + kSectionsPerChromosome - 1];
+        info.byteBytes = alignUp(last.offset + last.bytes) - info.byteStart;
+        info.graphBytes = directory[first].bytes +
+                          directory[first + 1].bytes +
+                          directory[first + 2].bytes;
+        info.indexBytes = directory[first + 3].bytes +
+                          directory[first + 4].bytes +
+                          directory[first + 5].bytes;
+    }
+    for (size_t i = 0; i < plans.size(); ++i)
+        directory[i].checksum = packChecksum(plans[i].payload);
+
     PackHeader header = {};
     std::memcpy(header.magic, kPackMagic, sizeof(kPackMagic));
-    header.version = kPackVersion;
+    header.version = version;
     header.endianTag = kPackEndianTag;
     header.fileBytes = cursor;
     header.sectionCount = static_cast<uint32_t>(plans.size());
@@ -270,7 +303,7 @@ class PackFile::Mapping
 {
   public:
     static std::unique_ptr<Mapping>
-    map(const std::string &path)
+    map(const std::string &path, bool prefetch)
     {
         auto mapping = std::unique_ptr<Mapping>(new Mapping);
         const int fd = ::open(path.c_str(), O_RDONLY);
@@ -288,8 +321,11 @@ class PackFile::Mapping
                 mapping->addr_ = addr;
                 // Ask the kernel to fault the tables in ahead of the
                 // first queries (the paper's "resident in memory"
-                // model); best-effort, failure is harmless.
-                (void)::madvise(addr, mapping->size_, MADV_WILLNEED);
+                // model); best-effort, failure is harmless. A
+                // memory-budget (cold) load skips it: residency is
+                // driven shard by shard instead.
+                if (prefetch)
+                    (void)::madvise(addr, mapping->size_, MADV_WILLNEED);
             } else if (!mapping->readFallback(fd)) {
                 ::close(fd);
                 SEGRAM_CHECK(false, "cannot mmap or read pack '" + path +
@@ -305,6 +341,37 @@ class PackFile::Mapping
     {
         const void *base = addr_ != nullptr ? addr_ : fallback_.get();
         return {static_cast<const std::byte *>(base), size_};
+    }
+
+    /**
+     * madvise(WILLNEED/DONTNEED) over the page-aligned cover of
+     * [offset, offset+bytes). DONTNEED shrinks to the *interior* whole
+     * pages so boundary pages shared with a neighbouring extent are
+     * never dropped behind its back; WILLNEED expands outward. No-op
+     * on the read() fallback (heap memory has no backing file to
+     * refault from).
+     */
+    void
+    advise(uint64_t offset, uint64_t bytes, bool resident) const
+    {
+        if (addr_ == nullptr || bytes == 0 || offset >= size_)
+            return;
+        static const uint64_t page =
+            static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+        uint64_t begin = offset;
+        uint64_t end = std::min<uint64_t>(offset + bytes, size_);
+        if (resident) {
+            begin = begin & ~(page - 1);
+            end = std::min<uint64_t>((end + page - 1) & ~(page - 1),
+                                     size_);
+        } else {
+            begin = (begin + page - 1) & ~(page - 1);
+            end = end & ~(page - 1);
+        }
+        if (begin >= end)
+            return;
+        (void)::madvise(static_cast<char *>(addr_) + begin, end - begin,
+                        resident ? MADV_WILLNEED : MADV_DONTNEED);
     }
 
     ~Mapping()
@@ -359,6 +426,19 @@ PackFile::fileBytes() const
     return mapping_->bytes().size();
 }
 
+void
+PackFile::adviseShard(size_t i, bool resident) const
+{
+    const PackShardInfo &info = shards_[i];
+    mapping_->advise(info.byteStart, info.byteBytes, resident);
+}
+
+void
+PackFile::adviseAll(bool resident) const
+{
+    mapping_->advise(0, mapping_->bytes().size(), resident);
+}
+
 bool
 isPackFile(const std::string &path)
 {
@@ -394,7 +474,7 @@ PackFile
 PackFile::open(const std::string &path, const PackLoadOptions &options)
 {
     PackFile pack;
-    pack.mapping_ = Mapping::map(path);
+    pack.mapping_ = Mapping::map(path, /*prefetch=*/!options.coldLoad);
     const std::span<const std::byte> file = pack.mapping_->bytes();
 
     // --- header ---
@@ -408,10 +488,14 @@ PackFile::open(const std::string &path, const PackLoadOptions &options)
     SEGRAM_PACK_CHECK(header.endianTag == kPackEndianTag, path,
                       "endianness mismatch (pack written on a "
                       "different-endian host)");
-    SEGRAM_PACK_CHECK(header.version == kPackVersion, path,
+    SEGRAM_PACK_CHECK(header.version >= kPackMinVersion &&
+                          header.version <= kPackVersion,
+                      path,
                       "pack version " + std::to_string(header.version) +
-                          " != supported version " +
-                          std::to_string(kPackVersion));
+                          " outside supported range [" +
+                          std::to_string(kPackMinVersion) + ", " +
+                          std::to_string(kPackVersion) + "]");
+    pack.version_ = header.version;
     SEGRAM_PACK_CHECK(header.nodeRecordBytes == sizeof(graph::NodeRecord),
                       path, "node record size mismatch");
     SEGRAM_PACK_CHECK(header.sectionEntryBytes == sizeof(PackSectionEntry),
@@ -436,9 +520,13 @@ PackFile::open(const std::string &path, const PackLoadOptions &options)
             std::span<const PackSectionEntry>(directory))) ==
             header.directoryChecksum,
         path, "section directory checksum mismatch");
+    // v1 packs have two global sections (ChromMeta + Names); v2 adds
+    // the ShardTable.
+    const uint32_t global_sections = header.version >= 2 ? 3 : 2;
     SEGRAM_PACK_CHECK(
         header.sectionCount ==
-            2 + kSectionsPerChromosome * header.chromosomeCount,
+            global_sections +
+                kSectionsPerChromosome * header.chromosomeCount,
         path, "unexpected section count");
 
     for (const auto &entry : directory) {
@@ -453,6 +541,11 @@ PackFile::open(const std::string &path, const PackLoadOptions &options)
                 packChecksum(file.subspan(entry.offset, entry.bytes)) ==
                     entry.checksum,
                 path, "section payload checksum mismatch");
+            // A cold load keeps validation RSS near one section: drop
+            // each payload's pages as soon as they are checksummed
+            // (table validation below refaults what it needs).
+            if (options.coldLoad)
+                pack.mapping_->advise(entry.offset, entry.bytes, false);
         }
     }
 
@@ -520,6 +613,29 @@ PackFile::open(const std::string &path, const PackLoadOptions &options)
             findSection(PackSectionKind::MinimizerTable, c);
         const PackSectionEntry &locs_s =
             findSection(PackSectionKind::LocationTable, c);
+
+        // Shard extent: the contiguous byte range covering this
+        // chromosome's six sections, derived from the directory (the
+        // authoritative layout) so v1 packs get extents too.
+        {
+            const PackSectionEntry *sections[] = {&nodes_s,  &chars_s,
+                                                  &edges_s,  &buckets_s,
+                                                  &mins_s,   &locs_s};
+            PackShardInfo info = {};
+            info.byteStart = UINT64_MAX;
+            uint64_t end = 0;
+            for (const PackSectionEntry *s : sections) {
+                info.byteStart = std::min(info.byteStart, s->offset);
+                end = std::max(end, alignUp(s->offset + s->bytes));
+            }
+            info.byteBytes = std::min<uint64_t>(end, file.size()) -
+                             info.byteStart;
+            info.graphBytes =
+                nodes_s.bytes + chars_s.bytes + edges_s.bytes;
+            info.indexBytes =
+                buckets_s.bytes + mins_s.bytes + locs_s.bytes;
+            pack.shards_.push_back(info);
+        }
 
         // Overflow-safe ceil(numBases / 32): a hostile numBases near
         // 2^64 must inflate the expected CharTable size (and fail the
@@ -617,6 +733,28 @@ PackFile::open(const std::string &path, const PackLoadOptions &options)
         chromosome.index =
             PackCodec::makeIndex(meta, buckets, minimizers, locations);
         pack.chromosomes_.push_back(std::move(chromosome));
+
+        if (options.coldLoad)
+            pack.adviseShard(c, false);
+    }
+
+    // A v2 pack's stored shard table must agree with the extents
+    // derived from the directory above.
+    if (header.version >= 2) {
+        const PackSectionEntry &shards_section =
+            findSection(PackSectionKind::ShardTable, kPackGlobalSection);
+        SEGRAM_PACK_CHECK(shards_section.bytes ==
+                              uint64_t{header.chromosomeCount} *
+                                  sizeof(PackShardInfo),
+                          path, "shard table size mismatch");
+        std::vector<PackShardInfo> stored(header.chromosomeCount);
+        std::memcpy(stored.data(), file.data() + shards_section.offset,
+                    shards_section.bytes);
+        for (uint32_t c = 0; c < header.chromosomeCount; ++c) {
+            SEGRAM_PACK_CHECK(stored[c] == pack.shards_[c], path,
+                              "shard table disagrees with the section "
+                              "directory");
+        }
     }
     return pack;
 }

@@ -53,8 +53,16 @@ namespace segram::io
 inline constexpr char kPackMagic[8] = {'S', 'E', 'G', 'R',
                                        'A', 'M', 'P', 'K'};
 
-/** Bumped on every incompatible layout change. */
-inline constexpr uint32_t kPackVersion = 1;
+/**
+ * Bumped on every layout change. Version 2 added the global ShardTable
+ * section (per-chromosome byte extents for residency control); the
+ * loader still accepts version-1 packs and derives the extents from
+ * the section directory instead.
+ */
+inline constexpr uint32_t kPackVersion = 2;
+
+/** Oldest pack version PackFile::open still loads. */
+inline constexpr uint32_t kPackMinVersion = 1;
 
 /** Written as-is; reads back differently on a big-endian host. */
 inline constexpr uint32_t kPackEndianTag = 0x01020304;
@@ -76,6 +84,7 @@ enum class PackSectionKind : uint32_t
     BucketTable = 6,    ///< uint32_t[2^bucketBits + 1]       (Fig. 6)
     MinimizerTable = 7, ///< index::MinimizerEntry[numMinimizers]
     LocationTable = 8,  ///< index::SeedLocation[numLocations]
+    ShardTable = 9,     ///< PackShardInfo[chromosomeCount] (global, v2+)
 };
 
 /** Fixed 64-byte file header. */
@@ -132,6 +141,26 @@ struct PackChromMeta
 static_assert(sizeof(PackChromMeta) == 96 &&
               std::is_trivially_copyable_v<PackChromMeta>);
 
+/**
+ * One chromosome's *shard*: the contiguous byte extent of its six
+ * table sections inside the pack (the writer lays a chromosome's
+ * sections out back-to-back). The extent is the unit of residency
+ * control — `segram map --mem-budget` madvises whole shards in and
+ * out. Fixed 32-byte record inside the v2 ShardTable section.
+ */
+struct PackShardInfo
+{
+    uint64_t byteStart;  ///< first byte of the shard (kPackAlign-aligned)
+    uint64_t byteBytes;  ///< extent length, trailing padding included
+    uint64_t graphBytes; ///< Node+Char+Edge payload bytes (Fig. 5)
+    uint64_t indexBytes; ///< Bucket+Minimizer+Location payload (Fig. 6)
+
+    bool operator==(const PackShardInfo &) const = default;
+};
+
+static_assert(sizeof(PackShardInfo) == 32 &&
+              std::is_trivially_copyable_v<PackShardInfo>);
+
 /** FNV-1a 64 over @p bytes (the pack's section checksum). */
 uint64_t packChecksum(std::span<const std::byte> bytes);
 
@@ -146,12 +175,17 @@ struct PackWriteEntry
 /**
  * Writes @p entries as a `.segram` pack at @p path (overwriting).
  *
- * @throws InputError on I/O failure or null/empty entries.
+ * @param version Pack version to emit: kPackVersion (default) or 1 for
+ *        the legacy monolithic layout without a ShardTable (kept so
+ *        backward-compatibility of the loader stays testable).
+ * @throws InputError on I/O failure, null/empty entries, or an
+ *         unsupported version.
  */
 void writePack(const std::string &path,
-               std::span<const PackWriteEntry> entries);
+               std::span<const PackWriteEntry> entries,
+               uint32_t version = kPackVersion);
 
-/** Pack-loading knobs (both default on; disable only in benches). */
+/** Pack-loading knobs (verification defaults on; disable in benches). */
 struct PackLoadOptions
 {
     /** Verify the FNV-1a checksum of every section payload. */
@@ -162,6 +196,14 @@ struct PackLoadOptions
      * table, CSR monotonicity) before handing out any span.
      */
     bool validateTables = true;
+    /**
+     * Memory-budget loading: skip the whole-file MADV_WILLNEED
+     * prefetch and drop each shard's pages (MADV_DONTNEED) as soon as
+     * it has been validated, so peak RSS during open() stays near the
+     * largest single shard instead of the whole pack. Mapping starts
+     * fully cold; pair with PackFile::adviseShard residency control.
+     */
+    bool coldLoad = false;
 };
 
 /**
@@ -212,6 +254,29 @@ class PackFile
     /** @return The pack's exact on-disk size in bytes. */
     uint64_t fileBytes() const;
 
+    /** @return The on-disk format version (1 or 2). */
+    uint32_t version() const { return version_; }
+
+    /**
+     * Byte extent of chromosome @p i's shard. Present for every loaded
+     * pack: read from the v2 ShardTable, derived from the section
+     * directory for v1 packs.
+     */
+    const PackShardInfo &shard(size_t i) const { return shards_[i]; }
+
+    /**
+     * Residency hint for one shard: madvise(MADV_WILLNEED) when
+     * @p resident, MADV_DONTNEED otherwise, over the page-aligned
+     * extent of shard @p i. Dropped pages of the read-only MAP_PRIVATE
+     * mapping simply refault from the file on the next access, so this
+     * is always safe — it trades page faults for RSS. No-op when the
+     * pack was loaded through the read() fallback.
+     */
+    void adviseShard(size_t i, bool resident) const;
+
+    /** Residency hint over the whole mapping (see adviseShard). */
+    void adviseAll(bool resident) const;
+
     // Move-only; special members are defined in pack.cc where the
     // Mapping type is complete.
     PackFile(PackFile &&) noexcept;
@@ -234,6 +299,8 @@ class PackFile
 
     std::unique_ptr<Mapping> mapping_;
     std::vector<Chromosome> chromosomes_;
+    std::vector<PackShardInfo> shards_;
+    uint32_t version_ = kPackVersion;
 };
 
 /**

@@ -50,6 +50,8 @@ MinSeed::seedRead(std::string_view read, std::vector<CandidateRegion> &regions,
     const std::vector<Minimizer> &minimizers = scratch.minimizers;
     local.minimizersComputed = minimizers.size();
 
+    const uint32_t cap = config_.maxOccurrences;
+
     for (const auto &minimizer : minimizers) {
         // Step 3-4 of Fig. 4: frequency lookup + threshold filter.
         const uint32_t freq = index_.frequency(minimizer.hash);
@@ -58,8 +60,7 @@ MinSeed::seedRead(std::string_view read, std::vector<CandidateRegion> &regions,
             continue;
         ++local.minimizersKept;
 
-        // Step 5: fetch seed locations.
-        for (const auto &loc : index_.locations(minimizer.hash)) {
+        const auto emit = [&](const index::SeedLocation &loc) {
             ++local.seedsFetched;
             // Fig. 9 coordinates: [a,b] in the read, [c,d] in the graph.
             const int64_t a = minimizer.pos;
@@ -79,6 +80,26 @@ MinSeed::seedRead(std::string_view read, std::vector<CandidateRegion> &regions,
             region.minimizerPos = minimizer.pos;
             region.seed = loc;
             regions.push_back(region);
+        };
+
+        // Step 5: fetch seed locations. An over-full list is
+        // subsampled at evenly spaced indices (position-stratified:
+        // the occurrence list is sorted by location, so strided
+        // indices cover the whole reference). The sample is a pure
+        // function of (list, cap) — deterministic regardless of
+        // threading.
+        const auto locations = index_.locations(minimizer.hash);
+        if (cap != 0 && freq > cap) {
+            ++local.minimizersCapped;
+            local.seedsSkippedByCap += freq - cap;
+            for (uint32_t i = 0; i < cap; ++i) {
+                const auto idx = static_cast<size_t>(
+                    (static_cast<uint64_t>(i) * freq) / cap);
+                emit(locations[idx]);
+            }
+        } else {
+            for (const auto &loc : locations)
+                emit(loc);
         }
     }
 

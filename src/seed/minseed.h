@@ -44,9 +44,25 @@ struct MinSeedConfig
 
     /**
      * Occurrence-frequency cutoff; 0 means "use the index's built-in
-     * threshold" (top 0.02% of distinct minimizers).
+     * threshold" (top 0.02% of distinct minimizers). Minimizers above
+     * the cutoff are discarded entirely (paper Section 6: the MinSeed
+     * frequency filter).
      */
     uint32_t frequencyThreshold = 0;
+
+    /**
+     * Query-time occurrence cap (minimap2 `--max-occ` analogue); 0
+     * disables it. A minimizer that survives the frequency threshold
+     * but occurs more than this many times is *subsampled* instead of
+     * fanned out in full: exactly `maxOccurrences` seed locations are
+     * taken from its sorted occurrence list at evenly spaced
+     * (position-stratified) indices `idx_i = (i * freq) / cap`, so the
+     * sample spans the whole reference instead of clustering at its
+     * start. The sample depends only on the occurrence list and the
+     * cap — never on threads or scheduling — so capped mapping stays
+     * bit-identical across thread counts.
+     */
+    uint32_t maxOccurrences = 0;
 
     /** Merge candidate regions with identical spans before alignment. */
     bool mergeDuplicateRegions = true;
@@ -68,8 +84,10 @@ struct MinSeedStats
 {
     uint64_t minimizersComputed = 0;
     uint64_t minimizersKept = 0;    ///< after the frequency filter
+    uint64_t minimizersCapped = 0;  ///< kept but subsampled by the cap
     uint64_t seedsAvailable = 0;    ///< locations before the filter
     uint64_t seedsFetched = 0;      ///< level-3 locations fetched
+    uint64_t seedsSkippedByCap = 0; ///< locations dropped by subsampling
     uint64_t regionsEmitted = 0;    ///< after optional duplicate merge
 
     MinSeedStats &
@@ -77,8 +95,10 @@ struct MinSeedStats
     {
         minimizersComputed += other.minimizersComputed;
         minimizersKept += other.minimizersKept;
+        minimizersCapped += other.minimizersCapped;
         seedsAvailable += other.seedsAvailable;
         seedsFetched += other.seedsFetched;
+        seedsSkippedByCap += other.seedsSkippedByCap;
         regionsEmitted += other.regionsEmitted;
         return *this;
     }

@@ -35,4 +35,27 @@ makeLinearDataset(DatasetConfig config)
     return out;
 }
 
+std::vector<ChromosomeDataset>
+makeMultiDataset(const MultiDatasetConfig &config, RepeatReport *report)
+{
+    Rng rng(config.seed);
+    auto chromosomes =
+        simulateMultiChromosomeGenome(config.genome, rng, report);
+    std::vector<ChromosomeDataset> out;
+    out.reserve(chromosomes.size());
+    for (auto &chromosome : chromosomes) {
+        ChromosomeDataset entry;
+        entry.name = std::move(chromosome.name);
+        entry.reference = std::move(chromosome.seq);
+        entry.variants =
+            simulateVariants(entry.reference, config.variants, rng);
+        entry.graph = graph::buildGraph(entry.reference, entry.variants);
+        entry.donor = DonorGenome(entry.reference, entry.variants,
+                                  entry.graph, config.altProbability,
+                                  rng);
+        out.push_back(std::move(entry));
+    }
+    return out;
+}
+
 } // namespace segram::sim

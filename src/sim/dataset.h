@@ -54,6 +54,44 @@ Dataset makeDataset(const DatasetConfig &config);
  */
 Dataset makeLinearDataset(DatasetConfig config);
 
+/** All knobs of a multi-chromosome dataset. */
+struct MultiDatasetConfig
+{
+    MultiGenomeConfig genome;
+    VariantConfig variants;
+    /** Probability that the donor haplotype carries each ALT allele. */
+    double altProbability = 0.5;
+    uint64_t seed = 42;
+};
+
+/**
+ * One fully assembled chromosome of a multi-chromosome dataset. No
+ * minimizer index: the scale-harness consumers (`segram simulate`,
+ * bench_scale) either write FASTA/VCF for `segram index` to process or
+ * build indexes with their own IndexConfig — baking one in here would
+ * double the build time of a 100 Mbp genome for nothing.
+ */
+struct ChromosomeDataset
+{
+    std::string name;
+    std::string reference;
+    std::vector<graph::Variant> variants;
+    graph::GenomeGraph graph;
+    DonorGenome donor;
+};
+
+/**
+ * Builds a multi-chromosome dataset deterministically from @p config:
+ * skew-length chromosomes with shared dispersed repeat families and
+ * tandem arrays (simulateMultiChromosomeGenome), then per chromosome
+ * variants, graph and donor haplotype.
+ *
+ * @param[out] report Optional planted-repeat tally across chromosomes.
+ */
+std::vector<ChromosomeDataset>
+makeMultiDataset(const MultiDatasetConfig &config,
+                 RepeatReport *report = nullptr);
+
 } // namespace segram::sim
 
 #endif // SEGRAM_SRC_SIM_DATASET_H

@@ -1,5 +1,6 @@
 #include "src/sim/genome_sim.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "src/util/check.h"
@@ -17,38 +18,164 @@ randomSequence(uint64_t length, Rng &rng)
     return out;
 }
 
-std::string
-simulateGenome(const GenomeConfig &config, Rng &rng)
+/**
+ * Overwrites random windows of @p genome with tandem arrays (a random
+ * unit repeated [2, tandemMaxCopies] times back to back) until
+ * tandemFraction of the genome has been written.
+ */
+static void
+plantTandem(std::string &genome, const GenomeConfig &config, Rng &rng,
+            RepeatReport *report)
 {
-    SEGRAM_CHECK(config.length > 0, "genome length must be positive");
-    SEGRAM_CHECK(config.repeatFraction >= 0.0 &&
-                     config.repeatFraction < 1.0,
-                 "repeatFraction must be in [0, 1)");
-    std::string genome = randomSequence(config.length, rng);
-    if (config.repeatFraction <= 0.0 || config.repeatMotifCount == 0 ||
-        config.repeatMotifLen == 0 ||
-        config.repeatMotifLen >= config.length) {
-        return genome;
-    }
-
-    // Plant repeat copies: overwrite random windows with random motifs.
-    std::vector<std::string> motifs;
-    motifs.reserve(config.repeatMotifCount);
-    for (uint32_t i = 0; i < config.repeatMotifCount; ++i)
-        motifs.push_back(randomSequence(config.repeatMotifLen, rng));
-
+    if (config.tandemFraction <= 0.0 || config.tandemUnitLen == 0 ||
+        config.tandemMaxCopies < 2 ||
+        static_cast<uint64_t>(config.tandemUnitLen) * 2 > genome.size())
+        return;
     const uint64_t target_bases = static_cast<uint64_t>(
-        config.repeatFraction * static_cast<double>(config.length));
+        config.tandemFraction * static_cast<double>(genome.size()));
+    uint64_t planted = 0;
+    while (planted < target_bases) {
+        const std::string unit =
+            randomSequence(config.tandemUnitLen, rng);
+        uint64_t copies =
+            2 + rng.nextBelow(config.tandemMaxCopies - 1);
+        // Clamp the array to the chromosome; two copies always fit.
+        copies = std::min<uint64_t>(copies, genome.size() / unit.size());
+        const uint64_t array_len = unit.size() * copies;
+        const uint64_t pos =
+            rng.nextBelow(genome.size() - array_len + 1);
+        for (uint64_t c = 0; c < copies; ++c)
+            genome.replace(pos + c * unit.size(), unit.size(), unit);
+        planted += array_len;
+        if (report != nullptr) {
+            report->tandemBases += array_len;
+            ++report->tandemArrays;
+        }
+    }
+}
+
+/**
+ * Overwrites random windows of @p genome with copies drawn from
+ * @p motifs until @p target_bases have been written.
+ */
+static void
+plantDispersed(std::string &genome,
+               const std::vector<std::string> &motifs,
+               uint64_t target_bases, Rng &rng, RepeatReport *report)
+{
     uint64_t planted = 0;
     while (planted < target_bases) {
         const std::string &motif =
             motifs[rng.nextBelow(motifs.size())];
         const uint64_t pos =
-            rng.nextBelow(config.length - motif.size() + 1);
+            rng.nextBelow(genome.size() - motif.size() + 1);
         genome.replace(pos, motif.size(), motif);
         planted += motif.size();
     }
+    if (report != nullptr)
+        report->dispersedBases += planted;
+}
+
+static void
+checkRepeatConfig(const GenomeConfig &config)
+{
+    SEGRAM_CHECK(config.repeatFraction >= 0.0 &&
+                     config.repeatFraction < 1.0,
+                 "repeatFraction must be in [0, 1)");
+    SEGRAM_CHECK(config.tandemFraction >= 0.0 &&
+                     config.tandemFraction < 1.0,
+                 "tandemFraction must be in [0, 1)");
+    SEGRAM_CHECK(config.repeatFraction + config.tandemFraction < 1.0,
+                 "repeatFraction + tandemFraction must be < 1");
+}
+
+std::string
+simulateGenome(const GenomeConfig &config, Rng &rng,
+               RepeatReport *report)
+{
+    SEGRAM_CHECK(config.length > 0, "genome length must be positive");
+    checkRepeatConfig(config);
+    std::string genome = randomSequence(config.length, rng);
+
+    // Tandem first so dispersed planting (the pre-existing behavior,
+    // and the heavier tail) wins where windows overlap.
+    plantTandem(genome, config, rng, report);
+
+    if (config.repeatFraction <= 0.0 || config.repeatMotifCount == 0 ||
+        config.repeatMotifLen == 0 ||
+        config.repeatMotifLen >= config.length) {
+        return genome;
+    }
+    std::vector<std::string> motifs;
+    motifs.reserve(config.repeatMotifCount);
+    for (uint32_t i = 0; i < config.repeatMotifCount; ++i)
+        motifs.push_back(randomSequence(config.repeatMotifLen, rng));
+    const uint64_t target_bases = static_cast<uint64_t>(
+        config.repeatFraction * static_cast<double>(config.length));
+    plantDispersed(genome, motifs, target_bases, rng, report);
     return genome;
+}
+
+std::vector<SimChromosome>
+simulateMultiChromosomeGenome(const MultiGenomeConfig &config, Rng &rng,
+                              RepeatReport *report)
+{
+    SEGRAM_CHECK(config.numChromosomes >= 1,
+                 "numChromosomes must be >= 1");
+    SEGRAM_CHECK(config.totalLength >= config.numChromosomes,
+                 "totalLength must cover one base per chromosome");
+    checkRepeatConfig(config.repeats);
+
+    // Linearly skewed lengths: chromosome i carries weight N-i, so
+    // chr1 is ~N times chrN. Remainders go to the last chromosome to
+    // keep the total exact.
+    const uint32_t n = config.numChromosomes;
+    const uint64_t weight_sum =
+        static_cast<uint64_t>(n) * (n + 1) / 2;
+    std::vector<uint64_t> lengths(n);
+    uint64_t assigned = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+        lengths[i] = std::max<uint64_t>(
+            1, config.totalLength * (n - i) / weight_sum);
+        assigned += lengths[i];
+    }
+    if (assigned < config.totalLength)
+        lengths[n - 1] += config.totalLength - assigned;
+
+    // One shared dispersed motif pool: the same repeat family recurs
+    // on every chromosome, as real mobile elements do.
+    const GenomeConfig &repeats = config.repeats;
+    std::vector<std::string> motifs;
+    const bool dispersed = repeats.repeatFraction > 0.0 &&
+                           repeats.repeatMotifCount != 0 &&
+                           repeats.repeatMotifLen != 0;
+    if (dispersed) {
+        motifs.reserve(repeats.repeatMotifCount);
+        for (uint32_t i = 0; i < repeats.repeatMotifCount; ++i)
+            motifs.push_back(
+                randomSequence(repeats.repeatMotifLen, rng));
+    }
+
+    std::vector<SimChromosome> out;
+    out.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        SimChromosome chromosome;
+        chromosome.name = "chr" + std::to_string(i + 1);
+        chromosome.seq = randomSequence(lengths[i], rng);
+        GenomeConfig local = repeats;
+        local.length = lengths[i];
+        plantTandem(chromosome.seq, local, rng, report);
+        if (dispersed &&
+            repeats.repeatMotifLen < chromosome.seq.size()) {
+            const uint64_t target_bases = static_cast<uint64_t>(
+                repeats.repeatFraction *
+                static_cast<double>(lengths[i]));
+            plantDispersed(chromosome.seq, motifs, target_bases, rng,
+                           report);
+        }
+        out.push_back(std::move(chromosome));
+    }
+    return out;
 }
 
 } // namespace segram::sim

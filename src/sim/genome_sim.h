@@ -3,7 +3,12 @@
  * Synthetic reference-genome generation: the stand-in for GRCh38 in the
  * paper's evaluation. Sequences are uniform-random ACGT with optional
  * planted repeats, which give the minimizer-frequency distribution the
- * heavy tail that the MinSeed frequency filter exists for.
+ * heavy tail that the MinSeed frequency filter exists for. Two repeat
+ * flavors are planted: *dispersed* copies of a small motif pool
+ * (LINE/SINE-like — the same motif recurs genome-wide) and *tandem*
+ * arrays of short units repeated back to back (satellite-like — the
+ * worst case for seed occurrence lists, since every window of an array
+ * yields the same few minimizers).
  */
 
 #ifndef SEGRAM_SRC_SIM_GENOME_SIM_H
@@ -11,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/util/rng.h"
 
@@ -21,12 +27,35 @@ namespace segram::sim
 struct GenomeConfig
 {
     uint64_t length = 1'000'000; ///< chromosome length in bases
-    /** Fraction of the genome covered by copies of repeat motifs. */
+    /** Fraction of the genome covered by dispersed repeat copies. */
     double repeatFraction = 0.05;
-    /** Length of each planted repeat motif. */
+    /** Length of each planted dispersed repeat motif. */
     uint32_t repeatMotifLen = 500;
-    /** Number of distinct repeat motifs. */
+    /** Number of distinct dispersed repeat motifs. */
     uint32_t repeatMotifCount = 4;
+    /** Fraction of the genome covered by tandem repeat arrays. */
+    double tandemFraction = 0.0;
+    /** Length of one tandem repeat unit. */
+    uint32_t tandemUnitLen = 50;
+    /** Copies per tandem array, drawn uniformly from [2, this]. */
+    uint32_t tandemMaxCopies = 20;
+};
+
+/** What was actually planted (overlaps may overwrite earlier copies). */
+struct RepeatReport
+{
+    uint64_t dispersedBases = 0; ///< bases written by dispersed copies
+    uint64_t tandemBases = 0;    ///< bases written by tandem arrays
+    uint64_t tandemArrays = 0;   ///< number of tandem arrays planted
+
+    RepeatReport &
+    operator+=(const RepeatReport &other)
+    {
+        dispersedBases += other.dispersedBases;
+        tandemBases += other.tandemBases;
+        tandemArrays += other.tandemArrays;
+        return *this;
+    }
 };
 
 /**
@@ -34,8 +63,48 @@ struct GenomeConfig
  *
  * @param config Genome shape parameters.
  * @param rng    Deterministic generator (seed fixes the genome).
+ * @param[out] report Optional tally of planted repeat bases.
  */
-std::string simulateGenome(const GenomeConfig &config, Rng &rng);
+std::string simulateGenome(const GenomeConfig &config, Rng &rng,
+                           RepeatReport *report = nullptr);
+
+/** One chromosome of a simulated multi-chromosome genome. */
+struct SimChromosome
+{
+    std::string name;
+    std::string seq;
+};
+
+/** Parameters of a multi-chromosome genome. */
+struct MultiGenomeConfig
+{
+    /** Chromosome count; lengths skew ~N:1 from chr1 down to chrN. */
+    uint32_t numChromosomes = 1;
+    /** Total bases across all chromosomes. */
+    uint64_t totalLength = 1'000'000;
+    /**
+     * Per-chromosome repeat knobs (`length` is ignored — lengths come
+     * from totalLength and the skew). Dispersed motifs are drawn once
+     * and shared across chromosomes, so a repeat family spans the
+     * genome the way real mobile elements do — over-full occurrence
+     * lists then hit every index shard, not just one.
+     */
+    GenomeConfig repeats;
+};
+
+/**
+ * Generates a multi-chromosome genome named chr1..chrN with linearly
+ * skewed lengths (chromosome i gets weight N-i), mimicking the size
+ * spread of a human karyotype and exercising shard-skew scheduling.
+ *
+ * @param config Multi-genome shape parameters.
+ * @param rng    Deterministic generator (seed fixes the genome).
+ * @param[out] report Optional tally of planted repeat bases (summed
+ *                    over all chromosomes).
+ */
+std::vector<SimChromosome>
+simulateMultiChromosomeGenome(const MultiGenomeConfig &config, Rng &rng,
+                              RepeatReport *report = nullptr);
 
 /** Convenience: a plain uniform-random sequence of @p length bases. */
 std::string randomSequence(uint64_t length, Rng &rng);

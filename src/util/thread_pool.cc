@@ -52,37 +52,52 @@ ThreadPool::workerLoop(int worker_id)
     uint64_t seen_generation = 0;
     while (true) {
         const ChunkFn *fn = nullptr;
+        const ItemFn *steal_fn = nullptr;
         uint64_t my_generation = 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock, [&] {
-                return stop_ || (job_ != nullptr &&
-                                 jobGeneration_ != seen_generation);
+                return stop_ ||
+                       ((job_ != nullptr || stealJob_ != nullptr) &&
+                        jobGeneration_ != seen_generation);
             });
             if (stop_)
                 return;
             seen_generation = my_generation = jobGeneration_;
             fn = job_;
+            steal_fn = stealJob_;
             ++jobActiveWorkers_;
         }
 
-        // Claim chunks until the range is exhausted, a failure
-        // abandons the job, or the job is superseded (a straggler must
-        // never claim chunks of a later generation with the old fn).
+        // Claim work until it is exhausted, a failure abandons the
+        // job, or the job is superseded (a straggler must never claim
+        // work of a later generation with the old fn).
         while (true) {
             size_t begin;
             size_t end;
             {
                 std::lock_guard<std::mutex> lock(mutex_);
                 if (jobGeneration_ != my_generation ||
-                    jobError_ != nullptr || jobNext_ >= jobItems_)
+                    jobError_ != nullptr)
                     break;
-                begin = jobNext_;
-                end = std::min(jobItems_, begin + jobChunk_);
-                jobNext_ = end;
+                if (steal_fn != nullptr) {
+                    if (!claimStealItem(worker_id, begin))
+                        break;
+                    end = begin + 1;
+                    --stealRemaining_;
+                } else {
+                    if (jobNext_ >= jobItems_)
+                        break;
+                    begin = jobNext_;
+                    end = std::min(jobItems_, begin + jobChunk_);
+                    jobNext_ = end;
+                }
             }
             try {
-                (*fn)(begin, end, worker_id);
+                if (steal_fn != nullptr)
+                    (*steal_fn)(begin, worker_id);
+                else
+                    (*fn)(begin, end, worker_id);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(mutex_);
                 if (jobGeneration_ == my_generation &&
@@ -100,6 +115,36 @@ ThreadPool::workerLoop(int worker_id)
     }
 }
 
+bool
+ThreadPool::claimStealItem(int worker_id, size_t &item)
+{
+    auto &mine = stealRanges_[static_cast<size_t>(worker_id)];
+    if (mine.first >= mine.second) {
+        // Own range drained: steal the back half of the richest
+        // remaining range (back, so the victim keeps working forward
+        // through its front undisturbed).
+        size_t victim = stealRanges_.size();
+        size_t victim_remaining = 0;
+        for (size_t v = 0; v < stealRanges_.size(); ++v) {
+            const size_t remaining =
+                stealRanges_[v].second - stealRanges_[v].first;
+            if (remaining > victim_remaining) {
+                victim_remaining = remaining;
+                victim = v;
+            }
+        }
+        if (victim == stealRanges_.size())
+            return false;
+        auto &range = stealRanges_[victim];
+        const size_t take = (victim_remaining + 1) / 2;
+        mine.first = range.second - take;
+        mine.second = range.second;
+        range.second = mine.first;
+    }
+    item = mine.first++;
+    return true;
+}
+
 void
 ThreadPool::parallelFor(size_t num_items, size_t chunk_size,
                         const ChunkFn &fn)
@@ -110,6 +155,7 @@ ThreadPool::parallelFor(size_t num_items, size_t chunk_size,
 
     std::unique_lock<std::mutex> lock(mutex_);
     job_ = &fn;
+    stealJob_ = nullptr;
     jobItems_ = num_items;
     jobChunk_ = chunk_size;
     jobNext_ = 0;
@@ -125,6 +171,40 @@ ThreadPool::parallelFor(size_t num_items, size_t chunk_size,
     // job_ is cleared under the same lock hold the predicate was last
     // evaluated under, so no straggler can begin the finished job.
     job_ = nullptr;
+    if (jobError_ != nullptr) {
+        std::exception_ptr error = jobError_;
+        jobError_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::parallelSteal(size_t num_items, const ItemFn &fn)
+{
+    if (num_items == 0)
+        return;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    stealJob_ = &fn;
+    job_ = nullptr;
+    const size_t num_workers = workers_.size();
+    stealRanges_.assign(num_workers, {0, 0});
+    for (size_t w = 0; w < num_workers; ++w) {
+        stealRanges_[w] = {num_items * w / num_workers,
+                           num_items * (w + 1) / num_workers};
+    }
+    stealRemaining_ = num_items;
+    jobError_ = nullptr;
+    ++jobGeneration_;
+    wake_.notify_all();
+
+    done_.wait(lock, [&] {
+        return jobActiveWorkers_ == 0 &&
+               (stealRemaining_ == 0 || jobError_ != nullptr);
+    });
+
+    stealJob_ = nullptr;
     if (jobError_ != nullptr) {
         std::exception_ptr error = jobError_;
         jobError_ = nullptr;

@@ -43,6 +43,9 @@ class ThreadPool
     using ChunkFn =
         std::function<void(size_t begin, size_t end, int worker_id)>;
 
+    /** Item callback of parallelSteal: processes one work item. */
+    using ItemFn = std::function<void(size_t item, int worker_id)>;
+
     /**
      * @param num_threads Worker count; clamped to >= 1.
      *                    ThreadPool(1) still runs work on the (single)
@@ -75,6 +78,21 @@ class ThreadPool
                      const ChunkFn &fn);
 
     /**
+     * Work-stealing variant for *skewed* item costs (e.g. per-shard
+     * mapping work where chromosome sizes differ by 10x): [0,
+     * num_items) is pre-partitioned into one contiguous range per
+     * worker — so workers start far apart, preserving locality of
+     * item ordering — and a worker that drains its own range steals
+     * the back half of the richest remaining range. Blocks until all
+     * items are processed; rethrows the first worker exception
+     * (remaining items are abandoned).
+     *
+     * Item-to-worker assignment is nondeterministic under contention,
+     * exactly like parallelFor; the same caller rules apply.
+     */
+    void parallelSteal(size_t num_items, const ItemFn &fn);
+
+    /**
      * @return A reasonable default worker count for this host:
      *         std::thread::hardware_concurrency(), at least 1.
      */
@@ -83,15 +101,27 @@ class ThreadPool
   private:
     void workerLoop(int worker_id);
 
+    /**
+     * Claims the next steal-mode item for @p worker_id: its own range
+     * first, then half of the richest victim's remaining range, taken
+     * from the back. Caller holds mutex_. @return false when no items
+     * remain anywhere.
+     */
+    bool claimStealItem(int worker_id, size_t &item);
+
     std::vector<std::thread> workers_;
 
     std::mutex mutex_;
     std::condition_variable wake_;    ///< signals workers: job or stop
     std::condition_variable done_;    ///< signals caller: job finished
     const ChunkFn *job_ = nullptr;    ///< current job (guarded by mutex_)
+    const ItemFn *stealJob_ = nullptr; ///< current steal-mode job
     size_t jobItems_ = 0;
     size_t jobChunk_ = 1;
     size_t jobNext_ = 0;              ///< next unclaimed item index
+    /** Steal mode: per-worker [next, end) ranges of unclaimed items. */
+    std::vector<std::pair<size_t, size_t>> stealRanges_;
+    size_t stealRemaining_ = 0;       ///< unclaimed steal-mode items
     uint64_t jobGeneration_ = 0;      ///< bumps per job: wakeup token
     int jobActiveWorkers_ = 0;        ///< workers still inside the job
     std::exception_ptr jobError_;     ///< first failure, rethrown

@@ -87,6 +87,14 @@ grep -q "graph tables" "$tmp/index.log" || {
     echo "FAIL: index --stats printed no footprint report"
     exit 1
 }
+grep -q "occurrence histogram" "$tmp/index.log" || {
+    echo "FAIL: index --stats printed no occurrence histogram"
+    exit 1
+}
+grep -q "hot seed" "$tmp/index.log" || {
+    echo "FAIL: index --stats printed no hottest-seed list"
+    exit 1
+}
 for threads in 1 2; do
     "$bin" map --threads "$threads" "$tmp/d.segram" "$tmp/d.reads.fq" \
         > "$tmp/pack$threads.paf" 2> /dev/null
@@ -123,6 +131,92 @@ grep -q "invalid pack" "$tmp/err.log" || {
     exit 1
 }
 echo "cli pack rejection OK"
+
+# --- scale knobs: occurrence cap and the memory budget ---
+# --max-occ 0 is documented as "uncapped": byte-identical to default.
+"$bin" map --max-occ 0 "$tmp/d.fa" "$tmp/d.vcf" "$tmp/d.reads.fa" \
+    > "$tmp/occ0.paf" 2> /dev/null
+cmp "$tmp/t1.paf" "$tmp/occ0.paf" || {
+    echo "FAIL: --max-occ 0 changed the PAF output"
+    exit 1
+}
+# A huge cap no occurrence list reaches is also a no-op.
+"$bin" map --max-occ 1000000 "$tmp/d.fa" "$tmp/d.vcf" \
+    "$tmp/d.reads.fa" > "$tmp/occhuge.paf" 2> /dev/null
+cmp "$tmp/t1.paf" "$tmp/occhuge.paf" || {
+    echo "FAIL: an unreachable --max-occ changed the PAF output"
+    exit 1
+}
+# A tight cap must still map (subsampled seeding, same read count).
+"$bin" map --max-occ 2 "$tmp/d.fa" "$tmp/d.vcf" "$tmp/d.reads.fa" \
+    > "$tmp/occ2.paf" 2> /dev/null
+test "$(wc -l < "$tmp/occ2.paf")" -eq "$(wc -l < "$tmp/t1.paf")" || {
+    echo "FAIL: --max-occ 2 dropped reads"
+    exit 1
+}
+# The budget path (cold load + LRU residency) must not change output,
+# and must report its residency numbers.
+"$bin" map --mem-budget 1 "$tmp/d.segram" "$tmp/d.reads.fq" \
+    > "$tmp/budget.paf" 2> "$tmp/budget.log"
+cmp "$tmp/t1.paf" "$tmp/budget.paf" || {
+    echo "FAIL: --mem-budget changed the PAF output"
+    exit 1
+}
+grep -q "mem budget" "$tmp/budget.log" || {
+    echo "FAIL: --mem-budget printed no residency report"
+    exit 1
+}
+# The budget needs droppable pages, so it requires a pack input.
+if "$bin" map --mem-budget 64 "$tmp/d.fa" "$tmp/d.vcf" \
+    "$tmp/d.reads.fa" > /dev/null 2> "$tmp/err.log"; then
+    echo "FAIL: --mem-budget without a pack was accepted"
+    exit 1
+fi
+grep -q "error" "$tmp/err.log" || {
+    echo "FAIL: --mem-budget without a pack died without a clean error"
+    exit 1
+}
+# --discard-top must reach the index build: pack and fresh-map sides
+# built with the same non-default fraction still agree byte-for-byte.
+"$bin" index --discard-top 0.01 "$tmp/d.fa" "$tmp/d.vcf" \
+    "$tmp/dt.segram" 2> /dev/null
+"$bin" map --discard-top 0.01 "$tmp/d.fa" "$tmp/d.vcf" \
+    "$tmp/d.reads.fq" > "$tmp/dt_fresh.paf" 2> /dev/null
+"$bin" map "$tmp/dt.segram" "$tmp/d.reads.fq" \
+    > "$tmp/dt_pack.paf" 2> /dev/null
+cmp "$tmp/dt_fresh.paf" "$tmp/dt_pack.paf" || {
+    echo "FAIL: --discard-top 0.01 fresh vs pack PAF differ"
+    exit 1
+}
+echo "cli scale knobs OK"
+
+# --- multi-chromosome simulate ---
+"$bin" simulate --chromosomes 3 --repeat-fraction 0.05 \
+    --tandem-fraction 0.04 "$tmp/m" 30000 12 150 0.03 2> "$tmp/sim.log"
+test "$(grep -c '^>' "$tmp/m.fa")" -eq 3 || {
+    echo "FAIL: --chromosomes 3 did not emit 3 FASTA records"
+    exit 1
+}
+grep -q "^chr3" "$tmp/m.vcf" || {
+    echo "FAIL: multi-chromosome VCF has no chr3 records"
+    exit 1
+}
+grep -q "chr3" "$tmp/m.truth.tsv" || {
+    echo "FAIL: no truth rows landed on chr3"
+    exit 1
+}
+grep -q "tandem repeat bases" "$tmp/sim.log" || {
+    echo "FAIL: simulate printed no planted-repeat report"
+    exit 1
+}
+# The multi-chromosome dataset must map end to end.
+"$bin" map "$tmp/m.fa" "$tmp/m.vcf" "$tmp/m.reads.fa" \
+    > "$tmp/m.paf" 2> /dev/null
+test -s "$tmp/m.paf" || {
+    echo "FAIL: multi-chromosome dataset mapped nothing"
+    exit 1
+}
+echo "cli multi-chromosome simulate OK"
 
 # --- GFA route: construct -> map-from-gfa, byte-identical PAF ---
 "$bin" construct "$tmp/d.fa" "$tmp/d.vcf" "$tmp/d.gfa" 2> "$tmp/gfa.log"
@@ -217,10 +311,13 @@ for bad_flag in \
     "--early-exit -0.5" "--early-exit fast" "--early-exit 101" \
     "--max-chains 0" "--max-chains -2" "--max-chains few" \
     "--hop-limit -1" "--hop-limit 65536" "--hop-limit tall" \
+    "--max-occ -1" "--max-occ lots" \
+    "--mem-budget 0" "--mem-budget -4" "--mem-budget big" \
     "--engine vg --max-regions 4" "--engine vg --early-exit 1.0" \
     "--engine graphaligner --chain-filter" \
     "--engine graphaligner --max-chains 2" \
-    "--engine vg --hop-limit 12" "--engine vg --stats"; do
+    "--engine vg --hop-limit 12" "--engine vg --stats" \
+    "--engine vg --max-occ 8" "--engine graphaligner --mem-budget 64"; do
     # shellcheck disable=SC2086
     if "$bin" map $bad_flag "$tmp/d.fa" "$tmp/d.vcf" \
         "$tmp/d.reads.fa" > /dev/null 2> "$tmp/flag.log"; then
@@ -234,7 +331,11 @@ for bad_flag in \
     }
 done
 # Bad positional numbers on simulate must also fail loudly.
-for bad_sim in "0 5 100 0.01" "10000 x 100 0.01" "10000 5 100 1.5"; do
+for bad_sim in "0 5 100 0.01" "10000 x 100 0.01" "10000 5 100 1.5" \
+    "10000 5 100 0.01 --chromosomes 0" \
+    "10000 5 100 0.01 --chromosomes 4097" \
+    "10000 5 100 0.01 --repeat-fraction 1.5" \
+    "10000 5 100 0.01 --tandem-fraction -0.1"; do
     # shellcheck disable=SC2086
     if "$bin" simulate "$tmp/bad" $bad_sim > /dev/null 2> "$tmp/flag.log"
     then
@@ -252,6 +353,9 @@ done
 for bad_cmd in \
     "index --path-coords $tmp/d.fa $tmp/d.vcf $tmp/x.segram" \
     "index $tmp/d.gfa $tmp/d.vcf $tmp/x.segram" \
+    "index --discard-top 1.5 $tmp/d.fa $tmp/d.vcf $tmp/x.segram" \
+    "index --discard-top -0.1 $tmp/d.fa $tmp/d.vcf $tmp/x.segram" \
+    "index --discard-top half $tmp/d.fa $tmp/d.vcf $tmp/x.segram" \
     "construct --path-coords $tmp/d.fa $tmp/d.vcf $tmp/x.gfa" \
     "eval --path-coords $tmp/e.truth.tsv $tmp/segram.paf"; do
     # shellcheck disable=SC2086

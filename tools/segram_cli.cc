@@ -11,18 +11,22 @@
  *       chromosome names and path coordinates survive a round trip
  *       through the interchange format.
  *
- *   segram index [--bucket-bits N] [--stats]
+ *   segram index [--bucket-bits N] [--discard-top F] [--stats]
  *                (<ref.fa> <vars.vcf> | <graph.gfa>) <out.segram>
  *       Full pre-processing (Section 5): graph + minimizer index per
  *       chromosome, serialized as a `.segram` pack — raw mmap-able
  *       tables mirroring the paper's Fig. 5/Fig. 6 memory layout.
  *       The graph source is either FASTA+VCF or an imported GFA
  *       (detected by content), e.g. a vg/minigraph-style pangenome or
- *       the output of `segram construct`. --stats prints the
- *       per-chromosome table footprints.
+ *       the output of `segram construct`. --discard-top sets the
+ *       fraction of hottest minimizers the frequency filter ignores;
+ *       --stats prints the per-chromosome table footprints plus the
+ *       occurrence histogram (frequency deciles and hottest seeds)
+ *       that drives --max-occ / --discard-top tuning.
  *
  *   segram map [--threads N] [--batch N] [--bucket-bits N]
- *              [--engine segram|graphaligner|vg] [--path-coords]
+ *              [--discard-top F] [--engine segram|graphaligner|vg]
+ *              [--path-coords]
  *              (<ref.fa> <vars.vcf> | <graph.gfa> | <pack.segram>)
  *              <reads.fa|fq> [E]
  *       Full pipeline: obtain the pre-processed reference — by
@@ -38,12 +42,24 @@
  *       with `segram eval`. --path-coords reports PAF target
  *       coordinates projected onto the reference path (chromosome
  *       coordinates) instead of the graph's concatenated offsets.
+ *       The segram engine runs the work-stealing (read-chunk x shard)
+ *       scheduler; --max-occ caps the per-minimizer occurrence list
+ *       at query time (deterministic stratified subsampling) and
+ *       --mem-budget M keeps at most ~M MiB of pack shards resident
+ *       (LRU + madvise), both human-scale-reference knobs.
  *
- *   segram simulate <out_prefix> <genome_len> <num_reads> <read_len> <err>
+ *   segram simulate [--chromosomes N] [--repeat-fraction F]
+ *                   [--tandem-fraction F]
+ *                   <out_prefix> <genome_len> <num_reads> <read_len> <err>
  *       Emit a synthetic dataset (<prefix>.fa, <prefix>.vcf,
  *       <prefix>.reads.fa, an identical <prefix>.reads.fq, and a
  *       <prefix>.truth.tsv ground-truth sidecar recording where each
- *       read was planted) for trying the commands above.
+ *       read was planted) for trying the commands above. With
+ *       --chromosomes > 1 the genome is split into skew-length
+ *       chromosomes sharing dispersed repeat families (plus tandem
+ *       arrays under --tandem-fraction), reads sampled per chromosome
+ *       proportional to length — the scale harness behind
+ *       bench_scale.
  *
  *   segram eval [--threshold N] <truth.tsv> <[name=]out.paf>...
  *       Accuracy evaluation: join each PAF file against the simulate
@@ -68,6 +84,7 @@
 #include "src/core/engine.h"
 #include "src/core/reference.h"
 #include "src/core/segram.h"
+#include "src/core/sharded_mapper.h"
 #include "src/eval/accuracy.h"
 #include "src/graph/graph_builder.h"
 #include "src/graph/variants.h"
@@ -98,10 +115,12 @@ secondsSince(std::chrono::steady_clock::time_point start)
 /** Builds from FASTA+VCF, logging one line per chromosome. */
 core::PreprocessedReference
 buildReference(const std::string &fasta_path, const std::string &vcf_path,
-               int bucket_bits)
+               int bucket_bits,
+               double discard_top = index::IndexConfig().discardTopFraction)
 {
     index::IndexConfig config;
     config.bucketBits = bucket_bits;
+    config.discardTopFraction = discard_top;
     std::vector<core::ChromosomeBuildInfo> info;
     auto reference = core::PreprocessedReference::buildFromFiles(
         fasta_path, vcf_path, config, &info);
@@ -121,10 +140,13 @@ buildReference(const std::string &fasta_path, const std::string &vcf_path,
 
 /** Imports a GFA graph, logging one line per recovered chromosome. */
 core::PreprocessedReference
-buildReferenceGfa(const std::string &gfa_path, int bucket_bits)
+buildReferenceGfa(const std::string &gfa_path, int bucket_bits,
+                  double discard_top =
+                      index::IndexConfig().discardTopFraction)
 {
     index::IndexConfig config;
     config.bucketBits = bucket_bits;
+    config.discardTopFraction = discard_top;
     std::vector<core::ChromosomeBuildInfo> info;
     auto reference = core::PreprocessedReference::buildFromGfa(
         gfa_path, config, &info);
@@ -220,23 +242,66 @@ printFootprint(const std::string &name, const graph::GenomeGraph &graph,
         mb(stats.totalBytes()));
 }
 
+/**
+ * Prints the occurrence histogram of one chromosome's index: frequency
+ * deciles of the distinct minimizers, the hottest seeds, and the
+ * computed frequency threshold — the data a user tunes --discard-top
+ * and `segram map --max-occ` against.
+ */
+void
+printOccurrences(const std::string &name,
+                 const index::MinimizerIndex &index)
+{
+    const auto report = index.occurrenceReport();
+    std::fprintf(
+        stderr,
+        "[segram] %s occurrence histogram: %llu distinct minimizers, "
+        "%llu locations, freq threshold %u (--discard-top %g)\n",
+        name.c_str(),
+        static_cast<unsigned long long>(report.distinctMinimizers),
+        static_cast<unsigned long long>(report.totalLocations),
+        report.freqThreshold, index.discardTopFraction());
+    for (size_t d = 0; d < report.deciles.size(); ++d) {
+        const auto &decile = report.deciles[d];
+        std::fprintf(stderr,
+                     "[segram]   decile %3zu%%: %llu minimizers, "
+                     "max freq %u, %llu locations\n",
+                     (d + 1) * 10,
+                     static_cast<unsigned long long>(decile.minimizers),
+                     decile.maxFrequency,
+                     static_cast<unsigned long long>(decile.locations));
+    }
+    for (size_t i = 0; i < report.topSeeds.size(); ++i) {
+        std::fprintf(
+            stderr,
+            "[segram]   hot seed %zu: hash %016llx, %u occurrences\n",
+            i + 1,
+            static_cast<unsigned long long>(report.topSeeds[i].hash),
+            report.topSeeds[i].frequency);
+    }
+}
+
 int
 cmdIndex(const std::string &graph_source, const std::string &vcf_path,
-         const std::string &pack_path, int bucket_bits, bool print_stats)
+         const std::string &pack_path, int bucket_bits,
+         double discard_top, bool print_stats)
 {
     const auto start = std::chrono::steady_clock::now();
     // An empty vcf_path selects the GFA import route (the caller
     // dispatched on content).
     const auto reference =
         vcf_path.empty()
-            ? buildReferenceGfa(graph_source, bucket_bits)
-            : buildReference(graph_source, vcf_path, bucket_bits);
+            ? buildReferenceGfa(graph_source, bucket_bits, discard_top)
+            : buildReference(graph_source, vcf_path, bucket_bits,
+                             discard_top);
     const double build_sec = secondsSince(start);
     reference.save(pack_path);
     if (print_stats) {
-        for (size_t i = 0; i < reference.numChromosomes(); ++i)
+        for (size_t i = 0; i < reference.numChromosomes(); ++i) {
             printFootprint(reference.name(i), reference.graph(i),
                            reference.index(i));
+            printOccurrences(reference.name(i), reference.index(i));
+        }
     }
     std::fprintf(
         stderr,
@@ -265,6 +330,9 @@ struct MapOptions
     int threads = 1;
     size_t batchSize = 256;
     int bucketBits = 16;
+    /** Build-time frequency filter of the fresh-build path (packs
+     *  bake it in at index time, like --bucket-bits). */
+    double discardTop = index::IndexConfig().discardTopFraction;
     bool printStats = false;
     /** Report PAF target coordinates in reference-path space. */
     bool pathCoords = false;
@@ -276,14 +344,36 @@ struct MapOptions
     bool chainFilter = false;    ///< enable seed chaining (Fig. 2 step 2)
     int maxChains = 4;           ///< chains kept when chaining is on
     int hopLimit = graph::kDefaultHopLimit; ///< HopBits height; 0 = no limit
+    uint32_t maxOcc = 0;         ///< occurrence cap; 0 = uncapped
+    uint64_t memBudgetMb = 0;    ///< resident-shard budget; 0 = off
 };
 
+/** The SegramConfig the map command's pipeline knobs select. */
+core::SegramConfig
+makeSegramConfig(const MapOptions &options)
+{
+    core::SegramConfig config;
+    config.minseed.errorRate = options.errorRate;
+    config.minseed.maxOccurrences = options.maxOcc;
+    config.bitalign.windowEditCap =
+        std::max(32, static_cast<int>(config.bitalign.windowLen *
+                                      options.errorRate * 3));
+    config.earlyExitFraction = options.earlyExit;
+    config.tryReverseComplement = true;
+    config.maxRegions = options.maxRegions;
+    config.enableChainFilter = options.chainFilter;
+    config.maxChains = options.maxChains;
+    config.hopLimit = options.hopLimit;
+    return config;
+}
+
 /**
- * Builds the selected mapping engine over a pre-processed reference.
- * "segram" is the paper pipeline (MultiGraphMapper); "graphaligner"
- * and "vg" are the CPU baseline mappers lifted to multi-chromosome
- * references via MultiChromosomeEngine, so the accuracy harness can
- * compare all three on identical inputs.
+ * Builds one of the CPU baseline mappers ("graphaligner", "vg") over a
+ * pre-processed reference, lifted to multi-chromosome references via
+ * MultiChromosomeEngine, so the accuracy harness can compare them with
+ * the SeGraM pipeline on identical inputs. (The segram engine itself
+ * does not come through here: cmdMap drives it with the work-stealing
+ * ShardedBatchMapper, which is not a per-read MappingEngine.)
  */
 std::unique_ptr<core::MappingEngine>
 makeEngine(const core::PreprocessedReference &reference,
@@ -291,21 +381,6 @@ makeEngine(const core::PreprocessedReference &reference,
 {
     const std::string &engine_name = options.engine;
     const double error_rate = options.errorRate;
-    if (engine_name == "segram") {
-        core::SegramConfig config;
-        config.minseed.errorRate = error_rate;
-        config.bitalign.windowEditCap =
-            std::max(32, static_cast<int>(config.bitalign.windowLen *
-                                          error_rate * 3));
-        config.earlyExitFraction = options.earlyExit;
-        config.tryReverseComplement = true;
-        config.maxRegions = options.maxRegions;
-        config.enableChainFilter = options.chainFilter;
-        config.maxChains = options.maxChains;
-        config.hopLimit = options.hopLimit;
-        return std::make_unique<core::MultiGraphMapper>(reference,
-                                                        config);
-    }
     SEGRAM_CHECK(engine_name == "graphaligner" || engine_name == "vg",
                  "--engine must be segram, graphaligner or vg, got '" +
                      engine_name + "'");
@@ -340,14 +415,23 @@ cmdMap(const MapOptions &options)
     const auto preprocess_start = std::chrono::steady_clock::now();
     const bool from_pack = !options.packPath.empty();
     const bool from_gfa = !options.gfaPath.empty();
+    // Under a memory budget the pack is opened cold (no whole-file
+    // prefetch, sections dropped after checksumming), so the resident
+    // set starts near zero and the budget governs it from the first
+    // batch on.
+    io::PackLoadOptions load_options;
+    load_options.coldLoad = options.memBudgetMb > 0;
     const core::PreprocessedReference reference =
         from_pack
-            ? core::PreprocessedReference::load(options.packPath)
+            ? core::PreprocessedReference::load(options.packPath,
+                                                load_options)
             : (from_gfa
                    ? buildReferenceGfa(options.gfaPath,
-                                       options.bucketBits)
+                                       options.bucketBits,
+                                       options.discardTop)
                    : buildReference(options.fastaPath, options.vcfPath,
-                                    options.bucketBits));
+                                    options.bucketBits,
+                                    options.discardTop));
     const double preprocess_sec = secondsSince(preprocess_start);
 
     // Per-chromosome PAF target metadata: concatenated-graph
@@ -365,12 +449,32 @@ cmdMap(const MapOptions &options)
                                         : chromosome.graph.totalSeqLen(),
                                     &chromosome.graph};
     }
-    const std::unique_ptr<core::MappingEngine> mapper =
-        makeEngine(reference, options);
-
-    core::BatchConfig batch_config;
-    batch_config.threads = options.threads;
-    const core::BatchMapper batch_mapper(*mapper, batch_config);
+    // The segram engine maps through the work-stealing (read-chunk x
+    // shard) driver — bit-identical output to the read-major path, but
+    // shard-skew tolerant and memory-budget capable. The baselines map
+    // per read through BatchMapper as before.
+    std::unique_ptr<core::ShardedBatchMapper> sharded;
+    std::unique_ptr<core::MappingEngine> engine;
+    std::unique_ptr<core::BatchMapper> batch_mapper;
+    if (options.engine == "segram") {
+        core::ShardedBatchConfig sharded_config;
+        sharded_config.threads = options.threads;
+        sharded_config.memBudgetBytes =
+            options.memBudgetMb * 1024 * 1024;
+        sharded = std::make_unique<core::ShardedBatchMapper>(
+            reference, makeSegramConfig(options), sharded_config);
+    } else {
+        engine = makeEngine(reference, options);
+        core::BatchConfig batch_config;
+        batch_config.threads = options.threads;
+        batch_mapper =
+            std::make_unique<core::BatchMapper>(*engine, batch_config);
+    }
+    const std::string_view engine_name = sharded != nullptr
+                                             ? sharded->engineName()
+                                             : engine->engineName();
+    const int threads = sharded != nullptr ? sharded->threads()
+                                           : batch_mapper->threads();
 
     // Stream reads -> batches -> worker pool -> buffered PAF, never
     // holding more than one batch in memory.
@@ -390,8 +494,12 @@ cmdMap(const MapOptions &options)
         seqs.clear();
         for (const auto &record : batch)
             seqs.push_back(record.seq);
-        const auto results = batch_mapper.mapBatch(
-            std::span<const std::string_view>(seqs), &stats);
+        const auto results =
+            sharded != nullptr
+                ? sharded->mapBatch(
+                      std::span<const std::string_view>(seqs), &stats)
+                : batch_mapper->mapBatch(
+                      std::span<const std::string_view>(seqs), &stats);
         for (size_t i = 0; i < results.size(); ++i) {
             total_bases += batch[i].seq.size();
             const auto &result = results[i];
@@ -435,8 +543,8 @@ cmdMap(const MapOptions &options)
     std::fprintf(stderr,
                  "[segram] %.*s: mapped %llu/%llu reads (%llu regions "
                  "aligned, %llu seeds fetched)\n",
-                 static_cast<int>(mapper->engineName().size()),
-                 mapper->engineName().data(),
+                 static_cast<int>(engine_name.size()),
+                 engine_name.data(),
                  static_cast<unsigned long long>(mapped),
                  static_cast<unsigned long long>(total_reads),
                  static_cast<unsigned long long>(stats.regionsAligned),
@@ -450,10 +558,22 @@ cmdMap(const MapOptions &options)
         from_pack ? "mmap-loaded pack"
                   : (from_gfa ? "imported from GFA"
                               : "built from FASTA+VCF"),
-        wall,
-        batch_mapper.threads(), batch_mapper.threads() == 1 ? "" : "s",
+        wall, threads, threads == 1 ? "" : "s",
         static_cast<double>(total_reads) / wall,
         static_cast<double>(total_bases) / wall);
+    if (sharded != nullptr && options.memBudgetMb > 0) {
+        const auto residency = sharded->residencyStats();
+        std::fprintf(
+            stderr,
+            "[segram] mem budget %llu MiB: %llu shard acquisitions, "
+            "%llu faults, %llu evictions, peak resident %.2f MiB\n",
+            static_cast<unsigned long long>(options.memBudgetMb),
+            static_cast<unsigned long long>(residency.acquisitions),
+            static_cast<unsigned long long>(residency.faults),
+            static_cast<unsigned long long>(residency.evictions),
+            static_cast<double>(residency.peakResidentBytes) /
+                (1024.0 * 1024.0));
+    }
     if (options.printStats) {
         // Stage seconds are summed across worker threads (aggregate
         // stage work), so their total can exceed the wall time above.
@@ -469,8 +589,7 @@ cmdMap(const MapOptions &options)
             "[segram] stage breakdown (summed over %d thread%s): "
             "seeding %.3f s (%.1f%%), linearization %.3f s (%.1f%%), "
             "alignment %.3f s (%.1f%%)\n",
-            batch_mapper.threads(),
-            batch_mapper.threads() == 1 ? "" : "s", timings.seedingSec,
+            threads, threads == 1 ? "" : "s", timings.seedingSec,
             pct(timings.seedingSec), timings.linearizeSec,
             pct(timings.linearizeSec), timings.alignSec,
             pct(timings.alignSec));
@@ -482,25 +601,63 @@ cmdMap(const MapOptions &options)
 
 int
 cmdSimulate(const std::string &prefix, uint64_t genome_len,
-            uint32_t num_reads, uint32_t read_len, double error_rate)
+            uint32_t num_reads, uint32_t read_len, double error_rate,
+            uint32_t num_chromosomes, double repeat_fraction,
+            double tandem_fraction)
 {
-    sim::DatasetConfig config;
-    config.genome.length = genome_len;
-    config.index.bucketBits = 14;
-    config.seed = 1234;
-    const auto dataset = sim::makeDataset(config);
+    constexpr uint64_t kSeed = 1234;
+    sim::RepeatReport repeats;
+    std::vector<sim::ChromosomeDataset> dataset;
+    if (num_chromosomes == 1) {
+        // Single-chromosome path: the exact RNG call sequence of the
+        // original generator (genome -> variants -> donor), so the
+        // committed golden outputs keyed to seed 1234 stay valid.
+        Rng rng(kSeed);
+        sim::GenomeConfig genome_config;
+        genome_config.length = genome_len;
+        genome_config.repeatFraction = repeat_fraction;
+        genome_config.tandemFraction = tandem_fraction;
+        sim::ChromosomeDataset entry;
+        entry.name = "chr1";
+        entry.reference =
+            sim::simulateGenome(genome_config, rng, &repeats);
+        entry.variants = sim::simulateVariants(
+            entry.reference, sim::VariantConfig{}, rng);
+        entry.graph =
+            graph::buildGraph(entry.reference, entry.variants);
+        entry.donor = sim::DonorGenome(entry.reference, entry.variants,
+                                       entry.graph, 0.5, rng);
+        dataset.push_back(std::move(entry));
+    } else {
+        sim::MultiDatasetConfig config;
+        config.genome.numChromosomes = num_chromosomes;
+        config.genome.totalLength = genome_len;
+        config.genome.repeats.repeatFraction = repeat_fraction;
+        config.genome.repeats.tandemFraction = tandem_fraction;
+        config.seed = kSeed;
+        dataset = sim::makeMultiDataset(config, &repeats);
+    }
 
-    io::writeFastaFile(prefix + ".fa", {{"chr1", dataset.reference}});
+    std::vector<io::FastaRecord> fasta;
+    uint64_t total_bases = 0;
+    for (const auto &entry : dataset) {
+        fasta.push_back({entry.name, entry.reference});
+        total_bases += entry.reference.size();
+    }
+    io::writeFastaFile(prefix + ".fa", fasta);
     std::vector<io::VcfRecord> vcf;
-    for (const auto &variant : dataset.variants) {
-        if (variant.pos == 0)
-            continue; // indels at position 0 cannot be VCF-padded
-        vcf.push_back(
-            graph::toVcfRecord(variant, "chr1", dataset.reference));
+    for (const auto &entry : dataset) {
+        for (const auto &variant : entry.variants) {
+            if (variant.pos == 0)
+                continue; // indels at position 0 cannot be VCF-padded
+            vcf.push_back(
+                graph::toVcfRecord(variant, entry.name,
+                                   entry.reference));
+        }
     }
     io::writeVcfFile(prefix + ".vcf", vcf);
 
-    Rng rng(config.seed + 1);
+    Rng rng(kSeed + 1);
     sim::ReadSimConfig read_config{
         read_len, num_reads,
         read_len >= 1000 ? sim::ErrorProfile::pacbio(error_rate)
@@ -510,37 +667,61 @@ cmdSimulate(const std::string &prefix, uint64_t genome_len,
     // sidecar's strand column.
     read_config.revCompProbability = 0.25;
     const std::string profile = sim::profileLabel(read_config.errors);
-    const auto reads =
-        sim::simulateReads(dataset.donor, read_config, rng);
+
+    // Reads per chromosome proportional to length, chr1 (the largest)
+    // absorbing the rounding remainder, so coverage is uniform across
+    // the skewed chromosomes and the truth row count is exact.
+    std::vector<uint32_t> counts(dataset.size());
+    uint32_t assigned = 0;
+    for (size_t c = 1; c < dataset.size(); ++c) {
+        counts[c] = static_cast<uint32_t>(
+            static_cast<uint64_t>(num_reads) *
+            dataset[c].reference.size() / total_bases);
+        assigned += counts[c];
+    }
+    counts[0] = num_reads - assigned;
+
     std::vector<io::FastaRecord> read_records;
     std::vector<io::FastqRecord> read_records_fq;
     std::vector<eval::TruthRecord> truth;
-    for (size_t i = 0; i < reads.size(); ++i) {
-        const std::string name =
-            "read" + std::to_string(i) + "_truth" +
-            std::to_string(reads[i].truthLinearStart);
-        read_records.push_back({name, reads[i].seq});
-        // The same reads as FASTQ (constant quality) exercise the
-        // FASTQ ingestion path of `segram map`.
-        read_records_fq.push_back(
-            {name, reads[i].seq,
-             std::string(reads[i].seq.size(), 'I')});
-        truth.push_back({name, "chr1", reads[i].donorStart,
-                         reads[i].truthLinearStart,
-                         reads[i].reverseComplemented ? '-' : '+',
-                         static_cast<uint32_t>(reads[i].seq.size()),
-                         reads[i].plantedErrors, profile});
+    size_t read_id = 0;
+    for (size_t c = 0; c < dataset.size(); ++c) {
+        if (counts[c] == 0)
+            continue;
+        sim::ReadSimConfig chromosome_reads = read_config;
+        chromosome_reads.numReads = counts[c];
+        const auto reads =
+            sim::simulateReads(dataset[c].donor, chromosome_reads, rng);
+        for (const auto &read : reads) {
+            const std::string name =
+                "read" + std::to_string(read_id++) + "_truth" +
+                std::to_string(read.truthLinearStart);
+            read_records.push_back({name, read.seq});
+            // The same reads as FASTQ (constant quality) exercise the
+            // FASTQ ingestion path of `segram map`.
+            read_records_fq.push_back(
+                {name, read.seq, std::string(read.seq.size(), 'I')});
+            truth.push_back({name, dataset[c].name, read.donorStart,
+                             read.truthLinearStart,
+                             read.reverseComplemented ? '-' : '+',
+                             static_cast<uint32_t>(read.seq.size()),
+                             read.plantedErrors, profile});
+        }
     }
     io::writeFastaFile(prefix + ".reads.fa", read_records);
     io::writeFastqFile(prefix + ".reads.fq", read_records_fq);
     eval::writeTruthFile(prefix + ".truth.tsv", truth);
-    std::fprintf(stderr,
-                 "[segram] wrote %s.fa (%llu bp), %s.vcf (%zu records), "
-                 "%s.reads.{fa,fq} + %s.truth.tsv (%u %s reads)\n",
-                 prefix.c_str(),
-                 static_cast<unsigned long long>(genome_len),
-                 prefix.c_str(), vcf.size(), prefix.c_str(),
-                 prefix.c_str(), num_reads, profile.c_str());
+    std::fprintf(
+        stderr,
+        "[segram] wrote %s.fa (%llu bp, %zu chromosome%s, "
+        "%llu dispersed + %llu tandem repeat bases), %s.vcf "
+        "(%zu records), %s.reads.{fa,fq} + %s.truth.tsv (%u %s reads)\n",
+        prefix.c_str(), static_cast<unsigned long long>(total_bases),
+        dataset.size(), dataset.size() == 1 ? "" : "s",
+        static_cast<unsigned long long>(repeats.dispersedBases),
+        static_cast<unsigned long long>(repeats.tandemBases),
+        prefix.c_str(), vcf.size(), prefix.c_str(), prefix.c_str(),
+        num_reads, profile.c_str());
     return 0;
 }
 
@@ -602,19 +783,22 @@ usage()
         stderr,
         "usage:\n"
         "  segram construct <ref.fa> <vars.vcf> <out.gfa>\n"
-        "  segram index [--bucket-bits N] [--stats] <ref.fa> <vars.vcf> "
-        "<out.segram>\n"
-        "  segram index [--bucket-bits N] [--stats] <graph.gfa> "
-        "<out.segram>\n"
+        "  segram index [--bucket-bits N] [--discard-top F] [--stats] "
+        "<ref.fa> <vars.vcf> <out.segram>\n"
+        "  segram index [--bucket-bits N] [--discard-top F] [--stats] "
+        "<graph.gfa> <out.segram>\n"
         "  segram map [--threads N] [--batch N] [--bucket-bits N] "
-        "[--engine segram|graphaligner|vg] [--stats]\n"
+        "[--discard-top F] [--engine segram|graphaligner|vg] [--stats]\n"
         "             [--max-regions N] [--early-exit F] "
         "[--chain-filter] [--max-chains N] [--hop-limit N] "
-        "[--path-coords]\n"
+        "[--max-occ N] [--path-coords]\n"
         "             <ref.fa> <vars.vcf> <reads.fa|fq> [error_rate]\n"
-        "  segram map [--threads N] [--batch N] [--engine E] [...] "
+        "  segram map [--threads N] [--batch N] [--engine E] "
+        "[--mem-budget MiB] [...] "
         "(<graph.gfa> | <pack.segram>) <reads.fa|fq> [error_rate]\n"
-        "  segram simulate <prefix> <genome_len> <num_reads> "
+        "  segram simulate [--chromosomes N] [--repeat-fraction F] "
+        "[--tandem-fraction F]\n"
+        "                  <prefix> <genome_len> <num_reads> "
         "<read_len> <error_rate>\n"
         "  segram eval [--threshold N] <truth.tsv> "
         "<[name=]out.paf>...\n");
@@ -637,6 +821,14 @@ struct Args
     bool chainFilter = false;
     int maxChains = 4;
     int hopLimit = graph::kDefaultHopLimit;
+    uint64_t maxOcc = 0;
+    uint64_t memBudgetMb = 0;
+    // Index build knob (index only).
+    double discardTop = index::IndexConfig().discardTopFraction;
+    // Simulate knobs (simulate only).
+    uint32_t chromosomes = 1;
+    double repeatFraction = sim::GenomeConfig().repeatFraction;
+    double tandemFraction = sim::GenomeConfig().tandemFraction;
 
     /** Names of the flags that appeared on the command line. */
     std::vector<std::string> seenFlags;
@@ -793,6 +985,52 @@ parseArgs(int argc, char **argv)
                          "(0 = unlimited)");
             args.hopLimit = static_cast<int>(value);
             args.seenFlags.push_back("--hop-limit");
+        } else if (arg == "--max-occ") {
+            const long long value =
+                parseIntFlag("--max-occ", next_value("--max-occ"));
+            // 0 keeps every surviving occurrence (the paper pipeline);
+            // a positive cap subsamples over-full lists.
+            SEGRAM_CHECK(value >= 0 && value <= 0xFFFFFFFFll,
+                         "--max-occ must be in [0, 2^32) "
+                         "(0 = uncapped)");
+            args.maxOcc = static_cast<uint64_t>(value);
+            args.seenFlags.push_back("--max-occ");
+        } else if (arg == "--mem-budget") {
+            const long long value = parseIntFlag(
+                "--mem-budget", next_value("--mem-budget"));
+            SEGRAM_CHECK(value >= 1 && value <= 1'048'576,
+                         "--mem-budget must be in [1, 1048576] MiB");
+            args.memBudgetMb = static_cast<uint64_t>(value);
+            args.seenFlags.push_back("--mem-budget");
+        } else if (arg == "--discard-top") {
+            const double value = parseDoubleFlag(
+                "--discard-top", next_value("--discard-top"));
+            SEGRAM_CHECK(value >= 0.0 && value < 1.0,
+                         "--discard-top must be in [0, 1) "
+                         "(0 disables the frequency filter)");
+            args.discardTop = value;
+            args.seenFlags.push_back("--discard-top");
+        } else if (arg == "--chromosomes") {
+            const long long value = parseIntFlag(
+                "--chromosomes", next_value("--chromosomes"));
+            SEGRAM_CHECK(value >= 1 && value <= 4096,
+                         "--chromosomes must be in [1, 4096]");
+            args.chromosomes = static_cast<uint32_t>(value);
+            args.seenFlags.push_back("--chromosomes");
+        } else if (arg == "--repeat-fraction") {
+            const double value = parseDoubleFlag(
+                "--repeat-fraction", next_value("--repeat-fraction"));
+            SEGRAM_CHECK(value >= 0.0 && value < 1.0,
+                         "--repeat-fraction must be in [0, 1)");
+            args.repeatFraction = value;
+            args.seenFlags.push_back("--repeat-fraction");
+        } else if (arg == "--tandem-fraction") {
+            const double value = parseDoubleFlag(
+                "--tandem-fraction", next_value("--tandem-fraction"));
+            SEGRAM_CHECK(value >= 0.0 && value < 1.0,
+                         "--tandem-fraction must be in [0, 1)");
+            args.tandemFraction = value;
+            args.seenFlags.push_back("--tandem-fraction");
         } else if (arg == "--path-coords") {
             args.pathCoords = true;
             args.seenFlags.push_back("--path-coords");
@@ -819,8 +1057,8 @@ main(int argc, char **argv)
             return cmdConstruct(pos[1], pos[2], pos[3]);
         }
         if (pos.size() >= 3 && pos[0] == "index") {
-            args.requireFlagsApplyTo("index",
-                                     {"--bucket-bits", "--stats"});
+            args.requireFlagsApplyTo(
+                "index", {"--bucket-bits", "--discard-top", "--stats"});
             // Graph source by content: an imported GFA replaces the
             // FASTA+VCF pair (and needs no VCF positional). Exactly
             // two positionals then — with a stray third one, pos[2]
@@ -831,20 +1069,21 @@ main(int argc, char **argv)
                              "index from a GFA takes exactly "
                              "<graph.gfa> <out.segram>");
                 return cmdIndex(pos[1], "", pos[2], args.bucketBits,
-                                args.stats);
+                                args.discardTop, args.stats);
             }
             SEGRAM_CHECK(pos.size() >= 4,
                          "index needs <ref.fa> <vars.vcf> <out.segram> "
                          "(or <graph.gfa> <out.segram>)");
             return cmdIndex(pos[1], pos[2], pos[3], args.bucketBits,
-                            args.stats);
+                            args.discardTop, args.stats);
         }
         if (pos.size() >= 3 && pos[0] == "map") {
             args.requireFlagsApplyTo(
                 "map", {"--threads", "--batch", "--bucket-bits",
-                        "--engine", "--stats", "--max-regions",
-                        "--early-exit", "--chain-filter", "--max-chains",
-                        "--hop-limit", "--path-coords"});
+                        "--discard-top", "--engine", "--stats",
+                        "--max-regions", "--early-exit",
+                        "--chain-filter", "--max-chains", "--hop-limit",
+                        "--max-occ", "--mem-budget", "--path-coords"});
             // The pipeline knobs configure the SeGraM pipeline only,
             // and --stats reports timings only SegramMapper collects;
             // silently ignoring them under a baseline engine would
@@ -852,7 +1091,8 @@ main(int argc, char **argv)
             if (args.engine != "segram") {
                 for (const char *knob :
                      {"--max-regions", "--early-exit", "--chain-filter",
-                      "--max-chains", "--hop-limit", "--stats"}) {
+                      "--max-chains", "--hop-limit", "--max-occ",
+                      "--mem-budget", "--stats"}) {
                     SEGRAM_CHECK(!args.seen(knob),
                                  std::string(knob) +
                                      " only applies to --engine segram");
@@ -869,6 +1109,9 @@ main(int argc, char **argv)
                 SEGRAM_CHECK(!args.seen("--bucket-bits"),
                              "--bucket-bits cannot be combined with a "
                              ".segram pack; pass it to `segram index`");
+                SEGRAM_CHECK(!args.seen("--discard-top"),
+                             "--discard-top cannot be combined with a "
+                             ".segram pack; pass it to `segram index`");
                 options.packPath = pos[1];
                 reads_pos = 2;
             } else if (io::isGfaFile(pos[1])) {
@@ -882,6 +1125,12 @@ main(int argc, char **argv)
                 options.vcfPath = pos[2];
                 reads_pos = 3;
             }
+            // Only a mapped pack has droppable shards; the budget on
+            // in-memory tables would silently do nothing.
+            SEGRAM_CHECK(!args.seen("--mem-budget") ||
+                             !options.packPath.empty(),
+                         "--mem-budget requires a .segram pack input "
+                         "(in-memory tables cannot be dropped)");
             options.readsPath = pos[reads_pos];
             if (pos.size() >= reads_pos + 2) {
                 options.errorRate = parseDoubleArg(
@@ -894,6 +1143,7 @@ main(int argc, char **argv)
             options.threads = args.threads;
             options.batchSize = args.batchSize;
             options.bucketBits = args.bucketBits;
+            options.discardTop = args.discardTop;
             options.printStats = args.stats;
             options.pathCoords = args.pathCoords;
             options.maxRegions =
@@ -902,10 +1152,15 @@ main(int argc, char **argv)
             options.chainFilter = args.chainFilter;
             options.maxChains = args.maxChains;
             options.hopLimit = args.hopLimit;
+            options.maxOcc = static_cast<uint32_t>(args.maxOcc);
+            options.memBudgetMb = args.memBudgetMb;
             return cmdMap(options);
         }
         if (pos.size() >= 6 && pos[0] == "simulate") {
-            args.requireFlagsApplyTo("simulate", {});
+            args.requireFlagsApplyTo("simulate",
+                                     {"--chromosomes",
+                                      "--repeat-fraction",
+                                      "--tandem-fraction"});
             const long long genome_len =
                 parseIntFlag("genome_len", pos[2].c_str());
             const long long num_reads =
@@ -924,10 +1179,15 @@ main(int argc, char **argv)
                 parseDoubleArg("error_rate", pos[5]);
             SEGRAM_CHECK(error_rate >= 0.0 && error_rate < 1.0,
                          "error_rate must be in [0, 1)");
+            SEGRAM_CHECK(
+                static_cast<uint64_t>(genome_len) >= args.chromosomes,
+                "genome_len must cover one base per chromosome");
             return cmdSimulate(
                 pos[1], static_cast<uint64_t>(genome_len),
                 static_cast<uint32_t>(num_reads),
-                static_cast<uint32_t>(read_len), error_rate);
+                static_cast<uint32_t>(read_len), error_rate,
+                args.chromosomes, args.repeatFraction,
+                args.tandemFraction);
         }
         if (pos.size() >= 3 && pos[0] == "eval") {
             args.requireFlagsApplyTo("eval", {"--threshold"});
