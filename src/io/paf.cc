@@ -1,5 +1,6 @@
 #include "src/io/paf.h"
 
+#include <cerrno>
 #include <ostream>
 
 #include "src/util/check.h"
@@ -60,7 +61,12 @@ PafWriter::PafWriter(std::ostream &out, size_t buffer_bytes)
 
 PafWriter::~PafWriter()
 {
-    flush();
+    try {
+        flush();
+    } catch (const IoError &) {
+        // A dtor cannot throw; callers that care about the tail of the
+        // output must flush() explicitly (the CLI does).
+    }
 }
 
 void
@@ -75,14 +81,26 @@ PafWriter::write(const PafRecord &record)
 void
 PafWriter::flush()
 {
-    if (buffer_.empty())
-        return;
-    out_.write(buffer_.data(),
-               static_cast<std::streamsize>(buffer_.size()));
-    buffer_.clear();
+    // errno is cleared so that a failure below reports *this* write's
+    // cause, not a stale value from an unrelated earlier syscall.
+    errno = 0;
+    if (!buffer_.empty()) {
+        out_.write(buffer_.data(),
+                   static_cast<std::streamsize>(buffer_.size()));
+        // Drop the bytes either way: on failure the sink is gone and a
+        // dtor-time retry of the same buffer would fail identically.
+        buffer_.clear();
+    }
     // Push through the ostream too, so a flush() is observable by a
-    // reader of the underlying file/pipe (as the header promises).
+    // reader of the underlying file/pipe (as the header promises) —
+    // and so a buffered-sink failure (stdio holding the bytes) is
+    // detected here instead of at process exit.
     out_.flush();
+    if (!out_)
+        throw IoError("PAF output stream failed (" +
+                          std::to_string(records_) +
+                          " records written so far)",
+                      errno);
 }
 
 PafRecord

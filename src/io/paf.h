@@ -50,6 +50,14 @@ void formatPaf(std::string &out, const PafRecord &record);
  * pays one syscall-sized write per buffer instead of per record. The
  * destructor flushes; call flush() explicitly to observe output
  * earlier (e.g. when tailing a live mapping run).
+ *
+ * Stream failures are never swallowed: write()/flush() check the
+ * stream after handing data over and throw IoError (with the write's
+ * errno when the platform preserved it) the moment the sink fails — a
+ * full disk or a closed pipe surfaces at the offending record, not as
+ * silently truncated output. The destructor still flushes as a last
+ * resort but must not throw; call flush() once after the final write()
+ * to *observe* a failure of the tail of the output.
  */
 class PafWriter
 {
@@ -57,17 +65,31 @@ class PafWriter
     /** @param buffer_bytes Flush threshold (not a hard cap). */
     explicit PafWriter(std::ostream &out,
                        size_t buffer_bytes = 1 << 20);
+
+    /** Flushes, swallowing failure (dtors cannot throw); flush()
+     *  explicitly first if the outcome matters. */
     ~PafWriter();
 
     PafWriter(const PafWriter &) = delete;
     PafWriter &operator=(const PafWriter &) = delete;
 
-    /** Buffers one record, flushing when over the threshold. */
+    /**
+     * Buffers one record, flushing when over the threshold.
+     * @throws IoError when a triggered flush finds the stream failed.
+     */
     void write(const PafRecord &record);
 
-    /** Drains the buffer to the stream. */
+    /**
+     * Drains the buffer and flushes the stream.
+     * @throws IoError when the stream is in (or enters) a failed
+     *         state; the buffered bytes are dropped — the sink is
+     *         gone, and retrying the same write from the destructor
+     *         would only fail again.
+     */
     void flush();
 
+    /** Records accepted by write() — including any whose bytes were
+     *  lost by a failed flush (the throw reports that loss). */
     uint64_t recordsWritten() const { return records_; }
 
   private:

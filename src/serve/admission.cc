@@ -1,0 +1,53 @@
+#include "src/serve/admission.h"
+
+namespace segram::serve
+{
+
+AdmissionQueue::AdmissionQueue(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+bool
+AdmissionQueue::tryPush(MapJob &&job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_ || jobs_.size() >= capacity_)
+            return false;
+        jobs_.push_back(std::move(job));
+    }
+    ready_.notify_one();
+    return true;
+}
+
+std::optional<MapJob>
+AdmissionQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return stopped_ || !jobs_.empty(); });
+    if (jobs_.empty())
+        return std::nullopt;
+    MapJob job = std::move(jobs_.front());
+    jobs_.pop_front();
+    return job;
+}
+
+void
+AdmissionQueue::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopped_ = true;
+    }
+    ready_.notify_all();
+}
+
+size_t
+AdmissionQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return jobs_.size();
+}
+
+} // namespace segram::serve

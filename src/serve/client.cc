@@ -1,0 +1,103 @@
+#include "src/serve/client.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace segram::serve
+{
+
+ServeClient::ServeClient(UniqueFd fd)
+    : fd_(std::move(fd)), reader_(fd_.get())
+{
+}
+
+ServeClient
+ServeClient::connectUnixSocket(const std::string &path)
+{
+    return ServeClient(connectUnix(path));
+}
+
+ServeClient
+ServeClient::connectTcpSocket(const std::string &host, int port)
+{
+    return ServeClient(connectTcp(host, port));
+}
+
+Reply
+ServeClient::roundTrip(std::string_view wire)
+{
+    if (!sendAll(fd_.get(), wire))
+        throw IoError("server closed the connection", EPIPE);
+    std::string line;
+    if (!reader_.readLine(line))
+        throw IoError("server closed the connection before replying");
+    const ResponseHead head = parseResponseHead(line);
+    Reply reply;
+    reply.ok = head.ok;
+    reply.code = head.code;
+    reply.message = head.message;
+    reply.lines = head.count;
+    for (uint64_t i = 0; i < head.count; ++i) {
+        if (!reader_.readLine(line))
+            throw IoError("server closed the connection mid-payload "
+                          "(after " +
+                          std::to_string(i) + "/" +
+                          std::to_string(head.count) + " lines)");
+        reply.payload.append(line);
+        reply.payload.push_back('\n');
+    }
+    return reply;
+}
+
+Reply
+ServeClient::ping()
+{
+    Request request;
+    request.kind = RequestKind::Ping;
+    return roundTrip(formatRequestLine(request));
+}
+
+Reply
+ServeClient::stats()
+{
+    Request request;
+    request.kind = RequestKind::Stats;
+    return roundTrip(formatRequestLine(request));
+}
+
+Reply
+ServeClient::reload(const std::string &reference,
+                    const std::string &pack_path)
+{
+    Request request;
+    request.kind = RequestKind::Reload;
+    request.reference = reference;
+    request.packPath = pack_path;
+    return roundTrip(formatRequestLine(request));
+}
+
+Reply
+ServeClient::mapReads(const std::string &reference,
+                      const std::vector<ReadRecord> &reads)
+{
+    SEGRAM_CHECK(!reads.empty(), "MAP needs at least one read");
+    Request request;
+    request.kind = RequestKind::Map;
+    request.reference = reference;
+    request.readCount = reads.size();
+    std::string wire = formatRequestLine(request);
+    for (const auto &read : reads)
+        wire += formatReadLine(read.name, read.seq);
+    return roundTrip(wire);
+}
+
+Reply
+ServeClient::quit()
+{
+    Request request;
+    request.kind = RequestKind::Quit;
+    return roundTrip(formatRequestLine(request));
+}
+
+} // namespace segram::serve

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Lock-free latency histogram for the daemon's STATS endpoint.
+ *
+ * Power-of-two microsecond buckets: recording is one relaxed atomic
+ * increment on the request path, and percentile queries reconstruct
+ * p50/p99 from the bucket counts. The bucket-boundary error (at most
+ * 2x, since bucket i spans [2^i, 2^(i+1)) µs) is fine for an
+ * operational metric and buys a recorder with no locks, no allocation
+ * and a few hundred bytes of state.
+ */
+
+#ifndef SEGRAM_SRC_SERVE_METRICS_H
+#define SEGRAM_SRC_SERVE_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace segram::serve
+{
+
+/** Histogram of request latencies in log2 microsecond buckets. */
+class LatencyHistogram
+{
+  public:
+    // Bucket 40 covers ~2^40 µs (~12.7 days) — effectively +inf.
+    static constexpr size_t kBuckets = 41;
+
+    void
+    record(uint64_t micros)
+    {
+        size_t bucket = 0;
+        while (bucket + 1 < kBuckets && (uint64_t{1} << (bucket + 1)) <= micros)
+            ++bucket;
+        counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+        totalMicros_.fetch_add(micros, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    count() const
+    {
+        uint64_t total = 0;
+        for (const auto &c : counts_)
+            total += c.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    /** Mean latency in milliseconds (0 when empty). */
+    double
+    meanMs() const
+    {
+        const uint64_t n = count();
+        if (n == 0)
+            return 0.0;
+        return static_cast<double>(
+                   totalMicros_.load(std::memory_order_relaxed)) /
+               static_cast<double>(n) / 1000.0;
+    }
+
+    /**
+     * Approximate latency at @p quantile (e.g. 0.5, 0.99) in
+     * milliseconds — the upper edge of the bucket holding that rank,
+     * so the estimate never understates. 0 when empty.
+     */
+    double
+    percentileMs(double quantile) const
+    {
+        std::array<uint64_t, kBuckets> snapshot{};
+        uint64_t total = 0;
+        for (size_t i = 0; i < kBuckets; ++i) {
+            snapshot[i] = counts_[i].load(std::memory_order_relaxed);
+            total += snapshot[i];
+        }
+        if (total == 0)
+            return 0.0;
+        const uint64_t rank = static_cast<uint64_t>(
+            quantile * static_cast<double>(total - 1));
+        uint64_t seen = 0;
+        for (size_t i = 0; i < kBuckets; ++i) {
+            seen += snapshot[i];
+            if (seen > rank) {
+                const uint64_t upper_micros = uint64_t{1} << (i + 1);
+                return static_cast<double>(upper_micros) / 1000.0;
+            }
+        }
+        return static_cast<double>(uint64_t{1} << kBuckets) / 1000.0;
+    }
+
+  private:
+    std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+    std::atomic<uint64_t> totalMicros_{0};
+};
+
+} // namespace segram::serve
+
+#endif // SEGRAM_SRC_SERVE_METRICS_H

@@ -1,0 +1,214 @@
+#include "src/serve/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "src/util/check.h"
+
+namespace segram::serve
+{
+
+void
+UniqueFd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::pair<std::string, int>
+parseHostPort(const std::string &spec)
+{
+    const size_t colon = spec.rfind(':');
+    SEGRAM_CHECK(colon != std::string::npos && colon > 0 &&
+                     colon + 1 < spec.size(),
+                 "listen spec must be HOST:PORT, got '" + spec + "'");
+    const std::string host = spec.substr(0, colon);
+    const std::string port_text = spec.substr(colon + 1);
+    char *end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    SEGRAM_CHECK(end != port_text.c_str() && *end == '\0' && port >= 0 &&
+                     port <= 65535,
+                 "port must be in [0, 65535], got '" + port_text + "'");
+    return {host, static_cast<int>(port)};
+}
+
+namespace
+{
+
+sockaddr_in
+makeTcpAddr(const std::string &host, int port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    SEGRAM_CHECK(inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                 "host must be a numeric IPv4 address, got '" + host +
+                     "'");
+    return addr;
+}
+
+sockaddr_un
+makeUnixAddr(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw IoError("unix socket path too long (" +
+                      std::to_string(path.size()) + " bytes, max " +
+                      std::to_string(sizeof(addr.sun_path) - 1) + "): " +
+                      path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+UniqueFd
+listenTcp(const std::string &host, int port, int *bound_port)
+{
+    UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        throw IoError("socket() failed", errno);
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = makeTcpAddr(host, port);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        throw IoError("bind(" + host + ":" + std::to_string(port) +
+                          ") failed",
+                      errno);
+    if (::listen(fd.get(), SOMAXCONN) != 0)
+        throw IoError("listen() failed", errno);
+    if (bound_port != nullptr) {
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&bound),
+                          &len) != 0)
+            throw IoError("getsockname() failed", errno);
+        *bound_port = ntohs(bound.sin_port);
+    }
+    return fd;
+}
+
+UniqueFd
+listenUnix(const std::string &path)
+{
+    UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        throw IoError("socket() failed", errno);
+    sockaddr_un addr = makeUnixAddr(path);
+    // The daemon owns its socket path: a stale file from a previous
+    // (crashed) instance would otherwise make every restart fail with
+    // EADDRINUSE.
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        throw IoError("bind(" + path + ") failed", errno);
+    if (::listen(fd.get(), SOMAXCONN) != 0)
+        throw IoError("listen() failed", errno);
+    return fd;
+}
+
+UniqueFd
+connectTcp(const std::string &host, int port)
+{
+    UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        throw IoError("socket() failed", errno);
+    sockaddr_in addr = makeTcpAddr(host, port);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        throw IoError("connect(" + host + ":" + std::to_string(port) +
+                          ") failed",
+                      errno);
+    return fd;
+}
+
+UniqueFd
+connectUnix(const std::string &path)
+{
+    UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        throw IoError("socket() failed", errno);
+    sockaddr_un addr = makeUnixAddr(path);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        throw IoError("connect(" + path + ") failed", errno);
+    return fd;
+}
+
+bool
+sendAll(int fd, std::string_view data)
+{
+    while (!data.empty()) {
+        const ssize_t sent =
+            ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            // The peer going away mid-response is a per-session event,
+            // not a daemon failure: report it as "drop this client".
+            if (errno == EPIPE || errno == ECONNRESET)
+                return false;
+            throw IoError("send() failed", errno);
+        }
+        data.remove_prefix(static_cast<size_t>(sent));
+    }
+    return true;
+}
+
+bool
+LineReader::readLine(std::string &line)
+{
+    while (true) {
+        // Scan only bytes not inspected by a previous pass, so a huge
+        // payload arriving in many chunks costs linear work overall.
+        const size_t newline = buffer_.find('\n', scanned_);
+        if (newline != std::string::npos) {
+            line.assign(buffer_, 0, newline);
+            buffer_.erase(0, newline + 1);
+            scanned_ = 0;
+            return true;
+        }
+        scanned_ = buffer_.size();
+        if (scanned_ > maxLineBytes_)
+            throw InputError("line exceeds " +
+                             std::to_string(maxLineBytes_) + " bytes");
+        if (eof_) {
+            if (buffer_.empty())
+                return false;
+            // Deliver the final unterminated line once.
+            line = std::move(buffer_);
+            buffer_.clear();
+            scanned_ = 0;
+            return true;
+        }
+        char chunk[16384];
+        const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == ECONNRESET) {
+                // A vanished peer reads as end of stream, exactly like
+                // an orderly close: the session ends, the daemon lives.
+                eof_ = true;
+                continue;
+            }
+            throw IoError("recv() failed", errno);
+        }
+        if (got == 0) {
+            eof_ = true;
+            continue;
+        }
+        buffer_.append(chunk, static_cast<size_t>(got));
+    }
+}
+
+} // namespace segram::serve

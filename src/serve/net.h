@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Thin POSIX socket layer for the serving stack: RAII fds, TCP and
+ * Unix-domain listeners/connectors, EPIPE-safe bulk send, and a
+ * buffered line reader — the only file in src/serve that talks to the
+ * kernel, so the protocol/session/service layers stay testable without
+ * sockets.
+ *
+ * All sends use MSG_NOSIGNAL: a client that disconnects mid-stream is
+ * an everyday event for a daemon, and it must surface as an IoError on
+ * that one session, never as a process-killing SIGPIPE.
+ */
+
+#ifndef SEGRAM_SRC_SERVE_NET_H
+#define SEGRAM_SRC_SERVE_NET_H
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace segram::serve
+{
+
+/** Owning file descriptor; closes on destruction. Move-only. */
+class UniqueFd
+{
+  public:
+    UniqueFd() = default;
+    explicit UniqueFd(int fd) : fd_(fd) {}
+    ~UniqueFd() { reset(); }
+
+    UniqueFd(UniqueFd &&other) noexcept
+        : fd_(std::exchange(other.fd_, -1))
+    {
+    }
+    UniqueFd &
+    operator=(UniqueFd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = std::exchange(other.fd_, -1);
+        }
+        return *this;
+    }
+    UniqueFd(const UniqueFd &) = delete;
+    UniqueFd &operator=(const UniqueFd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    int release() { return std::exchange(fd_, -1); }
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Splits "HOST:PORT" (numeric IPv4 host; port 0 requests an ephemeral
+ * port). @throws InputError on a malformed spec.
+ */
+std::pair<std::string, int> parseHostPort(const std::string &spec);
+
+/**
+ * Binds and listens on a TCP socket (SO_REUSEADDR set).
+ *
+ * @param host          Numeric IPv4 address, e.g. "127.0.0.1".
+ * @param port          Port; 0 picks an ephemeral one.
+ * @param[out] bound_port The actually bound port (resolves port 0).
+ * @throws IoError on socket/bind/listen failure.
+ */
+UniqueFd listenTcp(const std::string &host, int port, int *bound_port);
+
+/**
+ * Binds and listens on a Unix-domain socket. A stale socket file at
+ * @p path is unlinked first (the daemon owns its socket path).
+ *
+ * @throws IoError on failure (including a path too long for
+ *         sockaddr_un).
+ */
+UniqueFd listenUnix(const std::string &path);
+
+/** Connects to a TCP endpoint. @throws IoError on failure. */
+UniqueFd connectTcp(const std::string &host, int port);
+
+/** Connects to a Unix-domain socket. @throws IoError on failure. */
+UniqueFd connectUnix(const std::string &path);
+
+/**
+ * Sends all of @p data (looping over short sends, MSG_NOSIGNAL).
+ *
+ * @return True when everything was delivered to the kernel; false when
+ *         the peer is gone (EPIPE/ECONNRESET) — the caller drops the
+ *         session. Other errnos throw IoError.
+ */
+bool sendAll(int fd, std::string_view data);
+
+/**
+ * Buffered '\n'-delimited line reader over a socket fd.
+ *
+ * Lines are returned without the terminating newline. A line longer
+ * than @p max_line_bytes throws InputError (a framing violation, not a
+ * transport failure).
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd, size_t max_line_bytes = size_t{64}
+                                                        << 20)
+        : fd_(fd), maxLineBytes_(max_line_bytes)
+    {
+    }
+
+    /**
+     * Reads the next line into @p line.
+     *
+     * @return False on clean end of stream (peer closed with no
+     *         partial line pending; a partial unterminated line is
+     *         also delivered once, then EOF).
+     * @throws IoError on a transport error, InputError on an
+     *         over-long line.
+     */
+    bool readLine(std::string &line);
+
+  private:
+    int fd_;
+    size_t maxLineBytes_;
+    std::string buffer_;   ///< bytes received but not yet returned
+    size_t scanned_ = 0;   ///< prefix of buffer_ known newline-free
+    bool eof_ = false;
+};
+
+} // namespace segram::serve
+
+#endif // SEGRAM_SRC_SERVE_NET_H

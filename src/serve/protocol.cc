@@ -1,0 +1,201 @@
+#include "src/serve/protocol.h"
+
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/dna.h"
+
+namespace segram::serve
+{
+
+namespace
+{
+
+/** Splits on single spaces (no empty fields tolerated). */
+std::vector<std::string_view>
+splitSpaces(std::string_view line)
+{
+    std::vector<std::string_view> fields;
+    size_t start = 0;
+    while (start <= line.size()) {
+        const size_t space = line.find(' ', start);
+        const size_t end = space == std::string_view::npos
+                               ? line.size()
+                               : space;
+        fields.push_back(line.substr(start, end - start));
+        if (space == std::string_view::npos)
+            break;
+        start = space + 1;
+    }
+    return fields;
+}
+
+uint64_t
+parseCount(std::string_view text, uint64_t max_reads)
+{
+    SEGRAM_CHECK(!text.empty() && text.size() <= 19,
+                 "MAP count must be a decimal integer");
+    uint64_t value = 0;
+    for (const char c : text) {
+        SEGRAM_CHECK(c >= '0' && c <= '9',
+                     "MAP count must be a decimal integer, got '" +
+                         std::string(text) + "'");
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+    }
+    SEGRAM_CHECK(value >= 1 && value <= max_reads,
+                 "MAP count must be in [1, " + std::to_string(max_reads) +
+                     "], got " + std::to_string(value));
+    return value;
+}
+
+} // namespace
+
+Request
+parseRequestLine(std::string_view line, uint64_t max_reads)
+{
+    const auto fields = splitSpaces(line);
+    SEGRAM_CHECK(!fields.empty() && !fields[0].empty(),
+                 "empty request line");
+    const std::string_view verb = fields[0];
+    Request request;
+    if (verb == "PING" || verb == "STATS" || verb == "QUIT") {
+        SEGRAM_CHECK(fields.size() == 1,
+                     std::string(verb) + " takes no arguments");
+        request.kind = verb == "PING" ? RequestKind::Ping
+                       : verb == "STATS" ? RequestKind::Stats
+                                         : RequestKind::Quit;
+        return request;
+    }
+    if (verb == "MAP") {
+        SEGRAM_CHECK(fields.size() == 3 && !fields[1].empty(),
+                     "MAP takes <reference> <count>");
+        request.kind = RequestKind::Map;
+        request.reference = std::string(fields[1]);
+        request.readCount = parseCount(fields[2], max_reads);
+        return request;
+    }
+    if (verb == "RELOAD") {
+        // The pack path may itself contain spaces: everything after
+        // the reference name is the path.
+        SEGRAM_CHECK(fields.size() >= 3 && !fields[1].empty(),
+                     "RELOAD takes <reference> <pack-path>");
+        request.kind = RequestKind::Reload;
+        request.reference = std::string(fields[1]);
+        const size_t path_start =
+            verb.size() + 1 + request.reference.size() + 1;
+        request.packPath = std::string(line.substr(path_start));
+        SEGRAM_CHECK(!request.packPath.empty(),
+                     "RELOAD takes <reference> <pack-path>");
+        return request;
+    }
+    throw InputError("unknown request verb '" + std::string(verb) + "'");
+}
+
+ReadRecord
+parseReadLine(std::string_view line)
+{
+    const size_t tab = line.find('\t');
+    SEGRAM_CHECK(tab != std::string_view::npos,
+                 "read line must be <name>\\t<sequence>");
+    ReadRecord record;
+    record.name = std::string(line.substr(0, tab));
+    SEGRAM_CHECK(!record.name.empty(), "read name must be non-empty");
+    SEGRAM_CHECK(record.name.find(' ') == std::string::npos &&
+                     record.name.find('\t') == std::string::npos,
+                 "read name must not contain whitespace: '" +
+                     record.name + "'");
+    const std::string_view seq = line.substr(tab + 1);
+    SEGRAM_CHECK(!seq.empty(), "read sequence must be non-empty (read '" +
+                                   record.name + "')");
+    // Same normalization file ingestion applies, so a daemon-submitted
+    // read maps byte-identically to the same read in a FASTA/FASTQ.
+    record.seq = normalizeDna(seq);
+    return record;
+}
+
+ResponseHead
+parseResponseHead(std::string_view line)
+{
+    ResponseHead head;
+    if (line.starts_with("OK ")) {
+        const std::string_view digits = line.substr(3);
+        SEGRAM_CHECK(!digits.empty() && digits.size() <= 19,
+                     "malformed OK response: '" + std::string(line) +
+                         "'");
+        uint64_t count = 0;
+        for (const char c : digits) {
+            SEGRAM_CHECK(c >= '0' && c <= '9',
+                         "malformed OK count: '" + std::string(line) +
+                             "'");
+            count = count * 10 + static_cast<uint64_t>(c - '0');
+        }
+        head.ok = true;
+        head.count = count; // 0 is legal in responses (PING, RELOAD)
+        return head;
+    }
+    if (line.starts_with("ERR ")) {
+        const std::string_view rest = line.substr(4);
+        const size_t space = rest.find(' ');
+        head.ok = false;
+        head.code = std::string(rest.substr(
+            0, space == std::string_view::npos ? rest.size() : space));
+        SEGRAM_CHECK(!head.code.empty(), "ERR response with empty code");
+        if (space != std::string_view::npos)
+            head.message = std::string(rest.substr(space + 1));
+        return head;
+    }
+    throw InputError("malformed response line: '" + std::string(line) +
+                     "'");
+}
+
+std::string
+formatRequestLine(const Request &request)
+{
+    switch (request.kind) {
+    case RequestKind::Ping:
+        return "PING\n";
+    case RequestKind::Stats:
+        return "STATS\n";
+    case RequestKind::Quit:
+        return "QUIT\n";
+    case RequestKind::Map:
+        return "MAP " + request.reference + " " +
+               std::to_string(request.readCount) + "\n";
+    case RequestKind::Reload:
+        return "RELOAD " + request.reference + " " + request.packPath +
+               "\n";
+    }
+    throw InputError("unknown request kind");
+}
+
+std::string
+formatReadLine(std::string_view name, std::string_view seq)
+{
+    std::string line;
+    line.reserve(name.size() + seq.size() + 2);
+    line.append(name);
+    line.push_back('\t');
+    line.append(seq);
+    line.push_back('\n');
+    return line;
+}
+
+std::string
+formatOkHead(uint64_t count)
+{
+    return "OK " + std::to_string(count) + "\n";
+}
+
+std::string
+formatError(std::string_view code, std::string_view message)
+{
+    std::string line = "ERR ";
+    line.append(code);
+    line.push_back(' ');
+    for (const char c : message)
+        line.push_back(c == '\n' || c == '\r' ? ' ' : c);
+    line.push_back('\n');
+    return line;
+}
+
+} // namespace segram::serve

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The `segram serve` wire protocol: a line-oriented, human-debuggable
+ * request/response framing (telnet/netcat-friendly, like Redis'
+ * inline commands) shared by the daemon, the CLI client mode and the
+ * load-generator bench.
+ *
+ * Requests (one header line, '\n'-terminated):
+ *
+ *   PING
+ *   STATS
+ *   MAP <reference> <count>      followed by <count> read lines
+ *   RELOAD <reference> <pack-path>
+ *   QUIT
+ *
+ * A read line is `<name>\t<sequence>` — the sequence is normalized to
+ * upper-case ACGT exactly like file ingestion (io::FastxReader), so a
+ * daemon-mapped read and a file-mapped read are byte-identical inputs.
+ *
+ * Responses:
+ *
+ *   OK <count>                   followed by <count> payload lines
+ *   ERR <CODE> <message>
+ *
+ * MAP payload lines are PAF records (the same io::formatPaf output
+ * `segram map` prints); STATS payload lines are `<key> <value>`
+ * pairs. Error codes: BUSY is the backpressure signal and the only
+ * *retryable* code — the admission queue is full and the client
+ * should back off and resend; NOREF (unknown reference), BADREQ
+ * (malformed request), INTERNAL (server-side failure) are not.
+ */
+
+#ifndef SEGRAM_SRC_SERVE_PROTOCOL_H
+#define SEGRAM_SRC_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace segram::serve
+{
+
+/** Retryable: admission queue full, back off and resend. */
+inline constexpr std::string_view kErrBusy = "BUSY";
+/** No tenant with the requested reference name. */
+inline constexpr std::string_view kErrNoRef = "NOREF";
+/** Malformed request framing or payload. */
+inline constexpr std::string_view kErrBadReq = "BADREQ";
+/** Server-side failure while executing a well-formed request. */
+inline constexpr std::string_view kErrInternal = "INTERNAL";
+
+/** Request kinds of the line protocol. */
+enum class RequestKind
+{
+    Ping,
+    Stats,
+    Map,
+    Reload,
+    Quit,
+};
+
+/** One parsed request header line. */
+struct Request
+{
+    RequestKind kind = RequestKind::Ping;
+    std::string reference; ///< MAP/RELOAD: tenant name
+    std::string packPath;  ///< RELOAD: pack to load
+    uint64_t readCount = 0; ///< MAP: read lines that follow
+};
+
+/** One read of a MAP payload. */
+struct ReadRecord
+{
+    std::string name;
+    std::string seq; ///< normalized upper-case ACGT
+};
+
+/** Parsed response header line. */
+struct ResponseHead
+{
+    bool ok = false;
+    uint64_t count = 0;  ///< OK: payload lines that follow
+    std::string code;    ///< ERR: error code
+    std::string message; ///< ERR: human-readable cause
+};
+
+/**
+ * Parses a request header line (no trailing newline).
+ * @throws InputError on an unknown verb, wrong arity, or a count that
+ *         is zero, non-numeric or above @p max_reads.
+ */
+Request parseRequestLine(std::string_view line, uint64_t max_reads);
+
+/**
+ * Parses one `name\tseq` read line; the sequence is normalized like
+ * file ingestion (util::normalizeDna).
+ * @throws InputError on a missing tab, empty name/sequence, or
+ *         whitespace inside the name.
+ */
+ReadRecord parseReadLine(std::string_view line);
+
+/**
+ * Parses a response header line.
+ * @throws InputError when the line is neither `OK <count>` nor
+ *         `ERR <CODE> <message>`.
+ */
+ResponseHead parseResponseHead(std::string_view line);
+
+/** Formats a request header line (newline included). */
+std::string formatRequestLine(const Request &request);
+
+/** Formats one read payload line (newline included). */
+std::string formatReadLine(std::string_view name, std::string_view seq);
+
+/** Formats `OK <count>\n`. */
+std::string formatOkHead(uint64_t count);
+
+/** Formats `ERR <code> <message>\n` (newlines in @p message are
+ *  flattened to spaces — the framing is line-oriented). */
+std::string formatError(std::string_view code, std::string_view message);
+
+/**
+ * One reply as both sides see it: the daemon builds it (service +
+ * session layers), the client parses back into it.
+ */
+struct Reply
+{
+    bool ok = true;
+    std::string code;    ///< error code when !ok
+    std::string message; ///< error cause when !ok
+    uint64_t lines = 0;  ///< payload line count when ok
+    std::string payload; ///< newline-terminated payload lines
+};
+
+} // namespace segram::serve
+
+#endif // SEGRAM_SRC_SERVE_PROTOCOL_H

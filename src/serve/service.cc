@@ -1,0 +1,125 @@
+#include "src/serve/service.h"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "src/io/paf.h"
+#include "src/util/check.h"
+
+namespace segram::serve
+{
+
+MappingService::MappingService(std::string name, std::string pack_path,
+                               const ServiceConfig &config)
+    : name_(std::move(name)),
+      packPath_(std::move(pack_path)),
+      config_(config),
+      reference_(core::PreprocessedReference::load(packPath_,
+                                                   config_.load)),
+      mapper_(reference_, config_.segram, config_.batch)
+{
+    for (const auto &chromosome : reference_.chromosomes())
+        targetLen_[chromosome.name] = chromosome.graph.totalSeqLen();
+}
+
+Reply
+MappingService::map(const std::vector<ReadRecord> &reads)
+{
+    std::vector<std::string_view> seqs;
+    seqs.reserve(reads.size());
+    for (const auto &read : reads)
+        seqs.push_back(read.seq);
+
+    Reply reply;
+    std::string &payload = reply.payload;
+    std::lock_guard<std::mutex> lock(mapMutex_);
+    const auto results = mapper_.mapBatch(
+        std::span<const std::string_view>(seqs), &stats_);
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &result = results[i];
+        if (!result.mapped)
+            continue;
+        const io::PafRecord record = io::makePafRecord(
+            reads[i].name, reads[i].seq.size(),
+            result.reverseComplemented ? '-' : '+', result.chromosome,
+            targetLen_.at(result.chromosome), result.linearStart,
+            result.cigar);
+        io::formatPaf(payload, record);
+        ++reply.lines;
+    }
+    ++requests_;
+    reads_ += reads.size();
+    return reply;
+}
+
+MappingService::Snapshot
+MappingService::snapshot() const
+{
+    Snapshot snap;
+    snap.name = name_;
+    snap.packPath = packPath_;
+    snap.shards = mapper_.numShards();
+    snap.threads = mapper_.threads();
+    snap.residency = mapper_.residencyStats();
+    std::lock_guard<std::mutex> lock(mapMutex_);
+    snap.requests = requests_;
+    snap.reads = reads_;
+    snap.readsMapped = stats_.readsMapped;
+    snap.timings = stats_.timings;
+    snap.regionsAligned = stats_.regionsAligned;
+    return snap;
+}
+
+void
+ServiceRegistry::add(std::shared_ptr<MappingService> service)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    services_[service->name()] = std::move(service);
+}
+
+std::shared_ptr<MappingService>
+ServiceRegistry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = services_.find(name);
+    return it == services_.end() ? nullptr : it->second;
+}
+
+void
+ServiceRegistry::reload(const std::string &name,
+                        const std::string &pack_path)
+{
+    // Snapshot the old tenant's config without the lock held during
+    // the (potentially long) pack load.
+    std::shared_ptr<MappingService> old = find(name);
+    SEGRAM_CHECK(old != nullptr,
+                 "cannot reload unknown reference '" + name + "'");
+    // Build first, swap second: a broken pack throws here and the old
+    // service keeps serving untouched.
+    auto fresh = std::make_shared<MappingService>(name, pack_path,
+                                                  old->config());
+    std::lock_guard<std::mutex> lock(mutex_);
+    services_[name] = std::move(fresh);
+    // `old` (plus any in-flight MapJob's shared_ptr) now holds the
+    // last references; the drained service frees its mmap on release.
+}
+
+std::vector<std::shared_ptr<MappingService>>
+ServiceRegistry::list() const
+{
+    std::vector<std::shared_ptr<MappingService>> services;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        services.reserve(services_.size());
+        for (const auto &[name, service] : services_)
+            services.push_back(service);
+    }
+    std::sort(services.begin(), services.end(),
+              [](const auto &a, const auto &b) {
+                  return a->name() < b->name();
+              });
+    return services;
+}
+
+} // namespace segram::serve

@@ -8,6 +8,8 @@
 #ifndef SEGRAM_SRC_UTIL_CHECK_H
 #define SEGRAM_SRC_UTIL_CHECK_H
 
+#include <cerrno>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -20,6 +22,42 @@ class InputError : public std::runtime_error
 {
   public:
     explicit InputError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/**
+ * Thrown when an output or transport operation fails mid-run — a full
+ * disk, a closed pipe, a dead socket. Unlike InputError (the input was
+ * wrong from the start) the data was fine and the *channel* failed, so
+ * callers often branch on the cause: EPIPE means the reader went away
+ * (an everyday event for `segram map | head` and for daemon clients)
+ * and is handled gracefully, while ENOSPC/EIO must abort loudly —
+ * silently truncated mappings are the one unacceptable outcome.
+ */
+class IoError : public std::runtime_error
+{
+  public:
+    /**
+     * @param what        Context ("PAF write to stdout failed").
+     * @param errno_value The errno of the failed call, or 0 when the
+     *                    stream layer swallowed it. strerror text is
+     *                    appended to the message when nonzero.
+     */
+    explicit IoError(const std::string &what, int errno_value = 0)
+        : std::runtime_error(
+              errno_value != 0
+                  ? what + ": " + std::strerror(errno_value)
+                  : what),
+          errno_(errno_value)
+    {
+    }
+
+    int errnoValue() const { return errno_; }
+
+    /** True when the failure was a reader-went-away EPIPE. */
+    bool brokenPipe() const { return errno_ == EPIPE; }
+
+  private:
+    int errno_ = 0;
 };
 
 namespace detail

@@ -432,3 +432,131 @@ awk -F'\t' '
             sens["segram"], sens["graphaligner"], sens["vg"]
     }' "$tmp/eval.tsv" || exit 1
 echo "cli eval accuracy gate OK"
+
+# --- output-path hardening: failed writes must not be silent ---
+# ENOSPC-style failure: a sink that rejects every byte (/dev/full).
+# map must exit nonzero with a diagnostic — silently truncated
+# mappings look complete, which is worse than no output.
+if [ -w /dev/full ]; then
+    rc=0
+    "$bin" map --threads 1 "$tmp/d.fa" "$tmp/d.vcf" "$tmp/d.reads.fa" \
+        > /dev/full 2> "$tmp/full.log" || rc=$?
+    test "$rc" -ne 0 || {
+        echo "FAIL: map writing to /dev/full exited 0"
+        exit 1
+    }
+    grep -q "error" "$tmp/full.log" || {
+        echo "FAIL: no diagnostic on the /dev/full run"
+        cat "$tmp/full.log"
+        exit 1
+    }
+    echo "cli full-disk diagnostic OK (exit $rc)"
+else
+    echo "cli full-disk diagnostic SKIPPED (/dev/full not writable)"
+fi
+
+# Closed-pipe (EPIPE): `segram map | head` is everyday usage — the
+# writer must exit 0 with a notice, not die of SIGPIPE or report a
+# phantom error. A fifo whose read end opens and closes immediately
+# makes the EPIPE deterministic (the mapper's writes are buffered and
+# land long after the close).
+mkfifo "$tmp/pipe"
+"$bin" map --threads 1 "$tmp/d.fa" "$tmp/d.vcf" "$tmp/d.reads.fa" \
+    > "$tmp/pipe" 2> "$tmp/pipe.log" &
+map_pid=$!
+exec 3< "$tmp/pipe"
+exec 3<&-
+rc=0
+wait "$map_pid" || rc=$?
+test "$rc" -eq 0 || {
+    echo "FAIL: map into a closed pipe exited $rc (want 0)"
+    cat "$tmp/pipe.log"
+    exit 1
+}
+grep -q "pipe closed" "$tmp/pipe.log" || {
+    echo "FAIL: no closed-pipe notice on stderr"
+    cat "$tmp/pipe.log"
+    exit 1
+}
+echo "cli closed-pipe handling OK"
+
+# --- serve daemon smoke: load once, map many, reload, drain ---
+"$bin" index "$tmp/d.fa" "$tmp/d.vcf" "$tmp/serve.segram" 2> /dev/null
+"$bin" map --threads 2 "$tmp/serve.segram" "$tmp/d.reads.fa" \
+    > "$tmp/offline.paf" 2> /dev/null
+"$bin" serve --socket "$tmp/sv.sock" --threads 2 \
+    ref="$tmp/serve.segram" 2> "$tmp/serve.log" &
+serve_pid=$!
+i=0
+while [ ! -S "$tmp/sv.sock" ] && [ "$i" -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+test -S "$tmp/sv.sock" || {
+    echo "FAIL: daemon socket never appeared"
+    cat "$tmp/serve.log"
+    exit 1
+}
+"$bin" client --socket "$tmp/sv.sock" ping | grep -q "PONG" || {
+    echo "FAIL: daemon did not answer PING"
+    exit 1
+}
+# Daemon output must be byte-identical to the offline command on the
+# same pack and reads — the serving path adds zero mapping drift.
+"$bin" client --socket "$tmp/sv.sock" map ref "$tmp/d.reads.fa" \
+    > "$tmp/served.paf" 2> /dev/null
+cmp "$tmp/offline.paf" "$tmp/served.paf" || {
+    echo "FAIL: daemon PAF differs from offline map"
+    exit 1
+}
+"$bin" client --socket "$tmp/sv.sock" stats > "$tmp/stats.txt"
+grep -q "^server.map_requests 1$" "$tmp/stats.txt" || {
+    echo "FAIL: STATS did not count the MAP request"
+    cat "$tmp/stats.txt"
+    exit 1
+}
+grep -q "^tenant.ref.reads " "$tmp/stats.txt" || {
+    echo "FAIL: STATS missing the per-tenant section"
+    exit 1
+}
+# Reload the pack in place, then map again: still byte-identical.
+"$bin" client --socket "$tmp/sv.sock" reload ref "$tmp/serve.segram" \
+    2> /dev/null || {
+    echo "FAIL: reload rejected"
+    exit 1
+}
+"$bin" client --socket "$tmp/sv.sock" map ref "$tmp/d.reads.fa" \
+    > "$tmp/served2.paf" 2> /dev/null
+cmp "$tmp/offline.paf" "$tmp/served2.paf" || {
+    echo "FAIL: post-reload daemon PAF differs from offline map"
+    exit 1
+}
+# Unknown references must be routed to an error, not a crash.
+rc=0
+"$bin" client --socket "$tmp/sv.sock" map ghost "$tmp/d.reads.fa" \
+    > /dev/null 2> "$tmp/ghost.log" || rc=$?
+test "$rc" -ne 0 || { echo "FAIL: mapping 'ghost' exited 0"; exit 1; }
+grep -q "NOREF" "$tmp/ghost.log" || {
+    echo "FAIL: no NOREF diagnostic for an unknown reference"
+    cat "$tmp/ghost.log"
+    exit 1
+}
+# Graceful shutdown: SIGTERM drains and exits 0.
+kill -TERM "$serve_pid"
+rc=0
+wait "$serve_pid" || rc=$?
+test "$rc" -eq 0 || {
+    echo "FAIL: daemon exited $rc on SIGTERM (want 0)"
+    cat "$tmp/serve.log"
+    exit 1
+}
+grep -q "shutting down" "$tmp/serve.log" || {
+    echo "FAIL: no shutdown notice in the daemon log"
+    cat "$tmp/serve.log"
+    exit 1
+}
+if [ -S "$tmp/sv.sock" ]; then
+    echo "FAIL: daemon left its socket file behind"
+    exit 1
+fi
+echo "cli serve daemon OK (byte-identical, reload, graceful stop)"

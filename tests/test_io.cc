@@ -474,6 +474,80 @@ TEST(Paf, WriterFlushIsObservable)
     EXPECT_FALSE(out.str().empty());
 }
 
+TEST(Paf, FlushThrowsIoErrorWhenTheStreamFails)
+{
+    // A stream that rejects every byte (badbit set by a failing
+    // streambuf overflow — the in-memory stand-in for ENOSPC).
+    class FailingBuf : public std::streambuf
+    {
+      protected:
+        int_type
+        overflow(int_type) override
+        {
+            return traits_type::eof();
+        }
+    } failing_buf;
+    std::ostream out(&failing_buf);
+
+    PafWriter writer(out, 1 << 20);
+    writer.write(makePafRecord("q", 4, '+', "t", 10, 0,
+                               Cigar::fromString("4=")));
+    // The record was accepted (buffered)...
+    EXPECT_EQ(writer.recordsWritten(), 1u);
+    // ...but flush must surface the loss instead of dropping it.
+    EXPECT_THROW(writer.flush(), IoError);
+    // The count still reports what the caller handed over, so the
+    // error message can say how much output is now suspect.
+    EXPECT_EQ(writer.recordsWritten(), 1u);
+}
+
+TEST(Paf, DestructorSwallowsStreamFailure)
+{
+    class FailingBuf : public std::streambuf
+    {
+      protected:
+        int_type
+        overflow(int_type) override
+        {
+            return traits_type::eof();
+        }
+    } failing_buf;
+    std::ostream out(&failing_buf);
+    {
+        PafWriter writer(out, 1 << 20);
+        writer.write(makePafRecord("q", 4, '+', "t", 10, 0,
+                                   Cigar::fromString("4=")));
+    } // must not terminate: the dtor flush swallows the IoError
+    SUCCEED();
+}
+
+TEST(Paf, WriteThrowsWhenAThresholdFlushFails)
+{
+    class FailingBuf : public std::streambuf
+    {
+      protected:
+        int_type
+        overflow(int_type) override
+        {
+            return traits_type::eof();
+        }
+    } failing_buf;
+    std::ostream out(&failing_buf);
+
+    // A threshold several records away: the failure surfaces at the
+    // write() that crosses it and flushes into the failing stream —
+    // not only at the final explicit flush().
+    PafWriter writer(out, 1000);
+    const PafRecord record = makePafRecord(
+        "q", 4, '+', "t", 10, 0, Cigar::fromString("4="));
+    EXPECT_THROW(
+        {
+            for (int i = 0; i < 100; ++i)
+                writer.write(record);
+        },
+        IoError);
+}
+
 TEST(Paf, WritesRecordWithTags)
 {
     const Cigar cigar = Cigar::fromString("10=1X5=2D3=1I4=");

@@ -1,0 +1,509 @@
+/**
+ * @file
+ * Tests of the serving stack, bottom-up: the wire protocol codec, the
+ * bounded admission queue, the latency histogram, the MappingService
+ * (daemon output must equal the library driver's, record for record),
+ * and the full daemon over a real Unix socket — byte-identity with
+ * the offline formatting path, backpressure, multi-tenant routing,
+ * reload-under-traffic and graceful shutdown, all in-process so the
+ * scheduler can interleave threads freely under the sanitizers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "src/core/reference.h"
+#include "src/core/sharded_mapper.h"
+#include "src/io/paf.h"
+#include "src/serve/admission.h"
+#include "src/serve/client.h"
+#include "src/serve/metrics.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+#include "src/serve/service.h"
+#include "src/sim/dataset.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace
+{
+
+using namespace segram;
+using namespace segram::serve;
+
+// ---------------------------------------------------------- protocol
+
+TEST(ServeProtocol, ParsesEveryVerb)
+{
+    EXPECT_EQ(parseRequestLine("PING", 10).kind, RequestKind::Ping);
+    EXPECT_EQ(parseRequestLine("STATS", 10).kind, RequestKind::Stats);
+    EXPECT_EQ(parseRequestLine("QUIT", 10).kind, RequestKind::Quit);
+
+    const Request map = parseRequestLine("MAP chr1 7", 10);
+    EXPECT_EQ(map.kind, RequestKind::Map);
+    EXPECT_EQ(map.reference, "chr1");
+    EXPECT_EQ(map.readCount, 7u);
+
+    const Request reload =
+        parseRequestLine("RELOAD hg38 /data/my packs/v2.segram", 10);
+    EXPECT_EQ(reload.kind, RequestKind::Reload);
+    EXPECT_EQ(reload.reference, "hg38");
+    // Everything after the reference is the path — spaces included.
+    EXPECT_EQ(reload.packPath, "/data/my packs/v2.segram");
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests)
+{
+    EXPECT_THROW(parseRequestLine("", 10), InputError);
+    EXPECT_THROW(parseRequestLine("NOPE", 10), InputError);
+    EXPECT_THROW(parseRequestLine("PING extra", 10), InputError);
+    EXPECT_THROW(parseRequestLine("MAP chr1", 10), InputError);
+    EXPECT_THROW(parseRequestLine("MAP chr1 0", 10), InputError);
+    EXPECT_THROW(parseRequestLine("MAP chr1 11", 10), InputError);
+    EXPECT_THROW(parseRequestLine("MAP chr1 seven", 10), InputError);
+    EXPECT_THROW(parseRequestLine("RELOAD chr1", 10), InputError);
+}
+
+TEST(ServeProtocol, ReadLinesNormalizeLikeFileIngestion)
+{
+    const ReadRecord read = parseReadLine("r1\tacgtACGT");
+    EXPECT_EQ(read.name, "r1");
+    EXPECT_EQ(read.seq, "ACGTACGT"); // lower case normalized up
+
+    EXPECT_THROW(parseReadLine("noseparator"), InputError);
+    EXPECT_THROW(parseReadLine("\tACGT"), InputError);
+    EXPECT_THROW(parseReadLine("r1\t"), InputError);
+    EXPECT_THROW(parseReadLine("r 1\tACGT"), InputError);
+}
+
+TEST(ServeProtocol, ResponseHeadRoundTrips)
+{
+    const ResponseHead ok = parseResponseHead("OK 42");
+    EXPECT_TRUE(ok.ok);
+    EXPECT_EQ(ok.count, 42u);
+
+    // Zero payload lines is legal in responses (PING, RELOAD) even
+    // though a zero-read MAP request is not.
+    const ResponseHead empty = parseResponseHead("OK 0");
+    EXPECT_TRUE(empty.ok);
+    EXPECT_EQ(empty.count, 0u);
+
+    const ResponseHead err =
+        parseResponseHead("ERR BUSY queue full, retry");
+    EXPECT_FALSE(err.ok);
+    EXPECT_EQ(err.code, "BUSY");
+    EXPECT_EQ(err.message, "queue full, retry");
+
+    EXPECT_THROW(parseResponseHead("WHAT 3"), InputError);
+    EXPECT_THROW(parseResponseHead("OK x"), InputError);
+}
+
+TEST(ServeProtocol, FormatErrorFlattensNewlines)
+{
+    // The framing is line-oriented: a newline smuggled into an error
+    // message would desynchronize every later response.
+    EXPECT_EQ(formatError(kErrInternal, "line1\nline2"),
+              "ERR INTERNAL line1 line2\n");
+}
+
+// --------------------------------------------------------- admission
+
+TEST(AdmissionQueue, RejectsWhenFullAndPreservesOrder)
+{
+    AdmissionQueue queue(2);
+    MapJob first;
+    first.reads.push_back({"a", "ACGT"});
+    MapJob second;
+    second.reads.push_back({"b", "ACGT"});
+    EXPECT_TRUE(queue.tryPush(std::move(first)));
+    EXPECT_TRUE(queue.tryPush(std::move(second)));
+    EXPECT_EQ(queue.depth(), 2u);
+
+    MapJob overflow;
+    EXPECT_FALSE(queue.tryPush(std::move(overflow))); // ERR BUSY path
+
+    auto a = queue.pop();
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->reads[0].name, "a"); // FIFO
+    auto b = queue.pop();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->reads[0].name, "b");
+}
+
+TEST(AdmissionQueue, StopDrainsAdmittedJobsThenSignalsEnd)
+{
+    AdmissionQueue queue(4);
+    MapJob job;
+    job.reads.push_back({"a", "ACGT"});
+    EXPECT_TRUE(queue.tryPush(std::move(job)));
+    queue.stop();
+
+    MapJob late;
+    EXPECT_FALSE(queue.tryPush(std::move(late))); // no new admissions
+
+    EXPECT_TRUE(queue.pop().has_value());  // admitted work drains
+    EXPECT_FALSE(queue.pop().has_value()); // then the end signal
+}
+
+TEST(AdmissionQueue, PopBlocksUntilPushFromAnotherThread)
+{
+    AdmissionQueue queue(1);
+    std::thread producer([&queue] {
+        MapJob job;
+        job.reads.push_back({"x", "ACGT"});
+        while (!queue.tryPush(std::move(job)))
+            std::this_thread::yield();
+    });
+    const auto job = queue.pop(); // blocks until the producer lands
+    producer.join();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->reads[0].name, "x");
+}
+
+// ----------------------------------------------------------- metrics
+
+TEST(LatencyHistogram, PercentilesBracketRecordedValues)
+{
+    LatencyHistogram histogram;
+    for (int i = 0; i < 95; ++i)
+        histogram.record(1000); // ~1 ms
+    for (int i = 0; i < 5; ++i)
+        histogram.record(1'000'000); // 5% ~1 s outliers
+
+    EXPECT_EQ(histogram.count(), 100u);
+    // Log2 buckets overestimate by at most 2x: the p50 must sit near
+    // 1 ms (not the outlier), the p99 must see the outlier.
+    EXPECT_LE(histogram.percentileMs(0.5), 3.0);
+    EXPECT_GE(histogram.percentileMs(0.99), 500.0);
+    EXPECT_GT(histogram.meanMs(), 0.0);
+}
+
+// ----------------------------------------------- service + end to end
+
+sim::DatasetConfig
+smallConfig(uint64_t seed)
+{
+    sim::DatasetConfig config;
+    config.genome.length = 20'000;
+    config.index.bucketBits = 12;
+    config.seed = seed;
+    return config;
+}
+
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("segram_serve_test_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+
+        std::vector<core::PreprocessedChromosome> chromosomes;
+        dataset_ = std::make_unique<sim::Dataset>(
+            sim::makeDataset(smallConfig(7)));
+        chromosomes.push_back({"chr1", dataset_->graph,
+                               dataset_->index});
+        core::PreprocessedReference(std::move(chromosomes))
+            .save(packPath());
+
+        Rng rng(99);
+        sim::ReadSimConfig read_config{
+            120, 24, sim::ErrorProfile::illumina(0.02)};
+        read_config.revCompProbability = 0.25;
+        const auto simulated =
+            sim::simulateReads(dataset_->donor, read_config, rng);
+        for (size_t i = 0; i < simulated.size(); ++i)
+            reads_.push_back({"r" + std::to_string(i),
+                              simulated[i].seq});
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string packPath() const
+    {
+        return (dir_ / "ref.segram").string();
+    }
+    std::string socketPath() const
+    {
+        return (dir_ / "sv.sock").string();
+    }
+
+    /** The offline ground truth: the same pack mapped through the
+     *  library driver and formatted through the same PAF writer. */
+    std::string
+    offlinePaf(const ServiceConfig &config) const
+    {
+        const auto reference =
+            core::PreprocessedReference::load(packPath(),
+                                              config.load);
+        const core::ShardedBatchMapper mapper(
+            reference, config.segram, config.batch);
+        std::vector<std::string_view> seqs;
+        for (const auto &read : reads_)
+            seqs.push_back(read.seq);
+        const auto results = mapper.mapBatch(
+            std::span<const std::string_view>(seqs));
+        std::string paf;
+        for (size_t i = 0; i < results.size(); ++i) {
+            if (!results[i].mapped)
+                continue;
+            io::formatPaf(
+                paf, io::makePafRecord(
+                         reads_[i].name, reads_[i].seq.size(),
+                         results[i].reverseComplemented ? '-' : '+',
+                         results[i].chromosome,
+                         reference.graph(0).totalSeqLen(),
+                         results[i].linearStart, results[i].cigar));
+        }
+        return paf;
+    }
+
+    std::filesystem::path dir_;
+    std::unique_ptr<sim::Dataset> dataset_;
+    std::vector<ReadRecord> reads_;
+};
+
+TEST_F(ServeTest, ServiceMatchesLibraryDriverExactly)
+{
+    ServiceConfig config;
+    config.batch.threads = 2;
+    MappingService service("chr", packPath(), config);
+    const Reply reply = service.map(reads_);
+    EXPECT_TRUE(reply.ok);
+    EXPECT_GT(reply.lines, 0u);
+    EXPECT_EQ(reply.payload, offlinePaf(config));
+
+    const auto snap = service.snapshot();
+    EXPECT_EQ(snap.requests, 1u);
+    EXPECT_EQ(snap.reads, reads_.size());
+}
+
+TEST_F(ServeTest, RegistryReloadSwapsAtomicallyAndRejectsUnknown)
+{
+    ServiceConfig config;
+    ServiceRegistry registry;
+    registry.add(std::make_shared<MappingService>("ref", packPath(),
+                                                  config));
+    const auto before = registry.find("ref");
+    ASSERT_NE(before, nullptr);
+
+    // A reload of a broken pack must leave the old tenant serving.
+    EXPECT_THROW(registry.reload("ref", (dir_ / "nope.segram")
+                                            .string()),
+                 InputError);
+    EXPECT_EQ(registry.find("ref"), before);
+
+    registry.reload("ref", packPath());
+    const auto after = registry.find("ref");
+    ASSERT_NE(after, nullptr);
+    EXPECT_NE(after, before); // fresh service, old one drains
+
+    EXPECT_THROW(registry.reload("ghost", packPath()), InputError);
+    EXPECT_EQ(registry.find("ghost"), nullptr);
+}
+
+TEST_F(ServeTest, EndToEndMapIsByteIdenticalToOffline)
+{
+    ServiceConfig config;
+    config.batch.threads = 2;
+    ServiceRegistry registry;
+    registry.add(std::make_shared<MappingService>("ref", packPath(),
+                                                  config));
+    ServerConfig server_config;
+    server_config.unixPath = socketPath();
+    Server server(registry, server_config);
+    server.start();
+
+    auto client = ServeClient::connectUnixSocket(socketPath());
+    EXPECT_TRUE(client.ping().ok);
+
+    const Reply reply = client.mapReads("ref", reads_);
+    ASSERT_TRUE(reply.ok) << reply.code << " " << reply.message;
+    EXPECT_EQ(reply.payload, offlinePaf(config));
+
+    // STATS carries the operational surface the README documents.
+    const Reply stats = client.stats();
+    ASSERT_TRUE(stats.ok);
+    for (const char *key :
+         {"server.requests", "server.map_requests", "server.reads",
+          "server.queue_depth", "server.latency_p50_ms",
+          "server.latency_p99_ms", "server.kernel_backend",
+          "tenant.ref.requests", "tenant.ref.reads_mapped"}) {
+        EXPECT_NE(stats.payload.find(key), std::string::npos)
+            << "missing STATS key " << key;
+    }
+    server.stop();
+}
+
+TEST_F(ServeTest, RoutesPerReferenceAndRejectsUnknown)
+{
+    ServiceConfig config;
+    ServiceRegistry registry;
+    registry.add(std::make_shared<MappingService>("a", packPath(),
+                                                  config));
+    registry.add(std::make_shared<MappingService>("b", packPath(),
+                                                  config));
+    ServerConfig server_config;
+    server_config.unixPath = socketPath();
+    Server server(registry, server_config);
+    server.start();
+
+    auto client = ServeClient::connectUnixSocket(socketPath());
+    EXPECT_TRUE(client.mapReads("a", reads_).ok);
+    EXPECT_TRUE(client.mapReads("b", reads_).ok);
+
+    const Reply missing = client.mapReads("c", reads_);
+    EXPECT_FALSE(missing.ok);
+    EXPECT_EQ(missing.code, kErrNoRef);
+    // The session survives an unknown reference.
+    EXPECT_TRUE(client.ping().ok);
+    server.stop();
+}
+
+TEST_F(ServeTest, MalformedPayloadGetsBadReqAndKeepsFraming)
+{
+    ServiceConfig config;
+    ServiceRegistry registry;
+    registry.add(std::make_shared<MappingService>("ref", packPath(),
+                                                  config));
+    ServerConfig server_config;
+    server_config.unixPath = socketPath();
+    Server server(registry, server_config);
+    server.start();
+
+    // Raw wire access: one well-framed MAP whose payload line is
+    // garbage. The server must consume the whole payload (no
+    // desynchronization) and answer ERR BADREQ.
+    UniqueFd fd = connectUnix(socketPath());
+    ASSERT_TRUE(sendAll(fd.get(), "MAP ref 1\nmissing-tab-line\n"));
+    LineReader reader(fd.get());
+    std::string line;
+    ASSERT_TRUE(reader.readLine(line));
+    EXPECT_EQ(parseResponseHead(line).code, kErrBadReq);
+
+    // Same connection, next request parses cleanly: framing survived.
+    ASSERT_TRUE(sendAll(fd.get(), "PING\n"));
+    ASSERT_TRUE(reader.readLine(line));
+    EXPECT_TRUE(parseResponseHead(line).ok);
+    server.stop();
+}
+
+TEST_F(ServeTest, ClientVanishingMidRequestLeavesDaemonServing)
+{
+    ServiceConfig config;
+    ServiceRegistry registry;
+    registry.add(std::make_shared<MappingService>("ref", packPath(),
+                                                  config));
+    ServerConfig server_config;
+    server_config.unixPath = socketPath();
+    Server server(registry, server_config);
+    server.start();
+
+    {
+        // Announce a 5-read payload, send half a read, hang up.
+        UniqueFd dying = connectUnix(socketPath());
+        ASSERT_TRUE(sendAll(dying.get(), "MAP ref 5\nr0\tACG"));
+    } // fd closes here — mid-payload
+
+    // A fresh client still gets full service.
+    auto client = ServeClient::connectUnixSocket(socketPath());
+    EXPECT_TRUE(client.ping().ok);
+    const Reply reply = client.mapReads("ref", reads_);
+    EXPECT_TRUE(reply.ok);
+    EXPECT_EQ(reply.payload, offlinePaf(config));
+    server.stop();
+}
+
+TEST_F(ServeTest, ReloadUnderTrafficDropsAndDuplicatesNothing)
+{
+    ServiceConfig config;
+    config.batch.threads = 2;
+    ServiceRegistry registry;
+    registry.add(std::make_shared<MappingService>("ref", packPath(),
+                                                  config));
+    ServerConfig server_config;
+    server_config.unixPath = socketPath();
+    Server server(registry, server_config);
+    server.start();
+
+    const std::string expected = offlinePaf(config);
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> mismatches{0};
+    std::atomic<uint64_t> completed{0};
+
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 3; ++c) {
+        clients.emplace_back([&, c] {
+            auto client =
+                ServeClient::connectUnixSocket(socketPath());
+            while (!stop.load()) {
+                const Reply reply = client.mapReads("ref", reads_);
+                // BUSY is a legal answer under load; anything else
+                // must be the exact offline payload.
+                if (!reply.ok) {
+                    if (reply.code != kErrBusy)
+                        mismatches.fetch_add(1);
+                    continue;
+                }
+                if (reply.payload != expected)
+                    mismatches.fetch_add(1);
+                completed.fetch_add(1);
+            }
+            (void)c;
+        });
+    }
+
+    // Reload the same pack repeatedly while the clients hammer MAP:
+    // every response must come back complete and identical — the
+    // drain-on-old/swap-to-new contract.
+    auto admin = ServeClient::connectUnixSocket(socketPath());
+    for (int r = 0; r < 3; ++r) {
+        const Reply reply = admin.reload("ref", packPath());
+        EXPECT_TRUE(reply.ok) << reply.code << " " << reply.message;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    while (completed.load() < 6) // make sure mapping really happened
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    stop.store(true);
+    for (auto &thread : clients)
+        thread.join();
+    EXPECT_EQ(mismatches.load(), 0u);
+    server.stop();
+}
+
+TEST_F(ServeTest, GracefulStopAnswersEveryAdmittedRequest)
+{
+    ServiceConfig config;
+    ServiceRegistry registry;
+    registry.add(std::make_shared<MappingService>("ref", packPath(),
+                                                  config));
+    ServerConfig server_config;
+    server_config.unixPath = socketPath();
+    Server server(registry, server_config);
+    server.start();
+
+    // Launch a request, then stop the server while it may still be
+    // in flight: the admitted MAP must be answered, completely.
+    std::promise<Reply> done;
+    std::thread in_flight([&] {
+        auto client = ServeClient::connectUnixSocket(socketPath());
+        done.set_value(client.mapReads("ref", reads_));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    server.stop();
+    in_flight.join();
+    const Reply reply = done.get_future().get();
+    EXPECT_TRUE(reply.ok) << reply.code << " " << reply.message;
+    EXPECT_EQ(reply.payload, offlinePaf(config));
+}
+
+} // namespace

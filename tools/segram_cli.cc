@@ -69,14 +69,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fcntl.h>
 #include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <unistd.h>
 #include <unordered_map>
 #include <vector>
 
@@ -96,6 +100,9 @@
 #include "src/io/pack.h"
 #include "src/io/paf.h"
 #include "src/io/vcf.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+#include "src/serve/service.h"
 #include "src/sim/dataset.h"
 #include "src/util/check.h"
 
@@ -487,6 +494,12 @@ cmdMap(const MapOptions &options)
     std::vector<io::FastxRecord> batch;
     std::vector<std::string_view> seqs;
     const auto start_time = std::chrono::steady_clock::now();
+    // The whole output loop runs under an IoError guard: a reader that
+    // goes away (`segram map | head`) is a graceful stop, while a
+    // stream that fails for real (ENOSPC, EIO) must abort loudly —
+    // silently truncated mappings look complete and are worse than no
+    // output at all.
+    try {
     while (true) {
         batch.clear();
         if (reader.nextBatch(batch, options.batchSize) == 0)
@@ -538,6 +551,19 @@ cmdMap(const MapOptions &options)
         total_reads += batch.size();
     }
     paf.flush();
+    } catch (const IoError &error) {
+        if (error.brokenPipe()) {
+            // The consumer closed its end (head, a dying pager):
+            // everyday shell usage, not a failure.
+            std::fprintf(stderr,
+                         "[segram] output pipe closed by the reader "
+                         "after %llu records; stopping\n",
+                         static_cast<unsigned long long>(
+                             paf.recordsWritten()));
+            return 0;
+        }
+        throw; // ENOSPC/EIO/...: main reports it and exits nonzero
+    }
     const double wall = secondsSince(start_time);
 
     std::fprintf(stderr,
@@ -776,6 +802,252 @@ cmdEval(const std::string &truth_path,
     return every_mapper_placed_some ? 0 : 1;
 }
 
+/** Options of the serve command. */
+struct ServeOptions
+{
+    std::string socketPath;  ///< unix-domain listener; empty = none
+    std::string listenSpec;  ///< HOST:PORT TCP listener; empty = none
+    int threads = 1;
+    size_t queueCapacity = 64;
+    uint64_t batchLimit = 65536;
+    uint64_t memBudgetMb = 0;
+    double errorRate = 0.10;
+    /** Tenants: (reference name, pack path) pairs. */
+    std::vector<std::pair<std::string, std::string>> packs;
+};
+
+/** Write end of the shutdown self-pipe (signal handler target). */
+int g_shutdown_fd = -1;
+
+extern "C" void
+onShutdownSignal(int)
+{
+    // write() is async-signal-safe; everything else happens on the
+    // main thread once the pipe wakes it.
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t written =
+        ::write(g_shutdown_fd, &byte, 1);
+}
+
+/**
+ * `segram serve`: load every pack once, serve mapping requests until
+ * SIGTERM/SIGINT, then drain and exit 0. The SegramConfig is built
+ * through the same makeSegramConfig defaults as `segram map`, so the
+ * daemon's PAF is byte-identical to the offline command on the same
+ * pack and reads.
+ */
+int
+cmdServe(const ServeOptions &options)
+{
+    // Same knob derivation as offline `segram map <pack> <reads> [E]`.
+    MapOptions map_defaults;
+    map_defaults.errorRate = options.errorRate;
+    serve::ServiceConfig service_config;
+    service_config.segram = makeSegramConfig(map_defaults);
+    service_config.batch.threads = options.threads;
+    service_config.batch.memBudgetBytes =
+        options.memBudgetMb * 1024 * 1024;
+    service_config.load.coldLoad = options.memBudgetMb > 0;
+
+    serve::ServiceRegistry registry;
+    for (const auto &[name, pack_path] : options.packs) {
+        const auto load_start = std::chrono::steady_clock::now();
+        auto service = std::make_shared<serve::MappingService>(
+            name, pack_path, service_config);
+        const auto snap = service->snapshot();
+        std::fprintf(stderr,
+                     "[segram] serving %s from %s: %zu shard%s, "
+                     "%d thread%s (loaded in %.2f s)\n",
+                     name.c_str(), pack_path.c_str(), snap.shards,
+                     snap.shards == 1 ? "" : "s", snap.threads,
+                     snap.threads == 1 ? "" : "s",
+                     secondsSince(load_start));
+        registry.add(std::move(service));
+    }
+
+    serve::ServerConfig server_config;
+    server_config.unixPath = options.socketPath;
+    if (!options.listenSpec.empty()) {
+        const auto [host, port] = serve::parseHostPort(
+            options.listenSpec);
+        server_config.tcpHost = host;
+        server_config.tcpPort = port;
+    }
+    server_config.queueCapacity = options.queueCapacity;
+    server_config.maxReadsPerRequest = options.batchLimit;
+    serve::Server server(registry, server_config);
+    server.start();
+    if (!options.socketPath.empty())
+        std::fprintf(stderr, "[segram] listening on unix socket %s\n",
+                     options.socketPath.c_str());
+    if (!options.listenSpec.empty())
+        std::fprintf(stderr, "[segram] listening on tcp %s:%d\n",
+                     server_config.tcpHost.c_str(),
+                     server.boundTcpPort());
+
+    // Shutdown self-pipe: the handler only writes a byte; the main
+    // thread does the actual (non-async-signal-safe) teardown.
+    int pipe_fds[2];
+    if (::pipe2(pipe_fds, O_CLOEXEC) != 0)
+        throw IoError("pipe2() failed", errno);
+    g_shutdown_fd = pipe_fds[1];
+    std::signal(SIGTERM, onShutdownSignal);
+    std::signal(SIGINT, onShutdownSignal);
+
+    char byte = 0;
+    while (::read(pipe_fds[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    std::fprintf(stderr,
+                 "[segram] shutting down: draining in-flight "
+                 "requests\n");
+    server.stop();
+    const std::string stats = server.statsText();
+    std::fprintf(stderr, "%s", stats.c_str());
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    g_shutdown_fd = -1;
+    return 0;
+}
+
+/** Options of the client command. */
+struct ClientOptions
+{
+    std::string socketPath;  ///< unix-domain daemon address
+    std::string connectSpec; ///< HOST:PORT daemon address
+    size_t batchSize = 256;
+    /** Subcommand: ping | stats | reload <ref> <pack> |
+     *  map <ref> <reads>. */
+    std::vector<std::string> command;
+};
+
+serve::ServeClient
+connectClient(const ClientOptions &options)
+{
+    if (!options.socketPath.empty())
+        return serve::ServeClient::connectUnixSocket(
+            options.socketPath);
+    const auto [host, port] =
+        serve::parseHostPort(options.connectSpec);
+    return serve::ServeClient::connectTcpSocket(host, port);
+}
+
+/**
+ * Streams a reads file through the daemon in batches, printing the
+ * PAF payload to stdout. `ERR BUSY` (the queue-full backpressure
+ * signal) is retried with exponential backoff; every other error
+ * aborts — retrying a NOREF forever would just hide a typo.
+ */
+int
+cmdClientMap(serve::ServeClient &client, const std::string &reference,
+             const std::string &reads_path, size_t batch_size)
+{
+    io::FastxReader reader(reads_path);
+    std::vector<io::FastxRecord> batch;
+    std::vector<serve::ReadRecord> reads;
+    uint64_t total_reads = 0;
+    uint64_t paf_lines = 0;
+    uint64_t busy_retries = 0;
+    try {
+        while (true) {
+            batch.clear();
+            if (reader.nextBatch(batch, batch_size) == 0)
+                break;
+            reads.clear();
+            for (auto &record : batch)
+                reads.push_back({std::move(record.name),
+                                 std::move(record.seq)});
+            serve::Reply reply;
+            for (uint64_t attempt = 0;; ++attempt) {
+                reply = client.mapReads(reference, reads);
+                if (reply.ok)
+                    break;
+                SEGRAM_CHECK(reply.code == serve::kErrBusy,
+                             "server error " + reply.code + ": " +
+                                 reply.message);
+                SEGRAM_CHECK(attempt < 64,
+                             "server still busy after " +
+                                 std::to_string(attempt) +
+                                 " retries: " + reply.message);
+                ++busy_retries;
+                // Exponential backoff, capped at ~100 ms per wait.
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    std::min<uint64_t>(100, 1ull << std::min<uint64_t>(
+                                                attempt, 7))));
+            }
+            errno = 0;
+            if (std::fwrite(reply.payload.data(), 1,
+                            reply.payload.size(),
+                            stdout) != reply.payload.size())
+                throw IoError("short write to stdout", errno);
+            paf_lines += reply.lines;
+            total_reads += reads.size();
+        }
+        errno = 0;
+        if (std::fflush(stdout) != 0)
+            throw IoError("stdout flush failed", errno);
+    } catch (const IoError &error) {
+        if (error.brokenPipe()) {
+            std::fprintf(stderr,
+                         "[segram] output pipe closed by the reader; "
+                         "stopping\n");
+            return 0;
+        }
+        throw;
+    }
+    std::fprintf(stderr,
+                 "[segram] client: %llu reads -> %llu PAF records "
+                 "(%llu busy retries)\n",
+                 static_cast<unsigned long long>(total_reads),
+                 static_cast<unsigned long long>(paf_lines),
+                 static_cast<unsigned long long>(busy_retries));
+    return 0;
+}
+
+/** `segram client`: one-shot daemon interactions for scripts and CI. */
+int
+cmdClient(const ClientOptions &options)
+{
+    const auto &command = options.command;
+    serve::ServeClient client = connectClient(options);
+    if (command[0] == "ping") {
+        const serve::Reply reply = client.ping();
+        SEGRAM_CHECK(reply.ok, "ping failed: " + reply.code + " " +
+                                   reply.message);
+        std::printf("PONG\n");
+        return 0;
+    }
+    if (command[0] == "stats") {
+        const serve::Reply reply = client.stats();
+        SEGRAM_CHECK(reply.ok, "stats failed: " + reply.code + " " +
+                                   reply.message);
+        std::fwrite(reply.payload.data(), 1, reply.payload.size(),
+                    stdout);
+        return 0;
+    }
+    if (command[0] == "reload") {
+        SEGRAM_CHECK(command.size() >= 3,
+                     "client reload takes <reference> <pack.segram>");
+        const serve::Reply reply = client.reload(command[1],
+                                                 command[2]);
+        if (!reply.ok) {
+            std::fprintf(stderr, "[segram] reload failed: %s %s\n",
+                         reply.code.c_str(), reply.message.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "[segram] reloaded %s from %s\n",
+                     command[1].c_str(), command[2].c_str());
+        return 0;
+    }
+    if (command[0] == "map") {
+        SEGRAM_CHECK(command.size() >= 3,
+                     "client map takes <reference> <reads.fa|fq>");
+        return cmdClientMap(client, command[1], command[2],
+                            options.batchSize);
+    }
+    throw InputError("unknown client subcommand '" + command[0] +
+                     "' (expected ping, stats, reload or map)");
+}
+
 void
 usage()
 {
@@ -801,7 +1073,14 @@ usage()
         "                  <prefix> <genome_len> <num_reads> "
         "<read_len> <error_rate>\n"
         "  segram eval [--threshold N] <truth.tsv> "
-        "<[name=]out.paf>...\n");
+        "<[name=]out.paf>...\n"
+        "  segram serve [--socket PATH] [--listen HOST:PORT] "
+        "[--threads N] [--queue N]\n"
+        "               [--batch-limit N] [--mem-budget MiB] "
+        "[--error-rate F] <name=pack.segram>...\n"
+        "  segram client (--socket PATH | --connect HOST:PORT) "
+        "(ping | stats | reload <ref> <pack.segram> |\n"
+        "               map [--batch N] <ref> <reads.fa|fq>)\n");
 }
 
 /** Parsed command line: flags extracted, positionals in order. */
@@ -825,6 +1104,13 @@ struct Args
     uint64_t memBudgetMb = 0;
     // Index build knob (index only).
     double discardTop = index::IndexConfig().discardTopFraction;
+    // Serve/client knobs.
+    std::string socketPath;
+    std::string listenSpec;
+    std::string connectSpec;
+    uint64_t queueCapacity = 64;
+    uint64_t batchLimit = 65536;
+    double errorRate = 0.10;
     // Simulate knobs (simulate only).
     uint32_t chromosomes = 1;
     double repeatFraction = sim::GenomeConfig().repeatFraction;
@@ -1031,6 +1317,38 @@ parseArgs(int argc, char **argv)
                          "--tandem-fraction must be in [0, 1)");
             args.tandemFraction = value;
             args.seenFlags.push_back("--tandem-fraction");
+        } else if (arg == "--socket") {
+            args.socketPath = next_value("--socket");
+            SEGRAM_CHECK(!args.socketPath.empty(),
+                         "--socket needs a non-empty path");
+            args.seenFlags.push_back("--socket");
+        } else if (arg == "--listen") {
+            args.listenSpec = next_value("--listen");
+            args.seenFlags.push_back("--listen");
+        } else if (arg == "--connect") {
+            args.connectSpec = next_value("--connect");
+            args.seenFlags.push_back("--connect");
+        } else if (arg == "--queue") {
+            const long long value =
+                parseIntFlag("--queue", next_value("--queue"));
+            SEGRAM_CHECK(value >= 1 && value <= 1'048'576,
+                         "--queue must be in [1, 1048576]");
+            args.queueCapacity = static_cast<uint64_t>(value);
+            args.seenFlags.push_back("--queue");
+        } else if (arg == "--batch-limit") {
+            const long long value = parseIntFlag(
+                "--batch-limit", next_value("--batch-limit"));
+            SEGRAM_CHECK(value >= 1 && value <= 0xFFFFFFFFll,
+                         "--batch-limit must be in [1, 2^32)");
+            args.batchLimit = static_cast<uint64_t>(value);
+            args.seenFlags.push_back("--batch-limit");
+        } else if (arg == "--error-rate") {
+            const double value = parseDoubleFlag(
+                "--error-rate", next_value("--error-rate"));
+            SEGRAM_CHECK(value >= 0.0 && value < 1.0,
+                         "--error-rate must be in [0, 1)");
+            args.errorRate = value;
+            args.seenFlags.push_back("--error-rate");
         } else if (arg == "--path-coords") {
             args.pathCoords = true;
             args.seenFlags.push_back("--path-coords");
@@ -1049,6 +1367,10 @@ parseArgs(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
+    // A closed stdout pipe (`segram map | head`) or a vanished daemon
+    // client must surface as EPIPE from write(), which the IoError
+    // paths handle deliberately — not as a silent SIGPIPE kill.
+    std::signal(SIGPIPE, SIG_IGN);
     try {
         const Args args = parseArgs(argc, argv);
         const auto &pos = args.positional;
@@ -1194,6 +1516,52 @@ main(int argc, char **argv)
             const std::vector<std::string> pafs(pos.begin() + 2,
                                                 pos.end());
             return cmdEval(pos[1], pafs, args.threshold);
+        }
+        if (pos.size() >= 2 && pos[0] == "serve") {
+            args.requireFlagsApplyTo(
+                "serve", {"--socket", "--listen", "--threads",
+                          "--queue", "--batch-limit", "--mem-budget",
+                          "--error-rate"});
+            SEGRAM_CHECK(!args.socketPath.empty() ||
+                             !args.listenSpec.empty(),
+                         "serve needs --socket PATH and/or "
+                         "--listen HOST:PORT");
+            ServeOptions options;
+            options.socketPath = args.socketPath;
+            options.listenSpec = args.listenSpec;
+            options.threads = args.threads;
+            options.queueCapacity =
+                static_cast<size_t>(args.queueCapacity);
+            options.batchLimit = args.batchLimit;
+            options.memBudgetMb = args.memBudgetMb;
+            options.errorRate = args.errorRate;
+            for (size_t i = 1; i < pos.size(); ++i) {
+                // name=pack.segram — the name is the MAP routing key,
+                // so it must be explicit, not derived from the path.
+                const size_t eq = pos[i].find('=');
+                SEGRAM_CHECK(eq != std::string::npos && eq > 0 &&
+                                 eq + 1 < pos[i].size(),
+                             "serve pack arguments take the form "
+                             "<name>=<pack.segram>, got '" + pos[i] +
+                                 "'");
+                options.packs.emplace_back(pos[i].substr(0, eq),
+                                           pos[i].substr(eq + 1));
+            }
+            return cmdServe(options);
+        }
+        if (pos.size() >= 2 && pos[0] == "client") {
+            args.requireFlagsApplyTo(
+                "client", {"--socket", "--connect", "--batch"});
+            SEGRAM_CHECK(args.socketPath.empty() !=
+                             args.connectSpec.empty(),
+                         "client needs exactly one of --socket PATH "
+                         "or --connect HOST:PORT");
+            ClientOptions options;
+            options.socketPath = args.socketPath;
+            options.connectSpec = args.connectSpec;
+            options.batchSize = args.batchSize;
+            options.command.assign(pos.begin() + 1, pos.end());
+            return cmdClient(options);
         }
         usage();
         return 2;
