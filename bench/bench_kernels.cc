@@ -15,12 +15,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "src/align/bitalign_core.h"
+#include "src/align/window_batch.h"
 #include "src/align/genasm.h"
 #include "src/align/myers.h"
 #include "src/baseline/dp_s2g.h"
@@ -238,6 +240,97 @@ BM_BitAlignWindowWithTraceback(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BitAlignWindowWithTraceback)->Arg(128);
+
+/**
+ * Shared fixture of the batched-vs-per-window comparison: @p windows
+ * independent window requests (distinct genome regions and read
+ * chunks) of @p window_len characters, k = window_len/4 — the mapping
+ * path's regime (128 -> 2-word vectors, 64 -> 1-word).
+ */
+struct WindowBatchFixture
+{
+    std::vector<graph::LinearizedGraph> regions;
+    std::vector<std::string> patterns;
+    std::vector<align::WindowedAlignStream::Request> requests;
+
+    WindowBatchFixture(int windows, int window_len)
+    {
+        const auto &data = dataset();
+        regions.reserve(static_cast<size_t>(windows));
+        patterns.reserve(static_cast<size_t>(windows));
+        for (int w = 0; w < windows; ++w) {
+            const size_t offset = 10'000 + static_cast<size_t>(w) * 2'000;
+            const uint64_t start = data.donor.toLinear(offset);
+            regions.push_back(graph::linearizeRange(
+                data.graph, start, start + window_len + 32));
+            patterns.push_back(donorRead(offset, window_len));
+        }
+        for (int w = 0; w < windows; ++w)
+            requests.push_back({regions[static_cast<size_t>(w)],
+                                patterns[static_cast<size_t>(w)],
+                                window_len / 4,
+                                align::AlignMode::SemiGlobal});
+    }
+};
+
+void
+BM_BitAlignWindowsPerWindow(benchmark::State &state)
+{
+    const int windows = static_cast<int>(state.range(0));
+    const WindowBatchFixture fixture(windows,
+                                     static_cast<int>(state.range(1)));
+    align::AlignScratch scratch;
+    align::WindowResult result;
+    for (auto _ : state) {
+        for (const auto &request : fixture.requests) {
+            align::alignWindow(request.window, request.pattern, request.k,
+                               request.mode, scratch, result);
+            benchmark::DoNotOptimize(result.editDistance);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * windows);
+}
+
+void
+BM_BitAlignWindowsBatched(benchmark::State &state)
+{
+    const int windows = static_cast<int>(state.range(0));
+    const WindowBatchFixture fixture(windows,
+                                     static_cast<int>(state.range(1)));
+    align::WindowBatchScratch scratch;
+    std::vector<align::WindowResult> results(
+        static_cast<size_t>(windows));
+    for (auto _ : state) {
+        for (int base = 0; base < windows;
+             base += bitops::kBatchLanes) {
+            const int count =
+                std::min(windows - base, bitops::kBatchLanes);
+            const align::WindowedAlignStream::Request
+                *requests[bitops::kBatchLanes];
+            align::WindowResult *out[bitops::kBatchLanes];
+            for (int i = 0; i < count; ++i) {
+                requests[i] =
+                    &fixture.requests[static_cast<size_t>(base + i)];
+                out[i] = &results[static_cast<size_t>(base + i)];
+            }
+            align::alignWindowBatch(requests, out, count, scratch);
+            benchmark::DoNotOptimize(results.data());
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * windows);
+}
+
+void
+windowBatchArgs(benchmark::internal::Benchmark *bench)
+{
+    for (const int windows : {2, 4, 8})
+        for (const int window_len : {64, 128})
+            bench->Args({windows, window_len});
+    bench->ArgNames({"windows", "window_len"});
+}
+
+BENCHMARK(BM_BitAlignWindowsPerWindow)->Apply(windowBatchArgs);
+BENCHMARK(BM_BitAlignWindowsBatched)->Apply(windowBatchArgs);
 
 void
 BM_GenAsm(benchmark::State &state)

@@ -288,6 +288,46 @@ main(int argc, char **argv)
                 stage_total > 0.0 ? 100.0 * timings.alignSec / stage_total
                                   : 0.0);
 
+    // Batched-path stage breakdown and lane occupancy: the same reads
+    // through the single-thread lane-batched scheduler (BatchMapper ->
+    // mapMany -> SegramMapper::mapReads). The alignment-stage ratio
+    // against the per-read loop above is the kernel-level speedup the
+    // cross-window batching claims, measured in-run on the same data.
+    core::PipelineStats batched_stats;
+    std::vector<core::MultiMapResult> batched_results;
+    {
+        const core::BatchMapper batch_mapper(mapper, core::BatchConfig{});
+        batched_results = batch_mapper.mapBatch(
+            std::span<const std::string_view>(reads), &batched_stats);
+    }
+    const core::StageTimings &batched = batched_stats.timings;
+    const double lane_occupancy =
+        batched_stats.batchLaunches > 0
+            ? static_cast<double>(batched_stats.batchedWindows) /
+                  static_cast<double>(batched_stats.batchLaunches)
+            : 0.0;
+    const double batched_fraction =
+        batched_stats.batchedWindows + batched_stats.scalarWindows > 0
+            ? static_cast<double>(batched_stats.batchedWindows) /
+                  static_cast<double>(batched_stats.batchedWindows +
+                                      batched_stats.scalarWindows)
+            : 0.0;
+    const double align_speedup = batched.alignSec > 0.0
+                                     ? timings.alignSec / batched.alignSec
+                                     : 0.0;
+    std::printf("batched stages (1T): seeding %.3f s, linearization "
+                "%.3f s, alignment %.3f s\n",
+                batched.seedingSec, batched.linearizeSec,
+                batched.alignSec);
+    std::printf("lane occupancy: %.2f windows/launch (%.0f%% of windows "
+                "batched), alignment-stage speedup %.2fx\n",
+                lane_occupancy, 100.0 * batched_fraction, align_speedup);
+    if (!sameResults(reference, batched_results)) {
+        std::fprintf(stderr, "FAIL: batched-scheduler results diverge "
+                             "from the fresh-workspace reference\n");
+        diverged = true;
+    }
+
     // Write the measurements before any gate verdict, so a failing
     // run still archives the numbers that explain the failure.
     if (!json_path.empty()) {
@@ -321,6 +361,15 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(peak_rss),
                      timings.seedingSec, timings.linearizeSec,
                      timings.alignSec);
+        std::fprintf(json,
+                     "  \"batched_stage_seconds\": {\"seeding\": %.4f, "
+                     "\"linearization\": %.4f, \"alignment\": %.4f},\n"
+                     "  \"lane_occupancy\": %.3f,\n"
+                     "  \"batched_window_fraction\": %.4f,\n"
+                     "  \"align_stage_speedup\": %.3f,\n",
+                     batched.seedingSec, batched.linearizeSec,
+                     batched.alignSec, lane_occupancy, batched_fraction,
+                     align_speedup);
         std::fprintf(json, "  \"batch_reads_per_sec\": {");
         for (size_t i = 0; i < thread_counts.size(); ++i)
             std::fprintf(json, "%s\"%d\": %.2f", i == 0 ? "" : ", ",
@@ -350,6 +399,19 @@ main(int argc, char **argv)
                      "slower than 80%% of the fresh-workspace loop "
                      "(%.1f reads/s)\n",
                      ws_rps, fresh_rps);
+        return 1;
+    }
+    // --- lane-batching gate: the cross-window path must deliver its
+    // claimed alignment-stage speedup where the wide backend runs.
+    // Quick (CI smoke) runs are too short and too jittery to gate on.
+    if (!quick &&
+        std::strcmp(bitops::activeBackendName(), "avx2") == 0 &&
+        align_speedup < 1.5) {
+        std::fprintf(stderr,
+                     "FAIL: lane-batched alignment stage is only "
+                     "%.2fx the per-window stage (gate: 1.5x on "
+                     "avx2)\n",
+                     align_speedup);
         return 1;
     }
 

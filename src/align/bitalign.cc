@@ -66,108 +66,149 @@ alignWindowed(const graph::LinearizedGraphView &text, std::string_view read,
               const BitAlignConfig &config, AlignScratch &scratch,
               GraphAlignment &out)
 {
+    // The plain entry point is "drive one stream to completion": the
+    // same state machine the batched scheduler interleaves, so both
+    // paths commit and anchor identically by construction.
+    WindowedAlignStream stream;
+    stream.begin(text, read, config, &out);
+    while (!stream.done()) {
+        const WindowedAlignStream::Request &next = stream.request();
+        alignWindow(next.window, next.pattern, next.k, next.mode,
+                    scratch, scratch.window);
+        stream.consume(scratch.window);
+    }
+}
+
+void
+WindowedAlignStream::begin(const graph::LinearizedGraphView &text,
+                           std::string_view read,
+                           const BitAlignConfig &config,
+                           GraphAlignment *out)
+{
     validateConfig(config);
-    const int m = static_cast<int>(read.size());
-    const int n = text.size();
-    SEGRAM_CHECK(m > 0, "read must be non-empty");
+    text_ = text;
+    read_ = read;
+    config_ = config;
+    out_ = out;
+    m_ = static_cast<int>(read.size());
+    n_ = text.size();
+    SEGRAM_CHECK(m_ > 0, "read must be non-empty");
 
-    out.clear(); // in-place reset, capacity retained across calls
+    out_->clear(); // in-place reset, capacity retained across calls
 
-    WindowResult &result = scratch.window;
-    if (m <= config.windowLen) {
-        alignWindow(text, read, config.windowEditCap,
-                    AlignMode::SemiGlobal, scratch, result);
+    pat_pos_ = 0;
+    text_pos_ = 0;
+    first_ = true;
+    done_ = false;
+    single_ = m_ <= config_.windowLen;
+    if (single_) {
+        // One free-start window over the whole text.
+        request_ = {text_, read_, config_.windowEditCap,
+                    AlignMode::SemiGlobal};
+        return;
+    }
+    issue();
+}
+
+void
+WindowedAlignStream::issue()
+{
+    const int chunk = std::min(config_.windowLen, m_ - pat_pos_);
+    const int slack = config_.textSlack +
+                      (first_ ? config_.firstWindowExtraText : 0);
+    const int text_len = std::min(n_ - text_pos_, chunk + slack);
+    if (text_len <= 0) {
+        out_->clear(); // reference exhausted before the read
+        done_ = true;
+        return;
+    }
+    request_ = {text_.window(text_pos_, text_len),
+                read_.substr(pat_pos_, chunk), config_.windowEditCap,
+                first_ ? AlignMode::SemiGlobal : AlignMode::Anchored};
+}
+
+void
+WindowedAlignStream::consume(const WindowResult &result)
+{
+    assert(!done_);
+    if (single_) {
+        done_ = true;
         if (!result.found)
             return;
-        out.found = true;
-        out.editDistance = result.editDistance;
-        out.textStart = result.startPos;
-        out.linearStart = text.linearStart() + result.startPos;
-        out.cigar = result.cigar;
+        out_->found = true;
+        out_->editDistance = result.editDistance;
+        out_->textStart = result.startPos;
+        out_->linearStart = text_.linearStart() + result.startPos;
+        out_->cigar = result.cigar;
         return;
     }
 
-    int pat_pos = 0;  // first read char not yet committed
-    int text_pos = 0; // window start within the linearized input
-    bool first = true;
-
-    while (pat_pos < m) {
-        const int chunk = std::min(config.windowLen, m - pat_pos);
-        const bool last = pat_pos + chunk >= m;
-        const int slack =
-            config.textSlack +
-            (first ? config.firstWindowExtraText : 0);
-        const int text_len = std::min(n - text_pos, chunk + slack);
-        if (text_len <= 0) {
-            out.clear(); // reference exhausted before the read
-            return;
-        }
-        const graph::LinearizedGraphView window =
-            text.window(text_pos, text_len);
-        const std::string_view pattern = read.substr(pat_pos, chunk);
-        const AlignMode mode =
-            first ? AlignMode::SemiGlobal : AlignMode::Anchored;
-        alignWindow(window, pattern, config.windowEditCap, mode, scratch,
-                    result);
-        if (!result.found) {
-            out.clear(); // window exceeded the per-window edit cap
-            return;
-        }
-
-        if (first) {
-            out.textStart = text_pos + result.startPos;
-            out.linearStart = text.linearStart() + out.textStart;
-            first = false;
-        }
-
-        // Commit the whole final window; otherwise the first
-        // chunk-overlap read chars. Trailing deletions at the cut stay
-        // uncommitted (re-decided by the next window).
-        const int commit_len = last ? chunk : chunk - config.overlap;
-        assert(commit_len > 0);
-        int read_consumed = 0;
-        size_t text_idx = 0; // consumed entries of result.textPositions
-        for (const auto &run : result.cigar.runs()) {
-            if (read_consumed >= commit_len)
-                break;
-            for (uint32_t rep = 0; rep < run.len; ++rep) {
-                if (read_consumed >= commit_len)
-                    break;
-                out.cigar.push(run.op);
-                if (run.op != EditOp::Insertion)
-                    ++text_idx;
-                if (run.op != EditOp::Deletion)
-                    ++read_consumed;
-            }
-        }
-        assert(read_consumed == commit_len);
-
-        if (last)
-            break;
-        pat_pos += commit_len;
-        // Anchor the next window at the graph position where the
-        // uncommitted alignment continues. This honors hops across the
-        // cut: the continuation may sit several positions ahead of the
-        // last committed character.
-        int anchor_rel;
-        if (text_idx < result.textPositions.size()) {
-            anchor_rel = result.textPositions[text_idx];
-        } else if (text_idx > 0) {
-            // Uncommitted suffix was all insertions: continue right
-            // after the last consumed character.
-            anchor_rel = result.textPositions[text_idx - 1] + 1;
-        } else {
-            anchor_rel = result.startPos; // nothing consumed at all
-        }
-        text_pos += anchor_rel;
-        if (text_pos >= n) {
-            out.clear();
-            return;
-        }
+    if (!result.found) {
+        out_->clear(); // window exceeded the per-window edit cap
+        done_ = true;
+        return;
     }
 
-    out.found = true;
-    out.editDistance = static_cast<int>(out.cigar.editDistance());
+    const int chunk = std::min(config_.windowLen, m_ - pat_pos_);
+    const bool last = pat_pos_ + chunk >= m_;
+
+    if (first_) {
+        out_->textStart = text_pos_ + result.startPos;
+        out_->linearStart = text_.linearStart() + out_->textStart;
+        first_ = false;
+    }
+
+    // Commit the whole final window; otherwise the first
+    // chunk-overlap read chars. Trailing deletions at the cut stay
+    // uncommitted (re-decided by the next window).
+    const int commit_len = last ? chunk : chunk - config_.overlap;
+    assert(commit_len > 0);
+    int read_consumed = 0;
+    size_t text_idx = 0; // consumed entries of result.textPositions
+    for (const auto &run : result.cigar.runs()) {
+        if (read_consumed >= commit_len)
+            break;
+        for (uint32_t rep = 0; rep < run.len; ++rep) {
+            if (read_consumed >= commit_len)
+                break;
+            out_->cigar.push(run.op);
+            if (run.op != EditOp::Insertion)
+                ++text_idx;
+            if (run.op != EditOp::Deletion)
+                ++read_consumed;
+        }
+    }
+    assert(read_consumed == commit_len);
+
+    if (last) {
+        out_->found = true;
+        out_->editDistance =
+            static_cast<int>(out_->cigar.editDistance());
+        done_ = true;
+        return;
+    }
+    pat_pos_ += commit_len;
+    // Anchor the next window at the graph position where the
+    // uncommitted alignment continues. This honors hops across the
+    // cut: the continuation may sit several positions ahead of the
+    // last committed character.
+    int anchor_rel;
+    if (text_idx < result.textPositions.size()) {
+        anchor_rel = result.textPositions[text_idx];
+    } else if (text_idx > 0) {
+        // Uncommitted suffix was all insertions: continue right
+        // after the last consumed character.
+        anchor_rel = result.textPositions[text_idx - 1] + 1;
+    } else {
+        anchor_rel = result.startPos; // nothing consumed at all
+    }
+    text_pos_ += anchor_rel;
+    if (text_pos_ >= n_) {
+        out_->clear();
+        done_ = true;
+        return;
+    }
+    issue();
 }
 
 } // namespace segram::align

@@ -122,6 +122,79 @@ void alignWindowed(const graph::LinearizedGraphView &text,
  */
 int numWindows(int read_len, const BitAlignConfig &config);
 
+/**
+ * The divide-and-conquer windowing loop of alignWindowed, inverted
+ * into a resumable state machine: instead of computing each window
+ * itself, the stream *requests* one window alignment at a time and is
+ * fed the result back. Windows within one stream are sequential by
+ * construction (each is anchored at the previous committed end), so
+ * this inversion is what lets a scheduler interleave *independent*
+ * streams — other candidate regions, the other strand, other reads —
+ * and batch their current windows across SIMD lanes. alignWindowed is
+ * itself implemented as "drive one stream to completion", so streamed
+ * and plain results are identical by construction.
+ *
+ * Usage:
+ *     stream.begin(text, read, config, &out);
+ *     while (!stream.done()) {
+ *         <align stream.request() by any means>
+ *         stream.consume(window_result);
+ *     }
+ */
+class WindowedAlignStream
+{
+  public:
+    /** One window alignment the stream needs computed next. */
+    struct Request
+    {
+        graph::LinearizedGraphView window; ///< reference-side slice
+        std::string_view pattern;          ///< read chunk
+        int k = 0;                         ///< per-window edit cap
+        AlignMode mode = AlignMode::SemiGlobal;
+    };
+
+    /**
+     * Starts a new alignment of @p read against @p text. @p out is
+     * cleared and owned by the caller; it is complete once done()
+     * turns true. @p text and @p read must stay valid for the
+     * stream's lifetime (the requests view into them).
+     */
+    void begin(const graph::LinearizedGraphView &text,
+               std::string_view read, const BitAlignConfig &config,
+               GraphAlignment *out);
+
+    /** @return True once the alignment finished (found or failed). */
+    bool done() const { return done_; }
+
+    /** @return The pending window request. Only valid while !done(). */
+    const Request &request() const { return request_; }
+
+    /**
+     * Feeds back the WindowResult of the pending request (computed by
+     * alignWindow or the lane-batched path — both are bit-identical),
+     * committing its prefix and either issuing the next request or
+     * finishing the alignment.
+     */
+    void consume(const WindowResult &result);
+
+  private:
+    /** Issues the request for the window at (pat_pos_, text_pos_). */
+    void issue();
+
+    graph::LinearizedGraphView text_;
+    std::string_view read_;
+    BitAlignConfig config_;
+    GraphAlignment *out_ = nullptr;
+    Request request_;
+    int m_ = 0;          ///< read length
+    int n_ = 0;          ///< text length
+    int pat_pos_ = 0;    ///< first read char not yet committed
+    int text_pos_ = 0;   ///< window start within the linearized input
+    bool first_ = true;  ///< next window is the free-start window
+    bool single_ = false; ///< whole read fits one window
+    bool done_ = true;
+};
+
 } // namespace segram::align
 
 #endif // SEGRAM_SRC_ALIGN_BITALIGN_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/align/bitalign_walk.h"
 #include "src/util/bitops_simd.h"
 #include "src/util/bitvector.h"
 #include "src/util/check.h"
@@ -259,169 +260,55 @@ class WindowComputation
     }
 
     /**
-     * Scans for the minimum d whose whole-read bit (m-1) is clear at
-     * some admissible start node.
-     *
-     * @param[out] best_start The smallest admissible start position.
-     * @return The minimum edit distance, or -1 when none is <= k.
+     * Bit-probe accessor binding the shared find/traceback walks
+     * (bitalign_walk.h) to this window's contiguous R storage. The
+     * whole-read bit m-1 lives in one word of each vector; its word
+     * index and mask are resolved once so the SemiGlobal scan is one
+     * strided load per probe.
      */
+    struct Accessor
+    {
+        const WindowComputation &wc;
+        int msb_word;
+        uint64_t msb_mask;
+
+        bool
+        msbClear(int i, int d) const
+        {
+            return !(wc.r(i, d)[msb_word] & msb_mask);
+        }
+        bool
+        rBitClear(int i, int d, int b) const
+        {
+            return !testBit(wc.r(i, d), b);
+        }
+        bool
+        virtualBitClear(int d, int b) const
+        {
+            return !testBit(wc.virtualR(d), b);
+        }
+    };
+
+    Accessor
+    accessor() const
+    {
+        const int msb = pm_->m - 1;
+        return {*this, msb >> 6, uint64_t{1} << (msb & 63)};
+    }
+
+    /** Best-hit scan; see detail::findBestStart for the contract. */
     int
     findBest(AlignMode mode, int *best_start) const
     {
-        // The whole-read bit m-1 lives in one word of each vector;
-        // resolve that word index and mask once and scan at word
-        // level — one strided load per position instead of a full
-        // testBit address computation per probe.
-        const int msb = pm_->m - 1;
-        const int msb_word = msb >> 6;
-        const uint64_t msb_mask = uint64_t{1} << (msb & 63);
-        if (mode == AlignMode::Anchored) {
-            const uint64_t *p = r(0, 0) + msb_word;
-            for (int d = 0; d <= k_; ++d, p += nwords_) {
-                if (!(*p & msb_mask)) {
-                    *best_start = 0;
-                    return d;
-                }
-            }
-            return -1;
-        }
-        const size_t stride =
-            static_cast<size_t>(k_ + 1) * nwords_; // r(i,d) -> r(i+1,d)
-        for (int d = 0; d <= k_; ++d) {
-            const uint64_t *p =
-                all_r_ + static_cast<size_t>(d) * nwords_ + msb_word;
-            for (int i = 0; i < n_; ++i, p += stride) {
-                if (!(*p & msb_mask)) {
-                    *best_start = i;
-                    return d;
-                }
-            }
-        }
-        return -1;
+        return detail::findBestStart(accessor(), n_, k_, mode,
+                                     best_start);
     }
 
-    /**
-     * Regenerates the traceback (Algorithm 1 line 25) from state
-     * (start, d): walks the stored R vectors, re-deriving which of the
-     * M/S/D/I terms produced each 0 bit.
-     */
+    /** Traceback walk; see detail::tracebackWalk for the contract. */
     void
     traceback(int start, int d, WindowResult *result) const
     {
-        int b = pm_->m - 1; // current read char is m-1-b
-        int pos = start;
-        Cigar &cigar = result->cigar;
-        // Each step consumes a read char and/or one unit of edit budget.
-        const int max_steps = pm_->m + k_ + 2;
-        for (int step = 0; step < max_steps; ++step) {
-            assert(!testBit(r(pos, d), b));
-            const uint64_t *pm = pm_->masks[text_.code(pos)].data();
-            const auto succs = text_.successorDeltas(pos);
-            const bool is_sink = succs.empty();
-            const bool char_match = !testBit(pm, b);
-
-            // Moving past a sink: the remaining read suffix (length b
-            // after the move) is consumed by trailing insertions.
-            const auto finish_past_sink = [&](int remaining) {
-                cigar.push(EditOp::Insertion,
-                           static_cast<uint32_t>(remaining));
-            };
-
-            // 1. Match: cheapest, always preferred.
-            if (char_match) {
-                if (b == 0) {
-                    cigar.push(EditOp::Match);
-                    result->textPositions.push_back(pos);
-                    return;
-                }
-                bool taken = false;
-                for (const uint16_t delta : succs) {
-                    if (!testBit(r(pos + delta, d), b - 1)) {
-                        cigar.push(EditOp::Match);
-                        result->textPositions.push_back(pos);
-                        pos += delta;
-                        --b;
-                        taken = true;
-                        break;
-                    }
-                }
-                if (taken)
-                    continue;
-                if (is_sink && !testBit(virtualR(d), b - 1)) {
-                    cigar.push(EditOp::Match);
-                    result->textPositions.push_back(pos);
-                    finish_past_sink(b);
-                    return;
-                }
-            }
-            // 2. Substitution (only on a true mismatch, so the CIGAR
-            //    stays consistent with the sequences).
-            if (d > 0 && !char_match) {
-                if (b == 0) {
-                    cigar.push(EditOp::Substitution);
-                    result->textPositions.push_back(pos);
-                    return;
-                }
-                bool taken = false;
-                for (const uint16_t delta : succs) {
-                    if (!testBit(r(pos + delta, d - 1), b - 1)) {
-                        cigar.push(EditOp::Substitution);
-                        result->textPositions.push_back(pos);
-                        pos += delta;
-                        --b;
-                        --d;
-                        taken = true;
-                        break;
-                    }
-                }
-                if (taken)
-                    continue;
-                if (is_sink && !testBit(virtualR(d - 1), b - 1)) {
-                    cigar.push(EditOp::Substitution);
-                    result->textPositions.push_back(pos);
-                    finish_past_sink(b);
-                    return;
-                }
-            }
-            // 3. Deletion: consume the graph char, keep the read char.
-            if (d > 0) {
-                bool taken = false;
-                for (const uint16_t delta : succs) {
-                    if (!testBit(r(pos + delta, d - 1), b)) {
-                        cigar.push(EditOp::Deletion);
-                        result->textPositions.push_back(pos);
-                        pos += delta;
-                        --d;
-                        taken = true;
-                        break;
-                    }
-                }
-                if (taken)
-                    continue;
-                if (is_sink && !testBit(virtualR(d - 1), b)) {
-                    cigar.push(EditOp::Deletion);
-                    result->textPositions.push_back(pos);
-                    finish_past_sink(b + 1);
-                    return;
-                }
-            }
-            // 4. Insertion: consume the read char in place.
-            if (d > 0) {
-                if (b == 0) {
-                    cigar.push(EditOp::Insertion);
-                    return;
-                }
-                if (!testBit(r(pos, d - 1), b - 1)) {
-                    cigar.push(EditOp::Insertion);
-                    --b;
-                    --d;
-                    continue;
-                }
-            }
-            assert(false && "traceback found no consistent predecessor");
-            return;
-        }
-        assert(false && "traceback exceeded its step bound");
+        detail::tracebackWalk(accessor(), text_, *pm_, start, d, result);
     }
 
   private:

@@ -10,11 +10,9 @@ std::vector<MultiMapResult>
 MappingEngine::mapBatch(std::span<const std::string_view> reads,
                         PipelineStats *stats) const
 {
-    std::vector<MultiMapResult> results;
-    results.reserve(reads.size());
+    std::vector<MultiMapResult> results(reads.size());
     MapWorkspace workspace; // warm across the whole batch
-    for (const auto read : reads)
-        results.push_back(mapOne(read, stats, workspace));
+    mapMany(reads, results, stats, workspace);
     return results;
 }
 
@@ -136,10 +134,17 @@ BatchMapper::mapBatch(std::span<const std::string_view> reads,
                     : nullptr;
             // Each worker computes out of its private workspace — the
             // per-channel scratchpad; buffers stay warm across chunks.
+            // One mapMany per chunk lets the engine batch window
+            // computations across the chunk's reads; chunk boundaries
+            // depend only on chunkSize, so batch groupings (and with
+            // them results and counters) are thread-count-invariant.
             MapWorkspace &workspace =
                 workspaces_[static_cast<size_t>(worker)];
-            for (size_t i = begin; i < end; ++i)
-                results[i] = engine_.mapOne(reads[i], local, workspace);
+            engine_.mapMany(
+                reads.subspan(begin, end - begin),
+                std::span<MultiMapResult>(results).subspan(
+                    begin, end - begin),
+                local, workspace);
         });
     if (stats != nullptr) {
         for (const auto &partial : worker_stats)

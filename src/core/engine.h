@@ -28,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/core/map_result.h"
 #include "src/core/workspace.h"
 #include "src/seed/minseed.h"
 #include "src/util/cigar.h"
@@ -36,70 +37,8 @@
 namespace segram::core
 {
 
-/** Result of mapping one read. */
-struct MapResult
-{
-    bool mapped = false;
-    uint64_t linearStart = 0; ///< concatenated coordinate of the start
-    int editDistance = 0;
-    Cigar cigar;
-    uint32_t regionsTried = 0;
-    /** True when the reverse complement of the read aligned best. */
-    bool reverseComplemented = false;
-};
-
-/** Map result extended with the winning chromosome (empty when the
- *  engine maps against a single anonymous reference). */
-struct MultiMapResult : MapResult
-{
-    std::string chromosome;
-};
-
-/**
- * Per-stage wall time of the pipeline, in seconds. Summed across
- * threads (so on a multi-threaded run the total exceeds wall time —
- * it is aggregate stage *work*, the quantity the paper's per-accelerator
- * breakdown reports). Unlike the integer counters these are not
- * bit-reproducible across runs; they are reporting-only.
- */
-struct StageTimings
-{
-    double seedingSec = 0.0;     ///< MinSeed (minimizers -> regions)
-    double linearizeSec = 0.0;   ///< candidate subgraph linearization
-    double alignSec = 0.0;       ///< BitAlign over all windows
-
-    StageTimings &
-    operator+=(const StageTimings &other)
-    {
-        seedingSec += other.seedingSec;
-        linearizeSec += other.linearizeSec;
-        alignSec += other.alignSec;
-        return *this;
-    }
-};
-
-/** Aggregated pipeline counters. */
-struct PipelineStats
-{
-    seed::MinSeedStats seeding;
-    uint64_t regionsAligned = 0;
-    uint64_t alignmentsFound = 0;
-    uint64_t readsMapped = 0;
-    uint64_t readsTotal = 0;
-    StageTimings timings; ///< reporting-only (not bit-reproducible)
-
-    PipelineStats &
-    operator+=(const PipelineStats &other)
-    {
-        seeding += other.seeding;
-        regionsAligned += other.regionsAligned;
-        alignmentsFound += other.alignmentsFound;
-        readsMapped += other.readsMapped;
-        readsTotal += other.readsTotal;
-        timings += other.timings;
-        return *this;
-    }
-};
+// MapResult, MultiMapResult, StageTimings and PipelineStats live in
+// src/core/map_result.h (re-exported via the include above).
 
 /**
  * Uniform interface over every end-to-end mapper in the repo.
@@ -142,9 +81,30 @@ class MappingEngine
     }
 
     /**
+     * Maps a group of reads out of one workspace, results positional
+     * (results[i] belongs to reads[i]; the spans must be equal-sized).
+     * This is the granularity at which cross-read batching is possible:
+     * engines whose hot path can fill SIMD lanes across reads
+     * (SegramMapper's lane-batched BitAlign scheduler) override it; the
+     * default maps each read individually via mapOne. Results are
+     * bit-identical to the per-read path either way — batching is an
+     * execution strategy, not a semantic.
+     */
+    virtual void
+    mapMany(std::span<const std::string_view> reads,
+            std::span<MultiMapResult> results, PipelineStats *stats,
+            MapWorkspace &workspace) const
+    {
+        for (size_t i = 0; i < reads.size(); ++i)
+            results[i] = mapOne(reads[i], stats, workspace);
+    }
+
+    /**
      * Maps a batch of reads sequentially, in order. Results are
      * positional: result[i] belongs to reads[i]. BatchMapper is the
-     * multi-threaded driver over this same contract.
+     * multi-threaded driver over this same contract. Implemented as
+     * one mapMany over the whole batch, so engines with a cross-read
+     * batched path use it here too.
      */
     virtual std::vector<MultiMapResult>
     mapBatch(std::span<const std::string_view> reads,

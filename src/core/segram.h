@@ -16,6 +16,7 @@
 #define SEGRAM_SRC_CORE_SEGRAM_H
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 #include "src/align/bitalign.h"
@@ -133,11 +134,36 @@ class SegramMapper : public MappingEngine
     MapResult mapRead(std::string_view read, PipelineStats *stats,
                       MapWorkspace &workspace) const;
 
+    /**
+     * Lane-batched group mapper: maps reads[i] -> results[i] (spans
+     * must be equal-sized) with the region-stream scheduler. Up to
+     * bitops::kBatchLanes candidate-region window streams are in
+     * flight at once — normally from different strand tasks (read x
+     * orientation, claimed in read order), and, when nothing else can
+     * fill a lane, speculatively from later regions of a task whose
+     * early-exit check is still pending. Each round, every pending
+     * window request joins one lane-batched kernel launch (mixed
+     * widths pad to the widest); a lone draining lane takes the
+     * per-window path. Region outcomes commit strictly in region
+     * order and speculative work past an early exit is discarded, so
+     * every per-strand decision (region order, best-update
+     * tie-breaking, early exit, strand merge) and every committed
+     * counter is bit-identical to a mapRead loop — only the window
+     * computations are co-scheduled.
+     */
+    void mapReads(std::span<const std::string_view> reads,
+                  std::span<MapResult> results, PipelineStats *stats,
+                  MapWorkspace &workspace) const;
+
     /** MappingEngine interface (chromosome is left empty). */
     MultiMapResult mapOne(std::string_view read,
                           PipelineStats *stats = nullptr) const override;
     MultiMapResult mapOne(std::string_view read, PipelineStats *stats,
                           MapWorkspace &workspace) const override;
+    /** Routes through the lane-batched mapReads scheduler. */
+    void mapMany(std::span<const std::string_view> reads,
+                 std::span<MultiMapResult> results, PipelineStats *stats,
+                 MapWorkspace &workspace) const override;
     std::string_view engineName() const override { return "segram"; }
 
     const SegramConfig &config() const { return config_; }
@@ -216,6 +242,14 @@ class MultiGraphMapper : public MappingEngine
     {
         return mapRead(read, stats, workspace);
     }
+    /**
+     * Group mapper: runs each chromosome's lane-batched mapReads over
+     * the whole group, merging per read with the same best-chromosome
+     * rule as mapRead. Bit-identical to a mapRead loop.
+     */
+    void mapMany(std::span<const std::string_view> reads,
+                 std::span<MultiMapResult> results, PipelineStats *stats,
+                 MapWorkspace &workspace) const override;
     std::string_view engineName() const override
     {
         return "segram-multigraph";

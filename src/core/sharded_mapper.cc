@@ -72,10 +72,14 @@ ShardedBatchMapper::mapBatch(std::span<const std::string_view> reads,
             const ShardResidency::Lease lease =
                 residency_ != nullptr ? residency_->acquire(shard)
                                       : ShardResidency::Lease();
-            for (size_t i = begin; i < end; ++i) {
-                partial[shard][i] =
-                    mappers_[shard].mapRead(reads[i], local, workspace);
-            }
+            // One lane-batched pass per (chunk, shard) item. The grid
+            // partition is fixed by chunkSize, so batch groupings (and
+            // the occupancy counters) are thread-count-invariant.
+            mappers_[shard].mapReads(
+                reads.subspan(begin, end - begin),
+                std::span<MapResult>(partial[shard])
+                    .subspan(begin, end - begin),
+                local, workspace);
         });
 
     // MultiGraphMapper's merge rule, applied per read over ascending

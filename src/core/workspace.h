@@ -22,16 +22,77 @@
 #ifndef SEGRAM_SRC_CORE_WORKSPACE_H
 #define SEGRAM_SRC_CORE_WORKSPACE_H
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/align/bitalign.h"
+#include "src/align/window_batch.h"
+#include "src/core/map_result.h"
 #include "src/graph/linearize.h"
 #include "src/seed/chaining.h"
 #include "src/seed/minseed.h"
 
 namespace segram::core
 {
+
+/**
+ * One candidate region's buffered outcome in the speculative region
+ * scheduler. Regions of a strand may *finish* out of order (they run
+ * in parallel lanes), but their results fold into the strand best
+ * strictly in region order — the order mapRead tries them — so a
+ * late-arriving earlier region gates the commit of buffered later
+ * ones, and an early exit discards everything past the exit region.
+ */
+struct RegionOutcome
+{
+    /** 0 = not started, 1 = stream in flight, 2 = finished. */
+    uint8_t state = 0;
+    align::GraphAlignment alignment;  ///< stream result (state == 2)
+};
+
+/**
+ * One strand task (read x orientation) of the lane-batched mapping
+ * scheduler. A task owns its candidate-region list and strand-level
+ * best; the scheduler may run several of its regions' window streams
+ * concurrently (speculatively past an undecided early-exit check),
+ * buffering outcomes and committing them in region order. Buffers are
+ * reused across activations via a small task pool.
+ */
+struct StrandTask
+{
+    // --- reusable buffers ---
+    std::string rc;                              ///< RC read (strand 1)
+    std::vector<seed::CandidateRegion> regions;  ///< this strand's list
+    std::vector<RegionOutcome> outcomes;         ///< per-region staging
+
+    // --- scheduler state (reset per activation) ---
+    std::string_view read;    ///< forward view or rc
+    size_t readIndex = 0;     ///< index into the mapReads batch
+    int strand = 0;           ///< 0 = forward, 1 = reverse complement
+    size_t started = 0;       ///< regions whose stream has been issued
+    size_t committed = 0;     ///< regions folded into best (in order)
+    int inFlight = 0;         ///< lanes currently running this task
+    int earlyExitEdits = -1;  ///< early-exit threshold (-1 = off)
+    MapResult best;           ///< strand-level best-so-far
+    bool finished = false;    ///< strand result delivered
+    bool inUse = false;       ///< pool slot occupancy
+};
+
+/**
+ * One SIMD lane of the scheduler: the window stream of one candidate
+ * region of one strand task. Idle when task < 0.
+ */
+struct LaneSlot
+{
+    int task = -1;        ///< owning StrandTask pool index, -1 = idle
+    size_t region = 0;    ///< region index within the task
+    graph::LinearizedGraph linearization;  ///< this region's subgraph
+    align::GraphAlignment alignment;       ///< stream output
+    align::WindowResult window;            ///< last window result
+    align::WindowedAlignStream stream;     ///< window state machine
+};
 
 /** Per-thread reusable scratch for the whole mapping pipeline. */
 struct MapWorkspace
@@ -57,6 +118,18 @@ struct MapWorkspace
     graph::LinearizedGraph linearization; ///< candidate-region subgraph
     align::AlignScratch align;            ///< bitvector slab + PM masks
     align::GraphAlignment alignment;      ///< per-region result (reused)
+
+    // --- lane-batched scheduling (SegramMapper::mapReads) ---
+    align::WindowBatchScratch batch;  ///< lane-major bitvector streams
+    std::vector<StrandTask> tasks;    ///< strand-task pool
+    std::vector<int> activeTasks;     ///< pool indices, activation order
+    std::vector<LaneSlot> lanes;      ///< kBatchLanes region streams
+    /** Per-strand staging of a batch: entry strands*readIndex+strand
+     *  holds a finished strand result until its sibling arrives. */
+    std::vector<MapResult> pendingStrand;
+    std::vector<uint8_t> pendingStrandDone; ///< staging validity flags
+    /** MapResult staging for the mapMany -> mapReads adapters. */
+    std::vector<MapResult> batchResults;
 };
 
 } // namespace segram::core

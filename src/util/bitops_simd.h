@@ -100,7 +100,58 @@ struct KernelOps
 
     /** Sets all words to all-ones. */
     void (*fillOnes)(uint64_t *dst, int nwords);
+
+    /**
+     * Lane-batched dst = (src << 1) | mask over kBatchLanes independent
+     * windows in the lane-major layout (see kBatchLanes). The shift
+     * carry propagates within each lane only (word group j-1 of lane w
+     * feeds word group j of lane w); lanes never mix, so one batched
+     * sweep is bit-identical to kBatchLanes scalar shiftLeftOneOr calls
+     * on the de-interleaved vectors.
+     */
+    void (*batchShiftLeftOneOr)(uint64_t *dst, const uint64_t *src,
+                                const uint64_t *mask, int nwords);
+
+    /**
+     * Lane-batched fusedCell: one whole single-successor recurrence
+     * cell for kBatchLanes independent windows per sweep. Same
+     * lane-major layout and per-lane carry rule as batchShiftLeftOneOr;
+     * dst must not overlap any source.
+     */
+    void (*batchFusedCell)(uint64_t *dst, const uint64_t *ins,
+                           const uint64_t *ds, const uint64_t *match,
+                           const uint64_t *pm, int nwords);
+
+    /**
+     * One whole lane-batched recurrence column in a single call:
+     * equivalent to batchShiftLeftOneOr(col, prev, pm, nwords) followed
+     * by batchFusedCell(col + d*L, col + (d-1)*L, prev + (d-1)*L,
+     * prev + d*L, pm, nwords) for d = 1 .. levels-1, with
+     * L = nwords * kBatchLanes. @p col and @p prev are level-major
+     * stacks of @p levels lane-major rows and must not overlap.
+     *
+     * The recurrence chains across levels — level d's insertion input
+     * is level d-1's output, and its deletion source is level d-1's
+     * match source — so fusing the column keeps pm, the previous
+     * level's output and the shifted previous source in registers: one
+     * fresh load of prev per word group per level instead of four, and
+     * one call per step instead of one per level.
+     */
+    void (*batchColumn)(uint64_t *col, const uint64_t *prev,
+                        const uint64_t *pm, int nwords, int levels);
 };
+
+/**
+ * Windows per lane-batched kernel sweep. The batched ops run this many
+ * *independent* window recurrences at once in a lane-major
+ * (struct-of-arrays) layout: word group j of lane w lives at index
+ * j * kBatchLanes + w, so group j of all lanes is one contiguous
+ * 256-bit block — exactly one AVX2 register (4 x 64-bit lanes). The
+ * constant is the same for every backend (scalar and NEON included):
+ * the layout, and therefore batched-vs-per-window bit-identity, never
+ * depends on which table executes the sweep.
+ */
+constexpr int kBatchLanes = 4;
 
 /** @return The portable scalar table (always available). */
 const KernelOps &scalarKernels();

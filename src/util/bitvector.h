@@ -16,8 +16,11 @@
 
 #include <cassert>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
+
+#include "src/util/check.h"
 
 namespace segram
 {
@@ -176,10 +179,17 @@ class WordSlab
     static constexpr size_t kAlignWords = kAlignBytes / sizeof(uint64_t);
 
     /** @return @p nwords rounded up to a whole number of carve units
-     *          (what one take(nwords) actually consumes). */
+     *          (what one take(nwords) actually consumes).
+     *  @throws InputError when the rounding would overflow size_t (a
+     *          carve-sizing bug upstream, e.g. a negative extent cast
+     *          to size_t). */
     static constexpr size_t
     padded(size_t nwords)
     {
+        SEGRAM_CHECK(
+            nwords <=
+                std::numeric_limits<size_t>::max() - (kAlignWords - 1),
+            "WordSlab::padded size overflows");
         return (nwords + kAlignWords - 1) & ~(kAlignWords - 1);
     }
 
@@ -199,17 +209,28 @@ class WordSlab
         base_ = (kAlignBytes - addr % kAlignBytes) % kAlignBytes /
                 sizeof(uint64_t);
         next_ = 0;
+        cap_ = padded(nwords);
     }
 
     /**
      * Carves the next @p nwords words (uninitialized — callers fill
      * them, exactly like freshly selected scratchpad banks), starting
-     * on a 64-byte boundary. Must not exceed the reset() capacity.
+     * on a 64-byte boundary.
+     *
+     * @throws InputError when the carve exceeds the reset() capacity —
+     *         an out-of-bounds bitvector write waiting to happen, so
+     *         the exhaustion is always diagnosed, not just in debug
+     *         builds (batched carves made sizing errors likelier).
      */
     uint64_t *
     take(size_t nwords)
     {
-        assert(base_ + next_ + nwords <= words_.size());
+        // The bound is the *logical* reset() capacity, not the backing
+        // vector: the alignment-slack unit must never hide a one-carve
+        // overrun, or the error would surface only on unlucky base
+        // addresses.
+        SEGRAM_CHECK(nwords <= cap_ && next_ <= cap_ - padded(nwords),
+                     "WordSlab::take exhausts the reset() capacity");
         uint64_t *out = words_.data() + base_ + next_;
         next_ += padded(nwords);
         return out;
@@ -222,6 +243,7 @@ class WordSlab
     std::vector<uint64_t> words_;
     size_t base_ = 0; ///< words skipped to 64-byte-align the first carve
     size_t next_ = 0; ///< aligned carve offset relative to base_
+    size_t cap_ = 0;  ///< padded reset() capacity the carves may use
 };
 
 } // namespace bitops

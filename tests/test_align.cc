@@ -13,6 +13,7 @@
 #include "src/align/bitalign_core.h"
 #include "src/align/genasm.h"
 #include "src/align/myers.h"
+#include "src/align/window_batch.h"
 #include "src/baseline/dp_s2s.h"
 #include "src/graph/graph_builder.h"
 #include "src/graph/linearize.h"
@@ -451,6 +452,147 @@ TEST(BitAlign, ViewAlignsLikeWindowCopy)
         EXPECT_EQ(from_copy.cigar.toString(),
                   from_view.cigar.toString());
     }
+}
+
+/**
+ * Runs @p requests through alignWindowBatch and asserts every lane is
+ * bit-identical to a standalone alignWindow call on the same request.
+ */
+void
+expectBatchMatchesPerWindow(
+    const std::vector<WindowedAlignStream::Request> &requests,
+    WindowBatchScratch &scratch, const std::string &label)
+{
+    const int count = static_cast<int>(requests.size());
+    std::vector<WindowResult> batched(requests.size());
+    std::vector<const WindowedAlignStream::Request *> reqp;
+    std::vector<WindowResult *> resp;
+    for (int w = 0; w < count; ++w) {
+        reqp.push_back(&requests[static_cast<size_t>(w)]);
+        resp.push_back(&batched[static_cast<size_t>(w)]);
+    }
+    alignWindowBatch(reqp.data(), resp.data(), count, scratch);
+    for (int w = 0; w < count; ++w) {
+        const auto &req = requests[static_cast<size_t>(w)];
+        const WindowResult solo =
+            alignWindow(req.window, req.pattern, req.k, req.mode);
+        const WindowResult &got = batched[static_cast<size_t>(w)];
+        ASSERT_EQ(solo.found, got.found) << label << ", lane " << w;
+        if (!solo.found)
+            continue;
+        EXPECT_EQ(solo.startPos, got.startPos) << label << ", lane " << w;
+        EXPECT_EQ(solo.editDistance, got.editDistance)
+            << label << ", lane " << w;
+        EXPECT_EQ(solo.cigar.toString(), got.cigar.toString())
+            << label << ", lane " << w;
+        EXPECT_EQ(solo.textPositions, got.textPositions)
+            << label << ", lane " << w;
+    }
+}
+
+TEST(WindowBatch, MatchesPerWindowOnRandomChains)
+{
+    // Ragged batch sizes, mixed text and pattern lengths (window
+    // lengths differ -> early-retiring lanes; pattern lengths cross
+    // the 64-bit word boundary -> mixed-width batches), mixed modes.
+    Rng rng(0xba7c41);
+    WindowBatchScratch scratch;
+    std::vector<LinearizedGraph> texts;
+    std::vector<std::string> patterns;
+    for (int trial = 0; trial < 60; ++trial) {
+        const int count = 1 + static_cast<int>(rng.nextBelow(4));
+        const int k = static_cast<int>(rng.nextBelow(9));
+        texts.clear();
+        patterns.clear();
+        std::vector<WindowedAlignStream::Request> requests;
+        for (int w = 0; w < count; ++w) {
+            std::string text;
+            const auto text_len = 8 + rng.nextBelow(120);
+            for (uint64_t i = 0; i < text_len; ++i)
+                text.push_back(rng.nextBase());
+            std::string pattern;
+            const auto pat_len = 1 + rng.nextBelow(100);
+            for (uint64_t i = 0; i < pat_len; ++i)
+                pattern.push_back(rng.nextBase());
+            texts.push_back(chain(text));
+            patterns.push_back(std::move(pattern));
+        }
+        for (int w = 0; w < count; ++w) {
+            const AlignMode mode = rng.nextBelow(2) == 0
+                                       ? AlignMode::SemiGlobal
+                                       : AlignMode::Anchored;
+            requests.push_back({graph::LinearizedGraphView(
+                                    texts[static_cast<size_t>(w)]),
+                                patterns[static_cast<size_t>(w)], k,
+                                mode});
+        }
+        expectBatchMatchesPerWindow(requests, scratch,
+                                    "trial " + std::to_string(trial));
+    }
+}
+
+TEST(WindowBatch, MatchesPerWindowOnBranchyGraphs)
+{
+    // Hop fan-outs, deletion bypass hops and insertion branches break
+    // the fast sweep's single-successor assumption — the exception
+    // fixup path must keep every lane exact, including when the four
+    // lanes carry different graph shapes at once.
+    const auto snp = graph::buildGraph("ACGTACGTACGTACGT", {{3, "T", "G"}});
+    const auto del = graph::buildGraph("ACTTTTGAACGTACGT", {{2, "TTTT", ""}});
+    const auto ins = graph::buildGraph("ACGTACGTACGTACGT", {{4, "", "TT"}});
+    const auto multi = graph::buildGraph(
+        "ACGTACGTACGTACGTACGT", {{2, "G", "C"}, {9, "ACG", ""}, {14, "", "GG"}});
+    const LinearizedGraph texts[] = {
+        graph::linearizeWhole(snp), graph::linearizeWhole(del),
+        graph::linearizeWhole(ins), graph::linearizeWhole(multi)};
+    const std::string patterns[] = {"ACGGACGT", "ACGAACGT", "ACGTTTACGT",
+                                    "ACCTACGTTACGT"};
+    WindowBatchScratch scratch;
+    std::vector<WindowedAlignStream::Request> requests;
+    for (int w = 0; w < 4; ++w)
+        requests.push_back({graph::LinearizedGraphView(texts[w]),
+                            patterns[w], 3, AlignMode::SemiGlobal});
+    expectBatchMatchesPerWindow(requests, scratch, "branchy");
+}
+
+TEST(WindowBatch, MixedWidthLanesStayBitIdentical)
+{
+    // One-word and two-word patterns in the same batch: the narrow
+    // lanes ride padded to the widest lane's word count with all-ones
+    // pattern-mask words their probes never read.
+    Rng rng(0x31d7);
+    std::string text;
+    for (int i = 0; i < 200; ++i)
+        text.push_back(rng.nextBase());
+    const LinearizedGraph whole = chain(text);
+    const std::string narrow = text.substr(10, 20);   // 1 word
+    const std::string wide = text.substr(40, 100);    // 2 words
+    WindowBatchScratch scratch;
+    std::vector<WindowedAlignStream::Request> requests = {
+        {graph::LinearizedGraphView(whole), narrow, 4,
+         AlignMode::SemiGlobal},
+        {graph::LinearizedGraphView(whole), wide, 4,
+         AlignMode::SemiGlobal},
+        {graph::LinearizedGraphView(whole), wide, 4, AlignMode::Anchored},
+        {graph::LinearizedGraphView(whole), narrow, 4,
+         AlignMode::Anchored},
+    };
+    expectBatchMatchesPerWindow(requests, scratch, "mixed-width");
+}
+
+TEST(WindowBatch, RejectsMismatchedEditCaps)
+{
+    const LinearizedGraph text = chain("ACGTACGT");
+    WindowedAlignStream::Request a{graph::LinearizedGraphView(text),
+                                   "ACGT", 2, AlignMode::SemiGlobal};
+    WindowedAlignStream::Request b{graph::LinearizedGraphView(text),
+                                   "ACGT", 3, AlignMode::SemiGlobal};
+    const WindowedAlignStream::Request *reqs[] = {&a, &b};
+    WindowResult ra, rb;
+    WindowResult *results[] = {&ra, &rb};
+    WindowBatchScratch scratch;
+    EXPECT_THROW(alignWindowBatch(reqs, results, 2, scratch), InputError);
+    EXPECT_THROW(alignWindowBatch(reqs, results, 0, scratch), InputError);
 }
 
 TEST(GenAsm, MatchesDpSemiGlobal)

@@ -496,5 +496,102 @@ TEST(SegramMapper, RegionsTriedCountsBothStrands)
     }
 }
 
+TEST(SegramMapper, MapReadsSchedulerMatchesMapReadLoop)
+{
+    // The lane-batched region-stream scheduler — including its
+    // speculative starts past undecided early-exit checks — must
+    // deliver exactly what a sequential mapRead loop delivers: every
+    // result field and every counter, for every config that changes
+    // the per-strand control flow (early exit, RC retry, region cap)
+    // and for batch sizes that leave lanes idle or ragged.
+    const auto dataset = sim::makeDataset(smallConfig(120));
+    const auto all_reads = makeReads(dataset, 40, 121);
+
+    SegramConfig plain;
+    SegramConfig early;
+    early.earlyExitFraction = 1.0;
+    SegramConfig early_rc;
+    early_rc.earlyExitFraction = 1.0;
+    early_rc.tryReverseComplement = true;
+    SegramConfig capped;
+    capped.maxRegions = 2;
+    capped.tryReverseComplement = true;
+    const SegramConfig configs[] = {plain, early, early_rc, capped};
+
+    for (size_t c = 0; c < std::size(configs); ++c) {
+        const SegramMapper mapper(dataset.graph, dataset.index,
+                                  configs[c]);
+        MapWorkspace workspace;
+        for (const size_t count : {size_t{1}, size_t{2}, size_t{5},
+                                   all_reads.size()}) {
+            const std::vector<std::string> reads(
+                all_reads.begin(),
+                all_reads.begin() + static_cast<ptrdiff_t>(count));
+            const auto views = viewsOf(reads);
+            std::vector<MapResult> batched(count);
+            PipelineStats batched_stats;
+            mapper.mapReads(std::span<const std::string_view>(views),
+                            batched, &batched_stats, workspace);
+
+            PipelineStats loop_stats;
+            for (size_t i = 0; i < count; ++i) {
+                const MapResult solo =
+                    mapper.mapRead(reads[i], &loop_stats);
+                const MapResult &got = batched[i];
+                ASSERT_EQ(solo.mapped, got.mapped)
+                    << "config " << c << ", count " << count
+                    << ", read " << i;
+                EXPECT_EQ(solo.linearStart, got.linearStart)
+                    << "config " << c << ", read " << i;
+                EXPECT_EQ(solo.editDistance, got.editDistance)
+                    << "config " << c << ", read " << i;
+                EXPECT_EQ(solo.regionsTried, got.regionsTried)
+                    << "config " << c << ", read " << i;
+                EXPECT_EQ(solo.reverseComplemented,
+                          got.reverseComplemented)
+                    << "config " << c << ", read " << i;
+                EXPECT_EQ(solo.cigar.toString(), got.cigar.toString())
+                    << "config " << c << ", read " << i;
+            }
+            expectSameStats(loop_stats, batched_stats);
+            EXPECT_EQ(batched_stats.readsTotal, count)
+                << "config " << c;
+        }
+    }
+}
+
+TEST(SegramMapper, MapReadsHandlesEmptyBatchAndReusedWorkspace)
+{
+    const auto dataset = sim::makeDataset(smallConfig(122));
+    SegramConfig config;
+    config.earlyExitFraction = 1.0;
+    const SegramMapper mapper(dataset.graph, dataset.index, config);
+    MapWorkspace workspace;
+
+    PipelineStats stats;
+    mapper.mapReads({}, {}, &stats, workspace);
+    EXPECT_EQ(stats.readsTotal, 0u);
+
+    // Back-to-back batches through one workspace: the second batch
+    // must be unaffected by the first one's scheduler state.
+    const auto reads = makeReads(dataset, 9, 123);
+    const auto views = viewsOf(reads);
+    std::vector<MapResult> first(reads.size());
+    std::vector<MapResult> second(reads.size());
+    mapper.mapReads(std::span<const std::string_view>(views), first,
+                    nullptr, workspace);
+    mapper.mapReads(std::span<const std::string_view>(views), second,
+                    nullptr, workspace);
+    for (size_t i = 0; i < reads.size(); ++i) {
+        EXPECT_EQ(first[i].mapped, second[i].mapped) << "read " << i;
+        EXPECT_EQ(first[i].linearStart, second[i].linearStart)
+            << "read " << i;
+        EXPECT_EQ(first[i].editDistance, second[i].editDistance)
+            << "read " << i;
+        EXPECT_EQ(first[i].cigar.toString(), second[i].cigar.toString())
+            << "read " << i;
+    }
+}
+
 } // namespace
 } // namespace segram::core

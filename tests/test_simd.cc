@@ -15,10 +15,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "src/util/bitops_simd.h"
 #include "src/util/bitvector.h"
+#include "src/util/check.h"
 #include "src/util/rng.h"
 
 namespace
@@ -298,6 +300,189 @@ TEST(SimdKernels, ShiftingOpsAllowFullDstSrcAliasing)
     }
 }
 
+/** Extracts lane @p w from a lane-major block of @p nwords groups. */
+std::vector<uint64_t>
+deinterleave(const std::vector<uint64_t> &lane_major, int nwords, int w)
+{
+    std::vector<uint64_t> out(static_cast<size_t>(nwords));
+    for (int j = 0; j < nwords; ++j)
+        out[static_cast<size_t>(j)] =
+            lane_major[static_cast<size_t>(j) * bitops::kBatchLanes + w];
+    return out;
+}
+
+TEST(BatchKernels, BatchOpsMatchScalarOnAllPerLaneWidths)
+{
+    Rng rng(0xba7c4);
+    const auto &scalar = bitops::scalarKernels();
+    constexpr int kLanes = bitops::kBatchLanes;
+    for (const Backend &backend : backends()) {
+        for (int nwords = 1; nwords <= 8; ++nwords) {
+            const int total = nwords * kLanes;
+            const auto ins = randomWords(rng, total);
+            const auto ds = randomWords(rng, total);
+            const auto match = randomWords(rng, total);
+            const auto pm = randomWords(rng, total);
+
+            std::vector<uint64_t> want(static_cast<size_t>(total));
+            std::vector<uint64_t> got(static_cast<size_t>(total));
+            scalar.batchShiftLeftOneOr(want.data(), ins.data(),
+                                       pm.data(), nwords);
+            backend.ops->batchShiftLeftOneOr(got.data(), ins.data(),
+                                             pm.data(), nwords);
+            ASSERT_EQ(want, got) << "batchShiftLeftOneOr, backend "
+                                 << backend.name << ", nwords "
+                                 << nwords;
+
+            scalar.batchFusedCell(want.data(), ins.data(), ds.data(),
+                                  match.data(), pm.data(), nwords);
+            backend.ops->batchFusedCell(got.data(), ins.data(),
+                                        ds.data(), match.data(),
+                                        pm.data(), nwords);
+            ASSERT_EQ(want, got) << "batchFusedCell, backend "
+                                 << backend.name << ", nwords "
+                                 << nwords;
+        }
+    }
+}
+
+TEST(BatchKernels, BatchColumnMatchesScalarAcrossLevels)
+{
+    Rng rng(0xc01a);
+    const auto &scalar = bitops::scalarKernels();
+    constexpr int kLanes = bitops::kBatchLanes;
+    // levels = k+1; 2 and 33 are the mapping path's common cases and a
+    // deep column, 1 is the no-fusedCell degenerate.
+    for (const Backend &backend : backends()) {
+        for (int nwords = 1; nwords <= 8; ++nwords) {
+            for (const int levels : {1, 2, 5, 33}) {
+                const int L = nwords * kLanes;
+                const auto prev = randomWords(rng, levels * L);
+                const auto pm = randomWords(rng, L);
+                std::vector<uint64_t> want(
+                    static_cast<size_t>(levels * L));
+                std::vector<uint64_t> got(
+                    static_cast<size_t>(levels * L));
+                scalar.batchColumn(want.data(), prev.data(), pm.data(),
+                                   nwords, levels);
+                backend.ops->batchColumn(got.data(), prev.data(),
+                                         pm.data(), nwords, levels);
+                ASSERT_EQ(want, got)
+                    << "batchColumn, backend " << backend.name
+                    << ", nwords " << nwords << ", levels " << levels;
+            }
+        }
+    }
+}
+
+TEST(BatchKernels, BatchOpsEqualDeinterleavedPerWindowOps)
+{
+    // The lane-independence contract: each lane of a batched sweep
+    // equals the single-window scalar op run on that lane's extracted
+    // vectors — carries never cross lanes.
+    Rng rng(0xde1a7e);
+    const auto &scalar = bitops::scalarKernels();
+    constexpr int kLanes = bitops::kBatchLanes;
+    for (const Backend &backend : backends()) {
+        for (int nwords = 1; nwords <= 8; ++nwords) {
+            const int total = nwords * kLanes;
+            const auto ins = randomWords(rng, total);
+            const auto ds = randomWords(rng, total);
+            const auto match = randomWords(rng, total);
+            const auto pm = randomWords(rng, total);
+
+            std::vector<uint64_t> shifted(static_cast<size_t>(total));
+            std::vector<uint64_t> fused(static_cast<size_t>(total));
+            backend.ops->batchShiftLeftOneOr(shifted.data(), ins.data(),
+                                             pm.data(), nwords);
+            backend.ops->batchFusedCell(fused.data(), ins.data(),
+                                        ds.data(), match.data(),
+                                        pm.data(), nwords);
+            for (int w = 0; w < kLanes; ++w) {
+                const auto lins = deinterleave(ins, nwords, w);
+                const auto lds = deinterleave(ds, nwords, w);
+                const auto lmatch = deinterleave(match, nwords, w);
+                const auto lpm = deinterleave(pm, nwords, w);
+                std::vector<uint64_t> want(
+                    static_cast<size_t>(nwords));
+                scalar.shiftLeftOneOr(want.data(), lins.data(),
+                                      lpm.data(), nwords);
+                ASSERT_EQ(want, deinterleave(shifted, nwords, w))
+                    << "batchShiftLeftOneOr lane " << w << ", backend "
+                    << backend.name << ", nwords " << nwords;
+                scalar.fusedCell(want.data(), lins.data(), lds.data(),
+                                 lmatch.data(), lpm.data(), nwords);
+                ASSERT_EQ(want, deinterleave(fused, nwords, w))
+                    << "batchFusedCell lane " << w << ", backend "
+                    << backend.name << ", nwords " << nwords;
+            }
+        }
+    }
+}
+
+TEST(BatchKernels, BatchShiftLeftOneOrAllowsFullDstSrcAliasing)
+{
+    // The stream sweep writes each column over its own source row when
+    // the scheduler reuses a retired lane's storage; the documented
+    // contract is full dst == src overlap, same as shiftLeftOneOr.
+    Rng rng(0xa11b);
+    constexpr int kLanes = bitops::kBatchLanes;
+    for (const Backend &backend : backends()) {
+        for (int nwords = 1; nwords <= 8; ++nwords) {
+            const int total = nwords * kLanes;
+            const auto src = randomWords(rng, total);
+            const auto mask = randomWords(rng, total);
+            std::vector<uint64_t> want(static_cast<size_t>(total));
+            bitops::scalarKernels().batchShiftLeftOneOr(
+                want.data(), src.data(), mask.data(), nwords);
+            std::vector<uint64_t> aliased = src;
+            backend.ops->batchShiftLeftOneOr(aliased.data(),
+                                             aliased.data(),
+                                             mask.data(), nwords);
+            ASSERT_EQ(want, aliased)
+                << "aliased batchShiftLeftOneOr, backend "
+                << backend.name << ", nwords " << nwords;
+        }
+    }
+}
+
+TEST(BatchKernels, BatchColumnMatchesComposedDefinition)
+{
+    // batchColumn is defined as batchShiftLeftOneOr + a batchFusedCell
+    // per level with register-chained inputs; verify the definition on
+    // every backend (the fusion must not change a bit).
+    Rng rng(0xc0de);
+    constexpr int kLanes = bitops::kBatchLanes;
+    for (const Backend &backend : backends()) {
+        for (int nwords = 1; nwords <= 8; ++nwords) {
+            for (const int levels : {1, 2, 33}) {
+                const int L = nwords * kLanes;
+                const auto prev = randomWords(rng, levels * L);
+                const auto pm = randomWords(rng, L);
+                std::vector<uint64_t> composed(
+                    static_cast<size_t>(levels * L));
+                backend.ops->batchShiftLeftOneOr(composed.data(),
+                                                 prev.data(), pm.data(),
+                                                 nwords);
+                for (int d = 1; d < levels; ++d)
+                    backend.ops->batchFusedCell(
+                        composed.data() + d * L,
+                        composed.data() + (d - 1) * L,
+                        prev.data() + (d - 1) * L, prev.data() + d * L,
+                        pm.data(), nwords);
+                std::vector<uint64_t> fused(
+                    static_cast<size_t>(levels * L));
+                backend.ops->batchColumn(fused.data(), prev.data(),
+                                         pm.data(), nwords, levels);
+                ASSERT_EQ(composed, fused)
+                    << "batchColumn vs composed, backend "
+                    << backend.name << ", nwords " << nwords
+                    << ", levels " << levels;
+            }
+        }
+    }
+}
+
 TEST(WordSlab, CarvesAreCacheLineAligned)
 {
     bitops::WordSlab slab;
@@ -339,6 +524,36 @@ TEST(WordSlab, WarmResetKeepsCapacity)
     EXPECT_EQ(slab.capacityWords(), capacity);
     slab.reset(256);
     EXPECT_EQ(slab.capacityWords(), capacity);
+}
+
+TEST(WordSlab, TakeBeyondResetCapacityThrows)
+{
+    using bitops::WordSlab;
+    WordSlab slab;
+    slab.reset(2 * WordSlab::kAlignWords);
+    // Carves within the reset capacity succeed...
+    EXPECT_NE(slab.take(WordSlab::kAlignWords), nullptr);
+    EXPECT_NE(slab.take(WordSlab::kAlignWords), nullptr);
+    // ...and the first word past it is diagnosed, not written.
+    EXPECT_THROW(slab.take(1), InputError);
+
+    // A single over-large carve on a fresh reset is also caught, even
+    // when earlier resets grew the backing vector beyond the request.
+    slab.reset(WordSlab::kAlignWords);
+    EXPECT_THROW(slab.take(2 * WordSlab::kAlignWords), InputError);
+}
+
+TEST(WordSlab, PaddedOverflowThrows)
+{
+    using bitops::WordSlab;
+    // A negative extent cast to size_t upstream would wrap padded()'s
+    // rounding; the guard turns that into a diagnosable error.
+    EXPECT_THROW(WordSlab::padded(std::numeric_limits<size_t>::max()),
+                 InputError);
+    EXPECT_THROW(
+        WordSlab::padded(std::numeric_limits<size_t>::max() -
+                         (WordSlab::kAlignWords - 2)),
+        InputError);
 }
 
 } // namespace

@@ -619,6 +619,26 @@ cmdMap(const MapOptions &options)
             pct(timings.seedingSec), timings.linearizeSec,
             pct(timings.linearizeSec), timings.alignSec,
             pct(timings.alignSec));
+        // Lane-occupancy gauge of the batched alignment path: how full
+        // the SIMD lanes ran, and how much work fell back per-window.
+        const uint64_t windows =
+            stats.batchedWindows + stats.scalarWindows;
+        const double occupancy =
+            stats.batchLaunches > 0
+                ? static_cast<double>(stats.batchedWindows) /
+                      static_cast<double>(stats.batchLaunches)
+                : 0.0;
+        std::fprintf(
+            stderr,
+            "[segram] lane batching: %.2f/%d windows per launch, "
+            "%.1f%% of %llu windows batched (%llu per-window)\n",
+            occupancy, bitops::kBatchLanes,
+            windows > 0 ? 100.0 *
+                              static_cast<double>(stats.batchedWindows) /
+                              static_cast<double>(windows)
+                        : 0.0,
+            static_cast<unsigned long long>(windows),
+            static_cast<unsigned long long>(stats.scalarWindows));
         std::fprintf(stderr, "[segram] kernel backend: %s\n",
                      bitops::activeBackendName());
     }
