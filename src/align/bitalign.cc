@@ -1,7 +1,6 @@
 #include "src/align/bitalign.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "src/util/check.h"
 
@@ -130,7 +129,7 @@ WindowedAlignStream::issue()
 void
 WindowedAlignStream::consume(const WindowResult &result)
 {
-    assert(!done_);
+    SEGRAM_DCHECK(!done_, "stream already consumed its last window");
     if (single_) {
         done_ = true;
         if (!result.found)
@@ -162,7 +161,7 @@ WindowedAlignStream::consume(const WindowResult &result)
     // chunk-overlap read chars. Trailing deletions at the cut stay
     // uncommitted (re-decided by the next window).
     const int commit_len = last ? chunk : chunk - config_.overlap;
-    assert(commit_len > 0);
+    SEGRAM_DCHECK(commit_len > 0, "window must commit at least one base");
     int read_consumed = 0;
     size_t text_idx = 0; // consumed entries of result.textPositions
     for (const auto &run : result.cigar.runs()) {
@@ -178,7 +177,8 @@ WindowedAlignStream::consume(const WindowResult &result)
                 ++read_consumed;
         }
     }
-    assert(read_consumed == commit_len);
+    SEGRAM_DCHECK(read_consumed == commit_len,
+                  "committed CIGAR must spend the committed bases");
 
     if (last) {
         out_->found = true;

@@ -1,7 +1,6 @@
 #include "src/align/bitalign_core.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "src/align/bitalign_walk.h"
 #include "src/util/bitops_simd.h"
@@ -341,7 +340,8 @@ run(const graph::LinearizedGraphView &text, std::string_view pattern,
     if (want_traceback) {
         computation.traceback(start, dist, &result);
         // The traceback alignment can only realize the minimal distance.
-        assert(static_cast<int>(result.cigar.editDistance()) == dist);
+        SEGRAM_DCHECK(static_cast<int>(result.cigar.editDistance()) == dist,
+                      "traceback must realize the minimal distance");
         result.editDistance =
             static_cast<int>(result.cigar.editDistance());
     }

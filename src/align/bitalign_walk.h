@@ -23,12 +23,12 @@
 #ifndef SEGRAM_SRC_ALIGN_BITALIGN_WALK_H
 #define SEGRAM_SRC_ALIGN_BITALIGN_WALK_H
 
-#include <cassert>
 #include <cstdint>
 
 #include "src/align/bitalign_core.h"
 #include "src/graph/linearize.h"
 #include "src/util/bitvector.h"
+#include "src/util/check.h"
 
 namespace segram::align::detail
 {
@@ -87,7 +87,8 @@ tracebackWalk(const Acc &acc, const graph::LinearizedGraphView &text,
     // Each step consumes a read char and/or one unit of edit budget.
     const int max_steps = pattern.m + d + 2;
     for (int step = 0; step < max_steps; ++step) {
-        assert(acc.rBitClear(pos, d, b));
+        SEGRAM_DCHECK(acc.rBitClear(pos, d, b),
+                      "walk position must be an active R-bit");
         const uint64_t *pm = pattern.masks[text.code(pos)].data();
         const auto succs = text.successorDeltas(pos);
         const bool is_sink = succs.empty();
@@ -191,10 +192,10 @@ tracebackWalk(const Acc &acc, const graph::LinearizedGraphView &text,
                 continue;
             }
         }
-        assert(false && "traceback found no consistent predecessor");
+        SEGRAM_DCHECK(false, "traceback found no consistent predecessor");
         return;
     }
-    assert(false && "traceback exceeded its step bound");
+    SEGRAM_DCHECK(false, "traceback exceeded its step bound");
 }
 
 } // namespace segram::align::detail

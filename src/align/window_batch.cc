@@ -1,7 +1,6 @@
 #include "src/align/window_batch.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "src/align/bitalign_walk.h"
 #include "src/util/check.h"
@@ -284,7 +283,8 @@ alignWindowBatch(const WindowedAlignStream::Request *const requests[],
         result.editDistance = dist;
         detail::tracebackWalk(acc, req.window, scratch.pm[w], start, dist,
                               &result);
-        assert(static_cast<int>(result.cigar.editDistance()) == dist);
+        SEGRAM_DCHECK(static_cast<int>(result.cigar.editDistance()) == dist,
+                      "traceback must realize the minimal distance");
         result.editDistance = static_cast<int>(result.cigar.editDistance());
     }
 }

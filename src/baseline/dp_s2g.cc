@@ -1,7 +1,6 @@
 #include "src/baseline/dp_s2g.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <vector>
 
@@ -175,7 +174,8 @@ dpGraphAlign(const graph::LinearizedGraph &text, std::string_view pattern)
             continue;
         }
         // Delete v as the first consumed char of the path.
-        assert(cost == j + 1);
+        SEGRAM_DCHECK(cost == j + 1,
+                      "empty-path prefix must be all deletions");
         reversed.push(EditOp::Deletion);
         reversed.push(EditOp::Insertion, static_cast<uint32_t>(j));
         j = 0;
@@ -184,7 +184,9 @@ dpGraphAlign(const graph::LinearizedGraph &text, std::string_view pattern)
     out.textStart = v;
     reversed.reverse();
     out.cigar = std::move(reversed);
-    assert(static_cast<int>(out.cigar.editDistance()) == out.editDistance);
+    SEGRAM_DCHECK(static_cast<int>(out.cigar.editDistance()) ==
+                      out.editDistance,
+                  "CIGAR disagrees with the DP distance");
     return out;
 }
 

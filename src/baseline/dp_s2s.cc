@@ -1,7 +1,6 @@
 #include "src/baseline/dp_s2s.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <vector>
 
@@ -75,7 +74,8 @@ dpAlign(std::string_view text, std::string_view pattern, bool semi_global,
                 reversed.push(EditOp::Deletion);
                 --i;
             } else {
-                assert(table[j][i] == table[j - 1][i] + 1);
+                SEGRAM_DCHECK(table[j][i] == table[j - 1][i] + 1,
+                              "traceback cell matches no DP transition");
                 reversed.push(EditOp::Insertion);
                 --j;
             }

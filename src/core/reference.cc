@@ -141,7 +141,7 @@ ShardResidency::ShardResidency(const PreprocessedReference &reference,
 ShardResidency::Lease
 ShardResidency::acquire(size_t shard)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     Shard &entry = shards_[shard];
     ++entry.pins;
     entry.lastUse = ++clock_;
@@ -161,7 +161,7 @@ ShardResidency::acquire(size_t shard)
 void
 ShardResidency::release(size_t shard)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     --shards_[shard].pins;
     evictOverBudget();
 }
@@ -195,7 +195,7 @@ ShardResidency::evictOverBudget()
 ShardResidency::Stats
 ShardResidency::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return stats_;
 }
 

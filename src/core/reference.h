@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,6 +27,8 @@
 #include "src/graph/genome_graph.h"
 #include "src/index/minimizer_index.h"
 #include "src/io/pack.h"
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace segram::core
 {
@@ -262,16 +263,16 @@ class ShardResidency
     };
 
     void release(size_t shard);
-    /** Evicts LRU unpinned shards while over budget. Holds mutex_. */
-    void evictOverBudget();
+    /** Evicts LRU unpinned shards while over budget. */
+    void evictOverBudget() SEGRAM_REQUIRES(mutex_);
 
     const PreprocessedReference &reference_;
     const uint64_t budget_;
-    mutable std::mutex mutex_;
-    std::vector<Shard> shards_;
-    uint64_t clock_ = 0;
-    uint64_t residentBytes_ = 0;
-    Stats stats_;
+    mutable util::Mutex mutex_;
+    std::vector<Shard> shards_ SEGRAM_GUARDED_BY(mutex_);
+    uint64_t clock_ SEGRAM_GUARDED_BY(mutex_) = 0;
+    uint64_t residentBytes_ SEGRAM_GUARDED_BY(mutex_) = 0;
+    Stats stats_ SEGRAM_GUARDED_BY(mutex_);
 };
 
 } // namespace segram::core

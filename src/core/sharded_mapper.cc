@@ -106,6 +106,9 @@ ShardedBatchMapper::mapBatch(std::span<const std::string_view> reads,
         // Work counters are commutative sums over the grid — identical
         // to what the read-major path accumulates. The read-level
         // counters count logical reads, not (read x shard) passes.
+        // Thread-safety: each worker_stats slot was written by exactly
+        // one pool worker, and parallelSteal's completion handshake
+        // (pool mutex) happens-before this merge — no atomics needed.
         PipelineStats total;
         for (const auto &partial_stats : worker_stats)
             total += partial_stats;

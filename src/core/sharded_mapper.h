@@ -95,9 +95,15 @@ class ShardedBatchMapper
     std::vector<std::string> names_;
     std::vector<SegramMapper> mappers_;
     ShardedBatchConfig config_;
-    /** Internally synchronized; mapBatch is logically const. */
+    /** Internally synchronized (ThreadPool's job state carries the
+     *  clang thread-safety annotations); mapBatch is logically const
+     *  but calls must be serialized by the caller — the pool runs one
+     *  job at a time and the workspaces below are reused across calls. */
     mutable util::ThreadPool pool_;
-    /** One private workspace per pool worker (see BatchMapper). */
+    /** One private workspace per pool worker (see BatchMapper). Not
+     *  guarded by a mutex: workspaces_[w] is touched only by pool
+     *  worker w, and the pool's job handshake orders those accesses
+     *  against the caller between batches. */
     mutable std::vector<MapWorkspace> workspaces_;
     /** LRU residency control; null when memBudgetBytes == 0. */
     mutable std::unique_ptr<ShardResidency> residency_;

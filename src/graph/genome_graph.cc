@@ -1,7 +1,6 @@
 #include "src/graph/genome_graph.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <queue>
 #include <unordered_map>
@@ -23,7 +22,7 @@ uint8_t
 GenomeGraph::charAt(NodeId id, uint32_t offset) const
 {
     const NodeRecord &record = nodes_[id];
-    assert(offset < record.seqLen);
+    SEGRAM_DCHECK(offset < record.seqLen, "offset past the node sequence");
     return chars_.codeAt(record.seqStart + offset);
 }
 
@@ -32,7 +31,8 @@ GenomeGraph::charAtLinear(uint64_t linear_pos) const
 {
     // Linear offsets coincide with character-table indices because nodes
     // are laid out consecutively in ID order.
-    assert(linear_pos < chars_.size());
+    SEGRAM_DCHECK(linear_pos < chars_.size(),
+                  "linear position past the concatenated sequence");
     return chars_.codeAt(linear_pos);
 }
 
@@ -46,14 +46,16 @@ GenomeGraph::successors(NodeId id) const
 NodeId
 GenomeGraph::nodeAtLinear(uint64_t linear_pos) const
 {
-    assert(linear_pos < totalSeqLen());
+    SEGRAM_DCHECK(linear_pos < totalSeqLen(),
+                  "linear position past the graph");
     // First node whose linearOffset is > linear_pos, minus one.
     auto it = std::upper_bound(
         nodes_.begin(), nodes_.end(), linear_pos,
         [](uint64_t pos, const NodeRecord &node) {
             return pos < node.linearOffset;
         });
-    assert(it != nodes_.begin());
+    SEGRAM_DCHECK(it != nodes_.begin(),
+                  "no node starts at or before this position");
     return static_cast<NodeId>(std::distance(nodes_.begin(), it) - 1);
 }
 

@@ -1,7 +1,6 @@
 #include "src/graph/graph_builder.h"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
 
 #include "src/util/check.h"
@@ -166,7 +165,8 @@ buildGraph(std::string_view reference, const std::vector<Variant> &variants,
     }
 
     GenomeGraph result = std::move(builder).build();
-    assert(result.isTopologicallySorted());
+    SEGRAM_DCHECK(result.isTopologicallySorted(),
+                  "built graph must be topologically sorted");
     return result;
 }
 

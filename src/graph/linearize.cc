@@ -1,7 +1,6 @@
 #include "src/graph/linearize.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "src/util/check.h"
 #include "src/util/dna.h"
@@ -22,7 +21,8 @@ LinearizedGraph::toString() const
 LinearizedGraph
 LinearizedGraph::window(int pos, int len) const
 {
-    assert(pos >= 0 && len >= 0 && pos + len <= size());
+    SEGRAM_DCHECK(pos >= 0 && len >= 0 && pos + len <= size(),
+                  "slice outside the linearized text");
     LinearizedGraph out;
     out.linear_start_ = linear_start_ + static_cast<uint64_t>(pos);
     for (int i = 0; i < len; ++i) {
@@ -117,7 +117,8 @@ linearizeRange(const GenomeGraph &graph, uint64_t start, uint64_t end,
                         continue; // successor outside the region
                     }
                     const uint64_t target = graph.node(succ).linearOffset;
-                    assert(target > coord && target <= end);
+                    SEGRAM_DCHECK(target > coord && target <= end,
+                                  "successor offset leaves the region");
                     const uint64_t delta = target - coord;
                     const bool representable =
                         delta <= UINT16_MAX &&

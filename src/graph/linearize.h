@@ -18,13 +18,13 @@
 #define SEGRAM_SRC_GRAPH_LINEARIZE_H
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/graph/genome_graph.h"
+#include "src/util/check.h"
 
 namespace segram::graph
 {
@@ -115,7 +115,7 @@ class LinearizedGraph
     void
     appendChar(uint8_t code, CharOrigin origin)
     {
-        assert(code < 4);
+        SEGRAM_DCHECK(code < 4, "pushed code is not a 2-bit base");
         codes_.push_back(code);
         origins_.push_back(origin);
         succ_offsets_.push_back(succ_offsets_.back());
@@ -128,7 +128,7 @@ class LinearizedGraph
     void
     addDeltaToLast(uint16_t delta)
     {
-        assert(!codes_.empty());
+        SEGRAM_DCHECK(!codes_.empty(), "successor added before any node");
         succ_deltas_.push_back(delta);
         succ_offsets_.back() = static_cast<uint32_t>(succ_deltas_.size());
         // Keep the current character's run sorted (runs are tiny, and
@@ -182,7 +182,8 @@ class LinearizedGraphView
     LinearizedGraphView(const LinearizedGraph &parent, int pos, int len)
         : parent_(&parent), pos_(pos), len_(len)
     {
-        assert(pos >= 0 && len >= 0 && pos + len <= parent.size());
+        SEGRAM_DCHECK(pos >= 0 && len >= 0 && pos + len <= parent.size(),
+                      "view outside its parent graph");
     }
 
     /** @return Number of characters in the view. */
@@ -226,7 +227,8 @@ class LinearizedGraphView
     LinearizedGraphView
     window(int pos, int len) const
     {
-        assert(pos >= 0 && len >= 0 && pos + len <= len_);
+        SEGRAM_DCHECK(pos >= 0 && len >= 0 && pos + len <= len_,
+                      "subview outside this view");
         return {*parent_, pos_ + pos, len};
     }
 

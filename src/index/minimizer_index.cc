@@ -1,7 +1,6 @@
 #include "src/index/minimizer_index.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "src/util/check.h"
 
@@ -96,7 +95,8 @@ MinimizerIndex::build(const graph::GenomeGraph &graph,
         }
         bucket_offsets[num_buckets] =
             static_cast<uint32_t>(minimizers.size());
-        assert(entry == minimizers.size());
+        SEGRAM_DCHECK(entry == minimizers.size(),
+                      "occurrence table out of sync with minimizers");
     }
 
     // Frequency threshold: smallest count such that at most

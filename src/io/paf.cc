@@ -1,6 +1,7 @@
 #include "src/io/paf.h"
 
 #include <cerrno>
+#include <cstdio>
 #include <ostream>
 
 #include "src/util/check.h"
@@ -63,9 +64,17 @@ PafWriter::~PafWriter()
 {
     try {
         flush();
-    } catch (const IoError &) {
+    } catch (const IoError &error) {
         // A dtor cannot throw; callers that care about the tail of the
-        // output must flush() explicitly (the CLI does).
+        // output must flush() explicitly (the CLI does). But bytes
+        // dropped here must not vanish *silently* — one stderr line
+        // makes the loss visible even to callers that forgot.
+        // fprintf, not iostreams: it is noexcept-safe and independent
+        // of the (possibly failed) stream this writer wraps.
+        std::fprintf(stderr,
+                     "segram: warning: PAF output lost on writer "
+                     "destruction: %s\n",
+                     error.what());
     }
 }
 
@@ -96,11 +105,17 @@ PafWriter::flush()
     // and so a buffered-sink failure (stdio holding the bytes) is
     // detected here instead of at process exit.
     out_.flush();
-    if (!out_)
+    if (!out_) {
+        // Capture before the message strings are built: their heap
+        // allocations may overwrite errno (argument evaluation order
+        // is unspecified), and the lint's errno-capture rule holds
+        // this file to the same standard as the syscall paths.
+        const int saved_errno = errno;
         throw IoError("PAF output stream failed (" +
                           std::to_string(records_) +
                           " records written so far)",
-                      errno);
+                      saved_errno);
+    }
 }
 
 PafRecord

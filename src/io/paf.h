@@ -66,8 +66,9 @@ class PafWriter
     explicit PafWriter(std::ostream &out,
                        size_t buffer_bytes = 1 << 20);
 
-    /** Flushes, swallowing failure (dtors cannot throw); flush()
-     *  explicitly first if the outcome matters. */
+    /** Flushes; a flush failure cannot throw here (dtor), so it is
+     *  reported as a one-line stderr diagnostic instead of vanishing.
+     *  flush() explicitly first if the outcome must be actionable. */
     ~PafWriter();
 
     PafWriter(const PafWriter &) = delete;

@@ -12,7 +12,7 @@ bool
 AdmissionQueue::tryPush(MapJob &&job)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         if (stopped_ || jobs_.size() >= capacity_)
             return false;
         jobs_.push_back(std::move(job));
@@ -24,8 +24,11 @@ AdmissionQueue::tryPush(MapJob &&job)
 std::optional<MapJob>
 AdmissionQueue::pop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [this] { return stopped_ || !jobs_.empty(); });
+    util::MutexLock lock(mutex_);
+    // Explicit loop: guarded reads stay visible to -Wthread-safety
+    // (a predicate lambda would hide them from the analysis).
+    while (!(stopped_ || !jobs_.empty()))
+        ready_.wait(lock.native());
     if (jobs_.empty())
         return std::nullopt;
     MapJob job = std::move(jobs_.front());
@@ -37,7 +40,7 @@ void
 AdmissionQueue::stop()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         stopped_ = true;
     }
     ready_.notify_all();
@@ -46,7 +49,7 @@ AdmissionQueue::stop()
 size_t
 AdmissionQueue::depth() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return jobs_.size();
 }
 

@@ -22,11 +22,12 @@
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "src/serve/protocol.h"
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace segram::serve
 {
@@ -86,10 +87,10 @@ class AdmissionQueue
 
   private:
     const size_t capacity_;
-    mutable std::mutex mutex_;
+    mutable util::Mutex mutex_;
     std::condition_variable ready_;
-    std::deque<MapJob> jobs_;
-    bool stopped_ = false;
+    std::deque<MapJob> jobs_ SEGRAM_GUARDED_BY(mutex_);
+    bool stopped_ SEGRAM_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace segram::serve

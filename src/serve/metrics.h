@@ -8,6 +8,20 @@
  * 2x, since bucket i spans [2^i, 2^(i+1)) µs) is fine for an
  * operational metric and buys a recorder with no locks, no allocation
  * and a few hundred bytes of state.
+ *
+ * Memory-ordering audit (PR 10): every access is a relaxed atomic on
+ * an independent monotonic counter, which is exactly the case relaxed
+ * ordering is specified for — no reader derives a decision from the
+ * *relationship* between two counters, so no acquire/release pairing
+ * is needed and TSan agrees (atomics are never data races). Two
+ * documented consequences of that choice:
+ *  - record()'s two increments are not atomic together, so meanMs()
+ *    can pair a count that includes a request with a totalMicros_
+ *    that does not yet (or vice versa). The error is one in-flight
+ *    sample, bounded and transient.
+ *  - percentileMs() snapshots the buckets one by one; a concurrent
+ *    record() may or may not land in the snapshot. Percentiles over
+ *    a live histogram are inherently point-in-time approximations.
  */
 
 #ifndef SEGRAM_SRC_SERVE_METRICS_H

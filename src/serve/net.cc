@@ -74,24 +74,32 @@ UniqueFd
 listenTcp(const std::string &host, int port, int *bound_port)
 {
     UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
-    if (!fd.valid())
-        throw IoError("socket() failed", errno);
+    if (!fd.valid()) {
+        const int saved_errno = errno;
+        throw IoError("socket() failed", saved_errno);
+    }
     const int one = 1;
     ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in addr = makeTcpAddr(host, port);
     if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) != 0)
+               sizeof(addr)) != 0) {
+        const int saved_errno = errno;
         throw IoError("bind(" + host + ":" + std::to_string(port) +
                           ") failed",
-                      errno);
-    if (::listen(fd.get(), SOMAXCONN) != 0)
-        throw IoError("listen() failed", errno);
+                      saved_errno);
+    }
+    if (::listen(fd.get(), SOMAXCONN) != 0) {
+        const int saved_errno = errno;
+        throw IoError("listen() failed", saved_errno);
+    }
     if (bound_port != nullptr) {
         sockaddr_in bound{};
         socklen_t len = sizeof(bound);
         if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&bound),
-                          &len) != 0)
-            throw IoError("getsockname() failed", errno);
+                          &len) != 0) {
+            const int saved_errno = errno;
+            throw IoError("getsockname() failed", saved_errno);
+        }
         *bound_port = ntohs(bound.sin_port);
     }
     return fd;
@@ -101,18 +109,24 @@ UniqueFd
 listenUnix(const std::string &path)
 {
     UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
-    if (!fd.valid())
-        throw IoError("socket() failed", errno);
+    if (!fd.valid()) {
+        const int saved_errno = errno;
+        throw IoError("socket() failed", saved_errno);
+    }
     sockaddr_un addr = makeUnixAddr(path);
     // The daemon owns its socket path: a stale file from a previous
     // (crashed) instance would otherwise make every restart fail with
     // EADDRINUSE.
     ::unlink(path.c_str());
     if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) != 0)
-        throw IoError("bind(" + path + ") failed", errno);
-    if (::listen(fd.get(), SOMAXCONN) != 0)
-        throw IoError("listen() failed", errno);
+               sizeof(addr)) != 0) {
+        const int saved_errno = errno;
+        throw IoError("bind(" + path + ") failed", saved_errno);
+    }
+    if (::listen(fd.get(), SOMAXCONN) != 0) {
+        const int saved_errno = errno;
+        throw IoError("listen() failed", saved_errno);
+    }
     return fd;
 }
 
@@ -120,14 +134,18 @@ UniqueFd
 connectTcp(const std::string &host, int port)
 {
     UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
-    if (!fd.valid())
-        throw IoError("socket() failed", errno);
+    if (!fd.valid()) {
+        const int saved_errno = errno;
+        throw IoError("socket() failed", saved_errno);
+    }
     sockaddr_in addr = makeTcpAddr(host, port);
     if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0)
+                  sizeof(addr)) != 0) {
+        const int saved_errno = errno;
         throw IoError("connect(" + host + ":" + std::to_string(port) +
                           ") failed",
-                      errno);
+                      saved_errno);
+    }
     return fd;
 }
 
@@ -135,12 +153,16 @@ UniqueFd
 connectUnix(const std::string &path)
 {
     UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
-    if (!fd.valid())
-        throw IoError("socket() failed", errno);
+    if (!fd.valid()) {
+        const int saved_errno = errno;
+        throw IoError("socket() failed", saved_errno);
+    }
     sockaddr_un addr = makeUnixAddr(path);
     if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0)
-        throw IoError("connect(" + path + ") failed", errno);
+                  sizeof(addr)) != 0) {
+        const int saved_errno = errno;
+        throw IoError("connect(" + path + ") failed", saved_errno);
+    }
     return fd;
 }
 
@@ -151,13 +173,16 @@ sendAll(int fd, std::string_view data)
         const ssize_t sent =
             ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
         if (sent < 0) {
-            if (errno == EINTR)
+            // Capture before anything else can clobber it (the checks
+            // below only compare, which is clobber-free).
+            const int saved_errno = errno;
+            if (saved_errno == EINTR)
                 continue;
             // The peer going away mid-response is a per-session event,
             // not a daemon failure: report it as "drop this client".
-            if (errno == EPIPE || errno == ECONNRESET)
+            if (saved_errno == EPIPE || saved_errno == ECONNRESET)
                 return false;
-            throw IoError("send() failed", errno);
+            throw IoError("send() failed", saved_errno);
         }
         data.remove_prefix(static_cast<size_t>(sent));
     }
@@ -193,15 +218,16 @@ LineReader::readLine(std::string &line)
         char chunk[16384];
         const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
         if (got < 0) {
-            if (errno == EINTR)
+            const int saved_errno = errno;
+            if (saved_errno == EINTR)
                 continue;
-            if (errno == ECONNRESET) {
+            if (saved_errno == ECONNRESET) {
                 // A vanished peer reads as end of stream, exactly like
                 // an orderly close: the session ends, the daemon lives.
                 eof_ = true;
                 continue;
             }
-            throw IoError("recv() failed", errno);
+            throw IoError("recv() failed", saved_errno);
         }
         if (got == 0) {
             eof_ = true;

@@ -73,8 +73,10 @@ Server::start()
             listenTcp(config_.tcpHost, config_.tcpPort, &boundTcpPort_);
 
     int pipe_fds[2];
-    if (::pipe2(pipe_fds, O_CLOEXEC) != 0)
-        throw IoError("pipe2() failed", errno);
+    if (::pipe2(pipe_fds, O_CLOEXEC) != 0) {
+        const int saved_errno = errno;
+        throw IoError("pipe2() failed", saved_errno);
+    }
     wakeRead_ = UniqueFd(pipe_fds[0]);
     wakeWrite_ = UniqueFd(pipe_fds[1]);
 
@@ -99,7 +101,7 @@ Server::stop()
     // No new requests: sessions see EOF on their next read, but
     // responses already being written still flush (SHUT_RD only).
     {
-        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        util::MutexLock lock(sessionsMutex_);
         for (const auto &session : sessions_)
             if (session->fd.valid())
                 ::shutdown(session->fd.get(), SHUT_RD);
@@ -109,7 +111,7 @@ Server::stop()
     for (;;) {
         std::unique_ptr<Session> session;
         {
-            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            util::MutexLock lock(sessionsMutex_);
             if (sessions_.empty())
                 break;
             session = std::move(sessions_.back());
@@ -164,7 +166,7 @@ Server::acceptLoop()
             session->fd = std::move(client);
             Session *raw = session.get();
             {
-                std::lock_guard<std::mutex> lock(sessionsMutex_);
+                util::MutexLock lock(sessionsMutex_);
                 sessions_.push_back(std::move(session));
             }
             raw->thread = std::thread([this, raw] {
@@ -183,7 +185,7 @@ Server::reapSessions()
 {
     std::vector<std::unique_ptr<Session>> finished;
     {
-        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        util::MutexLock lock(sessionsMutex_);
         for (auto it = sessions_.begin(); it != sessions_.end();) {
             if ((*it)->done.load()) {
                 finished.push_back(std::move(*it));

@@ -35,7 +35,6 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +43,8 @@
 #include "src/serve/metrics.h"
 #include "src/serve/net.h"
 #include "src/serve/service.h"
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace segram::serve
 {
@@ -127,8 +128,9 @@ class Server
 
     std::thread acceptThread_;
     std::thread dispatchThread_;
-    std::mutex sessionsMutex_;
-    std::vector<std::unique_ptr<Session>> sessions_;
+    util::Mutex sessionsMutex_;
+    std::vector<std::unique_ptr<Session>> sessions_
+        SEGRAM_GUARDED_BY(sessionsMutex_);
 
     std::atomic<bool> started_{false};
     std::atomic<bool> stopping_{false};

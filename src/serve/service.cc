@@ -33,7 +33,7 @@ MappingService::map(const std::vector<ReadRecord> &reads)
 
     Reply reply;
     std::string &payload = reply.payload;
-    std::lock_guard<std::mutex> lock(mapMutex_);
+    util::MutexLock lock(mapMutex_);
     const auto results = mapper_.mapBatch(
         std::span<const std::string_view>(seqs), &stats_);
     for (size_t i = 0; i < results.size(); ++i) {
@@ -62,7 +62,7 @@ MappingService::snapshot() const
     snap.shards = mapper_.numShards();
     snap.threads = mapper_.threads();
     snap.residency = mapper_.residencyStats();
-    std::lock_guard<std::mutex> lock(mapMutex_);
+    util::MutexLock lock(mapMutex_);
     snap.requests = requests_;
     snap.reads = reads_;
     snap.readsMapped = stats_.readsMapped;
@@ -74,14 +74,14 @@ MappingService::snapshot() const
 void
 ServiceRegistry::add(std::shared_ptr<MappingService> service)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     services_[service->name()] = std::move(service);
 }
 
 std::shared_ptr<MappingService>
 ServiceRegistry::find(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = services_.find(name);
     return it == services_.end() ? nullptr : it->second;
 }
@@ -99,7 +99,7 @@ ServiceRegistry::reload(const std::string &name,
     // service keeps serving untouched.
     auto fresh = std::make_shared<MappingService>(name, pack_path,
                                                   old->config());
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     services_[name] = std::move(fresh);
     // `old` (plus any in-flight MapJob's shared_ptr) now holds the
     // last references; the drained service frees its mmap on release.
@@ -110,7 +110,7 @@ ServiceRegistry::list() const
 {
     std::vector<std::shared_ptr<MappingService>> services;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         services.reserve(services_.size());
         for (const auto &[name, service] : services_)
             services.push_back(service);

@@ -24,7 +24,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +34,8 @@
 #include "src/core/sharded_mapper.h"
 #include "src/io/pack.h"
 #include "src/serve/protocol.h"
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace segram::serve
 {
@@ -99,14 +100,20 @@ class MappingService
     // reference's mmap'd tables, so the reference must outlive it
     // (members destroy in reverse order).
     core::PreprocessedReference reference_;
+    /**
+     * Not GUARDED_BY(mapMutex_): mapBatch calls are serialized by
+     * map() taking the mutex, but the immutable metadata reads
+     * (numShards/threads) and the internally synchronized
+     * residencyStats() are deliberately lock-free for snapshot().
+     */
     core::ShardedBatchMapper mapper_;
     /** Per-chromosome PAF target length (graph concatenated coords). */
     std::unordered_map<std::string, uint64_t> targetLen_;
 
-    mutable std::mutex mapMutex_; ///< serializes mapBatch + counters
-    uint64_t requests_ = 0;
-    uint64_t reads_ = 0;
-    core::PipelineStats stats_;
+    mutable util::Mutex mapMutex_; ///< serializes mapBatch + counters
+    uint64_t requests_ SEGRAM_GUARDED_BY(mapMutex_) = 0;
+    uint64_t reads_ SEGRAM_GUARDED_BY(mapMutex_) = 0;
+    core::PipelineStats stats_ SEGRAM_GUARDED_BY(mapMutex_);
 };
 
 /**
@@ -136,9 +143,9 @@ class ServiceRegistry
     std::vector<std::shared_ptr<MappingService>> list() const;
 
   private:
-    mutable std::mutex mutex_;
+    mutable util::Mutex mutex_;
     std::unordered_map<std::string, std::shared_ptr<MappingService>>
-        services_;
+        services_ SEGRAM_GUARDED_BY(mutex_);
 };
 
 } // namespace segram::serve

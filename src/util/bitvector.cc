@@ -1,7 +1,6 @@
 #include "src/util/bitvector.h"
 
 #include <bit>
-#include <cassert>
 
 #include "src/util/check.h"
 
@@ -35,14 +34,14 @@ Bitvector::setAllZeros()
 bool
 Bitvector::test(int pos) const
 {
-    assert(pos >= 0 && pos < width_);
+    SEGRAM_DCHECK(pos >= 0 && pos < width_, "bit probe out of range");
     return bitops::testBit(words_.data(), pos);
 }
 
 void
 Bitvector::set(int pos, bool value)
 {
-    assert(pos >= 0 && pos < width_);
+    SEGRAM_DCHECK(pos >= 0 && pos < width_, "bit write out of range");
     const uint64_t mask = uint64_t{1} << (pos % bitsPerWord);
     if (value)
         words_[pos / bitsPerWord] |= mask;
@@ -68,7 +67,7 @@ Bitvector::shiftedLeftOne() const
 Bitvector &
 Bitvector::operator|=(const Bitvector &other)
 {
-    assert(width_ == other.width_);
+    SEGRAM_DCHECK(width_ == other.width_, "OR of mismatched widths");
     bitops::orInPlace(words_.data(), other.words_.data(), numWords());
     return *this;
 }
@@ -76,7 +75,7 @@ Bitvector::operator|=(const Bitvector &other)
 Bitvector &
 Bitvector::operator&=(const Bitvector &other)
 {
-    assert(width_ == other.width_);
+    SEGRAM_DCHECK(width_ == other.width_, "AND of mismatched widths");
     bitops::andInPlace(words_.data(), other.words_.data(), numWords());
     repairPadding();
     return *this;

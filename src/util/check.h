@@ -9,6 +9,8 @@
 #define SEGRAM_SRC_UTIL_CHECK_H
 
 #include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
@@ -71,6 +73,17 @@ throwInputError(const char *cond, const std::string &message)
     throw InputError(oss.str());
 }
 
+[[noreturn]] inline void
+dcheckFail(const char *cond, const char *message, const char *file,
+           int line)
+{
+    std::fprintf(stderr,
+                 "segram: internal invariant violated at %s:%d: %s "
+                 "(violated: %s)\n",
+                 file, line, message, cond);
+    std::abort();
+}
+
 } // namespace detail
 
 } // namespace segram
@@ -84,5 +97,28 @@ throwInputError(const char *cond, const std::string &message)
         if (!(cond))                                                        \
             ::segram::detail::throwInputError(#cond, (msg));                \
     } while (0)
+
+/**
+ * Debug-only internal invariant check — the repo's replacement for a
+ * bare assert() (which tools/lint/segram_lint.py rejects): carries a
+ * human-readable message and a consistent failure banner, and like
+ * assert it compiles out under NDEBUG so Release hot paths pay
+ * nothing. Use SEGRAM_CHECK for user-controllable conditions (always
+ * on, throws); use SEGRAM_DCHECK for conditions that can only be
+ * false if the code itself is wrong (debug-only, aborts).
+ */
+#ifdef NDEBUG
+#define SEGRAM_DCHECK(cond, msg)                                            \
+    do {                                                                    \
+        (void)sizeof((cond) ? 1 : 0); /* typecheck, never evaluate */       \
+    } while (0)
+#else
+#define SEGRAM_DCHECK(cond, msg)                                            \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::segram::detail::dcheckFail(#cond, (msg), __FILE__,            \
+                                         __LINE__);                         \
+    } while (0)
+#endif
 
 #endif // SEGRAM_SRC_UTIL_CHECK_H

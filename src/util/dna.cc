@@ -1,7 +1,8 @@
 #include "src/util/dna.h"
 
 #include <array>
-#include <cassert>
+
+#include "src/util/check.h"
 
 namespace segram
 {
@@ -36,7 +37,7 @@ baseToCode(char base)
 char
 codeToBase(uint8_t code)
 {
-    assert(code < kDnaAlphabetSize);
+    SEGRAM_DCHECK(code < kDnaAlphabetSize, "base code out of range");
     return baseTable[code];
 }
 
@@ -44,7 +45,8 @@ char
 complementBase(char base)
 {
     const uint8_t code = baseToCode(base);
-    assert(code != kInvalidBaseCode);
+    SEGRAM_DCHECK(code != kInvalidBaseCode,
+                  "complement of a non-ACGT base");
     return codeToBase(complementCode(code));
 }
 

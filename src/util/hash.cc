@@ -1,6 +1,6 @@
 #include "src/util/hash.h"
 
-#include <cassert>
+#include "src/util/check.h"
 
 namespace segram
 {
@@ -12,7 +12,7 @@ namespace
 uint64_t
 inverseOdd(uint64_t value)
 {
-    assert(value & 1);
+    SEGRAM_DCHECK(value & 1, "Newton inverse needs an odd multiplier");
     uint64_t inv = value; // correct to 3 bits
     for (int i = 0; i < 5; ++i)
         inv *= 2 - value * inv; // doubles correct bit count per step

@@ -1,6 +1,5 @@
 #include "src/util/packed_seq.h"
 
-#include <cassert>
 
 #include "src/util/check.h"
 
@@ -24,7 +23,7 @@ PackedSeq::pushBase(char base)
 void
 PackedSeq::pushCode(uint8_t code)
 {
-    assert(code < kDnaAlphabetSize);
+    SEGRAM_DCHECK(code < kDnaAlphabetSize, "2-bit code out of range");
     auto &words = words_.vec();
     const size_t word = size_ / basesPerWord;
     const int slot = static_cast<int>(size_ % basesPerWord);
@@ -44,7 +43,7 @@ PackedSeq::append(std::string_view seq)
 uint8_t
 PackedSeq::codeAt(size_t idx) const
 {
-    assert(idx < size_);
+    SEGRAM_DCHECK(idx < size_, "base index out of range");
     const size_t word = idx / basesPerWord;
     const int slot = static_cast<int>(idx % basesPerWord);
     return (words_[word] >> (2 * slot)) & 0x3;
@@ -53,7 +52,7 @@ PackedSeq::codeAt(size_t idx) const
 std::string
 PackedSeq::substr(size_t start, size_t len) const
 {
-    assert(start + len <= size_);
+    SEGRAM_DCHECK(start + len <= size_, "substring out of range");
     std::string out;
     out.reserve(len);
     for (size_t i = start; i < start + len; ++i)

@@ -9,8 +9,9 @@
 #ifndef SEGRAM_SRC_UTIL_RNG_H
 #define SEGRAM_SRC_UTIL_RNG_H
 
-#include <cassert>
 #include <cstdint>
+
+#include "src/util/check.h"
 
 namespace segram
 {
@@ -35,7 +36,7 @@ class Rng
     uint64_t
     nextBelow(uint64_t bound)
     {
-        assert(bound > 0);
+        SEGRAM_DCHECK(bound > 0, "nextBelow needs a positive bound");
         // Rejection-free multiply-shift; bias is negligible for our bounds.
         return static_cast<uint64_t>(
             (static_cast<__uint128_t>(nextU64()) * bound) >> 64);
@@ -45,7 +46,7 @@ class Rng
     int64_t
     nextInRange(int64_t lo, int64_t hi)
     {
-        assert(lo <= hi);
+        SEGRAM_DCHECK(lo <= hi, "nextInRange needs lo <= hi");
         return lo + static_cast<int64_t>(
             nextBelow(static_cast<uint64_t>(hi - lo) + 1));
     }

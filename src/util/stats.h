@@ -8,9 +8,10 @@
 #define SEGRAM_SRC_UTIL_STATS_H
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <vector>
+
+#include "src/util/check.h"
 
 namespace segram
 {
@@ -35,7 +36,7 @@ geomean(const std::vector<double> &values)
         return 0.0;
     double log_sum = 0.0;
     for (const double v : values) {
-        assert(v > 0.0);
+        SEGRAM_DCHECK(v > 0.0, "geomean requires positive values");
         log_sum += std::log(v);
     }
     return std::exp(log_sum / static_cast<double>(values.size()));

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Annotated synchronization primitives: util::Mutex and
+ * util::MutexLock, thin wrappers over std::mutex /
+ * std::unique_lock<std::mutex> that carry the clang thread-safety
+ * attributes (src/util/thread_annotations.h).
+ *
+ * libstdc++'s std::mutex is invisible to clang's -Wthread-safety
+ * analysis — locking through it never discharges a GUARDED_BY
+ * obligation — so every mutex in the repo is a util::Mutex and every
+ * lock scope a util::MutexLock. The std::mutex is still reachable via
+ * native() for std::condition_variable, which only accepts
+ * std::unique_lock<std::mutex>: a cv wait unlocks and relocks inside
+ * the call, which the analysis cannot see, but since the capability is
+ * restored before wait() returns the analysis state stays truthful at
+ * every statement it checks.
+ *
+ * Zero overhead: both types compile to exactly the std::lock_guard /
+ * std::unique_lock code they replace.
+ */
+
+#ifndef SEGRAM_SRC_UTIL_SYNC_H
+#define SEGRAM_SRC_UTIL_SYNC_H
+
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace segram::util
+{
+
+/** std::mutex with capability annotations. */
+class SEGRAM_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() SEGRAM_ACQUIRE() { mutex_.lock(); }
+    void unlock() SEGRAM_RELEASE() { mutex_.unlock(); }
+    bool
+    try_lock() SEGRAM_TRY_ACQUIRE(true)
+    {
+        return mutex_.try_lock();
+    }
+
+    /** The wrapped mutex, for std::condition_variable::wait only. */
+    std::mutex &native() { return mutex_; }
+
+  private:
+    std::mutex mutex_;
+};
+
+/**
+ * RAII lock scope over a util::Mutex — the annotated replacement for
+ * both std::lock_guard (just let it fall out of scope) and
+ * std::unique_lock (unlock()/lock() for manual control, native() to
+ * feed a condition variable).
+ */
+class SEGRAM_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) SEGRAM_ACQUIRE(mutex)
+        : lock_(mutex.native())
+    {
+    }
+
+    ~MutexLock() SEGRAM_RELEASE() = default;
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** Early release (e.g. drop the lock before a rethrow). */
+    void unlock() SEGRAM_RELEASE() { lock_.unlock(); }
+
+    /** Reacquire after an unlock(). */
+    void lock() SEGRAM_ACQUIRE() { lock_.lock(); }
+
+    /**
+     * The underlying unique_lock, for condition-variable waits:
+     * `cv.wait(scope.native())`. Must be held (the default state).
+     */
+    std::unique_lock<std::mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+} // namespace segram::util
+
+#endif // SEGRAM_SRC_UTIL_SYNC_H

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(int num_threads)
         // Destroying a vector of joinable threads calls
         // std::terminate; join the ones that did spawn first.
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             stop_ = true;
         }
         wake_.notify_all();
@@ -31,7 +31,7 @@ ThreadPool::ThreadPool(int num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     wake_.notify_all();
@@ -55,12 +55,15 @@ ThreadPool::workerLoop(int worker_id)
         const ItemFn *steal_fn = nullptr;
         uint64_t my_generation = 0;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [&] {
-                return stop_ ||
-                       ((job_ != nullptr || stealJob_ != nullptr) &&
-                        jobGeneration_ != seen_generation);
-            });
+            MutexLock lock(mutex_);
+            // Explicit wait loop (not the predicate overload): the
+            // thread-safety analysis cannot look inside a lambda, but
+            // it checks these guarded reads fine in the enclosing
+            // scope, where the capability is held.
+            while (!(stop_ ||
+                     ((job_ != nullptr || stealJob_ != nullptr) &&
+                      jobGeneration_ != seen_generation)))
+                wake_.wait(lock.native());
             if (stop_)
                 return;
             seen_generation = my_generation = jobGeneration_;
@@ -76,7 +79,7 @@ ThreadPool::workerLoop(int worker_id)
             size_t begin;
             size_t end;
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 if (jobGeneration_ != my_generation ||
                     jobError_ != nullptr)
                     break;
@@ -99,7 +102,7 @@ ThreadPool::workerLoop(int worker_id)
                 else
                     (*fn)(begin, end, worker_id);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 if (jobGeneration_ == my_generation &&
                     jobError_ == nullptr)
                     jobError_ = std::current_exception();
@@ -108,7 +111,7 @@ ThreadPool::workerLoop(int worker_id)
         }
 
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             --jobActiveWorkers_;
         }
         done_.notify_all();
@@ -153,7 +156,7 @@ ThreadPool::parallelFor(size_t num_items, size_t chunk_size,
     if (num_items == 0)
         return;
 
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     stealJob_ = nullptr;
     jobItems_ = num_items;
@@ -163,10 +166,9 @@ ThreadPool::parallelFor(size_t num_items, size_t chunk_size,
     ++jobGeneration_;
     wake_.notify_all();
 
-    done_.wait(lock, [&] {
-        return jobActiveWorkers_ == 0 &&
-               (jobNext_ >= jobItems_ || jobError_ != nullptr);
-    });
+    while (!(jobActiveWorkers_ == 0 &&
+             (jobNext_ >= jobItems_ || jobError_ != nullptr)))
+        done_.wait(lock.native());
 
     // job_ is cleared under the same lock hold the predicate was last
     // evaluated under, so no straggler can begin the finished job.
@@ -185,7 +187,7 @@ ThreadPool::parallelSteal(size_t num_items, const ItemFn &fn)
     if (num_items == 0)
         return;
 
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stealJob_ = &fn;
     job_ = nullptr;
     const size_t num_workers = workers_.size();
@@ -199,10 +201,9 @@ ThreadPool::parallelSteal(size_t num_items, const ItemFn &fn)
     ++jobGeneration_;
     wake_.notify_all();
 
-    done_.wait(lock, [&] {
-        return jobActiveWorkers_ == 0 &&
-               (stealRemaining_ == 0 || jobError_ != nullptr);
-    });
+    while (!(jobActiveWorkers_ == 0 &&
+             (stealRemaining_ == 0 || jobError_ != nullptr)))
+        done_.wait(lock.native());
 
     stealJob_ = nullptr;
     if (jobError_ != nullptr) {

@@ -17,9 +17,11 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/sync.h"
+#include "src/util/thread_annotations.h"
 
 namespace segram::util
 {
@@ -104,28 +106,36 @@ class ThreadPool
     /**
      * Claims the next steal-mode item for @p worker_id: its own range
      * first, then half of the richest victim's remaining range, taken
-     * from the back. Caller holds mutex_. @return false when no items
-     * remain anywhere.
+     * from the back. @return false when no items remain anywhere.
      */
-    bool claimStealItem(int worker_id, size_t &item);
+    bool claimStealItem(int worker_id, size_t &item)
+        SEGRAM_REQUIRES(mutex_);
 
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_;
+    Mutex mutex_;
     std::condition_variable wake_;    ///< signals workers: job or stop
     std::condition_variable done_;    ///< signals caller: job finished
-    const ChunkFn *job_ = nullptr;    ///< current job (guarded by mutex_)
-    const ItemFn *stealJob_ = nullptr; ///< current steal-mode job
-    size_t jobItems_ = 0;
-    size_t jobChunk_ = 1;
-    size_t jobNext_ = 0;              ///< next unclaimed item index
+    /** Current chunked job. */
+    const ChunkFn *job_ SEGRAM_GUARDED_BY(mutex_) = nullptr;
+    /** Current steal-mode job. */
+    const ItemFn *stealJob_ SEGRAM_GUARDED_BY(mutex_) = nullptr;
+    size_t jobItems_ SEGRAM_GUARDED_BY(mutex_) = 0;
+    size_t jobChunk_ SEGRAM_GUARDED_BY(mutex_) = 1;
+    /** Next unclaimed item index. */
+    size_t jobNext_ SEGRAM_GUARDED_BY(mutex_) = 0;
     /** Steal mode: per-worker [next, end) ranges of unclaimed items. */
-    std::vector<std::pair<size_t, size_t>> stealRanges_;
-    size_t stealRemaining_ = 0;       ///< unclaimed steal-mode items
-    uint64_t jobGeneration_ = 0;      ///< bumps per job: wakeup token
-    int jobActiveWorkers_ = 0;        ///< workers still inside the job
-    std::exception_ptr jobError_;     ///< first failure, rethrown
-    bool stop_ = false;
+    std::vector<std::pair<size_t, size_t>> stealRanges_
+        SEGRAM_GUARDED_BY(mutex_);
+    /** Unclaimed steal-mode items. */
+    size_t stealRemaining_ SEGRAM_GUARDED_BY(mutex_) = 0;
+    /** Bumps per job: wakeup token. */
+    uint64_t jobGeneration_ SEGRAM_GUARDED_BY(mutex_) = 0;
+    /** Workers still inside the job. */
+    int jobActiveWorkers_ SEGRAM_GUARDED_BY(mutex_) = 0;
+    /** First failure, rethrown. */
+    std::exception_ptr jobError_ SEGRAM_GUARDED_BY(mutex_);
+    bool stop_ SEGRAM_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace segram::util

@@ -501,7 +501,7 @@ TEST(Paf, FlushThrowsIoErrorWhenTheStreamFails)
     EXPECT_EQ(writer.recordsWritten(), 1u);
 }
 
-TEST(Paf, DestructorSwallowsStreamFailure)
+TEST(Paf, DestructorReportsSwallowedStreamFailureOnStderr)
 {
     class FailingBuf : public std::streambuf
     {
@@ -513,12 +513,37 @@ TEST(Paf, DestructorSwallowsStreamFailure)
         }
     } failing_buf;
     std::ostream out(&failing_buf);
+    testing::internal::CaptureStderr();
     {
         PafWriter writer(out, 1 << 20);
         writer.write(makePafRecord("q", 4, '+', "t", 10, 0,
                                    Cigar::fromString("4=")));
-    } // must not terminate: the dtor flush swallows the IoError
-    SUCCEED();
+    } // must not terminate: the dtor flush catches the IoError...
+    const std::string diagnostic =
+        testing::internal::GetCapturedStderr();
+    // ...but the loss must not be silent: one warning line naming
+    // the failure, so `segram map > out.paf` onto a full disk is
+    // diagnosable even from a code path that forgot to flush().
+    EXPECT_NE(diagnostic.find("segram: warning: PAF output lost"),
+              std::string::npos)
+        << "dtor swallowed a flush failure without a diagnostic; "
+        << "stderr was: \"" << diagnostic << "\"";
+    EXPECT_NE(diagnostic.find("PAF output stream failed"),
+              std::string::npos)
+        << diagnostic;
+}
+
+TEST(Paf, DestructorStaysSilentOnCleanFlush)
+{
+    std::ostringstream out;
+    testing::internal::CaptureStderr();
+    {
+        PafWriter writer(out, 1 << 20);
+        writer.write(makePafRecord("q", 4, '+', "t", 10, 0,
+                                   Cigar::fromString("4=")));
+    }
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+    EXPECT_FALSE(out.str().empty());
 }
 
 TEST(Paf, WriteThrowsWhenAThresholdFlushFails)

@@ -1,0 +1,14 @@
+// Deliberately-violating fixture for segram_lint --self-test: the
+// errno-capture rule must reject errno used as a function argument.
+// This file is never compiled.
+#include <cerrno>
+#include <stdexcept>
+#include <string>
+
+void
+errno_sins(int fd, const std::string &path)
+{
+    if (fd < 0)
+        throw std::runtime_error(path + std::to_string(errno)); // VIOLATION
+    report_failure("open failed", errno);                       // VIOLATION
+}
