@@ -759,6 +759,9 @@ constexpr KernelOps kNeonOps = {
 bool
 envDisablesSimd()
 {
+    // Read exactly once, during the static dispatch-table init,
+    // before any worker thread exists — nothing can race a setenv.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char *env = std::getenv("SEGRAM_DISABLE_SIMD");
     return env != nullptr && env[0] != '\0' &&
            std::strcmp(env, "0") != 0;

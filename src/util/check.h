@@ -19,6 +19,32 @@
 namespace segram
 {
 
+namespace detail
+{
+
+/**
+ * Thread-safe strerror: IoError is constructed from daemon session
+ * threads concurrently, and plain strerror's shared buffer is a data
+ * race (clang-tidy concurrency-mt-unsafe). glibc's strerror_r
+ * variant returns a char* that may point at either @p buffer or an
+ * immutable static string; the XSI variant fills @p buffer and
+ * returns an int.
+ */
+inline std::string
+errnoMessage(int errno_value)
+{
+    char buffer[128] = {};
+#if defined(_GNU_SOURCE)
+    return std::string(strerror_r(errno_value, buffer, sizeof(buffer)));
+#else
+    if (strerror_r(errno_value, buffer, sizeof(buffer)) != 0)
+        std::snprintf(buffer, sizeof(buffer), "errno %d", errno_value);
+    return std::string(buffer);
+#endif
+}
+
+} // namespace detail
+
 /** Thrown when user-supplied input (files, parameters) is invalid. */
 class InputError : public std::runtime_error
 {
@@ -47,7 +73,7 @@ class IoError : public std::runtime_error
     explicit IoError(const std::string &what, int errno_value = 0)
         : std::runtime_error(
               errno_value != 0
-                  ? what + ": " + std::strerror(errno_value)
+                  ? what + ": " + detail::errnoMessage(errno_value)
                   : what),
           errno_(errno_value)
     {
